@@ -1,0 +1,38 @@
+"""Benchmark E1 — Fig. 12: MCUDA vs PolygeistInnerPar vs PolygeistInnerSer.
+
+Regenerates both panels (runtime vs. threads, runtime vs. size) at reduced
+sizes and asserts the paper's qualitative relationships: inner serialization
+beats MCUDA, and the inner-parallel variant is in the same ballpark as MCUDA.
+"""
+
+from repro.harness import fig12_mcuda
+from repro.harness.tables import geomean
+
+
+def _experiment():
+    results = fig12_mcuda.run(threads=(1, 4, 16, 32), scales=(1, 2))
+    print()
+    print(fig12_mcuda.summarize(results))
+    return results
+
+
+def test_fig12_mcuda_comparison(benchmark, once):
+    results = once(benchmark, _experiment)
+
+    keys = list(results["MCUDA"])
+    ser_speedup = geomean([results["MCUDA"][key] / results["PolygeistInnerSer"][key]
+                           for key in keys])
+    par_ratio = geomean([results["MCUDA"][key] / results["PolygeistInnerPar"][key]
+                         for key in keys])
+    # Paper: InnerSer is ~15% faster than MCUDA overall, and InnerPar is the
+    # slowest Polygeist variant (nested-region overhead).  At the scaled-down
+    # sizes the nested overhead is exaggerated, so we assert the orderings
+    # rather than the constants.
+    assert ser_speedup > 1.0
+    assert par_ratio < 1.15          # InnerPar does not beat MCUDA
+    ser_vs_par = geomean([results["PolygeistInnerPar"][key] / results["PolygeistInnerSer"][key]
+                          for key in keys])
+    assert ser_vs_par > 1.0          # serializing the inner loop helps
+    # more threads must help every configuration
+    for series in results.values():
+        assert series[(32, 16)] < series[(1, 16)]

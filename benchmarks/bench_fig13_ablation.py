@@ -1,0 +1,41 @@
+"""Benchmark E3 — Fig. 13 (left): the optimization ablation.
+
+Cumulative series (Opt Disabled → mincut → openmpopt → affine → innerser) on
+a representative subset containing the barrier-heavy kernels the paper calls
+out (backprop layerforward is the 2.6x "affine" example).
+"""
+
+from repro.harness import fig13_rodinia
+from repro.harness.tables import geomean
+
+SUBSET = ["backprop layerforward", "particlefilter", "pathfinder", "lud", "srad_v1"]
+
+
+def _experiment():
+    results = fig13_rodinia.run_ablation(SUBSET, threads=32, scale=1)
+    print()
+    print(fig13_rodinia.summarize_ablation(results))
+    return results
+
+
+def test_fig13_ablation(benchmark, once):
+    results = once(benchmark, _experiment)
+
+    def series_geomean(series_name):
+        return geomean([results[name]["Opt Disabled"] / results[name][series_name]
+                        for name in results])
+
+    # every cumulative optimization level must not regress the previous one,
+    # and the fully optimized configuration must win clearly overall.
+    mincut = series_geomean("mincut")
+    openmpopt = series_geomean("openmpopt")
+    affine = series_geomean("affine")
+    innerser = series_geomean("innerser")
+    assert mincut >= 0.95
+    assert openmpopt >= mincut * 0.98
+    assert innerser >= 1.05
+    # the barrier-heavy backprop layerforward benefits the most from the
+    # affine/unrolling + barrier-elimination combination (paper: 2.6x).
+    backprop_affine = (results["backprop layerforward"]["Opt Disabled"]
+                       / results["backprop layerforward"]["affine"])
+    assert backprop_affine > 1.1

@@ -1,0 +1,37 @@
+"""Benchmark E4 — Fig. 14: thread scaling of transpiled CUDA vs native OpenMP.
+
+Checks the paper's central scaling claim: the transpiled CUDA codes preserve
+the massive parallelism they were written with and therefore scale at least
+as well as (in the paper: considerably better than) the hand-written OpenMP
+versions.
+"""
+
+from repro.harness import fig14_scaling
+from repro.harness.tables import geomean
+
+SUBSET = ["streamcluster", "srad_v1", "backprop adjust_weights", "myocyte"]
+THREADS = (1, 4, 16, 32)
+
+
+def _experiment():
+    results = fig14_scaling.run(SUBSET, threads=THREADS, scale=2)
+    print()
+    print(fig14_scaling.summarize(results))
+    return results
+
+
+def test_fig14_scaling(benchmark, once):
+    results = once(benchmark, _experiment)
+    scaled = fig14_scaling.speedups(results)
+
+    cuda = [variants["CUDA-OpenMP"][32] for variants in scaled.values()]
+    omp = [variants["OpenMP"][32] for variants in scaled.values() if "OpenMP" in variants]
+    cuda_geomean = geomean(cuda)
+    omp_geomean = geomean(omp)
+    # both must scale, CUDA-derived code at least as well as the OpenMP references
+    assert cuda_geomean > 2.0
+    assert cuda_geomean >= omp_geomean * 0.95
+    # scaling must be monotonically non-decreasing in threads for CUDA codes
+    for variants in scaled.values():
+        series = variants["CUDA-OpenMP"]
+        assert series[32] >= series[4] >= series[1] * 0.99

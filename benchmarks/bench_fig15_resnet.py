@@ -1,0 +1,35 @@
+"""Benchmarks E5/E6 — Fig. 15: ResNet-50 throughput with MocCUDA on A64FX.
+
+Left panel: heatmap of MocCUDA+Polygeist relative to Fujitsu-tuned oneDNN.
+Right panel: geomean images/s for the four backend series.
+"""
+
+from repro.harness import fig15_resnet
+from repro.harness.tables import geomean
+
+
+def _experiment():
+    heatmap = fig15_resnet.run_heatmap()
+    throughput = fig15_resnet.run_throughput()
+    print()
+    print(fig15_resnet.summarize(heatmap, throughput))
+    return heatmap, throughput
+
+
+def test_fig15_resnet_throughput(benchmark, once):
+    heatmap, throughput = once(benchmark, _experiment)
+
+    ratios = list(heatmap.values())
+    overall = geomean(ratios)
+    # Paper: 2.7x geomean, 1.2x min, 4.5x max over the tuned oneDNN backend.
+    assert 1.5 <= overall <= 4.5
+    assert min(ratios) >= 1.0
+    assert max(ratios) <= 6.0
+
+    # Fig. 15 right: ordering of the series at full CMG thread count.
+    at_12 = {series: values[12] for series, values in throughput.items()}
+    assert at_12["moccuda+polygeist"] > at_12["dnnl"] > at_12["onednn"]
+    # expert-written and Polygeist-generated kernels are comparable (<10% apart)
+    expert = at_12["moccuda+expert"]
+    polygeist = at_12["moccuda+polygeist"]
+    assert abs(expert - polygeist) / expert < 0.1

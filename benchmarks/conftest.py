@@ -1,0 +1,18 @@
+"""pytest-benchmark configuration shared by the figure benchmarks.
+
+Each benchmark drives a full compile-and-simulate experiment, so we pin the
+number of rounds instead of letting pytest-benchmark calibrate (a single
+round already takes a deterministic, noise-free measurement because the
+"runtime" is simulated cycles, not wall clock)."""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

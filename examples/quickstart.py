@@ -1,0 +1,74 @@
+"""Quickstart: compile the paper's Fig. 1 `normalize` CUDA kernel to the CPU.
+
+Demonstrates the three-step workflow:
+  1. compile CUDA-C with the frontend (unified host/device module),
+  2. run it with the SIMT oracle to get reference outputs,
+  3. run the GPU-to-CPU pipeline (`-cuda-lower`) and execute the OpenMP-style
+     result on the simulated multicore, showing the O(N^2) -> O(N) effect of
+     parallel loop-invariant code motion on the `sum` call.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.frontend import compile_cuda
+from repro.runtime import Interpreter
+from repro.transforms import PipelineOptions
+
+CUDA_SOURCE = """
+__device__ float sum(float* data, int n) {
+    float total = 0.0f;
+    for (int i = 0; i < n; i++) {
+        total += data[i];
+    }
+    return total;
+}
+
+__global__ void normalize(float* out, float* in, int n) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    float val = sum(in, n);
+    if (tid < n) {
+        out[tid] = in[tid] / val;
+    }
+}
+
+void launch(float* d_out, float* d_in, int n) {
+    normalize<<<(n + 31) / 32, 32>>>(d_out, d_in, n);
+}
+"""
+
+
+def main() -> None:
+    n = 128
+    rng = np.random.default_rng(0)
+    data = rng.random(n).astype(np.float32) + 0.5
+
+    # 1. reference execution with genuine GPU (SIMT) semantics
+    oracle = compile_cuda(CUDA_SOURCE)
+    reference = np.zeros(n, dtype=np.float32)
+    Interpreter(oracle).run("launch", [reference, data.copy(), n])
+
+    # 2. GPU-to-CPU transpilation, unoptimized vs. fully optimized
+    results = {}
+    for label, options in [("opt-disabled", PipelineOptions.opt_disabled()),
+                           ("optimized", PipelineOptions.all_optimizations())]:
+        module = compile_cuda(CUDA_SOURCE, cuda_lower=True, options=options)
+        output = np.zeros(n, dtype=np.float32)
+        interpreter = Interpreter(module, threads=32)
+        interpreter.run("launch", [output, data.copy(), n])
+        assert np.allclose(output, reference, rtol=1e-4), "CPU result diverged from the oracle"
+        results[label] = interpreter.report
+
+    print("normalize kernel, n =", n)
+    print(f"  reference sum-normalized output verified against the SIMT oracle")
+    for label, report in results.items():
+        print(f"  {label:>13}: {report.dynamic_ops:8d} dynamic ops, "
+              f"{report.cycles:12.0f} simulated cycles")
+    ratio = results["opt-disabled"].dynamic_ops / results["optimized"].dynamic_ops
+    print(f"  parallel LICM hoists the O(N) sum() out of the kernel: "
+          f"{ratio:.1f}x fewer dynamic operations (O(N^2) -> O(N))")
+
+
+if __name__ == "__main__":
+    main()

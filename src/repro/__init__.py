@@ -1,0 +1,24 @@
+"""repro — GPU-to-CPU transpilation and optimization via high-level parallel constructs.
+
+A Python reproduction of the PPoPP 2023 Polygeist CUDA-to-CPU paper: a CUDA-C
+frontend, an MLIR-like IR with first-class parallel constructs and a
+memory-semantics barrier, the paper's parallel-specific optimizations
+(barrier elimination/motion, barrier-aware mem2reg, parallel LICM, parallel
+loop splitting with min-cut, loop interchange, OpenMP region fusion and inner
+serialization), a SIMT correctness oracle, a simulated-multicore cost model,
+the MCUDA baseline, a Rodinia-style benchmark suite, and the MocCUDA
+mini-PyTorch integration.
+
+Public API entry points:
+
+* ``repro.frontend.compile_cuda`` — compile CUDA-C source to a module.
+* ``repro.transforms.cpuify`` — run the GPU-to-CPU pipeline.
+* ``repro.runtime`` — execute modules (SIMT oracle or simulated CPU).
+* ``repro.harness`` — regenerate the paper's figures/tables.
+"""
+
+__version__ = "1.0.0"
+
+from . import ir  # noqa: F401  (re-exported for convenience)
+
+__all__ = ["ir", "__version__"]

@@ -1,0 +1,91 @@
+"""Alias analysis for memref SSA values.
+
+The analysis is deliberately simple but sufficient for the paper's use cases
+(§IV-A: "None of these conflict if, given the calling context, the pointers
+are known not to alias"):
+
+* a value trivially aliases itself (``must`` alias);
+* the results of two *distinct* allocation operations (``memref.alloc``,
+  ``memref.alloca``, ``gpu.alloc``) never alias — each allocation returns
+  fresh memory;
+* an allocation result never aliases a function argument or any value that
+  existed before the allocation;
+* two distinct function/kernel arguments do not alias when the enclosing
+  function carries the ``arg_noalias`` attribute (set by the frontend for
+  CUDA kernel pointer parameters, matching the calling contexts in the
+  Rodinia benchmarks), otherwise they conservatively may alias;
+* anything else conservatively may alias.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+from ..ir import BlockArgument, MemRefType, OpResult, Value
+from ..dialects import func as func_d, gpu as gpu_d, memref as memref_d
+
+
+class AliasResult(Enum):
+    NO = "no"
+    MAY = "may"
+    MUST = "must"
+
+
+_ALLOC_OPS = (memref_d.AllocOp, memref_d.AllocaOp, gpu_d.GPUAllocOp)
+
+
+def is_allocation(value: Value) -> bool:
+    """True if ``value`` is the result of a fresh allocation."""
+    op = value.defining_op()
+    return op is not None and isinstance(op, _ALLOC_OPS)
+
+
+def _enclosing_function(value: Value) -> Optional[func_d.FuncOp]:
+    block = value.owner_block()
+    if block is None:
+        return None
+    op = block.parent_op
+    while op is not None and not isinstance(op, func_d.FuncOp):
+        op = op.parent_op
+    return op
+
+
+def _is_function_argument(value: Value) -> bool:
+    if not isinstance(value, BlockArgument):
+        return False
+    parent = value.block.parent_op
+    return isinstance(parent, func_d.FuncOp)
+
+
+def alias(a: Value, b: Value) -> AliasResult:
+    """Classify the aliasing relation between two memref values."""
+    if a is b:
+        return AliasResult.MUST
+    if not isinstance(a.type, MemRefType) or not isinstance(b.type, MemRefType):
+        # non-memref values do not denote memory.
+        return AliasResult.NO
+
+    a_alloc = is_allocation(a)
+    b_alloc = is_allocation(b)
+    if a_alloc and b_alloc:
+        return AliasResult.NO  # distinct fresh allocations
+    if a_alloc or b_alloc:
+        # fresh allocation vs. anything that is not (a view of) it.
+        return AliasResult.NO
+
+    if _is_function_argument(a) and _is_function_argument(b):
+        fn_a = _enclosing_function(a)
+        fn_b = _enclosing_function(b)
+        if fn_a is fn_b and fn_a is not None and fn_a.get_attr("arg_noalias", False):
+            return AliasResult.NO
+    return AliasResult.MAY
+
+
+def may_alias(a: Value, b: Value) -> bool:
+    """True unless the analysis proves the two memrefs are disjoint."""
+    return alias(a, b) is not AliasResult.NO
+
+
+def must_alias(a: Value, b: Value) -> bool:
+    return alias(a, b) is AliasResult.MUST

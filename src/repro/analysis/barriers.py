@@ -1,0 +1,193 @@
+"""Barrier memory semantics (§III-A) and the elimination condition (§IV-A).
+
+A ``polygeist.barrier`` orders, across the threads of its enclosing
+``scf.parallel``, the memory accesses performed before it against those
+performed after it.  Its *memory effects* are therefore defined as the union
+of the read and write effects of the surrounding code — minus the accesses
+whose address is an injective function of the thread id, which are already
+ordered by program order within each thread (the "hole" of Fig. 5).
+
+Two collection modes exist, matching the paper's M and M† sets:
+
+* ``stop_at_barrier=True``  (M†): walk only until the nearest enclosing-block
+  barrier in the given direction,
+* ``stop_at_barrier=False`` (M): walk all the way to the start/end of the
+  parallel region.
+
+The elimination rule then is: barrier B is redundant iff
+``conflicts(M†_before, M_after) == ∅`` (subsumed by a previous barrier /
+region start) or ``conflicts(M_before, M†_after) == ∅`` (subsumed by a
+following barrier / region end), where read-after-read pairs and same-thread
+injective accesses never count as conflicts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..ir import Operation, Value
+from ..dialects import func as func_d, polygeist, scf
+from .alias import is_allocation
+from .effects import MemoryAccess, any_conflict, collect_accesses
+from .structure import enclosing_parallel, is_defined_inside, uniform_symbols_for
+
+
+def _is_barrier(op: Operation) -> bool:
+    return isinstance(op, polygeist.PolygeistBarrierOp)
+
+
+def _truncate_at_barrier(ops: Sequence[Operation], *, keep_tail: bool) -> List[Operation]:
+    """Drop everything beyond the nearest barrier.
+
+    With ``keep_tail`` the *suffix* after the last barrier is kept (used for
+    the "before" side); otherwise the *prefix* before the first barrier is
+    kept (used for the "after" side).
+    """
+    barrier_indices = [i for i, op in enumerate(ops) if _is_barrier(op)]
+    if not barrier_indices:
+        return list(ops)
+    if keep_tail:
+        return list(ops[barrier_indices[-1] + 1:])
+    return list(ops[: barrier_indices[0]])
+
+
+def is_thread_private(base: Optional[Value], parallel: scf.ParallelOp) -> bool:
+    """A buffer allocated *inside* the parallel body is private to one
+    iteration (thread); barriers never order accesses to it."""
+    if base is None or not is_allocation(base):
+        return False
+    return is_defined_inside(base, parallel)
+
+
+def _collect(ops: Sequence[Operation], module: Optional[func_d.ModuleOp],
+             parallel: Optional[scf.ParallelOp] = None) -> List[MemoryAccess]:
+    accesses: List[MemoryAccess] = []
+    for op in ops:
+        for access in collect_accesses(op, module=module):
+            if parallel is not None and is_thread_private(access.base, parallel):
+                continue
+            accesses.append(access)
+    return accesses
+
+
+def accesses_on_side(barrier: polygeist.PolygeistBarrierOp, side: str, *,
+                     stop_at_barrier: bool = True,
+                     module: Optional[func_d.ModuleOp] = None) -> List[MemoryAccess]:
+    """Memory accesses that may execute before/after ``barrier``.
+
+    Walks outward from the barrier to its enclosing ``scf.parallel``: at each
+    nesting level the ops on the requested side of the current ancestor are
+    collected.  When the barrier is nested inside a *serial* loop
+    (``scf.for``/``scf.while``) the opposite side of that loop body is also
+    included, because across iterations those ops execute on the other side
+    of the barrier as well (wrap-around).
+    """
+    if side not in ("before", "after"):
+        raise ValueError("side must be 'before' or 'after'")
+    parallel = enclosing_parallel(barrier)
+    if parallel is None:
+        return []
+
+    accesses: List[MemoryAccess] = []
+    node: Operation = barrier
+    while True:
+        block = node.parent_block
+        if block is None:
+            break
+        if side == "before":
+            side_ops = block.ops_before(node)
+            if stop_at_barrier:
+                side_ops = _truncate_at_barrier(side_ops, keep_tail=True)
+        else:
+            side_ops = block.ops_after(node)
+            if stop_at_barrier:
+                side_ops = _truncate_at_barrier(side_ops, keep_tail=False)
+        accesses.extend(_collect(side_ops, module, parallel))
+
+        parent = block.parent_op
+        if parent is None or parent is parallel:
+            break
+        if isinstance(parent, (scf.ForOp, scf.WhileOp)):
+            # wrap-around: the other side of the loop body runs on this side
+            # of the barrier in the adjacent iteration.
+            if side == "before":
+                wrap_ops = block.ops_after(node)
+                if stop_at_barrier:
+                    wrap_ops = _truncate_at_barrier(wrap_ops, keep_tail=False)
+            else:
+                wrap_ops = block.ops_before(node)
+                if stop_at_barrier:
+                    wrap_ops = _truncate_at_barrier(wrap_ops, keep_tail=True)
+            accesses.extend(_collect(wrap_ops, module, parallel))
+        node = parent
+    return accesses
+
+
+def barrier_thread_ivs(barrier: polygeist.PolygeistBarrierOp) -> Sequence[Value]:
+    """The parallel induction variables this barrier synchronizes over."""
+    if barrier.thread_ivs:
+        return barrier.thread_ivs
+    parallel = enclosing_parallel(barrier)
+    return parallel.induction_vars if parallel is not None else ()
+
+
+def barrier_memory_effects(barrier: polygeist.PolygeistBarrierOp, *,
+                           module: Optional[func_d.ModuleOp] = None) -> List[MemoryAccess]:
+    """The refined memory effects of a barrier (union of both sides).
+
+    Accesses whose address is an injective function of the thread ids are
+    *not* excluded from the returned list; instead each access carries its
+    affine form so that consumers (mem2reg, conflict checks) can apply the
+    same-thread exclusion pairwise, which is strictly more precise.
+    """
+    before = accesses_on_side(barrier, "before", stop_at_barrier=True, module=module)
+    after = accesses_on_side(barrier, "after", stop_at_barrier=True, module=module)
+    return before + after
+
+
+def barrier_is_redundant(barrier: polygeist.PolygeistBarrierOp, *,
+                         module: Optional[func_d.ModuleOp] = None) -> bool:
+    """§IV-A elimination test for one barrier."""
+    parallel = enclosing_parallel(barrier)
+    if parallel is None:
+        return True  # a barrier outside any parallel region orders nothing
+    thread_ivs = list(barrier_thread_ivs(barrier))
+    uniform = uniform_symbols_for(parallel)
+
+    kwargs = dict(cross_thread_only=True, thread_ivs=thread_ivs, uniform_symbols=uniform)
+
+    before_dagger = accesses_on_side(barrier, "before", stop_at_barrier=True, module=module)
+    after_full = accesses_on_side(barrier, "after", stop_at_barrier=False, module=module)
+    if not any_conflict(before_dagger, after_full, **kwargs):
+        return True
+
+    before_full = accesses_on_side(barrier, "before", stop_at_barrier=False, module=module)
+    after_dagger = accesses_on_side(barrier, "after", stop_at_barrier=True, module=module)
+    if not any_conflict(before_full, after_dagger, **kwargs):
+        return True
+    return False
+
+
+def barrier_can_move_to(barrier: polygeist.PolygeistBarrierOp, anchor: Operation, *,
+                        before_anchor: bool,
+                        module: Optional[func_d.ModuleOp] = None) -> bool:
+    """Barrier motion legality (§IV-A).
+
+    Placing a fictitious barrier at the intended location and checking that
+    the *current* barrier becomes redundant with it present is exactly the
+    paper's formulation; we implement it literally by temporarily inserting a
+    barrier next to ``anchor`` and evaluating :func:`barrier_is_redundant`.
+    """
+    block = anchor.parent_block
+    if block is None:
+        return False
+    probe = polygeist.PolygeistBarrierOp(list(barrier.thread_ivs))
+    if before_anchor:
+        block.insert_before(anchor, probe)
+    else:
+        block.insert_after(anchor, probe)
+    try:
+        return barrier_is_redundant(barrier, module=module)
+    finally:
+        probe.drop_ref()
+        block.remove(probe)

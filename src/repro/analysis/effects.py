@@ -1,0 +1,195 @@
+"""Memory-access collection and conflict detection.
+
+The transformations of §IV are all phrased in terms of "the memory effects of
+the code before/after X conflict (or not)".  This module provides:
+
+* :class:`MemoryAccess` — one read/write/alloc/free of a base memref with an
+  optional affine access function,
+* :func:`collect_accesses` — gather the accesses of an op (recursively
+  through regions, and through direct calls when the module is supplied),
+* :func:`accesses_conflict` — the pairwise conflict test, including the
+  cross-thread refinement of §III-A used by barrier-related analyses, and
+* :func:`function_is_read_only` / :func:`function_effects` — interprocedural
+  summaries that let parallel LICM hoist calls such as ``sum`` in Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ir import EffectKind, Operation, Value
+from ..dialects import func as func_d, memref as memref_d, polygeist, scf
+from .affine import AffineExpr, access_equivalent, access_is_injective_in, extract_access
+from .alias import may_alias
+
+
+@dataclass
+class MemoryAccess:
+    """A single memory access performed by ``op``.
+
+    ``base`` is the accessed memref SSA value (None for unknown locations);
+    ``access`` is the affine index expression tuple when it could be raised.
+    """
+
+    op: Operation
+    kind: EffectKind
+    base: Optional[Value]
+    access: Optional[Tuple[AffineExpr, ...]] = None
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind is EffectKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is EffectKind.WRITE
+
+    def __repr__(self) -> str:
+        base = self.base.name if self.base is not None else "<unknown>"
+        return f"MemoryAccess({self.kind.value}, {base}, affine={self.access is not None})"
+
+
+def _call_accesses(call: func_d.CallOp, module: Optional[func_d.ModuleOp],
+                   visited: Set[str]) -> List[MemoryAccess]:
+    """Summarize a call by the callee's accesses, remapped to caller operands."""
+    unknown = [MemoryAccess(call, EffectKind.READ, None), MemoryAccess(call, EffectKind.WRITE, None)]
+    if module is None:
+        return unknown
+    callee = module.lookup(call.callee)
+    if callee is None or callee.is_declaration or call.callee in visited:
+        return unknown
+    visited = visited | {call.callee}
+    arg_map: Dict[int, Value] = {
+        id(arg): actual for arg, actual in zip(callee.arguments, call.operands)
+    }
+    summarized: List[MemoryAccess] = []
+    for access in collect_accesses(callee, module=module, _visited=visited):
+        base = access.base
+        if base is not None and id(base) in arg_map:
+            # effect on a pointer argument: becomes an effect on the actual.
+            summarized.append(MemoryAccess(call, access.kind, arg_map[id(base)], None))
+        elif base is not None and _is_local_to(base, callee):
+            # effect confined to callee-local allocations: invisible outside.
+            continue
+        else:
+            summarized.append(MemoryAccess(call, access.kind, None, None))
+    return summarized
+
+
+def _is_local_to(base: Value, callee: func_d.FuncOp) -> bool:
+    op = base.defining_op()
+    return op is not None and callee.is_ancestor_of(op)
+
+
+def collect_accesses(op: Operation, module: Optional[func_d.ModuleOp] = None,
+                     _visited: Optional[Set[str]] = None) -> List[MemoryAccess]:
+    """All memory accesses of ``op`` including nested regions and direct calls.
+
+    ``polygeist.barrier`` contributes *no* accesses here: its effects are
+    context-dependent and handled by :mod:`repro.analysis.barriers`.
+    """
+    visited = _visited or set()
+    accesses: List[MemoryAccess] = []
+
+    def record(current: Operation) -> None:
+        if isinstance(current, polygeist.PolygeistBarrierOp):
+            return
+        if isinstance(current, memref_d.LoadOp):
+            accesses.append(MemoryAccess(current, EffectKind.READ, current.memref,
+                                         extract_access(current.indices)))
+            return
+        if isinstance(current, memref_d.StoreOp):
+            accesses.append(MemoryAccess(current, EffectKind.WRITE, current.memref,
+                                         extract_access(current.indices)))
+            return
+        if isinstance(current, func_d.CallOp):
+            accesses.extend(_call_accesses(current, module, visited))
+            return
+        if current.HAS_RECURSIVE_EFFECTS or current is op:
+            for region in current.regions:
+                for block in region.blocks:
+                    for nested in block.operations:
+                        record(nested)
+            return
+        for effect in current.memory_effects():
+            accesses.append(MemoryAccess(current, effect.kind, effect.value, None))
+
+    record(op)
+    return accesses
+
+
+def accesses_conflict(a: MemoryAccess, b: MemoryAccess, *,
+                      cross_thread_only: bool = False,
+                      thread_ivs: Sequence[Value] = (),
+                      uniform_symbols: Sequence[Value] = ()) -> bool:
+    """Do two accesses conflict (one must come before the other)?
+
+    Read-after-read never conflicts.  With ``cross_thread_only`` the §III-A
+    refinement applies: identical affine accesses that are injective in the
+    thread ids are ordered by program order *within* each thread, so they do
+    not conflict across a barrier.
+    """
+    if a.is_read and b.is_read:
+        return False
+    if a.kind in (EffectKind.ALLOC, EffectKind.FREE) or b.kind in (EffectKind.ALLOC, EffectKind.FREE):
+        # allocation/free of a fresh buffer does not conflict with accesses to
+        # other buffers; conservatively conflict when bases may alias.
+        if a.base is None or b.base is None:
+            return True
+        return may_alias(a.base, b.base)
+    if a.base is None or b.base is None:
+        return True
+    if not may_alias(a.base, b.base):
+        return False
+    if cross_thread_only and a.access is not None and b.access is not None:
+        if (access_equivalent(a.access, b.access)
+                and access_is_injective_in(a.access, thread_ivs, uniform_symbols)):
+            return False
+    return True
+
+
+def any_conflict(group_a: Sequence[MemoryAccess], group_b: Sequence[MemoryAccess], **kwargs) -> bool:
+    """True if any access pair across the two groups conflicts."""
+    for a in group_a:
+        for b in group_b:
+            if accesses_conflict(a, b, **kwargs):
+                return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Interprocedural summaries
+# ---------------------------------------------------------------------------
+def function_effects(fn: func_d.FuncOp, module: Optional[func_d.ModuleOp] = None) -> List[MemoryAccess]:
+    """The externally visible accesses of a function body."""
+    if fn.is_declaration:
+        return [MemoryAccess(fn, EffectKind.READ, None), MemoryAccess(fn, EffectKind.WRITE, None)]
+    external: List[MemoryAccess] = []
+    for access in collect_accesses(fn, module=module):
+        if access.base is not None and _is_local_to(access.base, fn):
+            continue
+        external.append(access)
+    return external
+
+
+def function_is_read_only(fn: func_d.FuncOp, module: Optional[func_d.ModuleOp] = None) -> bool:
+    """True if the function never writes externally visible memory."""
+    return all(access.is_read for access in function_effects(fn, module))
+
+
+def op_is_speculatable(op: Operation, module: Optional[func_d.ModuleOp] = None) -> bool:
+    """True if executing ``op`` more or fewer times is unobservable.
+
+    Pure ops are speculatable; calls are speculatable when the callee is
+    read-only (it may be re-executed or hoisted freely as long as its
+    operands are available).
+    """
+    if isinstance(op, func_d.CallOp):
+        if module is None:
+            return False
+        callee = module.lookup(op.callee)
+        return callee is not None and function_is_read_only(callee, module)
+    if isinstance(op, memref_d.LoadOp):
+        return False  # may fault / value may change if memory written
+    return op.is_pure()

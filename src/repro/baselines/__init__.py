@@ -1,0 +1,6 @@
+"""repro.baselines — the comparison systems used in the evaluation."""
+
+from .mcuda import compile_mcuda, mcuda_options
+from .thread_emulation import run_thread_per_thread
+
+__all__ = ["compile_mcuda", "mcuda_options", "run_thread_per_thread"]

@@ -1,0 +1,48 @@
+"""MCUDA-style baseline (Stratton et al. 2008).
+
+MCUDA is an AST-level source-to-source translator: it wraps every kernel in
+loops over the thread indices, applies "deep fission" at every
+``__syncthreads`` (caching *all* live values in thread-indexed arrays — no
+min-cut, no memory-semantics barrier elimination), and parallelizes only the
+outermost (block) loop with a thread-independent parallel-for runtime.
+Because it runs before any compiler optimization, the kernel code it emits is
+exactly the unoptimized source.
+
+We reproduce that behaviour by driving our own pipeline with the matching
+option set rather than re-implementing a second C parser: the frontend
+already is an AST-level translator, and switching off every
+Polygeist-specific optimization leaves precisely MCUDA's algorithm (wrap in
+thread loops, fission at barriers, cache everything, parallelize the outer
+loop only).  DESIGN.md records this substitution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..dialects.func import ModuleOp
+from ..frontend import compile_cuda
+from ..transforms import PipelineOptions
+
+
+def mcuda_options(num_threads: Optional[int] = None) -> PipelineOptions:
+    """Pipeline options that emulate MCUDA's translation strategy."""
+    return PipelineOptions(
+        mincut=False,          # cache every value live across a fission point
+        barrier_elim=False,    # no memory-semantics barrier elimination
+        mem2reg=False,         # no cross-barrier load/store forwarding
+        parallel_licm=False,   # no parallel-loop-invariant code motion
+        openmp_opt=False,      # no parallel region fusion/hoisting
+        affine=False,          # no loop raising/unrolling before fission
+        inner_serialize=True,  # MCUDA only parallelizes the outermost loop
+        inline_device=True,    # MCUDA textually inlines device helpers
+        collapse=False,
+        num_threads=num_threads,
+    )
+
+
+def compile_mcuda(source: str, *, num_threads: Optional[int] = None,
+                  filename: str = "<mcuda>") -> ModuleOp:
+    """Translate CUDA source the way MCUDA would."""
+    return compile_cuda(source, filename=filename, cuda_lower=True,
+                        options=mcuda_options(num_threads))

@@ -1,0 +1,12 @@
+"""repro.dialects — the operation vocabulary of the IR.
+
+Dialects mirror the MLIR dialects the paper's pipeline uses: ``arith`` and
+``math`` for scalar computation, ``memref`` for memory, ``scf`` for
+structured control flow and parallel loops, ``func`` for functions and calls,
+``gpu`` for kernel launches before conversion, ``omp`` for the CPU OpenMP
+target, and ``polygeist`` for the custom barrier operation.
+"""
+
+from . import arith, func, gpu, math, memref, omp, polygeist, scf
+
+__all__ = ["arith", "func", "gpu", "math", "memref", "omp", "polygeist", "scf"]

@@ -1,0 +1,159 @@
+"""``func`` and ``builtin`` dialect: modules, functions, calls and returns."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..ir import (
+    Block,
+    EffectKind,
+    FunctionType,
+    MemoryEffect,
+    Operation,
+    Region,
+    Type,
+    Value,
+    single_block_region,
+)
+
+
+class ModuleOp(Operation):
+    """``builtin.module`` — the top-level container of functions.
+
+    Unlike stock LLVM/Clang CUDA compilation (which splits host and device
+    code into separate modules, Fig. 2 of the paper), a single module holds
+    both host functions and GPU kernels so optimization can cross the
+    host/device boundary.
+    """
+
+    OP_NAME = "builtin.module"
+    HAS_RECURSIVE_EFFECTS = True
+
+    def __init__(self) -> None:
+        super().__init__(regions=[single_block_region()])
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].block
+
+    @property
+    def functions(self) -> List["FuncOp"]:
+        return [op for op in self.body.operations if isinstance(op, FuncOp)]
+
+    def lookup(self, name: str) -> Optional["FuncOp"]:
+        """Find a function by symbol name."""
+        for func in self.functions:
+            if func.sym_name == name:
+                return func
+        return None
+
+    def add_function(self, func: "FuncOp") -> "FuncOp":
+        if self.lookup(func.sym_name) is not None:
+            raise ValueError(f"duplicate function symbol {func.sym_name!r}")
+        self.body.append(func)
+        return func
+
+
+class FuncOp(Operation):
+    """``func.func`` — a function definition (or declaration if body empty).
+
+    Attributes:
+      * ``sym_name``    — symbol name,
+      * ``kernel``      — True for CUDA ``__global__`` kernels,
+      * ``device``      — True for CUDA ``__device__`` functions,
+      * ``visibility``  — "public"/"private" (private functions may be
+        removed once fully inlined).
+    """
+
+    OP_NAME = "func.func"
+    HAS_RECURSIVE_EFFECTS = True
+
+    def __init__(self, sym_name: str, function_type: FunctionType,
+                 kernel: bool = False, device: bool = False,
+                 arg_names: Sequence[str] = (), declaration: bool = False) -> None:
+        regions = [] if declaration else [single_block_region(function_type.inputs, arg_names)]
+        super().__init__(
+            attributes={
+                "sym_name": sym_name,
+                "function_type": function_type,
+                "kernel": kernel,
+                "device": device,
+                "visibility": "public",
+            },
+            regions=regions,
+        )
+
+    # -- accessors ------------------------------------------------------------
+    @property
+    def sym_name(self) -> str:
+        return self.attributes["sym_name"]
+
+    @property
+    def function_type(self) -> FunctionType:
+        return self.attributes["function_type"]
+
+    @property
+    def is_kernel(self) -> bool:
+        return bool(self.attributes.get("kernel"))
+
+    @property
+    def is_device(self) -> bool:
+        return bool(self.attributes.get("device"))
+
+    @property
+    def is_declaration(self) -> bool:
+        return not self.regions or self.regions[0].empty
+
+    @property
+    def body_block(self) -> Block:
+        if self.is_declaration:
+            raise ValueError(f"function {self.sym_name} is a declaration")
+        return self.regions[0].block
+
+    @property
+    def arguments(self) -> Sequence[Value]:
+        return self.body_block.arguments
+
+    def verify(self) -> None:
+        if not self.is_declaration:
+            args = self.body_block.arguments
+            expected = self.function_type.inputs
+            if len(args) != len(expected):
+                raise ValueError(
+                    f"func.func {self.sym_name}: body has {len(args)} block args, "
+                    f"signature expects {len(expected)}")
+
+
+class ReturnOp(Operation):
+    """``func.return`` — terminator returning zero or more values."""
+
+    OP_NAME = "func.return"
+    IS_TERMINATOR = True
+    IS_PURE = True
+
+    def __init__(self, values: Sequence[Value] = ()) -> None:
+        super().__init__(operands=list(values))
+
+
+class CallOp(Operation):
+    """``func.call`` — direct call to a named function.
+
+    Memory effects are conservatively unknown; interprocedural analyses
+    (:mod:`repro.analysis.function_effects`) refine this by inspecting the
+    callee body when it is available in the module.
+    """
+
+    OP_NAME = "func.call"
+
+    def __init__(self, callee: str, args: Sequence[Value] = (),
+                 result_types: Sequence[Type] = (), name_hint: str = "") -> None:
+        super().__init__(operands=list(args), result_types=list(result_types),
+                         attributes={"callee": callee},
+                         result_names=[name_hint] if name_hint else [])
+
+    @property
+    def callee(self) -> str:
+        return self.attributes["callee"]
+
+    def memory_effects(self):
+        return [MemoryEffect(EffectKind.READ, None), MemoryEffect(EffectKind.WRITE, None)]

@@ -1,0 +1,185 @@
+"""``gpu`` dialect: kernel launches, thread geometry and device memory ops.
+
+The frontend translates CUDA into this dialect first.  ``gpu.launch`` embeds
+the kernel body as a region directly inside the host function — the unified
+host/device representation the paper relies on (§II-B, §III).  The
+``convert-gpu-to-parallel`` pass then rewrites launches into the nested
+``scf.parallel`` + ``polygeist.barrier`` representation of Fig. 3, and the
+``gpu.alloc``/``gpu.memcpy``/``gpu.dealloc`` host ops into plain memref ops
+(device memory *is* host memory once everything runs on the CPU).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..ir import (
+    Block,
+    EffectKind,
+    INDEX,
+    MemoryEffect,
+    MemRefType,
+    Operation,
+    Type,
+    Value,
+    single_block_region,
+)
+
+
+#: order of the twelve block arguments of a ``gpu.launch`` body region.
+LAUNCH_BODY_ARGS = (
+    "block_id_x", "block_id_y", "block_id_z",
+    "thread_id_x", "thread_id_y", "thread_id_z",
+    "grid_dim_x", "grid_dim_y", "grid_dim_z",
+    "block_dim_x", "block_dim_y", "block_dim_z",
+)
+
+
+class LaunchOp(Operation):
+    """``gpu.launch`` — a kernel launch with an inlined body region.
+
+    Operands are the six launch dimensions ``(grid_x, grid_y, grid_z,
+    block_x, block_y, block_z)`` as index values.  The body region has twelve
+    index block arguments in :data:`LAUNCH_BODY_ARGS` order: block ids,
+    thread ids, grid dims and block dims.  The ``kernel_name`` attribute
+    records which ``__global__`` function this launch was produced from.
+    """
+
+    OP_NAME = "gpu.launch"
+    HAS_RECURSIVE_EFFECTS = True
+
+    def __init__(self, grid_dims: Sequence[Value], block_dims: Sequence[Value],
+                 kernel_name: str = "") -> None:
+        if len(grid_dims) != 3 or len(block_dims) != 3:
+            raise ValueError("gpu.launch expects 3 grid dims and 3 block dims")
+        region = single_block_region([INDEX] * 12, LAUNCH_BODY_ARGS)
+        super().__init__(operands=[*grid_dims, *block_dims],
+                         attributes={"kernel_name": kernel_name},
+                         regions=[region])
+
+    # -- accessors -----------------------------------------------------------
+    @property
+    def grid_dims(self) -> Sequence[Value]:
+        return self.operands[0:3]
+
+    @property
+    def block_dims(self) -> Sequence[Value]:
+        return self.operands[3:6]
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].block
+
+    @property
+    def kernel_name(self) -> str:
+        return self.attributes.get("kernel_name", "")
+
+    # block argument accessors, in LAUNCH_BODY_ARGS order
+    @property
+    def block_ids(self) -> Sequence[Value]:
+        return self.body.arguments[0:3]
+
+    @property
+    def thread_ids(self) -> Sequence[Value]:
+        return self.body.arguments[3:6]
+
+    @property
+    def grid_dim_args(self) -> Sequence[Value]:
+        return self.body.arguments[6:9]
+
+    @property
+    def block_dim_args(self) -> Sequence[Value]:
+        return self.body.arguments[9:12]
+
+    def verify(self) -> None:
+        if len(self.body.arguments) != 12:
+            raise ValueError("gpu.launch: body must have 12 block arguments")
+
+
+class BarrierOp(Operation):
+    """``gpu.barrier`` — ``__syncthreads()`` before GPU-to-parallel conversion.
+
+    Semantically opaque (conservative unknown read+write): the conversion
+    pass replaces it with ``polygeist.barrier`` which carries the refined,
+    memory-effect-based semantics of §III-A.
+    """
+
+    OP_NAME = "gpu.barrier"
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def memory_effects(self):
+        return [MemoryEffect(EffectKind.READ, None), MemoryEffect(EffectKind.WRITE, None)]
+
+
+class GPUAllocOp(Operation):
+    """``gpu.alloc`` — host-side ``cudaMalloc``.
+
+    Lowered to ``memref.alloc`` for CPU execution (device memory becomes
+    ordinary host memory, which is also what makes LICM out of kernels legal
+    once everything runs on the CPU).
+    """
+
+    OP_NAME = "gpu.alloc"
+
+    def __init__(self, type: MemRefType, dynamic_sizes: Sequence[Value] = (),
+                 name_hint: str = "") -> None:
+        super().__init__(operands=list(dynamic_sizes), result_types=[type],
+                         result_names=[name_hint] if name_hint else [])
+
+    def memory_effects(self):
+        return [MemoryEffect(EffectKind.ALLOC, self.result)]
+
+
+class GPUDeallocOp(Operation):
+    """``gpu.dealloc`` — host-side ``cudaFree``."""
+
+    OP_NAME = "gpu.dealloc"
+
+    def __init__(self, memref: Value) -> None:
+        super().__init__(operands=[memref])
+
+    @property
+    def memref(self) -> Value:
+        return self.operands[0]
+
+    def memory_effects(self):
+        return [MemoryEffect(EffectKind.FREE, self.memref)]
+
+
+class GPUMemcpyOp(Operation):
+    """``gpu.memcpy`` — host-side ``cudaMemcpy`` with a direction attribute.
+
+    ``direction`` is one of ``host_to_device``, ``device_to_host`` or
+    ``device_to_device``; after CPU lowering all directions become a plain
+    ``memref.copy``.
+    """
+
+    OP_NAME = "gpu.memcpy"
+
+    HOST_TO_DEVICE = "host_to_device"
+    DEVICE_TO_HOST = "device_to_host"
+    DEVICE_TO_DEVICE = "device_to_device"
+
+    def __init__(self, destination: Value, source: Value, direction: str) -> None:
+        if direction not in (self.HOST_TO_DEVICE, self.DEVICE_TO_HOST, self.DEVICE_TO_DEVICE):
+            raise ValueError(f"unknown memcpy direction {direction!r}")
+        super().__init__(operands=[destination, source],
+                         attributes={"direction": direction})
+
+    @property
+    def destination(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def source(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def direction(self) -> str:
+        return self.attributes["direction"]
+
+    def memory_effects(self):
+        return [MemoryEffect(EffectKind.READ, self.source),
+                MemoryEffect(EffectKind.WRITE, self.destination)]

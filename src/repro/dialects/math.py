@@ -1,0 +1,89 @@
+"""``math`` dialect: transcendental and other libm-style scalar functions.
+
+These appear in the Rodinia kernels (``sqrtf``, ``expf``, ``log2`` ...) and in
+the MocCUDA softmax / NLL-loss kernels.  All ops are pure.
+"""
+
+from __future__ import annotations
+
+import math as _math
+from typing import Callable, Dict
+
+from ..ir import Operation, Value
+
+
+#: mapping from function name to its Python evaluation, shared by the
+#: interpreter, the constant folder and the cost model.
+UNARY_FUNCTIONS: Dict[str, Callable[[float], float]] = {
+    "exp": _math.exp,
+    "exp2": lambda x: 2.0 ** x,
+    "log": lambda x: _math.log(x) if x > 0 else float("-inf"),
+    "log2": lambda x: _math.log2(x) if x > 0 else float("-inf"),
+    "log10": lambda x: _math.log10(x) if x > 0 else float("-inf"),
+    "sqrt": lambda x: _math.sqrt(x) if x >= 0 else float("nan"),
+    "rsqrt": lambda x: 1.0 / _math.sqrt(x) if x > 0 else float("inf"),
+    "fabs": abs,
+    "sin": _math.sin,
+    "cos": _math.cos,
+    "tan": _math.tan,
+    "tanh": _math.tanh,
+    "floor": _math.floor,
+    "ceil": _math.ceil,
+    "erf": _math.erf,
+    "round": round,
+}
+
+
+class UnaryMathOp(Operation):
+    """``math.<fn>`` — a pure unary math function application.
+
+    The function name is carried as the ``fn`` attribute; the set of valid
+    names is :data:`UNARY_FUNCTIONS`.
+    """
+
+    OP_NAME = "math.unary"
+    IS_PURE = True
+
+    def __init__(self, fn: str, operand: Value, name_hint: str = "") -> None:
+        if fn not in UNARY_FUNCTIONS:
+            raise ValueError(f"unknown math function {fn!r}")
+        super().__init__(operands=[operand], result_types=[operand.type],
+                         attributes={"fn": fn},
+                         result_names=[name_hint] if name_hint else [])
+
+    @property
+    def fn(self) -> str:
+        return self.attributes["fn"]
+
+    @property
+    def name(self) -> str:  # pretty-print as math.sqrt etc.
+        return f"math.{self.fn}"
+
+    def evaluate(self, x: float) -> float:
+        return UNARY_FUNCTIONS[self.fn](x)
+
+
+class PowFOp(Operation):
+    """``math.powf`` — floating point power."""
+
+    OP_NAME = "math.powf"
+    IS_PURE = True
+
+    def __init__(self, base: Value, exponent: Value, name_hint: str = "") -> None:
+        super().__init__(operands=[base, exponent], result_types=[base.type],
+                         result_names=[name_hint] if name_hint else [])
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+    @staticmethod
+    def evaluate(base: float, exponent: float) -> float:
+        try:
+            return float(base) ** float(exponent)
+        except (OverflowError, ValueError):
+            return float("nan")

@@ -1,0 +1,139 @@
+"""``omp`` dialect: the OpenMP-style CPU parallel execution constructs.
+
+OpenMP implements a parallel for loop as two separate constructs (§IV-D):
+
+* ``omp.parallel``   — fork a team of threads that each execute the region
+  (the expensive part: thread management / closure creation), and
+* ``omp.wsloop``     — distribute ("workshare") a loop's iteration space
+  across the team inside a parallel region.
+
+Keeping them separate in the IR is what enables the paper's OpenMP-specific
+optimizations: fusing adjacent parallel regions (Fig. 10), hoisting a
+parallel region out of a surrounding serial loop (Fig. 11) and serializing
+nested regions, all without undoing the barrier lowering.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..ir import (
+    Block,
+    EffectKind,
+    INDEX,
+    MemoryEffect,
+    Operation,
+    Value,
+    single_block_region,
+)
+
+
+class OmpParallelOp(Operation):
+    """``omp.parallel`` — fork/join region executed by every thread of a team.
+
+    Attributes:
+      * ``num_threads`` — optional fixed team size (None = runtime default),
+      * ``nest_level``  — 0 for outermost regions, >0 for nested regions
+        (used by the cost model to charge nested-parallelism overhead).
+    """
+
+    OP_NAME = "omp.parallel"
+    HAS_RECURSIVE_EFFECTS = True
+
+    def __init__(self, num_threads: Optional[int] = None, nest_level: int = 0) -> None:
+        super().__init__(attributes={"num_threads": num_threads, "nest_level": nest_level},
+                         regions=[single_block_region()])
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].block
+
+    @property
+    def num_threads(self) -> Optional[int]:
+        return self.attributes.get("num_threads")
+
+    @property
+    def nest_level(self) -> int:
+        return self.attributes.get("nest_level", 0)
+
+
+class OmpWsLoopOp(Operation):
+    """``omp.wsloop`` — workshared loop inside an ``omp.parallel`` region.
+
+    Operands: ``lower_bounds + upper_bounds + steps`` (``num_dims`` each); the
+    region's block arguments are the induction variables.  The optional
+    ``nowait`` attribute elides the implicit barrier at loop end.
+    """
+
+    OP_NAME = "omp.wsloop"
+    HAS_RECURSIVE_EFFECTS = True
+
+    def __init__(self, lower_bounds: Sequence[Value], upper_bounds: Sequence[Value],
+                 steps: Sequence[Value], nowait: bool = False,
+                 iv_names: Sequence[str] = ()) -> None:
+        if not (len(lower_bounds) == len(upper_bounds) == len(steps)):
+            raise ValueError("omp.wsloop: bounds/steps arity mismatch")
+        num_dims = len(lower_bounds)
+        names = list(iv_names) or [f"iv{i}" for i in range(num_dims)]
+        region = single_block_region([INDEX] * num_dims, names)
+        super().__init__(operands=[*lower_bounds, *upper_bounds, *steps],
+                         attributes={"num_dims": num_dims, "nowait": nowait},
+                         regions=[region])
+
+    @property
+    def num_dims(self) -> int:
+        return self.attributes["num_dims"]
+
+    @property
+    def lower_bounds(self) -> Sequence[Value]:
+        return self.operands[: self.num_dims]
+
+    @property
+    def upper_bounds(self) -> Sequence[Value]:
+        return self.operands[self.num_dims: 2 * self.num_dims]
+
+    @property
+    def steps(self) -> Sequence[Value]:
+        return self.operands[2 * self.num_dims: 3 * self.num_dims]
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].block
+
+    @property
+    def induction_vars(self) -> Sequence[Value]:
+        return self.body.arguments
+
+    @property
+    def nowait(self) -> bool:
+        return bool(self.attributes.get("nowait"))
+
+
+class OmpBarrierOp(Operation):
+    """``omp.barrier`` — team-wide barrier inside an ``omp.parallel`` region.
+
+    Inserted by parallel-region fusion between the fused workshared loops so
+    the original cross-loop synchronization is preserved (Fig. 10).
+    """
+
+    OP_NAME = "omp.barrier"
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def memory_effects(self):
+        return [MemoryEffect(EffectKind.READ, None), MemoryEffect(EffectKind.WRITE, None)]
+
+
+class OmpSingleOp(Operation):
+    """``omp.single`` — region executed by exactly one thread of the team."""
+
+    OP_NAME = "omp.single"
+    HAS_RECURSIVE_EFFECTS = True
+
+    def __init__(self) -> None:
+        super().__init__(regions=[single_block_region()])
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].block

@@ -1,0 +1,288 @@
+"""``scf`` dialect: structured control flow (for / if / while / parallel).
+
+The paper's GPU representation (Fig. 3) is built from these operations:
+
+* a ``scf.parallel`` over all blocks in the grid (``parallel_level="grid"``),
+* a shared-memory ``memref.alloca`` inside it,
+* a nested ``scf.parallel`` over all threads in a block
+  (``parallel_level="block"``),
+* the kernel body with ``polygeist.barrier`` for ``__syncthreads``.
+
+Keeping loops and conditionals structured (single-block regions with explicit
+terminators) is what makes the barrier-lowering interchange patterns of
+§III-B practical.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..ir import (
+    Block,
+    I1,
+    INDEX,
+    Operation,
+    Region,
+    Type,
+    Value,
+    single_block_region,
+)
+
+
+class YieldOp(Operation):
+    """``scf.yield`` — terminator of structured control flow regions."""
+
+    OP_NAME = "scf.yield"
+    IS_TERMINATOR = True
+    IS_PURE = True
+
+    def __init__(self, values: Sequence[Value] = ()) -> None:
+        super().__init__(operands=list(values))
+
+
+class ConditionOp(Operation):
+    """``scf.condition`` — terminator of the *before* region of ``scf.while``.
+
+    The first operand is the i1 continuation condition, the remaining
+    operands are forwarded to the *after* region (and become the loop results
+    when iteration stops).
+    """
+
+    OP_NAME = "scf.condition"
+    IS_TERMINATOR = True
+    IS_PURE = True
+
+    def __init__(self, condition: Value, forwarded: Sequence[Value] = ()) -> None:
+        super().__init__(operands=[condition, *forwarded])
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def forwarded(self) -> Sequence[Value]:
+        return self.operands[1:]
+
+
+class ForOp(Operation):
+    """``scf.for`` — a sequential counted loop with optional iteration args.
+
+    Operands: ``lower_bound, upper_bound, step, *iter_init``.
+    Region block args: ``induction_var, *iter_args``; terminator ``scf.yield``
+    carries the next iteration's values.  Results mirror the iter args.
+    """
+
+    OP_NAME = "scf.for"
+    HAS_RECURSIVE_EFFECTS = True
+
+    def __init__(self, lower_bound: Value, upper_bound: Value, step: Value,
+                 iter_init: Sequence[Value] = (), iv_name: str = "i") -> None:
+        iter_types = [value.type for value in iter_init]
+        region = single_block_region([INDEX, *iter_types],
+                                     [iv_name, *["iter" for _ in iter_types]])
+        super().__init__(operands=[lower_bound, upper_bound, step, *iter_init],
+                         result_types=iter_types, regions=[region])
+
+    # -- accessors ----------------------------------------------------------
+    @property
+    def lower_bound(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def upper_bound(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def step(self) -> Value:
+        return self.operands[2]
+
+    @property
+    def iter_init(self) -> Sequence[Value]:
+        return self.operands[3:]
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].block
+
+    @property
+    def induction_var(self) -> Value:
+        return self.body.arguments[0]
+
+    @property
+    def iter_args(self) -> Sequence[Value]:
+        return self.body.arguments[1:]
+
+    def verify(self) -> None:
+        if self.body.terminator is None or not isinstance(self.body.terminator, YieldOp):
+            raise ValueError("scf.for: body must end with scf.yield")
+        if len(self.body.terminator.operands) != len(self.results):
+            raise ValueError("scf.for: yield arity does not match loop results")
+
+
+class IfOp(Operation):
+    """``scf.if`` — structured conditional with optional results.
+
+    Region 0 is the then-region, region 1 the else-region (possibly empty of
+    meaningful ops but always present so lowering stays uniform).
+    """
+
+    OP_NAME = "scf.if"
+    HAS_RECURSIVE_EFFECTS = True
+
+    def __init__(self, condition: Value, result_types: Sequence[Type] = (),
+                 with_else: bool = True) -> None:
+        regions = [single_block_region()]
+        if with_else or result_types:
+            regions.append(single_block_region())
+        super().__init__(operands=[condition], result_types=list(result_types),
+                         regions=regions)
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def then_block(self) -> Block:
+        return self.regions[0].block
+
+    @property
+    def else_block(self) -> Optional[Block]:
+        if len(self.regions) < 2 or self.regions[1].empty:
+            return None
+        return self.regions[1].block
+
+    @property
+    def has_else(self) -> bool:
+        return self.else_block is not None
+
+    def verify(self) -> None:
+        if self.condition.type != I1:
+            raise ValueError("scf.if: condition must be i1")
+        if self.results:
+            for block in filter(None, [self.then_block, self.else_block]):
+                term = block.terminator
+                if term is None or len(term.operands) != len(self.results):
+                    raise ValueError("scf.if: branch yield arity does not match results")
+
+
+class WhileOp(Operation):
+    """``scf.while`` — general loop with a dynamic exit condition.
+
+    Region 0 ("before") computes the continuation condition and ends with
+    ``scf.condition``; region 1 ("after") is the loop body and ends with
+    ``scf.yield`` feeding the next "before" iteration.  This is the construct
+    the §III-B2 while-interchange pattern (Fig. 8) operates on.
+    """
+
+    OP_NAME = "scf.while"
+    HAS_RECURSIVE_EFFECTS = True
+
+    def __init__(self, init_args: Sequence[Value] = (),
+                 result_types: Optional[Sequence[Type]] = None) -> None:
+        arg_types = [value.type for value in init_args]
+        before = single_block_region(arg_types)
+        after = single_block_region(list(result_types) if result_types is not None else arg_types)
+        results = list(result_types) if result_types is not None else arg_types
+        super().__init__(operands=list(init_args), result_types=results,
+                         regions=[before, after])
+
+    @property
+    def init_args(self) -> Sequence[Value]:
+        return self.operands
+
+    @property
+    def before_block(self) -> Block:
+        return self.regions[0].block
+
+    @property
+    def after_block(self) -> Block:
+        return self.regions[1].block
+
+    def verify(self) -> None:
+        before_term = self.before_block.terminator
+        if not isinstance(before_term, ConditionOp):
+            raise ValueError("scf.while: before region must end with scf.condition")
+        after_term = self.after_block.terminator
+        if not isinstance(after_term, YieldOp):
+            raise ValueError("scf.while: after region must end with scf.yield")
+
+
+class ParallelOp(Operation):
+    """``scf.parallel`` — a multi-dimensional parallel for loop.
+
+    Operands are ``lower_bounds + upper_bounds + steps`` (``num_dims`` each);
+    the region's block arguments are the induction variables.  Iterations may
+    be executed in any order or interleaving, subject only to the ordering
+    imposed by ``polygeist.barrier`` operations inside the body — this is the
+    semantic foundation for parallel LICM (§IV-C) and barrier lowering
+    (§III-B).
+
+    Attributes:
+      * ``parallel_level`` — "grid", "block" or "" (CPU-origin loop); set by
+        the GPU-to-parallel conversion and consumed by the OpenMP lowering
+        decisions (collapse vs. nested regions vs. inner serialisation).
+    """
+
+    OP_NAME = "scf.parallel"
+    HAS_RECURSIVE_EFFECTS = True
+
+    LEVEL_GRID = "grid"
+    LEVEL_BLOCK = "block"
+
+    def __init__(self, lower_bounds: Sequence[Value], upper_bounds: Sequence[Value],
+                 steps: Sequence[Value], parallel_level: str = "",
+                 iv_names: Sequence[str] = ()) -> None:
+        if not (len(lower_bounds) == len(upper_bounds) == len(steps)):
+            raise ValueError("scf.parallel: bounds/steps arity mismatch")
+        num_dims = len(lower_bounds)
+        names = list(iv_names) or [f"iv{i}" for i in range(num_dims)]
+        region = single_block_region([INDEX] * num_dims, names)
+        super().__init__(operands=[*lower_bounds, *upper_bounds, *steps],
+                         attributes={"num_dims": num_dims,
+                                     "parallel_level": parallel_level},
+                         regions=[region])
+
+    # -- accessors -----------------------------------------------------------
+    @property
+    def num_dims(self) -> int:
+        return self.attributes["num_dims"]
+
+    @property
+    def lower_bounds(self) -> Sequence[Value]:
+        return self.operands[: self.num_dims]
+
+    @property
+    def upper_bounds(self) -> Sequence[Value]:
+        return self.operands[self.num_dims: 2 * self.num_dims]
+
+    @property
+    def steps(self) -> Sequence[Value]:
+        return self.operands[2 * self.num_dims: 3 * self.num_dims]
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].block
+
+    @property
+    def induction_vars(self) -> Sequence[Value]:
+        return self.body.arguments
+
+    @property
+    def parallel_level(self) -> str:
+        return self.attributes.get("parallel_level", "")
+
+    @parallel_level.setter
+    def parallel_level(self, level: str) -> None:
+        self.attributes["parallel_level"] = level
+
+    def verify(self) -> None:
+        if len(self.body.arguments) != self.num_dims:
+            raise ValueError("scf.parallel: induction variable arity mismatch")
+        if self.body.terminator is None or not isinstance(self.body.terminator, YieldOp):
+            raise ValueError("scf.parallel: body must end with scf.yield")
+
+
+def ensure_terminator(block: Block) -> None:
+    """Append an empty ``scf.yield`` if ``block`` has no terminator yet."""
+    if block.terminator is None:
+        block.append(YieldOp())

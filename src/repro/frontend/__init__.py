@@ -1,0 +1,20 @@
+"""repro.frontend — the CUDA-C (and OpenMP-C) frontend.
+
+``compile_cuda(source)`` parses a CUDA-C translation unit and emits a unified
+host/device IR module; with ``cuda_lower=True`` it also runs the GPU-to-CPU
+pipeline, mirroring the paper's drop-in-replacement driver (§III-C).
+"""
+
+from .lexer import Lexer, LexerError, Token, tokenize
+from .parser import ParseError, Parser, parse
+from .codegen import CodeGenerator, CodegenError, generate_module
+from .driver import CompileResult, compile_cuda
+from . import cast
+
+__all__ = [
+    "Lexer", "LexerError", "Token", "tokenize",
+    "ParseError", "Parser", "parse",
+    "CodeGenerator", "CodegenError", "generate_module",
+    "CompileResult", "compile_cuda",
+    "cast",
+]

@@ -1,0 +1,203 @@
+"""AST node definitions for the CUDA-C subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+@dataclass
+class TypeSpec:
+    """A (very small) C type: base name + pointer depth."""
+
+    name: str              # 'void', 'int', 'float', 'double', 'bool'
+    pointer: int = 0
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.pointer > 0
+
+    def __str__(self) -> str:
+        return self.name + "*" * self.pointer
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+class Expr:
+    pass
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+
+
+@dataclass
+class Ident(Expr):
+    name: str
+
+
+@dataclass
+class Member(Expr):
+    """``base.field`` — only used for threadIdx.x / blockIdx.y / dim3 fields."""
+
+    base: str
+    field: str
+
+
+@dataclass
+class BinOp(Expr):
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class UnOp(Expr):
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Ternary(Expr):
+    condition: Expr
+    if_true: Expr
+    if_false: Expr
+
+
+@dataclass
+class Cast(Expr):
+    type: TypeSpec
+    operand: Expr
+
+
+@dataclass
+class Call(Expr):
+    name: str
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    """``base[i]`` or ``base[i][j]`` for multi-dimensional local arrays."""
+
+    base: Expr
+    indices: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Assign(Expr):
+    """``target op= value``; op is '', '+', '-', '*', '/'."""
+
+    target: Expr
+    value: Expr
+    op: str = ""
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+class Stmt:
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class DeclStmt(Stmt):
+    type: TypeSpec
+    name: str
+    array_dims: List[int] = field(default_factory=list)
+    init: Optional[Expr] = None
+    shared: bool = False
+
+
+@dataclass
+class Dim3Decl(Stmt):
+    name: str
+    values: Tuple[Expr, Expr, Expr] = (IntLit(1), IntLit(1), IntLit(1))
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class IfStmt(Stmt):
+    condition: Expr
+    then_body: Block
+    else_body: Optional[Block] = None
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Stmt]
+    condition: Optional[Expr]
+    step: Optional[Stmt]
+    body: Block
+    omp_parallel: bool = False
+
+
+@dataclass
+class WhileStmt(Stmt):
+    condition: Expr
+    body: Block
+    do_while: bool = False
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class LaunchStmt(Stmt):
+    """``kernel<<<grid, block>>>(args);``"""
+
+    kernel: str
+    grid: List[Expr] = field(default_factory=list)    # 1-3 expressions (or a dim3 name)
+    block: List[Expr] = field(default_factory=list)
+    args: List[Expr] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+@dataclass
+class Param:
+    type: TypeSpec
+    name: str
+
+
+@dataclass
+class FuncDecl(Stmt):
+    name: str
+    return_type: TypeSpec
+    params: List[Param] = field(default_factory=list)
+    body: Optional[Block] = None
+    is_kernel: bool = False     # __global__
+    is_device: bool = False     # __device__
+
+
+@dataclass
+class Program:
+    functions: List[FuncDecl] = field(default_factory=list)
+
+    def find(self, name: str) -> Optional[FuncDecl]:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        return None

@@ -1,0 +1,552 @@
+"""AST → IR code generation.
+
+Kernels are not emitted as separate functions: each ``<<<...>>>`` launch site
+inlines the kernel body into a ``gpu.launch`` region of the *host* function,
+so the host/device boundary is visible to the optimizer from the start — the
+core idea the paper borrows from MLIR's unified GPU representation (§II-B).
+
+Local variables become rank-0 (or rank-n, for arrays) ``memref.alloca``
+buffers with loads/stores; ``__shared__`` arrays use the ``shared`` memory
+space.  The mem2reg pass later promotes the scalar ones back to SSA values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir import (
+    Builder,
+    DYNAMIC,
+    F32,
+    F64,
+    FloatType,
+    FunctionType,
+    I1,
+    INDEX,
+    MemorySpace,
+    MemRefType,
+    Type,
+    Value,
+    memref as memref_type,
+)
+from ..dialects import arith, func as func_d, gpu as gpu_d, math as math_d, memref as memref_d, scf
+from . import cast as ast
+
+
+class CodegenError(RuntimeError):
+    pass
+
+
+_MATH_BUILTINS = {
+    "sqrt": "sqrt", "sqrtf": "sqrt", "rsqrtf": "rsqrt", "rsqrt": "rsqrt",
+    "exp": "exp", "expf": "exp", "__expf": "exp", "exp2f": "exp2",
+    "log": "log", "logf": "log", "log2": "log2", "log2f": "log2", "log10": "log10",
+    "fabs": "fabs", "fabsf": "fabs", "abs": "fabs",
+    "sin": "sin", "sinf": "sin", "cos": "cos", "cosf": "cos",
+    "tanh": "tanh", "tanhf": "tanh", "erf": "erf", "erff": "erf",
+    "floor": "floor", "floorf": "floor", "ceil": "ceil", "ceilf": "ceil",
+    "round": "round", "roundf": "round",
+}
+
+_GPU_BUILTIN_BASES = ("threadIdx", "blockIdx", "blockDim", "gridDim")
+
+
+class Scope:
+    """Lexically scoped symbol table."""
+
+    def __init__(self, parent: Optional["Scope"] = None) -> None:
+        self.parent = parent
+        self.symbols: Dict[str, Tuple[str, object]] = {}
+
+    def define(self, name: str, kind: str, payload) -> None:
+        self.symbols[name] = (kind, payload)
+
+    def lookup(self, name: str) -> Optional[Tuple[str, object]]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+    def child(self) -> "Scope":
+        return Scope(self)
+
+
+class GPUContext:
+    """thread/block id and dimension values inside a gpu.launch region."""
+
+    def __init__(self, launch: gpu_d.LaunchOp) -> None:
+        ids = list(launch.body.arguments)
+        self.values = {
+            "blockIdx": ids[0:3], "threadIdx": ids[3:6],
+            "gridDim": ids[6:9], "blockDim": ids[9:12],
+        }
+
+    def get(self, base: str, field: str) -> Value:
+        index = {"x": 0, "y": 1, "z": 2}[field]
+        return self.values[base][index]
+
+
+class CodeGenerator:
+    def __init__(self, program: ast.Program, noalias: bool = True) -> None:
+        self.program = program
+        self.noalias = noalias
+        self.module = func_d.ModuleOp()
+
+    # -- types --------------------------------------------------------------
+    def _scalar_type(self, spec: ast.TypeSpec) -> Type:
+        if spec.name == "float":
+            return F32
+        if spec.name == "double":
+            return F64
+        if spec.name == "void":
+            raise CodegenError("void is not a value type")
+        return INDEX  # int / bool / size_t all map to the index type
+
+    def _ir_type(self, spec: ast.TypeSpec) -> Type:
+        if spec.is_pointer:
+            element = self._scalar_type(ast.TypeSpec(spec.name, 0))
+            return memref_type((DYNAMIC,), element)
+        return self._scalar_type(spec)
+
+    # -- module-level ----------------------------------------------------------
+    def generate(self) -> func_d.ModuleOp:
+        for fn in self.program.functions:
+            if fn.is_kernel:
+                continue  # kernels are inlined at their launch sites
+            self._generate_function(fn)
+        return self.module
+
+    def _generate_function(self, decl: ast.FuncDecl) -> None:
+        param_types = [self._ir_type(param.type) for param in decl.params]
+        result_types = [] if decl.return_type.name == "void" and not decl.return_type.is_pointer \
+            else [self._ir_type(decl.return_type)]
+        fn = func_d.FuncOp(decl.name, FunctionType(tuple(param_types), tuple(result_types)),
+                           device=decl.is_device, declaration=decl.body is None,
+                           arg_names=[param.name for param in decl.params])
+        fn.set_attr("arg_noalias", self.noalias)
+        self.module.add_function(fn)
+        if decl.body is None:
+            return
+        builder = Builder.at_end(fn.body_block)
+        scope = Scope()
+        for param, value in zip(decl.params, fn.arguments):
+            scope.define(param.name, "value", value)
+        returned = self._gen_block(decl.body, builder, scope, gpu_ctx=None)
+        if not returned:
+            builder.insert(func_d.ReturnOp())
+
+    # -- statements ---------------------------------------------------------------
+    def _gen_block(self, block: ast.Block, builder: Builder, scope: Scope,
+                   gpu_ctx: Optional[GPUContext]) -> bool:
+        """Generate a block; returns True if it ended with a return statement."""
+        for statement in block.statements:
+            if self._gen_statement(statement, builder, scope, gpu_ctx):
+                return True
+        return False
+
+    def _gen_statement(self, statement: ast.Stmt, builder: Builder, scope: Scope,
+                       gpu_ctx: Optional[GPUContext]) -> bool:
+        if isinstance(statement, ast.Block):
+            return self._gen_block(statement, builder, scope.child(), gpu_ctx)
+        if isinstance(statement, ast.DeclStmt):
+            self._gen_declaration(statement, builder, scope, gpu_ctx)
+            return False
+        if isinstance(statement, ast.Dim3Decl):
+            values = tuple(self._to_index(self._gen_expr(v, builder, scope, gpu_ctx), builder)
+                           for v in statement.values)
+            scope.define(statement.name, "dim3", values)
+            return False
+        if isinstance(statement, ast.ExprStmt):
+            self._gen_expr(statement.expr, builder, scope, gpu_ctx)
+            return False
+        if isinstance(statement, ast.ReturnStmt):
+            values = []
+            if statement.value is not None:
+                values = [self._gen_expr(statement.value, builder, scope, gpu_ctx)]
+            builder.insert(func_d.ReturnOp(values))
+            return True
+        if isinstance(statement, ast.IfStmt):
+            self._gen_if(statement, builder, scope, gpu_ctx)
+            return False
+        if isinstance(statement, ast.ForStmt):
+            self._gen_for(statement, builder, scope, gpu_ctx)
+            return False
+        if isinstance(statement, ast.WhileStmt):
+            self._gen_while(statement, builder, scope, gpu_ctx)
+            return False
+        if isinstance(statement, ast.LaunchStmt):
+            self._gen_launch(statement, builder, scope)
+            return False
+        raise CodegenError(f"unsupported statement {type(statement).__name__}")
+
+    def _gen_declaration(self, decl: ast.DeclStmt, builder: Builder, scope: Scope,
+                         gpu_ctx: Optional[GPUContext]) -> None:
+        element = self._scalar_type(ast.TypeSpec(decl.type.name, 0))
+        if decl.type.is_pointer:
+            # pointer locals hold a memref value (e.g. aliasing a parameter)
+            if decl.init is None:
+                raise CodegenError(f"pointer variable {decl.name} needs an initializer")
+            scope.define(decl.name, "value", self._gen_expr(decl.init, builder, scope, gpu_ctx))
+            return
+        space = MemorySpace.SHARED if decl.shared else MemorySpace.LOCAL
+        shape = tuple(decl.array_dims)
+        buffer = builder.insert(memref_d.AllocaOp(memref_type(shape, element, space),
+                                                  name_hint=decl.name)).result
+        scope.define(decl.name, "alloca", buffer)
+        if decl.init is not None:
+            value = self._coerce(self._gen_expr(decl.init, builder, scope, gpu_ctx), element, builder)
+            builder.insert(memref_d.StoreOp(value, buffer, []))
+
+    def _gen_if(self, statement: ast.IfStmt, builder: Builder, scope: Scope,
+                gpu_ctx: Optional[GPUContext]) -> None:
+        condition = self._to_bool(self._gen_expr(statement.condition, builder, scope, gpu_ctx),
+                                  builder)
+        if_op = builder.insert(scf.IfOp(condition, with_else=statement.else_body is not None))
+        then_builder = Builder.at_end(if_op.then_block)
+        self._gen_block(statement.then_body, then_builder, scope.child(), gpu_ctx)
+        then_builder.insert(scf.YieldOp())
+        if statement.else_body is not None:
+            else_builder = Builder.at_end(if_op.else_block)
+            self._gen_block(statement.else_body, else_builder, scope.child(), gpu_ctx)
+            else_builder.insert(scf.YieldOp())
+
+    def _match_canonical_for(self, statement: ast.ForStmt):
+        """Recognize ``for (int i = a; i < b; i += c)``; returns components or None."""
+        init, condition, step = statement.init, statement.condition, statement.step
+        if init is None or condition is None or step is None:
+            return None
+        if isinstance(init, ast.DeclStmt) and init.init is not None and not init.array_dims:
+            var_name, start_expr = init.name, init.init
+            declares = True
+        elif (isinstance(init, ast.ExprStmt) and isinstance(init.expr, ast.Assign)
+              and isinstance(init.expr.target, ast.Ident) and init.expr.op == ""):
+            var_name, start_expr = init.expr.target.name, init.expr.value
+            declares = False
+        else:
+            return None
+        if not (isinstance(condition, ast.BinOp) and condition.op in ("<", "<=")
+                and isinstance(condition.lhs, ast.Ident) and condition.lhs.name == var_name):
+            return None
+        if not (isinstance(step, ast.ExprStmt) and isinstance(step.expr, ast.Assign)
+                and isinstance(step.expr.target, ast.Ident)
+                and step.expr.target.name == var_name and step.expr.op == "+"):
+            return None
+        return var_name, start_expr, condition, step.expr.value, declares
+
+    def _gen_for(self, statement: ast.ForStmt, builder: Builder, scope: Scope,
+                 gpu_ctx: Optional[GPUContext]) -> None:
+        canonical = self._match_canonical_for(statement)
+        if canonical is None:
+            if statement.omp_parallel:
+                raise CodegenError("#pragma omp parallel for requires a canonical for loop")
+            self._gen_for_as_while(statement, builder, scope, gpu_ctx)
+            return
+        var_name, start_expr, condition, step_expr, _ = canonical
+        lower = self._to_index(self._gen_expr(start_expr, builder, scope, gpu_ctx), builder)
+        upper = self._to_index(self._gen_expr(condition.rhs, builder, scope, gpu_ctx), builder)
+        if condition.op == "<=":
+            one = builder.insert(arith.ConstantOp(1, INDEX)).result
+            upper = builder.insert(arith.AddIOp(upper, one)).result
+        step = self._to_index(self._gen_expr(step_expr, builder, scope, gpu_ctx), builder)
+
+        if statement.omp_parallel:
+            loop = builder.insert(scf.ParallelOp([lower], [upper], [step], iv_names=[var_name]))
+            body_args = loop.induction_vars
+            body_builder = Builder.at_end(loop.body)
+        else:
+            loop = builder.insert(scf.ForOp(lower, upper, step, iv_name=var_name))
+            body_args = [loop.induction_var]
+            body_builder = Builder.at_end(loop.body)
+        body_scope = scope.child()
+        body_scope.define(var_name, "value", body_args[0])
+        self._gen_block(statement.body, body_builder, body_scope, gpu_ctx)
+        body_builder.insert(scf.YieldOp())
+
+    def _gen_for_as_while(self, statement: ast.ForStmt, builder: Builder, scope: Scope,
+                          gpu_ctx: Optional[GPUContext]) -> None:
+        loop_scope = scope.child()
+        if statement.init is not None:
+            self._gen_statement(statement.init, builder, loop_scope, gpu_ctx)
+        body = ast.Block(list(statement.body.statements)
+                         + ([statement.step] if statement.step is not None else []))
+        condition = statement.condition if statement.condition is not None else ast.IntLit(1)
+        self._gen_while(ast.WhileStmt(condition, body), builder, loop_scope, gpu_ctx)
+
+    def _gen_while(self, statement: ast.WhileStmt, builder: Builder, scope: Scope,
+                   gpu_ctx: Optional[GPUContext]) -> None:
+        while_op = builder.insert(scf.WhileOp([]))
+        before_builder = Builder.at_end(while_op.before_block)
+        if statement.do_while:
+            # do { body } while (cond): body + condition both in the before region.
+            self._gen_block(statement.body, before_builder, scope.child(), gpu_ctx)
+        condition = self._to_bool(self._gen_expr(statement.condition, before_builder,
+                                                 scope.child(), gpu_ctx), before_builder)
+        before_builder.insert(scf.ConditionOp(condition))
+        after_builder = Builder.at_end(while_op.after_block)
+        if not statement.do_while:
+            self._gen_block(statement.body, after_builder, scope.child(), gpu_ctx)
+        after_builder.insert(scf.YieldOp())
+
+    # -- kernel launches --------------------------------------------------------------
+    def _launch_dims(self, exprs: List[ast.Expr], builder: Builder, scope: Scope) -> List[Value]:
+        one = builder.insert(arith.ConstantOp(1, INDEX)).result
+        if len(exprs) == 1 and isinstance(exprs[0], ast.Ident):
+            entry = scope.lookup(exprs[0].name)
+            if entry is not None and entry[0] == "dim3":
+                return list(entry[1])
+        values = [self._to_index(self._gen_expr(expr, builder, scope, None), builder)
+                  for expr in exprs]
+        while len(values) < 3:
+            values.append(one)
+        return values[:3]
+
+    def _gen_launch(self, statement: ast.LaunchStmt, builder: Builder, scope: Scope) -> None:
+        kernel = self.program.find(statement.kernel)
+        if kernel is None or not kernel.is_kernel or kernel.body is None:
+            raise CodegenError(f"launch of unknown kernel {statement.kernel!r}")
+        grid = self._launch_dims(statement.grid, builder, scope)
+        block = self._launch_dims(statement.block, builder, scope)
+        arg_values = [self._gen_expr(expr, builder, scope, None) for expr in statement.args]
+        launch = builder.insert(gpu_d.LaunchOp(grid, block, kernel_name=kernel.name))
+        gpu_ctx = GPUContext(launch)
+        kernel_scope = Scope()
+        for param, value in zip(kernel.params, arg_values):
+            kernel_scope.define(param.name, "value", value)
+        body_builder = Builder.at_end(launch.body)
+        self._gen_block(kernel.body, body_builder, kernel_scope, gpu_ctx)
+        body_builder.insert(scf.YieldOp())
+
+    # -- expressions ----------------------------------------------------------------------
+    def _gen_expr(self, expr: ast.Expr, builder: Builder, scope: Scope,
+                  gpu_ctx: Optional[GPUContext]) -> Value:
+        if isinstance(expr, ast.IntLit):
+            return builder.insert(arith.ConstantOp(expr.value, INDEX)).result
+        if isinstance(expr, ast.FloatLit):
+            return builder.insert(arith.ConstantOp(expr.value, F32)).result
+        if isinstance(expr, ast.Ident):
+            return self._read_symbol(expr.name, builder, scope)
+        if isinstance(expr, ast.Member):
+            return self._gen_member(expr, builder, scope, gpu_ctx)
+        if isinstance(expr, ast.Index):
+            buffer, indices = self._resolve_access(expr, builder, scope, gpu_ctx)
+            return builder.insert(memref_d.LoadOp(buffer, indices)).result
+        if isinstance(expr, ast.Assign):
+            return self._gen_assign(expr, builder, scope, gpu_ctx)
+        if isinstance(expr, ast.BinOp):
+            return self._gen_binop(expr, builder, scope, gpu_ctx)
+        if isinstance(expr, ast.UnOp):
+            return self._gen_unop(expr, builder, scope, gpu_ctx)
+        if isinstance(expr, ast.Ternary):
+            condition = self._to_bool(self._gen_expr(expr.condition, builder, scope, gpu_ctx), builder)
+            lhs = self._gen_expr(expr.if_true, builder, scope, gpu_ctx)
+            rhs = self._gen_expr(expr.if_false, builder, scope, gpu_ctx)
+            lhs, rhs = self._promote_pair(lhs, rhs, builder)
+            return builder.insert(arith.SelectOp(condition, lhs, rhs)).result
+        if isinstance(expr, ast.Cast):
+            return self._coerce(self._gen_expr(expr.operand, builder, scope, gpu_ctx),
+                                self._scalar_type(ast.TypeSpec(expr.type.name, 0)), builder)
+        if isinstance(expr, ast.Call):
+            return self._gen_call(expr, builder, scope, gpu_ctx)
+        raise CodegenError(f"unsupported expression {type(expr).__name__}")
+
+    def _read_symbol(self, name: str, builder: Builder, scope: Scope) -> Value:
+        entry = scope.lookup(name)
+        if entry is None:
+            raise CodegenError(f"use of undefined identifier {name!r}")
+        kind, payload = entry
+        if kind == "value":
+            return payload
+        if kind == "alloca":
+            buffer = payload
+            if buffer.type.rank == 0:
+                return builder.insert(memref_d.LoadOp(buffer, [])).result
+            return buffer  # arrays decay to the buffer itself
+        raise CodegenError(f"cannot read symbol {name!r} of kind {kind}")
+
+    def _gen_member(self, expr: ast.Member, builder: Builder, scope: Scope,
+                    gpu_ctx: Optional[GPUContext]) -> Value:
+        if expr.base in _GPU_BUILTIN_BASES:
+            if gpu_ctx is None:
+                raise CodegenError(f"{expr.base}.{expr.field} used outside a kernel")
+            return gpu_ctx.get(expr.base, expr.field)
+        entry = scope.lookup(expr.base)
+        if entry is not None and entry[0] == "dim3":
+            return entry[1][{"x": 0, "y": 1, "z": 2}[expr.field]]
+        raise CodegenError(f"unsupported member access {expr.base}.{expr.field}")
+
+    def _resolve_access(self, expr: ast.Index, builder: Builder, scope: Scope,
+                        gpu_ctx: Optional[GPUContext]) -> Tuple[Value, List[Value]]:
+        if not isinstance(expr.base, ast.Ident):
+            raise CodegenError("subscripted expression must be a named buffer")
+        entry = scope.lookup(expr.base.name)
+        if entry is None:
+            raise CodegenError(f"use of undefined buffer {expr.base.name!r}")
+        kind, payload = entry
+        buffer = payload
+        indices = [self._to_index(self._gen_expr(index, builder, scope, gpu_ctx), builder)
+                   for index in expr.indices]
+        if not isinstance(buffer.type, MemRefType):
+            raise CodegenError(f"{expr.base.name} is not a buffer")
+        if len(indices) != buffer.type.rank:
+            raise CodegenError(f"{expr.base.name}: expected {buffer.type.rank} indices, "
+                               f"got {len(indices)}")
+        return buffer, indices
+
+    def _gen_assign(self, expr: ast.Assign, builder: Builder, scope: Scope,
+                    gpu_ctx: Optional[GPUContext]) -> Value:
+        value = self._gen_expr(expr.value, builder, scope, gpu_ctx)
+        if isinstance(expr.target, ast.Ident):
+            entry = scope.lookup(expr.target.name)
+            if entry is None or entry[0] != "alloca":
+                raise CodegenError(f"cannot assign to {expr.target.name!r}")
+            buffer = entry[1]
+            element = buffer.type.element_type
+            if expr.op:
+                current = builder.insert(memref_d.LoadOp(buffer, [])).result
+                value = self._apply_binary(expr.op, current, value, builder)
+            value = self._coerce(value, element, builder)
+            builder.insert(memref_d.StoreOp(value, buffer, []))
+            return value
+        if isinstance(expr.target, ast.Index):
+            buffer, indices = self._resolve_access(expr.target, builder, scope, gpu_ctx)
+            element = buffer.type.element_type
+            if expr.op:
+                current = builder.insert(memref_d.LoadOp(buffer, indices)).result
+                value = self._apply_binary(expr.op, current, value, builder)
+            value = self._coerce(value, element, builder)
+            builder.insert(memref_d.StoreOp(value, buffer, indices))
+            return value
+        raise CodegenError("unsupported assignment target")
+
+    # -- scalar helpers --------------------------------------------------------------------
+    def _promote_pair(self, lhs: Value, rhs: Value, builder: Builder) -> Tuple[Value, Value]:
+        if isinstance(lhs.type, FloatType) or isinstance(rhs.type, FloatType):
+            target = F64 if F64 in (lhs.type, rhs.type) else \
+                (lhs.type if isinstance(lhs.type, FloatType) else rhs.type)
+            return self._coerce(lhs, target, builder), self._coerce(rhs, target, builder)
+        return lhs, rhs
+
+    def _coerce(self, value: Value, target: Type, builder: Builder) -> Value:
+        if value.type == target:
+            return value
+        if isinstance(target, FloatType):
+            if isinstance(value.type, FloatType):
+                return builder.insert(arith.FPCastOp(value, target)).result
+            return builder.insert(arith.SIToFPOp(value, target)).result
+        if isinstance(value.type, FloatType):
+            return builder.insert(arith.FPToSIOp(value, target)).result
+        if value.type == I1 or target == I1:
+            return builder.insert(arith.IndexCastOp(value, target)).result
+        return builder.insert(arith.IndexCastOp(value, target)).result
+
+    def _to_index(self, value: Value, builder: Builder) -> Value:
+        return self._coerce(value, INDEX, builder)
+
+    def _to_bool(self, value: Value, builder: Builder) -> Value:
+        if value.type == I1:
+            return value
+        zero = builder.insert(arith.ConstantOp(0, value.type)).result
+        cmp_cls = arith.CmpFOp if isinstance(value.type, FloatType) else arith.CmpIOp
+        return builder.insert(cmp_cls(arith.CmpPredicate.NE, value, zero)).result
+
+    _INT_BINOPS = {"+": arith.AddIOp, "-": arith.SubIOp, "*": arith.MulIOp,
+                   "/": arith.DivSIOp, "%": arith.RemSIOp,
+                   "&": arith.AndIOp, "|": arith.OrIOp, "^": arith.XOrIOp,
+                   "<<": arith.ShLIOp, ">>": arith.ShRSIOp}
+    _FLOAT_BINOPS = {"+": arith.AddFOp, "-": arith.SubFOp, "*": arith.MulFOp,
+                     "/": arith.DivFOp, "%": arith.RemFOp}
+    _COMPARISONS = {"==": arith.CmpPredicate.EQ, "!=": arith.CmpPredicate.NE,
+                    "<": arith.CmpPredicate.LT, "<=": arith.CmpPredicate.LE,
+                    ">": arith.CmpPredicate.GT, ">=": arith.CmpPredicate.GE}
+
+    def _apply_binary(self, op: str, lhs: Value, rhs: Value, builder: Builder) -> Value:
+        if op in self._COMPARISONS:
+            lhs, rhs = self._promote_pair(lhs, rhs, builder)
+            cmp_cls = arith.CmpFOp if isinstance(lhs.type, FloatType) else arith.CmpIOp
+            return builder.insert(cmp_cls(self._COMPARISONS[op], lhs, rhs)).result
+        if op in ("&&", "||"):
+            lhs = self._to_bool(lhs, builder)
+            rhs = self._to_bool(rhs, builder)
+            op_cls = arith.AndIOp if op == "&&" else arith.OrIOp
+            return builder.insert(op_cls(lhs, rhs)).result
+        lhs, rhs = self._promote_pair(lhs, rhs, builder)
+        if isinstance(lhs.type, FloatType):
+            op_cls = self._FLOAT_BINOPS.get(op)
+        else:
+            op_cls = self._INT_BINOPS.get(op)
+        if op_cls is None:
+            raise CodegenError(f"unsupported binary operator {op!r} for type {lhs.type}")
+        return builder.insert(op_cls(lhs, rhs)).result
+
+    def _gen_binop(self, expr: ast.BinOp, builder: Builder, scope: Scope,
+                   gpu_ctx: Optional[GPUContext]) -> Value:
+        lhs = self._gen_expr(expr.lhs, builder, scope, gpu_ctx)
+        rhs = self._gen_expr(expr.rhs, builder, scope, gpu_ctx)
+        return self._apply_binary(expr.op, lhs, rhs, builder)
+
+    def _gen_unop(self, expr: ast.UnOp, builder: Builder, scope: Scope,
+                  gpu_ctx: Optional[GPUContext]) -> Value:
+        operand = self._gen_expr(expr.operand, builder, scope, gpu_ctx)
+        if expr.op == "-":
+            if isinstance(operand.type, FloatType):
+                return builder.insert(arith.NegFOp(operand)).result
+            zero = builder.insert(arith.ConstantOp(0, operand.type)).result
+            return builder.insert(arith.SubIOp(zero, operand)).result
+        if expr.op == "!":
+            as_bool = self._to_bool(operand, builder)
+            one = builder.insert(arith.ConstantOp(1, I1)).result
+            return builder.insert(arith.XOrIOp(as_bool, one)).result
+        raise CodegenError(f"unsupported unary operator {expr.op!r}")
+
+    def _gen_call(self, expr: ast.Call, builder: Builder, scope: Scope,
+                  gpu_ctx: Optional[GPUContext]) -> Optional[Value]:
+        name = expr.name
+        if name == "__syncthreads":
+            if gpu_ctx is None:
+                raise CodegenError("__syncthreads() outside of a kernel")
+            builder.insert(gpu_d.BarrierOp())
+            return None
+        if name in _MATH_BUILTINS:
+            operand = self._gen_expr(expr.args[0], builder, scope, gpu_ctx)
+            operand = self._coerce(operand, operand.type if isinstance(operand.type, FloatType) else F32,
+                                   builder)
+            return builder.insert(math_d.UnaryMathOp(_MATH_BUILTINS[name], operand)).result
+        if name in ("pow", "powf", "__powf"):
+            base = self._gen_expr(expr.args[0], builder, scope, gpu_ctx)
+            exponent = self._gen_expr(expr.args[1], builder, scope, gpu_ctx)
+            base, exponent = self._promote_pair(
+                self._coerce(base, F32, builder) if not isinstance(base.type, FloatType) else base,
+                exponent if isinstance(exponent.type, FloatType) else self._coerce(exponent, F32, builder),
+                builder)
+            return builder.insert(math_d.PowFOp(base, exponent)).result
+        if name in ("min", "fmin", "fminf", "max", "fmax", "fmaxf"):
+            lhs = self._gen_expr(expr.args[0], builder, scope, gpu_ctx)
+            rhs = self._gen_expr(expr.args[1], builder, scope, gpu_ctx)
+            lhs, rhs = self._promote_pair(lhs, rhs, builder)
+            is_min = name in ("min", "fmin", "fminf")
+            if isinstance(lhs.type, FloatType):
+                op_cls = arith.MinFOp if is_min else arith.MaxFOp
+            else:
+                op_cls = arith.MinSIOp if is_min else arith.MaxSIOp
+            return builder.insert(op_cls(lhs, rhs)).result
+        # user-defined function
+        decl = self.program.find(name)
+        if decl is None:
+            raise CodegenError(f"call to unknown function {name!r}")
+        args = []
+        for param, arg_expr in zip(decl.params, expr.args):
+            value = self._gen_expr(arg_expr, builder, scope, gpu_ctx)
+            if not param.type.is_pointer:
+                value = self._coerce(value, self._scalar_type(ast.TypeSpec(param.type.name, 0)),
+                                     builder)
+            args.append(value)
+        result_types = [] if decl.return_type.name == "void" and not decl.return_type.is_pointer \
+            else [self._ir_type(decl.return_type)]
+        call = builder.insert(func_d.CallOp(name, args, result_types))
+        return call.results[0] if call.results else None
+
+
+def generate_module(program: ast.Program, noalias: bool = True) -> func_d.ModuleOp:
+    return CodeGenerator(program, noalias=noalias).generate()

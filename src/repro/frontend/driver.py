@@ -1,0 +1,60 @@
+"""Clang-style driver: compile CUDA-C source to IR, optionally cpuify it.
+
+``compile_cuda`` mirrors the paper's usage model (§III-C): Polygeist is a
+drop-in replacement for the CUDA compiler, with two extra flags —
+``-cuda-lower`` to request GPU-to-CPU translation and ``-cpuify=<opts>`` to
+select the lowering method / optimization set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..dialects.func import ModuleOp
+from ..ir import verify
+from ..transforms import PipelineOptions, cpuify
+from .parser import parse
+from .codegen import generate_module
+
+
+@dataclass
+class CompileResult:
+    """The outcome of a frontend invocation."""
+
+    module: ModuleOp
+    options: Optional[PipelineOptions]
+
+
+def compile_cuda(source: str, filename: str = "<cuda>", *,
+                 cuda_lower: bool = False,
+                 cpuify_options: Optional[str] = None,
+                 options: Optional[PipelineOptions] = None,
+                 noalias: bool = True,
+                 run_verifier: bool = True) -> ModuleOp:
+    """Compile CUDA-C source text into an IR module.
+
+    Parameters
+    ----------
+    cuda_lower:
+        run the GPU-to-CPU pipeline (``-cuda-lower``).  When False the module
+        keeps its ``gpu.launch`` form and can be executed by the SIMT oracle.
+    cpuify_options:
+        a ``-cpuify=`` flag string such as ``"mincut,openmpopt,affine,innerser"``.
+    options:
+        a fully-formed :class:`PipelineOptions`; overrides ``cpuify_options``.
+    noalias:
+        treat distinct pointer arguments as non-aliasing (the calling contexts
+        of the bundled benchmarks guarantee this, matching §IV-A).
+    """
+    program = parse(source, filename)
+    module = generate_module(program, noalias=noalias)
+    if run_verifier:
+        verify(module)
+    if cuda_lower:
+        pipeline_options = options
+        if pipeline_options is None:
+            pipeline_options = (PipelineOptions.from_flags(cpuify_options)
+                                if cpuify_options else PipelineOptions.all_optimizations())
+        cpuify(module, pipeline_options)
+    return module

@@ -1,0 +1,183 @@
+"""Lexer for the CUDA-C subset accepted by the frontend.
+
+The token stream intentionally models only what the Rodinia-style kernels and
+their host drivers need: identifiers, integer/float literals, the usual C
+operators, CUDA qualifiers (``__global__``, ``__device__``, ``__shared__``),
+the triple-chevron launch syntax and ``#pragma omp`` lines (which are turned
+into dedicated PRAGMA tokens rather than being skipped, so the OpenMP
+reference codes can be compiled through the same frontend).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+KEYWORDS = {
+    "void", "int", "unsigned", "long", "float", "double", "bool", "char", "size_t",
+    "const", "if", "else", "for", "while", "do", "return", "struct", "extern",
+    "__global__", "__device__", "__host__", "__shared__", "__restrict__", "static",
+    "true", "false", "dim3",
+}
+
+MULTI_CHAR_OPERATORS = [
+    "<<<", ">>>", "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "++", "--", "<<", ">>", "->",
+]
+
+SINGLE_CHAR_OPERATORS = "+-*/%<>=!&|^~?:;,.(){}[]"
+
+
+@dataclass
+class Token:
+    kind: str        # 'ident', 'int', 'float', 'string', 'op', 'keyword', 'pragma', 'eof'
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+class LexerError(SyntaxError):
+    pass
+
+
+class Lexer:
+    """Converts source text into a list of tokens."""
+
+    def __init__(self, source: str, filename: str = "<cuda>") -> None:
+        self.source = source
+        self.filename = filename
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    # -- helpers --------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> str:
+        index = self.position + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.position:self.position + count]
+        for char in text:
+            if char == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.position += count
+        return text
+
+    def _error(self, message: str) -> LexerError:
+        return LexerError(f"{self.filename}:{self.line}:{self.column}: {message}")
+
+    # -- main loop ---------------------------------------------------------------
+    def tokenize(self) -> List[Token]:
+        tokens: List[Token] = []
+        while self.position < len(self.source):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+                continue
+            if char == "/" and self._peek(1) == "/":
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+                continue
+            if char == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self._peek() and not (self._peek() == "*" and self._peek(1) == "/"):
+                    self._advance()
+                self._advance(2)
+                continue
+            if char == "#":
+                tokens.extend(self._lex_directive())
+                continue
+            if char.isalpha() or char == "_":
+                tokens.append(self._lex_identifier())
+                continue
+            if char.isdigit() or (char == "." and self._peek(1).isdigit()):
+                tokens.append(self._lex_number())
+                continue
+            if char == '"':
+                tokens.append(self._lex_string())
+                continue
+            tokens.append(self._lex_operator())
+        tokens.append(Token("eof", "", self.line, self.column))
+        return tokens
+
+    # -- token kinds ---------------------------------------------------------------
+    def _lex_directive(self) -> List[Token]:
+        line, column = self.line, self.column
+        start = self.position
+        while self._peek() and self._peek() != "\n":
+            self._advance()
+        text = self.source[start:self.position].strip()
+        if text.startswith("#pragma"):
+            return [Token("pragma", text, line, column)]
+        # #include / #define and friends are ignored (no preprocessor).
+        return []
+
+    def _lex_identifier(self) -> Token:
+        line, column = self.line, self.column
+        start = self.position
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start:self.position]
+        kind = "keyword" if text in KEYWORDS else "ident"
+        return Token(kind, text, line, column)
+
+    def _lex_number(self) -> Token:
+        line, column = self.line, self.column
+        start = self.position
+        is_float = False
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == ".":
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in "eE":
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start:self.position]
+        # suffixes
+        while self._peek() in "fFuUlL":
+            if self._peek() in "fF":
+                is_float = True
+            self._advance()
+        return Token("float" if is_float else "int", text, line, column)
+
+    def _lex_string(self) -> Token:
+        line, column = self.line, self.column
+        self._advance()  # opening quote
+        start = self.position
+        while self._peek() and self._peek() != '"':
+            if self._peek() == "\\":
+                self._advance()
+            self._advance()
+        text = self.source[start:self.position]
+        self._advance()  # closing quote
+        return Token("string", text, line, column)
+
+    def _lex_operator(self) -> Token:
+        line, column = self.line, self.column
+        for operator in MULTI_CHAR_OPERATORS:
+            if self.source.startswith(operator, self.position):
+                self._advance(len(operator))
+                return Token("op", operator, line, column)
+        char = self._peek()
+        if char in SINGLE_CHAR_OPERATORS:
+            self._advance()
+            return Token("op", char, line, column)
+        raise self._error(f"unexpected character {char!r}")
+
+
+def tokenize(source: str, filename: str = "<cuda>") -> List[Token]:
+    return Lexer(source, filename).tokenize()

@@ -1,0 +1,16 @@
+"""repro.harness — drivers that regenerate the paper's figures.
+
+Each module prints the corresponding table(s) and the headline summary
+statistic next to the value the paper reports:
+
+* :mod:`~repro.harness.fig12_mcuda`   — E1, MCUDA comparison,
+* :mod:`~repro.harness.fig13_rodinia` — E2/E3, Rodinia speedups + ablation,
+* :mod:`~repro.harness.fig14_scaling` — E4, thread scaling,
+* :mod:`~repro.harness.fig15_resnet`  — E5/E6, ResNet-50 / MocCUDA throughput.
+"""
+
+from . import fig12_mcuda, fig13_rodinia, fig14_scaling, fig15_resnet
+from .tables import format_table, geomean
+
+__all__ = ["fig12_mcuda", "fig13_rodinia", "fig14_scaling", "fig15_resnet",
+           "format_table", "geomean"]

@@ -1,0 +1,123 @@
+"""Experiments E2/E3 — Fig. 13: Rodinia speedups and the optimization ablation.
+
+* Fig. 13 (right): transpiled CUDA (CUDA-OpenMP) vs. the hand-written OpenMP
+  reference of each benchmark, at full thread count; the paper reports a 76%
+  geomean improvement with inner serialization and 43.7% without.
+* Fig. 13 (left): ablation — speedup over the "Opt Disabled" configuration as
+  optimizations are enabled cumulatively: ``mincut``, ``openmpopt``,
+  ``affine``, ``innerser``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..rodinia import BENCHMARKS, FIGURE13_SET, run_module
+from ..runtime import XEON_8375C
+from ..transforms import PipelineOptions
+from .tables import format_table, geomean
+
+#: cumulative ablation series, matching the Fig. 13(left) legend.
+ABLATION_SERIES: Dict[str, PipelineOptions] = {
+    "Opt Disabled": PipelineOptions.opt_disabled(),
+    "mincut": PipelineOptions.from_flags("mincut"),
+    "openmpopt": PipelineOptions.from_flags("mincut,openmpopt"),
+    "affine": PipelineOptions.from_flags("mincut,openmpopt,affine"),
+    "innerser": PipelineOptions.from_flags("mincut,openmpopt,affine,innerser"),
+}
+
+
+def _run_variant(bench, options: Optional[PipelineOptions], variant: str,
+                 scale: int, threads: int, machine) -> float:
+    arguments = bench.make_inputs(scale)
+    if variant == "cuda":
+        module = bench.compile_cuda(options)
+    else:
+        module = bench.compile_openmp()
+    report = run_module(module, bench.entry, arguments, machine=machine, threads=threads)
+    return report.cycles
+
+
+def run_speedup_over_openmp(benchmarks: Optional[Sequence[str]] = None, *,
+                            threads: int = 32, scale: int = 1,
+                            inner_serialize: bool = True,
+                            machine=XEON_8375C) -> Dict[str, Dict[str, float]]:
+    """Fig. 13 (right): {benchmark: {"OpenMP": cycles, "CUDA-OpenMP": cycles}}."""
+    names = list(benchmarks or FIGURE13_SET)
+    options = PipelineOptions.all_optimizations(inner_serialize=inner_serialize)
+    results: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        bench = BENCHMARKS[name]
+        if bench.omp_source is None:
+            continue
+        results[name] = {
+            "OpenMP": _run_variant(bench, None, "omp", scale, threads, machine),
+            "CUDA-OpenMP": _run_variant(bench, options, "cuda", scale, threads, machine),
+        }
+    return results
+
+
+def run_ablation(benchmarks: Optional[Sequence[str]] = None, *,
+                 threads: int = 32, scale: int = 1,
+                 machine=XEON_8375C) -> Dict[str, Dict[str, float]]:
+    """Fig. 13 (left): {benchmark: {series: cycles}}."""
+    names = list(benchmarks or FIGURE13_SET)
+    results: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        bench = BENCHMARKS[name]
+        results[name] = {}
+        for series, options in ABLATION_SERIES.items():
+            results[name][series] = _run_variant(bench, options, "cuda", scale, threads, machine)
+    return results
+
+
+def summarize_speedup(results: Dict[str, Dict[str, float]]) -> str:
+    rows: List[List] = []
+    speedups = []
+    for name, series in results.items():
+        speedup = series["OpenMP"] / series["CUDA-OpenMP"]
+        speedups.append(speedup)
+        rows.append([name, series["OpenMP"], series["CUDA-OpenMP"], speedup])
+    lines = ["Fig. 13 (right): transpiled CUDA vs. hand-written OpenMP (cycles; higher speedup = better)"]
+    lines.append(format_table(["benchmark", "OpenMP", "CUDA-OpenMP", "speedup"], rows,
+                              float_format="{:.2f}"))
+    lines.append("")
+    lines.append(f"geomean speedup of CUDA-OpenMP over OpenMP: {geomean(speedups):.3f}x "
+                 "(paper: 1.76x with inner serialization, 1.437x without)")
+    return "\n".join(lines)
+
+
+def summarize_ablation(results: Dict[str, Dict[str, float]]) -> str:
+    series_names = list(ABLATION_SERIES)
+    rows: List[List] = []
+    per_series_speedups: Dict[str, List[float]] = {name: [] for name in series_names[1:]}
+    for name, series in results.items():
+        baseline = series["Opt Disabled"]
+        row = [name]
+        for series_name in series_names[1:]:
+            speedup = baseline / series[series_name]
+            per_series_speedups[series_name].append(speedup)
+            row.append(speedup)
+        rows.append(row)
+    lines = ["Fig. 13 (left): speedup over the unoptimized configuration (cumulative series)"]
+    lines.append(format_table(["benchmark", *series_names[1:]], rows))
+    lines.append("")
+    for series_name, speedups in per_series_speedups.items():
+        lines.append(f"geomean speedup with '{series_name}': {geomean(speedups):.3f}x")
+    lines.append("(paper: mincut +4.1%, openmpopt +8.9%, affine +4.6%, "
+                 "2.6x on backprop layerforward)")
+    return "\n".join(lines)
+
+
+def main() -> str:
+    output = []
+    output.append(summarize_speedup(run_speedup_over_openmp()))
+    output.append("")
+    output.append(summarize_ablation(run_ablation()))
+    text = "\n".join(output)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

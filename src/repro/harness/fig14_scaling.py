@@ -1,0 +1,87 @@
+"""Experiment E4 — Fig. 14: thread-scaling of transpiled CUDA vs. native OpenMP.
+
+For each benchmark and thread count T the driver records simulated cycles and
+reports the speedup T1/Tn.  The paper's headline numbers: on 32 threads the
+transpiled CUDA codes reach a 16.1× geomean (14.9× with inner serialization)
+while the native OpenMP versions reach 7.1×.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..rodinia import BENCHMARKS, FIGURE13_SET, run_module
+from ..runtime import XEON_8375C
+from ..transforms import PipelineOptions
+from .tables import format_table, geomean
+
+DEFAULT_THREADS = (1, 2, 4, 8, 16, 32)
+
+
+def run(benchmarks: Optional[Sequence[str]] = None, *,
+        threads: Sequence[int] = DEFAULT_THREADS, scale: int = 1,
+        inner_serialize: bool = False,
+        machine=XEON_8375C) -> Dict[str, Dict[str, Dict[int, float]]]:
+    """Returns {benchmark: {"CUDA-OpenMP"/"OpenMP": {threads: cycles}}}."""
+    names = list(benchmarks or FIGURE13_SET)
+    options = PipelineOptions.all_optimizations(inner_serialize=inner_serialize)
+    results: Dict[str, Dict[str, Dict[int, float]]] = {}
+    for name in names:
+        bench = BENCHMARKS[name]
+        results[name] = {"CUDA-OpenMP": {}}
+        cuda_module = bench.compile_cuda(options)
+        for thread_count in threads:
+            report = run_module(cuda_module, bench.entry, bench.make_inputs(scale),
+                                machine=machine, threads=thread_count)
+            results[name]["CUDA-OpenMP"][thread_count] = report.cycles
+        if bench.omp_source is not None:
+            results[name]["OpenMP"] = {}
+            omp_module = bench.compile_openmp()
+            for thread_count in threads:
+                report = run_module(omp_module, bench.entry, bench.make_inputs(scale),
+                                    machine=machine, threads=thread_count)
+                results[name]["OpenMP"][thread_count] = report.cycles
+    return results
+
+
+def speedups(results: Dict[str, Dict[str, Dict[int, float]]]) -> Dict[str, Dict[str, Dict[int, float]]]:
+    """Convert cycles to T1/Tn speedups."""
+    converted: Dict[str, Dict[str, Dict[int, float]]] = {}
+    for name, variants in results.items():
+        converted[name] = {}
+        for variant, per_thread in variants.items():
+            base = per_thread[min(per_thread)]
+            converted[name][variant] = {threads: base / cycles
+                                        for threads, cycles in per_thread.items()}
+    return converted
+
+
+def summarize(results: Dict[str, Dict[str, Dict[int, float]]]) -> str:
+    scaled = speedups(results)
+    threads = sorted(next(iter(scaled.values()))["CUDA-OpenMP"])
+    lines = ["Fig. 14: scaling (T1/Tn speedup) of transpiled CUDA and native OpenMP"]
+    rows = []
+    for name, variants in scaled.items():
+        for variant, per_thread in variants.items():
+            rows.append([name, variant] + [per_thread[t] for t in threads])
+    lines.append(format_table(["benchmark", "variant", *[str(t) for t in threads]], rows,
+                              float_format="{:.2f}"))
+    max_threads = max(threads)
+    cuda_speedups = [variants["CUDA-OpenMP"][max_threads] for variants in scaled.values()]
+    omp_speedups = [variants["OpenMP"][max_threads] for variants in scaled.values()
+                    if "OpenMP" in variants]
+    lines.append("")
+    lines.append(f"geomean speedup at {max_threads} threads — CUDA-OpenMP: "
+                 f"{geomean(cuda_speedups):.2f}x, OpenMP: {geomean(omp_speedups):.2f}x "
+                 "(paper: 16.1x / 14.9x vs 7.1x)")
+    return "\n".join(lines)
+
+
+def main() -> str:
+    output = summarize(run())
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Experiments E5/E6 — Fig. 15: ResNet-50 training throughput with MocCUDA.
+
+* Left panel: heatmap of MocCUDA+Polygeist throughput relative to the
+  Fujitsu-tuned oneDNN (DNNL) backend, over batch sizes 1–12 and thread
+  counts 1–64 (12 physical cores per A64FX core-memory group; larger thread
+  counts oversubscribe and stop helping).
+* Right panel: geomean images/s across batch sizes for the four series
+  OneDNN (Intel), DNNL (Fujitsu), MocCUDA+Polygeist and MocCUDA+Expert.
+
+Paper headline: MocCUDA beats tuned oneDNN by a 2.7× geomean (min 1.2×, max
+4.5×) and the Polygeist-generated kernels are comparable to expert-written
+ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..moccuda import relative_throughput, throughput_images_per_second
+from ..runtime import A64FX_CMG
+from .tables import format_table, geomean
+
+DEFAULT_BATCHES = (1, 2, 4, 6, 8, 12)
+DEFAULT_THREADS = (1, 2, 4, 8, 12, 24, 48, 64)
+SERIES = ("onednn", "dnnl", "moccuda+polygeist", "moccuda+expert")
+
+
+def _effective_threads(threads: int) -> int:
+    """Threads beyond one CMG's 12 cores oversubscribe and do not help."""
+    return min(threads, A64FX_CMG.cores)
+
+
+def run_heatmap(batches: Sequence[int] = DEFAULT_BATCHES,
+                threads: Sequence[int] = DEFAULT_THREADS) -> Dict[tuple, float]:
+    """{(batch, threads): relative throughput of MocCUDA+Polygeist over DNNL}."""
+    heatmap: Dict[tuple, float] = {}
+    for batch in batches:
+        for thread_count in threads:
+            heatmap[(batch, thread_count)] = relative_throughput(
+                batch, _effective_threads(thread_count))
+    return heatmap
+
+
+def run_throughput(batches: Sequence[int] = DEFAULT_BATCHES,
+                   threads: Sequence[int] = DEFAULT_THREADS) -> Dict[str, Dict[int, float]]:
+    """{series: {threads: geomean images/s across batch sizes}}."""
+    results: Dict[str, Dict[int, float]] = {series: {} for series in SERIES}
+    for series in SERIES:
+        for thread_count in threads:
+            values = [throughput_images_per_second(series, batch, _effective_threads(thread_count))
+                      for batch in batches]
+            results[series][thread_count] = geomean(values)
+    return results
+
+
+def summarize(heatmap: Dict[tuple, float], throughput: Dict[str, Dict[int, float]]) -> str:
+    batches = sorted({key[0] for key in heatmap})
+    threads = sorted({key[1] for key in heatmap})
+    lines = ["Fig. 15 (left): MocCUDA+Polygeist throughput relative to Fujitsu-tuned oneDNN"]
+    rows = [[thread_count] + [heatmap[(batch, thread_count)] for batch in batches]
+            for thread_count in threads]
+    lines.append(format_table(["threads \\ batch", *[str(b) for b in batches]], rows,
+                              float_format="{:.2f}"))
+    ratios = list(heatmap.values())
+    lines.append("")
+    lines.append(f"relative throughput: geomean {geomean(ratios):.2f}x, "
+                 f"min {min(ratios):.2f}x, max {max(ratios):.2f}x "
+                 "(paper: geomean 2.7x, min 1.2x, max 4.5x)")
+
+    lines.append("")
+    lines.append("Fig. 15 (right): geomean images/s across batch sizes")
+    rows = [[thread_count] + [throughput[series][thread_count] for series in SERIES]
+            for thread_count in sorted(next(iter(throughput.values())))]
+    lines.append(format_table(["threads", *SERIES], rows, float_format="{:.2f}"))
+    return "\n".join(lines)
+
+
+def main() -> str:
+    output = summarize(run_heatmap(), run_throughput())
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro.ir — MLIR-like IR infrastructure.
+
+This package provides the substrate every other part of the system is built
+on: a typed SSA IR with nested regions, a builder, a printer, a verifier and
+a greedy pattern-rewrite driver.  See DESIGN.md §2 for the system inventory.
+"""
+
+from .types import (
+    DYNAMIC,
+    F32,
+    F64,
+    FunctionType,
+    FloatType,
+    I1,
+    I8,
+    I32,
+    I64,
+    INDEX,
+    IndexType,
+    IntegerType,
+    MemorySpace,
+    MemRefType,
+    NONE,
+    NoneType,
+    Type,
+    memref,
+)
+from .core import (
+    Block,
+    BlockArgument,
+    EffectKind,
+    MemoryEffect,
+    Operation,
+    OpResult,
+    Region,
+    Use,
+    Value,
+    single_block_region,
+)
+from .builder import Builder, InsertionPoint
+from .printer import IRPrinter, print_op
+from .verifier import VerificationError, is_valid, verify
+from .rewriter import RewritePattern, Rewriter, apply_patterns_greedily
+
+__all__ = [
+    "DYNAMIC", "F32", "F64", "FunctionType", "FloatType", "I1", "I8", "I32", "I64",
+    "INDEX", "IndexType", "IntegerType", "MemorySpace", "MemRefType", "NONE",
+    "NoneType", "Type", "memref",
+    "Block", "BlockArgument", "EffectKind", "MemoryEffect", "Operation", "OpResult",
+    "Region", "Use", "Value", "single_block_region",
+    "Builder", "InsertionPoint",
+    "IRPrinter", "print_op",
+    "VerificationError", "is_valid", "verify",
+    "RewritePattern", "Rewriter", "apply_patterns_greedily",
+]

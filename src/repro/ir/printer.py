@@ -1,0 +1,99 @@
+"""Textual printer producing an MLIR-like rendering of the IR.
+
+The printed form is meant for debugging, tests and documentation; it is
+stable (deterministic numbering) so tests can assert on substrings such as
+``polygeist.barrier`` or ``scf.parallel``.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+from typing import Dict
+
+from .core import Block, Operation, Region, Value
+
+
+class IRPrinter:
+    """Prints operations with deterministic SSA value numbering."""
+
+    def __init__(self) -> None:
+        self._names: Dict[int, str] = {}
+        self._counter = 0
+
+    # -- value naming ------------------------------------------------------
+    def name_of(self, value: Value) -> str:
+        key = id(value)
+        if key not in self._names:
+            if value.name_hint:
+                base = value.name_hint
+                candidate = f"%{base}"
+                if candidate in self._names.values():
+                    candidate = f"%{base}_{self._counter}"
+                    self._counter += 1
+                self._names[key] = candidate
+            else:
+                self._names[key] = f"%{self._counter}"
+                self._counter += 1
+        return self._names[key]
+
+    # -- printing ------------------------------------------------------------
+    def print_op(self, op: Operation, indent: int = 0) -> str:
+        out = StringIO()
+        self._print_op(op, out, indent)
+        return out.getvalue()
+
+    def _print_op(self, op: Operation, out: StringIO, indent: int) -> None:
+        pad = "  " * indent
+        pieces = []
+        if op.results:
+            result_names = ", ".join(self.name_of(result) for result in op.results)
+            pieces.append(f"{result_names} = ")
+        pieces.append(op.name)
+        if op.operands:
+            operand_names = ", ".join(self.name_of(operand) for operand in op.operands)
+            pieces.append(f"({operand_names})")
+        if op.attributes:
+            attrs = ", ".join(
+                f"{key} = {self._format_attr(value)}" for key, value in sorted(op.attributes.items())
+            )
+            pieces.append(f" {{{attrs}}}")
+        if op.results:
+            types = ", ".join(str(result.type) for result in op.results)
+            pieces.append(f" : {types}")
+        out.write(pad + "".join(pieces))
+        if op.regions:
+            for region in op.regions:
+                out.write(" ")
+                self._print_region(region, out, indent)
+        out.write("\n")
+
+    def _print_region(self, region: Region, out: StringIO, indent: int) -> None:
+        out.write("{\n")
+        for block in region.blocks:
+            self._print_block(block, out, indent + 1)
+        out.write("  " * indent + "}")
+
+    def _print_block(self, block: Block, out: StringIO, indent: int) -> None:
+        pad = "  " * indent
+        if block.arguments:
+            args = ", ".join(
+                f"{self.name_of(arg)}: {arg.type}" for arg in block.arguments
+            )
+            out.write(f"{pad}^bb({args}):\n")
+        for op in block.operations:
+            self._print_op(op, out, indent)
+
+    @staticmethod
+    def _format_attr(value: object) -> str:
+        if isinstance(value, str):
+            return f'"{value}"'
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, (list, tuple)):
+            return "[" + ", ".join(IRPrinter._format_attr(item) for item in value) + "]"
+        return str(value)
+
+
+def print_op(op: Operation) -> str:
+    """Convenience wrapper: print an operation tree to a string."""
+    return IRPrinter().print_op(op)

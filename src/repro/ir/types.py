@@ -1,0 +1,204 @@
+"""Type system for the repro IR.
+
+The type system mirrors the subset of MLIR's builtin types that the paper's
+representation of GPU programs requires:
+
+* scalar integer/float/index/none types used by ``arith``/``math`` ops,
+* a multi-dimensional ``memref`` type (shape + element type + memory space)
+  used to model global, shared and thread-local memory, and
+* a function type used by ``func.func``/``func.call``.
+
+Types are immutable value objects: two types compare equal iff they describe
+the same type, so they can be used as dict keys and compared with ``==``
+throughout analyses and verifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+DYNAMIC = -1
+"""Sentinel used in :class:`MemRefType` shapes for dynamically sized dims."""
+
+
+class Type:
+    """Base class of every IR type.
+
+    Concrete types are frozen dataclasses; equality and hashing are
+    structural.  ``str(type)`` renders the MLIR-like spelling used by the
+    printer (``i32``, ``f64``, ``memref<?x4xf32, shared>`` ...).
+    """
+
+    def __str__(self) -> str:  # pragma: no cover - overridden
+        return self.__class__.__name__
+
+    def __repr__(self) -> str:
+        return str(self)
+
+    # -- convenience predicates -------------------------------------------
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, IntegerType)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    @property
+    def is_index(self) -> bool:
+        return isinstance(self, IndexType)
+
+    @property
+    def is_memref(self) -> bool:
+        return isinstance(self, MemRefType)
+
+    @property
+    def is_arithmetic(self) -> bool:
+        """True for types valid as operands of ``arith`` operations."""
+        return self.is_integer or self.is_float or self.is_index
+
+
+@dataclass(frozen=True)
+class IntegerType(Type):
+    """Fixed-width signless integer type (``i1``, ``i8``, ``i32``, ``i64``)."""
+
+    width: int = 32
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"integer width must be positive, got {self.width}")
+
+    def __str__(self) -> str:
+        return f"i{self.width}"
+
+
+@dataclass(frozen=True)
+class FloatType(Type):
+    """IEEE floating point type (``f32`` or ``f64``)."""
+
+    width: int = 32
+
+    def __post_init__(self) -> None:
+        if self.width not in (16, 32, 64):
+            raise ValueError(f"unsupported float width {self.width}")
+
+    def __str__(self) -> str:
+        return f"f{self.width}"
+
+
+@dataclass(frozen=True)
+class IndexType(Type):
+    """Platform-sized index type used for loop bounds and memref indices."""
+
+    def __str__(self) -> str:
+        return "index"
+
+
+@dataclass(frozen=True)
+class NoneType(Type):
+    """Unit type for operations that produce no meaningful value."""
+
+    def __str__(self) -> str:
+        return "none"
+
+
+class MemorySpace:
+    """Namespace of memory-space names used by :class:`MemRefType`.
+
+    The paper's representation distinguishes three address spaces:
+
+    * ``GLOBAL``  -- device/host global memory (visible to every thread),
+    * ``SHARED``  -- GPU shared memory, scoped to a thread block (lowered to a
+      per-block stack allocation on the CPU),
+    * ``LOCAL``   -- thread-private allocas (registers / stack).
+    """
+
+    GLOBAL = "global"
+    SHARED = "shared"
+    LOCAL = "local"
+
+    ALL = (GLOBAL, SHARED, LOCAL)
+
+
+@dataclass(frozen=True)
+class MemRefType(Type):
+    """Multi-dimensional buffer reference.
+
+    ``shape`` is a tuple of extents; :data:`DYNAMIC` (-1) marks a dynamically
+    sized dimension.  ``memory_space`` is one of :class:`MemorySpace`.
+    """
+
+    shape: Tuple[int, ...]
+    element_type: Type
+    memory_space: str = MemorySpace.GLOBAL
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shape", tuple(self.shape))
+        for extent in self.shape:
+            if extent != DYNAMIC and extent < 0:
+                raise ValueError(f"invalid memref extent {extent}")
+        if self.memory_space not in MemorySpace.ALL:
+            raise ValueError(f"unknown memory space {self.memory_space!r}")
+        if isinstance(self.element_type, MemRefType):
+            raise ValueError("memref of memref is not supported")
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def has_static_shape(self) -> bool:
+        return all(extent != DYNAMIC for extent in self.shape)
+
+    @property
+    def num_elements(self) -> int:
+        """Total element count; only valid for static shapes."""
+        if not self.has_static_shape:
+            raise ValueError("dynamic memref has no static element count")
+        total = 1
+        for extent in self.shape:
+            total *= extent
+        return total
+
+    def __str__(self) -> str:
+        dims = "x".join("?" if extent == DYNAMIC else str(extent) for extent in self.shape)
+        prefix = f"{dims}x" if self.shape else ""
+        space = f", {self.memory_space}" if self.memory_space != MemorySpace.GLOBAL else ""
+        return f"memref<{prefix}{self.element_type}{space}>"
+
+
+@dataclass(frozen=True)
+class FunctionType(Type):
+    """Signature type of a function: ``(inputs) -> (results)``."""
+
+    inputs: Tuple[Type, ...] = field(default_factory=tuple)
+    results: Tuple[Type, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+        object.__setattr__(self, "results", tuple(self.results))
+
+    def __str__(self) -> str:
+        ins = ", ".join(str(t) for t in self.inputs)
+        outs = ", ".join(str(t) for t in self.results)
+        return f"({ins}) -> ({outs})"
+
+
+# ---------------------------------------------------------------------------
+# Canonical singletons used throughout the code base.
+# ---------------------------------------------------------------------------
+I1 = IntegerType(1)
+I8 = IntegerType(8)
+I32 = IntegerType(32)
+I64 = IntegerType(64)
+F32 = FloatType(32)
+F64 = FloatType(64)
+INDEX = IndexType()
+NONE = NoneType()
+
+
+def memref(shape, element_type: Type, memory_space: str = MemorySpace.GLOBAL) -> MemRefType:
+    """Convenience constructor for :class:`MemRefType`."""
+    return MemRefType(tuple(shape), element_type, memory_space)

@@ -1,0 +1,104 @@
+"""Structural IR verifier.
+
+The verifier checks invariants that every transformation relies on:
+
+* each operation's operands are visible at its position (SSA dominance in the
+  structured-control-flow sense: defined earlier in the same block, or a
+  block argument / earlier-defined value of an enclosing region),
+* use lists are consistent with operand lists,
+* terminators appear only in the last position of a block,
+* op-specific ``verify`` hooks pass.
+
+``verify(module)`` raises :class:`VerificationError` with a descriptive
+message on the first violation found.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from .core import Block, Operation, Value
+
+
+class VerificationError(Exception):
+    """Raised when the IR violates a structural invariant."""
+
+
+def _visible_values(op: Operation) -> Set[int]:
+    """ids of values visible to ``op`` (defined before it, walking outward)."""
+    visible: Set[int] = set()
+    current: Optional[Operation] = op
+    while current is not None:
+        block = current.parent_block
+        if block is None:
+            break
+        for arg in block.arguments:
+            visible.add(id(arg))
+        for earlier in block.operations:
+            if earlier is current:
+                break
+            for result in earlier.results:
+                visible.add(id(result))
+        current = block.parent_op
+    return visible
+
+
+def verify_op(op: Operation) -> None:
+    """Verify a single operation (not its children)."""
+    # operand/use consistency
+    for index, operand in enumerate(op.operands):
+        if not any(use.owner is op and use.operand_index == index for use in operand.uses):
+            raise VerificationError(
+                f"{op.name}: operand #{index} ({operand.name}) does not record this use"
+            )
+    # dominance
+    if op.parent_block is not None:
+        visible = _visible_values(op)
+        for index, operand in enumerate(op.operands):
+            if id(operand) not in visible:
+                raise VerificationError(
+                    f"{op.name}: operand #{index} ({operand.name}: {operand.type}) "
+                    "is not visible at its use (dominance violation)"
+                )
+    # terminator placement
+    if op.IS_TERMINATOR and op.parent_block is not None:
+        if op.parent_block.operations[-1] is not op:
+            raise VerificationError(f"{op.name}: terminator is not the last op of its block")
+    # result bookkeeping
+    for i, result in enumerate(op.results):
+        if result.op is not op or result.index != i:
+            raise VerificationError(f"{op.name}: result #{i} has inconsistent owner/index")
+    op.verify()
+
+
+def verify_block(block: Block) -> None:
+    for i, arg in enumerate(block.arguments):
+        if arg.block is not block or arg.index != i:
+            raise VerificationError(f"block argument #{i} has inconsistent owner/index")
+    for op in block.operations:
+        if op.parent_block is not block:
+            raise VerificationError(f"{op.name}: parent_block does not point at containing block")
+
+
+def verify(root: Operation) -> None:
+    """Verify ``root`` and every nested operation.  Raises on violation."""
+    for op in root.walk():
+        if op.parent_block is not None:
+            verify_block(op.parent_block)
+        for region in op.regions:
+            if region.parent_op is not op:
+                raise VerificationError(f"{op.name}: region does not point back at its op")
+            for block in region.blocks:
+                if block.parent_region is not region:
+                    raise VerificationError(f"{op.name}: block does not point back at its region")
+                verify_block(block)
+        verify_op(op)
+
+
+def is_valid(root: Operation) -> bool:
+    """Boolean convenience wrapper around :func:`verify`."""
+    try:
+        verify(root)
+        return True
+    except VerificationError:
+        return False

@@ -1,0 +1,108 @@
+"""ResNet-50 layer table and the throughput (images/s) model.
+
+The Fig. 15 experiment trains ResNet-50 on 224×224 ImageNet-sized inputs with
+Horovod's synthetic benchmark and reports images/s across batch sizes (1–12)
+and thread counts (1–64, 12 cores per A64FX core-memory group).  The layer
+table below is the standard ResNet-50 convolution inventory (conv1 + the
+3/4/6/3 bottleneck stages); forward+backward cost is modelled as the usual
+3× forward FLOPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..runtime.costmodel import A64FX_CMG, MachineModel
+from .backends import BACKENDS, ConvShape, conv_layer_cycles
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """A convolution layer type and how many times it appears in ResNet-50."""
+
+    name: str
+    in_channels: int
+    out_channels: int
+    resolution: int
+    kernel: int
+    stride: int
+    count: int
+
+
+#: ResNet-50 convolution inventory (bottleneck blocks expanded by type).
+RESNET50_LAYERS: List[LayerSpec] = [
+    LayerSpec("conv1", 3, 64, 224, 7, 2, 1),
+    # stage 1 (56x56)
+    LayerSpec("res2.reduce", 64, 64, 56, 1, 1, 3),
+    LayerSpec("res2.conv3x3", 64, 64, 56, 3, 1, 3),
+    LayerSpec("res2.expand", 64, 256, 56, 1, 1, 3),
+    LayerSpec("res2.proj", 64, 256, 56, 1, 1, 1),
+    # stage 2 (28x28)
+    LayerSpec("res3.reduce", 256, 128, 28, 1, 1, 4),
+    LayerSpec("res3.conv3x3", 128, 128, 28, 3, 1, 4),
+    LayerSpec("res3.expand", 128, 512, 28, 1, 1, 4),
+    LayerSpec("res3.proj", 256, 512, 28, 1, 2, 1),
+    # stage 3 (14x14)
+    LayerSpec("res4.reduce", 512, 256, 14, 1, 1, 6),
+    LayerSpec("res4.conv3x3", 256, 256, 14, 3, 1, 6),
+    LayerSpec("res4.expand", 256, 1024, 14, 1, 1, 6),
+    LayerSpec("res4.proj", 512, 1024, 14, 1, 2, 1),
+    # stage 4 (7x7)
+    LayerSpec("res5.reduce", 1024, 512, 7, 1, 1, 3),
+    LayerSpec("res5.conv3x3", 512, 512, 7, 3, 1, 3),
+    LayerSpec("res5.expand", 512, 2048, 7, 1, 1, 3),
+    LayerSpec("res5.proj", 1024, 2048, 7, 1, 2, 1),
+]
+
+#: ratio of (forward + backward) work to forward-only work.
+TRAINING_FACTOR = 3.0
+
+#: fraction of non-convolution work (batch norm, ReLU, softmax, NLL loss,
+#: element-wise ops) relative to convolution work, per backend family.  The
+#: custom CUDA kernels in this category are exactly the ones MocCUDA obtains
+#: by Polygeist transpilation; the expert variant hand-writes them.
+AUX_WORK_FRACTION = {
+    "native": 0.35,
+    "onednn": 0.22,
+    "dnnl": 0.22,
+    "moccuda+polygeist": 0.12,
+    "moccuda+expert": 0.10,
+}
+
+
+def conv2d_shape_for(layer: LayerSpec, batch: int) -> ConvShape:
+    return ConvShape(batch=batch, in_channels=layer.in_channels,
+                     height=layer.resolution, width=layer.resolution,
+                     out_channels=layer.out_channels, kernel=layer.kernel,
+                     stride=layer.stride, padding=layer.kernel // 2)
+
+
+def training_step_cycles(backend: str, batch: int, threads: int,
+                         machine: MachineModel = A64FX_CMG) -> float:
+    """Simulated cycles for one forward+backward pass over one mini-batch."""
+    conv_cycles = 0.0
+    for layer in RESNET50_LAYERS:
+        shape = conv2d_shape_for(layer, batch)
+        conv_cycles += layer.count * conv_layer_cycles(shape, backend, threads=threads,
+                                                       machine=machine)
+    total = conv_cycles * TRAINING_FACTOR
+    total *= 1.0 + AUX_WORK_FRACTION[backend]
+    return total
+
+
+def throughput_images_per_second(backend: str, batch: int, threads: int,
+                                 machine: MachineModel = A64FX_CMG,
+                                 clock_ghz: float = 1.8) -> float:
+    """images/s for one training step at the given batch size and threads."""
+    cycles = training_step_cycles(backend, batch, threads, machine)
+    seconds = cycles / (clock_ghz * 1e9)
+    return batch / seconds
+
+
+def relative_throughput(batch: int, threads: int, *, over: str = "dnnl",
+                        backend: str = "moccuda+polygeist",
+                        machine: MachineModel = A64FX_CMG) -> float:
+    """Fig. 15(left) heatmap cell: backend throughput / reference throughput."""
+    return (throughput_images_per_second(backend, batch, threads, machine)
+            / throughput_images_per_second(over, batch, threads, machine))

@@ -1,0 +1,154 @@
+"""MocCUDA runtime shim: CUDART/cuDNN interception and transpiled kernels.
+
+The real MocCUDA is an ``LD_PRELOAD`` library that intercepts PyTorch's CUDA
+calls (§V-B): CUDART queries answer from a dumped GeForce RTX 2080 Ti device
+descriptor, streams map onto a Grand-Central-Dispatch-style task queue, cuDNN
+convolutions dispatch to the HBM-friendly OpenMP kernels, cuBLAS goes to the
+CPU BLAS, and PyTorch's *custom* CUDA kernels (NLL loss — which uses
+``__syncthreads`` — softmax, element-wise ops) are transpiled by Polygeist.
+
+This module reproduces that structure: an interception table, an emulated
+device, an asynchronous stream queue, and the NLL-loss CUDA kernel compiled
+through :func:`repro.frontend.compile_cuda` and executed on the simulated
+CPU.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+import numpy as np
+
+from ..frontend import compile_cuda
+from ..runtime import A64FX_CMG, Interpreter
+from ..transforms import PipelineOptions
+
+
+# ---------------------------------------------------------------------------
+# Emulated device (the "dumped" GPU properties MocCUDA replays)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class DeviceProperties:
+    """The subset of cudaDeviceProp PyTorch inspects."""
+
+    name: str = "NVIDIA GeForce RTX 2080 Ti (MocCUDA emulation)"
+    total_global_mem: int = 11 * 1024 ** 3
+    multi_processor_count: int = 68
+    warp_size: int = 32
+    max_threads_per_block: int = 1024
+    compute_capability: tuple = (7, 5)
+
+
+class Stream:
+    """A CUDA stream emulated as an in-order task queue (GCD-style)."""
+
+    def __init__(self, stream_id: int) -> None:
+        self.stream_id = stream_id
+        self._queue: Deque[Callable[[], None]] = deque()
+
+    def enqueue(self, task: Callable[[], None]) -> None:
+        self._queue.append(task)
+
+    def synchronize(self) -> int:
+        """Drain the queue; returns the number of tasks executed."""
+        executed = 0
+        while self._queue:
+            self._queue.popleft()()
+            executed += 1
+        return executed
+
+
+# ---------------------------------------------------------------------------
+# The transpiled NLL-loss kernel (ClassNLLCriterion_updateOutput analogue)
+# ---------------------------------------------------------------------------
+NLL_LOSS_CUDA = """
+__global__ void nll_loss_kernel(float* log_probs, int* targets, float* losses,
+                                float* total, int batch, int classes) {
+    __shared__ float partial[32];
+    int tid = threadIdx.x;
+    if (tid < batch) {
+        int target = targets[tid];
+        losses[tid] = 0.0f - log_probs[tid * classes + target];
+        partial[tid] = losses[tid];
+    } else {
+        partial[tid] = 0.0f;
+    }
+    __syncthreads();
+    for (int s = 16; s > 0; s = s / 2) {
+        if (tid < s) {
+            partial[tid] += partial[tid + s];
+        }
+        __syncthreads();
+    }
+    if (tid == 0) {
+        total[0] = partial[0] / (1.0f * batch);
+    }
+}
+
+void nll_loss(float* log_probs, int* targets, float* losses, float* total,
+              int batch, int classes) {
+    nll_loss_kernel<<<1, 32>>>(log_probs, targets, losses, total, batch, classes);
+}
+"""
+
+
+class MocCUDASession:
+    """The interception layer: call registry + device + streams + kernels."""
+
+    def __init__(self, options: Optional[PipelineOptions] = None) -> None:
+        self.device = DeviceProperties()
+        self.streams: Dict[int, Stream] = {0: Stream(0)}
+        self.call_log: List[str] = []
+        self.options = options or PipelineOptions.all_optimizations()
+        self._nll_module = None
+
+    # -- CUDART surface -------------------------------------------------------
+    def cuda_get_device_properties(self) -> DeviceProperties:
+        self.call_log.append("cudaGetDeviceProperties")
+        return self.device
+
+    def cuda_stream_create(self) -> Stream:
+        stream = Stream(len(self.streams))
+        self.streams[stream.stream_id] = stream
+        self.call_log.append("cudaStreamCreate")
+        return stream
+
+    def cuda_stream_synchronize(self, stream_id: int = 0) -> int:
+        self.call_log.append("cudaStreamSynchronize")
+        return self.streams[stream_id].synchronize()
+
+    def cuda_malloc(self, num_bytes: int) -> np.ndarray:
+        self.call_log.append("cudaMalloc")
+        return np.zeros(num_bytes // 4, dtype=np.float32)
+
+    def cuda_memcpy(self, destination: np.ndarray, source: np.ndarray) -> None:
+        self.call_log.append("cudaMemcpy")
+        np.copyto(destination.reshape(-1), np.asarray(source, dtype=destination.dtype).reshape(-1))
+
+    # -- cuBLAS → CPU BLAS -------------------------------------------------------
+    def cublas_sgemm(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Intercepted cuBLAS GEMM dispatched to the CPU BLAS (numpy/SSL2 stand-in)."""
+        self.call_log.append("cublasSgemm")
+        return a @ b
+
+    # -- transpiled custom kernels --------------------------------------------------
+    def _nll_loss_module(self):
+        if self._nll_module is None:
+            self._nll_module = compile_cuda(NLL_LOSS_CUDA, filename="nll_loss.cu",
+                                            cuda_lower=True, options=self.options)
+        return self._nll_module
+
+    def nll_loss(self, log_probs: np.ndarray, targets: np.ndarray) -> float:
+        """Run the Polygeist-transpiled ClassNLLCriterion kernel on the CPU."""
+        self.call_log.append("ClassNLLCriterion_updateOutput")
+        batch, classes = log_probs.shape
+        if batch > 32:
+            raise ValueError("the transpiled kernel handles one warp (<=32 samples) per launch")
+        losses = np.zeros(32, dtype=np.float32)
+        total = np.zeros(1, dtype=np.float32)
+        interpreter = Interpreter(self._nll_loss_module(), machine=A64FX_CMG)
+        interpreter.run("nll_loss", [np.ascontiguousarray(log_probs.reshape(-1)),
+                                     targets.astype(np.int64), losses, total, batch, classes])
+        return float(total[0])

@@ -1,0 +1,19 @@
+"""repro.rodinia — the Rodinia-style CUDA/OpenMP benchmark suite.
+
+``BENCHMARKS`` maps figure labels to :class:`RodiniaBenchmark` entries; each
+holds the CUDA-C source, the OpenMP-C reference (when the paper has one), an
+input generator and the list of output buffers used for oracle checking.
+"""
+
+from . import kernels
+from .suite import (
+    BENCHMARKS,
+    FIGURE13_SET,
+    RodiniaBenchmark,
+    run_benchmark,
+    run_module,
+    verify_benchmark,
+)
+
+__all__ = ["kernels", "BENCHMARKS", "FIGURE13_SET", "RodiniaBenchmark",
+           "run_benchmark", "run_module", "verify_benchmark"]

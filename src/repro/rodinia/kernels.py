@@ -1,0 +1,583 @@
+"""CUDA-C and OpenMP-C sources for the Rodinia-style benchmark suite.
+
+Each benchmark mirrors the *structure* of its Rodinia counterpart — the
+feature the paper's evaluation actually exercises — at sizes small enough for
+the Python interpreter:
+
+* ``backprop``       — shared-memory staging + tree reduction (Fig. 9),
+  plus the element-wise ``adjust_weights`` kernel;
+* ``bfs``            — frontier expansion over a CSR graph, no barriers;
+* ``hotspot``        — 1D heat stencil; the CUDA version recomputes a halo
+  per block (the paper's explanation for why transpiled hotspot loses);
+* ``lud``            — blocked lower/upper update that stages a column in
+  shared memory (extra caching work vs. the OpenMP code);
+* ``nw``             — Needleman–Wunsch anti-diagonal wavefront with barriers;
+* ``pathfinder``     — row-by-row dynamic programming with ghost columns;
+* ``srad``           — gradient/update pair of kernels (srad_v1-style);
+* ``particlefilter`` — weight normalization that uses ``__syncthreads`` where
+  the OpenMP reference uses separate parallel loops;
+* ``streamcluster``  — pairwise distance/assignment, no barriers;
+* ``myocyte``        — per-cell ODE-style update with an inner serial loop;
+* ``matmul``         — the kernel used for the MCUDA comparison (Fig. 12).
+
+The OpenMP references use ``#pragma omp parallel for`` through the same
+frontend, exactly as the paper compares against the hand-written Rodinia
+OpenMP codes.
+"""
+
+MATMUL_CUDA = """
+__global__ void matmul_kernel(float* A, float* B, float* C, int n) {
+    int row = blockIdx.x;
+    int col = threadIdx.x;
+    if (row < n && col < n) {
+        float acc = 0.0f;
+        for (int k = 0; k < n; k++) {
+            acc += A[row * n + k] * B[k * n + col];
+        }
+        C[row * n + col] = acc;
+    }
+}
+
+void matmul(float* A, float* B, float* C, int n) {
+    matmul_kernel<<<n, n>>>(A, B, C, n);
+}
+"""
+
+MATMUL_OMP = """
+void matmul(float* A, float* B, float* C, int n) {
+    #pragma omp parallel for
+    for (int row = 0; row < n; row++) {
+        for (int col = 0; col < n; col++) {
+            float acc = 0.0f;
+            for (int k = 0; k < n; k++) {
+                acc += A[row * n + k] * B[k * n + col];
+            }
+            C[row * n + col] = acc;
+        }
+    }
+}
+"""
+
+BACKPROP_CUDA = """
+__global__ void layerforward(float* input, float* weights, float* hidden,
+                             float* partial, int in_size, int hid) {
+    __shared__ float node[16];
+    __shared__ float prod[16];
+    int by = blockIdx.x;
+    int tx = threadIdx.x;
+    int index_in = by * 16 + tx;
+    if (tx < 16) {
+        node[tx] = input[index_in];
+    }
+    __syncthreads();
+    prod[tx] = weights[index_in * hid] * node[tx];
+    __syncthreads();
+    prod[tx] = prod[tx] * 1.0f;
+    __syncthreads();
+    for (int s = 8; s > 0; s = s / 2) {
+        if (tx < s) {
+            prod[tx] += prod[tx + s];
+        }
+        __syncthreads();
+    }
+    if (tx == 0) {
+        partial[by] = prod[0];
+    }
+    hidden[index_in] = prod[tx];
+}
+
+__global__ void adjust_weights(float* weights, float* delta, float* input,
+                               int n, float eta, float momentum) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < n) {
+        weights[tid] += eta * delta[tid] * input[tid] + momentum * weights[tid];
+    }
+}
+
+void backprop_forward(float* input, float* weights, float* hidden, float* partial,
+                      int in_size, int hid) {
+    layerforward<<<in_size / 16, 16>>>(input, weights, hidden, partial, in_size, hid);
+}
+
+void backprop_adjust(float* weights, float* delta, float* input, int n,
+                     float eta, float momentum) {
+    adjust_weights<<<n / 16, 16>>>(weights, delta, input, n, eta, momentum);
+}
+"""
+
+BACKPROP_OMP = """
+void backprop_forward(float* input, float* weights, float* hidden, float* partial,
+                      int in_size, int hid) {
+    for (int by = 0; by < in_size / 16; by++) {
+        float acc = 0.0f;
+        #pragma omp parallel for
+        for (int tx = 0; tx < 16; tx++) {
+            int index_in = by * 16 + tx;
+            hidden[index_in] = weights[index_in * hid] * input[index_in];
+        }
+        for (int tx = 0; tx < 16; tx++) {
+            acc += hidden[by * 16 + tx];
+        }
+        partial[by] = acc;
+    }
+}
+
+void backprop_adjust(float* weights, float* delta, float* input, int n,
+                     float eta, float momentum) {
+    #pragma omp parallel for
+    for (int tid = 0; tid < n; tid++) {
+        weights[tid] += eta * delta[tid] * input[tid] + momentum * weights[tid];
+    }
+}
+"""
+
+BFS_CUDA = """
+__global__ void bfs_kernel(int* row_offsets, int* columns, int* frontier,
+                           int* next_frontier, int* cost, int n, int level) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < n) {
+        if (frontier[tid] == 1) {
+            for (int e = row_offsets[tid]; e < row_offsets[tid + 1]; e++) {
+                int neighbor = columns[e];
+                if (cost[neighbor] < 0) {
+                    cost[neighbor] = level + 1;
+                    next_frontier[neighbor] = 1;
+                }
+            }
+        }
+    }
+}
+
+void bfs_step(int* row_offsets, int* columns, int* frontier, int* next_frontier,
+              int* cost, int n, int level) {
+    bfs_kernel<<<n / 32, 32>>>(row_offsets, columns, frontier, next_frontier, cost, n, level);
+}
+"""
+
+BFS_OMP = """
+void bfs_step(int* row_offsets, int* columns, int* frontier, int* next_frontier,
+              int* cost, int n, int level) {
+    #pragma omp parallel for
+    for (int tid = 0; tid < n; tid++) {
+        if (frontier[tid] == 1) {
+            for (int e = row_offsets[tid]; e < row_offsets[tid + 1]; e++) {
+                int neighbor = columns[e];
+                if (cost[neighbor] < 0) {
+                    cost[neighbor] = level + 1;
+                    next_frontier[neighbor] = 1;
+                }
+            }
+        }
+    }
+}
+"""
+
+HOTSPOT_CUDA = """
+__global__ void hotspot_kernel(float* temp_in, float* temp_out, float* power,
+                               int n, float cap, float rx) {
+    __shared__ float tile[36];
+    int bx = blockIdx.x;
+    int tx = threadIdx.x;
+    int gid = bx * 32 + tx;
+    tile[tx + 2] = temp_in[gid];
+    if (tx == 0) {
+        if (gid > 1) {
+            tile[0] = temp_in[gid - 2];
+            tile[1] = temp_in[gid - 1];
+        } else {
+            tile[0] = temp_in[gid];
+            tile[1] = temp_in[gid];
+        }
+    }
+    if (tx == 31) {
+        if (gid < n - 2) {
+            tile[34] = temp_in[gid + 1];
+            tile[35] = temp_in[gid + 2];
+        } else {
+            tile[34] = temp_in[gid];
+            tile[35] = temp_in[gid];
+        }
+    }
+    __syncthreads();
+    float halo = 0.5f * (tile[tx] + tile[tx + 4 - 4]);
+    float center = tile[tx + 2];
+    float left = tile[tx + 1];
+    float right = tile[tx + 3];
+    float delta = cap * (power[gid] + (left + right - 2.0f * center) * rx) + 0.0f * halo;
+    temp_out[gid] = center + delta;
+}
+
+void hotspot_step(float* temp_in, float* temp_out, float* power, int n,
+                  float cap, float rx) {
+    hotspot_kernel<<<n / 32, 32>>>(temp_in, temp_out, power, n, cap, rx);
+}
+"""
+
+HOTSPOT_OMP = """
+void hotspot_step(float* temp_in, float* temp_out, float* power, int n,
+                  float cap, float rx) {
+    #pragma omp parallel for
+    for (int gid = 0; gid < n; gid++) {
+        float center = temp_in[gid];
+        float left = center;
+        float right = center;
+        if (gid > 0) {
+            left = temp_in[gid - 1];
+        }
+        if (gid < n - 1) {
+            right = temp_in[gid + 1];
+        }
+        float delta = cap * (power[gid] + (left + right - 2.0f * center) * rx);
+        temp_out[gid] = center + delta;
+    }
+}
+"""
+
+LUD_CUDA = """
+__global__ void lud_internal(float* matrix, int n, int offset) {
+    __shared__ float pivot_col[16];
+    __shared__ float pivot_row[16];
+    int bx = blockIdx.x;
+    int tx = threadIdx.x;
+    int row = offset + 1 + bx;
+    int col = offset + 1 + tx;
+    if (tx == 0) {
+        for (int k = 0; k < 16; k++) {
+            pivot_row[k] = matrix[offset * n + offset + 1 + k];
+        }
+    }
+    pivot_col[tx] = matrix[(offset + 1 + tx) * n + offset];
+    __syncthreads();
+    if (row < n && col < n) {
+        matrix[row * n + col] -= pivot_col[bx] * pivot_row[tx];
+    }
+}
+
+void lud_step(float* matrix, int n, int offset) {
+    lud_internal<<<16, 16>>>(matrix, n, offset);
+}
+"""
+
+LUD_OMP = """
+void lud_step(float* matrix, int n, int offset) {
+    #pragma omp parallel for
+    for (int row = offset + 1; row < offset + 17; row++) {
+        if (row < n) {
+            for (int col = offset + 1; col < offset + 17; col++) {
+                if (col < n) {
+                    matrix[row * n + col] -= matrix[row * n + offset]
+                        * matrix[offset * n + col];
+                }
+            }
+        }
+    }
+}
+"""
+
+NW_CUDA = """
+__global__ void nw_diagonal(int* score, int* reference, int n, int diag, int penalty) {
+    int tid = threadIdx.x;
+    __shared__ int row_index[32];
+    row_index[tid] = tid + 1;
+    __syncthreads();
+    int i = row_index[tid];
+    int j = diag - i + 1;
+    if (i >= 1 && j >= 1 && i <= n && j <= n && i + j == diag + 1) {
+        int up = score[(i - 1) * (n + 1) + j] - penalty;
+        int left = score[i * (n + 1) + j - 1] - penalty;
+        int upleft = score[(i - 1) * (n + 1) + j - 1] + reference[(i - 1) * n + j - 1];
+        int best = up;
+        if (left > best) {
+            best = left;
+        }
+        if (upleft > best) {
+            best = upleft;
+        }
+        score[i * (n + 1) + j] = best;
+    }
+}
+
+void nw_step(int* score, int* reference, int n, int diag, int penalty) {
+    nw_diagonal<<<1, 32>>>(score, reference, n, diag, penalty);
+}
+"""
+
+NW_OMP = """
+void nw_step(int* score, int* reference, int n, int diag, int penalty) {
+    #pragma omp parallel for
+    for (int i = 1; i <= n; i++) {
+        int j = diag - i + 1;
+        if (j >= 1 && j <= n) {
+            int up = score[(i - 1) * (n + 1) + j] - penalty;
+            int left = score[i * (n + 1) + j - 1] - penalty;
+            int upleft = score[(i - 1) * (n + 1) + j - 1] + reference[(i - 1) * n + j - 1];
+            int best = up;
+            if (left > best) {
+                best = left;
+            }
+            if (upleft > best) {
+                best = upleft;
+            }
+            score[i * (n + 1) + j] = best;
+        }
+    }
+}
+"""
+
+PATHFINDER_CUDA = """
+__global__ void pathfinder_kernel(int* wall, int* src, int* dst, int cols, int row) {
+    __shared__ int prev[34];
+    int tx = threadIdx.x;
+    int bx = blockIdx.x;
+    int col = bx * 32 + tx;
+    prev[tx + 1] = src[col];
+    if (tx == 0) {
+        if (col > 0) {
+            prev[0] = src[col - 1];
+        } else {
+            prev[0] = src[col];
+        }
+    }
+    if (tx == 31) {
+        if (col < cols - 1) {
+            prev[33] = src[col + 1];
+        } else {
+            prev[33] = src[col];
+        }
+    }
+    __syncthreads();
+    int best = prev[tx + 1];
+    if (prev[tx] < best) {
+        best = prev[tx];
+    }
+    if (prev[tx + 2] < best) {
+        best = prev[tx + 2];
+    }
+    dst[col] = wall[row * cols + col] + best;
+}
+
+void pathfinder_step(int* wall, int* src, int* dst, int cols, int row) {
+    pathfinder_kernel<<<cols / 32, 32>>>(wall, src, dst, cols, row);
+}
+"""
+
+PATHFINDER_OMP = """
+void pathfinder_step(int* wall, int* src, int* dst, int cols, int row) {
+    #pragma omp parallel for
+    for (int col = 0; col < cols; col++) {
+        int best = src[col];
+        if (col > 0) {
+            if (src[col - 1] < best) {
+                best = src[col - 1];
+            }
+        }
+        if (col < cols - 1) {
+            if (src[col + 1] < best) {
+                best = src[col + 1];
+            }
+        }
+        dst[col] = wall[row * cols + col] + best;
+    }
+}
+"""
+
+SRAD_CUDA = """
+__global__ void srad_gradient(float* image, float* grad_n, float* grad_s, float* coeff,
+                              int n, float lambda) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < n) {
+        float center = image[tid];
+        float north = center;
+        float south = center;
+        if (tid > 0) {
+            north = image[tid - 1];
+        }
+        if (tid < n - 1) {
+            south = image[tid + 1];
+        }
+        float dn = north - center;
+        float ds = south - center;
+        grad_n[tid] = dn;
+        grad_s[tid] = ds;
+        float g2 = (dn * dn + ds * ds) / (center * center + 0.00001f);
+        coeff[tid] = 1.0f / (1.0f + g2);
+    }
+}
+
+__global__ void srad_update(float* image, float* grad_n, float* grad_s, float* coeff,
+                            int n, float lambda) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < n) {
+        float cn = coeff[tid];
+        float cs = cn;
+        if (tid < n - 1) {
+            cs = coeff[tid + 1];
+        }
+        float divergence = cn * grad_n[tid] + cs * grad_s[tid];
+        image[tid] = image[tid] + 0.25f * lambda * divergence;
+    }
+}
+
+void srad_step(float* image, float* grad_n, float* grad_s, float* coeff, int n, float lambda) {
+    srad_gradient<<<n / 32, 32>>>(image, grad_n, grad_s, coeff, n, lambda);
+    srad_update<<<n / 32, 32>>>(image, grad_n, grad_s, coeff, n, lambda);
+}
+"""
+
+SRAD_OMP = """
+void srad_step(float* image, float* grad_n, float* grad_s, float* coeff, int n, float lambda) {
+    for (int tid = 0; tid < n; tid++) {
+        float center = image[tid];
+        float north = center;
+        float south = center;
+        if (tid > 0) {
+            north = image[tid - 1];
+        }
+        if (tid < n - 1) {
+            south = image[tid + 1];
+        }
+        float dn = north - center;
+        float ds = south - center;
+        grad_n[tid] = dn;
+        grad_s[tid] = ds;
+        float g2 = (dn * dn + ds * ds) / (center * center + 0.00001f);
+        coeff[tid] = 1.0f / (1.0f + g2);
+    }
+    #pragma omp parallel for
+    for (int tid = 0; tid < n; tid++) {
+        float cn = coeff[tid];
+        float cs = cn;
+        if (tid < n - 1) {
+            cs = coeff[tid + 1];
+        }
+        float divergence = cn * grad_n[tid] + cs * grad_s[tid];
+        image[tid] = image[tid] + 0.25f * lambda * divergence;
+    }
+}
+"""
+
+PARTICLEFILTER_CUDA = """
+__global__ void normalize_weights(float* weights, float* partial_sums, int n) {
+    __shared__ float buffer[32];
+    int tid = threadIdx.x;
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    buffer[tid] = weights[gid];
+    __syncthreads();
+    for (int s = 16; s > 0; s = s / 2) {
+        if (tid < s) {
+            buffer[tid] += buffer[tid + s];
+        }
+        __syncthreads();
+    }
+    if (tid == 0) {
+        partial_sums[blockIdx.x] = buffer[0];
+    }
+    __syncthreads();
+    weights[gid] = weights[gid] / buffer[0];
+}
+
+void particlefilter_normalize(float* weights, float* partial_sums, int n) {
+    normalize_weights<<<n / 32, 32>>>(weights, partial_sums, n);
+}
+"""
+
+PARTICLEFILTER_OMP = """
+void particlefilter_normalize(float* weights, float* partial_sums, int n) {
+    int blocks = n / 32;
+    for (int b = 0; b < blocks; b++) {
+        float total = 0.0f;
+        for (int t = 0; t < 32; t++) {
+            total += weights[b * 32 + t];
+        }
+        partial_sums[b] = total;
+    }
+    #pragma omp parallel for
+    for (int gid = 0; gid < n; gid++) {
+        weights[gid] = weights[gid] / partial_sums[gid / 32];
+    }
+}
+"""
+
+STREAMCLUSTER_CUDA = """
+__global__ void pgain_kernel(float* points, float* centers, float* costs, int* assign,
+                             int n, int k, int dim) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < n) {
+        float best = 1000000000.0f;
+        int best_center = 0;
+        for (int c = 0; c < k; c++) {
+            float dist = 0.0f;
+            for (int d = 0; d < dim; d++) {
+                float diff = points[tid * dim + d] - centers[c * dim + d];
+                dist += diff * diff;
+            }
+            if (dist < best) {
+                best = dist;
+                best_center = c;
+            }
+        }
+        costs[tid] = best;
+        assign[tid] = best_center;
+    }
+}
+
+void streamcluster_assign(float* points, float* centers, float* costs, int* assign,
+                          int n, int k, int dim) {
+    pgain_kernel<<<n / 32, 32>>>(points, centers, costs, assign, n, k, dim);
+}
+"""
+
+STREAMCLUSTER_OMP = """
+void streamcluster_assign(float* points, float* centers, float* costs, int* assign,
+                          int n, int k, int dim) {
+    #pragma omp parallel for
+    for (int tid = 0; tid < n; tid++) {
+        float best = 1000000000.0f;
+        int best_center = 0;
+        for (int c = 0; c < k; c++) {
+            float dist = 0.0f;
+            for (int d = 0; d < dim; d++) {
+                float diff = points[tid * dim + d] - centers[c * dim + d];
+                dist += diff * diff;
+            }
+            if (dist < best) {
+                best = dist;
+                best_center = c;
+            }
+        }
+        costs[tid] = best;
+        assign[tid] = best_center;
+    }
+}
+"""
+
+MYOCYTE_CUDA = """
+__global__ void solver_kernel(float* state, float* rates, int n, int steps, float dt) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < n) {
+        float y = state[tid];
+        for (int s = 0; s < steps; s++) {
+            float dy = rates[tid] - 0.1f * y;
+            y = y + dt * dy;
+        }
+        state[tid] = y;
+    }
+}
+
+void myocyte_solve(float* state, float* rates, int n, int steps, float dt) {
+    solver_kernel<<<n / 16, 16>>>(state, rates, n, steps, dt);
+}
+"""
+
+MYOCYTE_OMP = """
+void myocyte_solve(float* state, float* rates, int n, int steps, float dt) {
+    for (int tid = 0; tid < n; tid++) {
+        float y = state[tid];
+        #pragma omp parallel for
+        for (int s = 0; s < steps; s++) {
+            y = y + dt * (rates[tid] - 0.1f * y);
+        }
+        state[tid] = y;
+    }
+}
+"""

@@ -1,0 +1,30 @@
+"""repro.runtime — execution and the analytic performance model.
+
+* :class:`~repro.runtime.interpreter.Interpreter` executes modules: un-lowered
+  modules run with SIMT (GPU oracle) semantics, lowered modules run under the
+  simulated-multicore cost model.
+* :mod:`~repro.runtime.costmodel` defines the machine descriptions
+  (``XEON_8375C`` for the Rodinia/MCUDA study, ``A64FX_CMG`` for MocCUDA)
+  and the per-operation/memory cost tables.
+* :class:`~repro.runtime.memory.MemRefStorage` is the numpy-backed buffer
+  type shared by both execution modes.
+"""
+
+from .memory import MemRefStorage, dtype_for
+from .costmodel import (
+    A64FX_CMG,
+    CostReport,
+    MachineModel,
+    OP_COSTS,
+    XEON_8375C,
+    memory_access_cost,
+    op_cost,
+)
+from .interpreter import Interpreter, InterpreterError, execute
+
+__all__ = [
+    "MemRefStorage", "dtype_for",
+    "A64FX_CMG", "CostReport", "MachineModel", "OP_COSTS", "XEON_8375C",
+    "memory_access_cost", "op_cost",
+    "Interpreter", "InterpreterError", "execute",
+]

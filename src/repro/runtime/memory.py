@@ -1,0 +1,96 @@
+"""Runtime memory: numpy-backed memref storage.
+
+Following the scientific-Python guidance the project's runtime is built on
+(contiguous numpy buffers, no per-element Python objects in bulk operations),
+every memref is a contiguous ``numpy.ndarray`` of the right dtype.  Memory
+spaces are carried alongside the buffer so the cost model can charge global
+vs. shared/local accesses differently.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ir import FloatType, IndexType, IntegerType, MemorySpace, MemRefType, Type
+
+
+def dtype_for(element_type: Type) -> np.dtype:
+    """The numpy dtype backing an IR element type."""
+    if isinstance(element_type, FloatType):
+        return np.dtype(np.float32) if element_type.width == 32 else np.dtype(np.float64)
+    if isinstance(element_type, IndexType):
+        return np.dtype(np.int64)
+    if isinstance(element_type, IntegerType):
+        if element_type.width == 1:
+            return np.dtype(np.int8)
+        if element_type.width <= 8:
+            return np.dtype(np.int8)
+        if element_type.width <= 32:
+            return np.dtype(np.int32)
+        return np.dtype(np.int64)
+    raise TypeError(f"no numpy dtype for element type {element_type}")
+
+
+class MemRefStorage:
+    """A runtime buffer: numpy array + memory space + element type."""
+
+    __slots__ = ("array", "memory_space", "element_type", "freed")
+
+    def __init__(self, array: np.ndarray, memory_space: str = MemorySpace.GLOBAL,
+                 element_type: Optional[Type] = None) -> None:
+        self.array = array
+        self.memory_space = memory_space
+        self.element_type = element_type
+        self.freed = False
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def allocate(cls, type: MemRefType, dynamic_sizes: Sequence[int] = ()) -> "MemRefStorage":
+        shape = []
+        dynamic = list(dynamic_sizes)
+        for extent in type.shape:
+            shape.append(int(dynamic.pop(0)) if extent < 0 else extent)
+        array = np.zeros(tuple(shape), dtype=dtype_for(type.element_type))
+        return cls(array, type.memory_space, type.element_type)
+
+    @classmethod
+    def from_numpy(cls, array: np.ndarray,
+                   memory_space: str = MemorySpace.GLOBAL) -> "MemRefStorage":
+        return cls(np.ascontiguousarray(array), memory_space)
+
+    # -- element access --------------------------------------------------------
+    def load(self, indices: Tuple[int, ...]):
+        value = self.array[tuple(int(i) for i in indices)] if indices else self.array[()]
+        if isinstance(value, np.floating):
+            return float(value)
+        if isinstance(value, np.integer):
+            return int(value)
+        return value
+
+    def store(self, value, indices: Tuple[int, ...]) -> None:
+        if indices:
+            self.array[tuple(int(i) for i in indices)] = value
+        else:
+            self.array[()] = value
+
+    def copy_from(self, other: "MemRefStorage") -> None:
+        np.copyto(self.array.reshape(-1), other.array.reshape(-1))
+
+    # -- properties -------------------------------------------------------------
+    @property
+    def num_elements(self) -> int:
+        return int(self.array.size)
+
+    @property
+    def element_bytes(self) -> int:
+        return int(self.array.itemsize)
+
+    @property
+    def num_bytes(self) -> int:
+        return int(self.array.nbytes)
+
+    def __repr__(self) -> str:
+        return (f"MemRefStorage(shape={self.array.shape}, dtype={self.array.dtype}, "
+                f"space={self.memory_space})")

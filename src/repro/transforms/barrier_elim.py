@@ -1,0 +1,72 @@
+"""Barrier elimination and motion (§IV-A).
+
+Barrier *elimination* removes barriers whose ordering is already guaranteed —
+either by a neighbouring barrier (the M† subsumption rule) or because nothing
+on the two sides conflicts.  Since the GPU-to-CPU lowering must split parallel
+loops at every remaining barrier, each eliminated barrier removes an entire
+fission + cache-and-reload round trip; even on the GPU it removes a
+synchronization.
+
+Barrier *motion* re-uses the same analysis: moving a barrier to a new
+location is legal when a fictitious barrier at the target makes the original
+redundant.  The pass uses motion conservatively, only to sink barriers that
+are the first op of a parallel body (where they order nothing before them).
+"""
+
+from __future__ import annotations
+
+from ..ir import Operation
+from ..dialects import polygeist
+from ..dialects.func import ModuleOp
+from ..analysis import barrier_is_redundant, barriers_in
+from .pass_manager import Pass
+
+
+def eliminate_redundant_barriers(root: Operation, module: ModuleOp = None,
+                                 max_iterations: int = 4) -> int:
+    """Remove redundant barriers under ``root``; returns how many were removed."""
+    removed = 0
+    for _ in range(max_iterations):
+        changed = False
+        for barrier in barriers_in(root, immediate_region_only=False):
+            if barrier.parent_block is None:
+                continue
+            if barrier_is_redundant(barrier, module=module):
+                barrier.erase()
+                removed += 1
+                changed = True
+        if not changed:
+            break
+    return removed
+
+
+def sink_leading_barriers(root: Operation) -> int:
+    """Drop barriers that are the first op of their parallel body.
+
+    A barrier with no operations before it inside the parallel region orders
+    nothing and is trivially removable; this is the degenerate case of barrier
+    motion (moving it to the region entry, then eliminating it).
+    """
+    removed = 0
+    for barrier in barriers_in(root, immediate_region_only=False):
+        block = barrier.parent_block
+        if block is None:
+            continue
+        index = block.index_of(barrier)
+        if index == 0 and block.parent_op is not None and block.parent_op.OP_NAME == "scf.parallel":
+            barrier.erase()
+            removed += 1
+    return removed
+
+
+class BarrierEliminationPass(Pass):
+    NAME = "barrier-elimination"
+
+    def __init__(self) -> None:
+        self.removed = 0
+
+    def run(self, module: ModuleOp) -> bool:
+        removed = sink_leading_barriers(module)
+        removed += eliminate_redundant_barriers(module, module)
+        self.removed += removed
+        return removed > 0

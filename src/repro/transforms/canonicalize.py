@@ -1,0 +1,216 @@
+"""Canonicalization: constant folding and algebraic simplification patterns.
+
+These are the "conventional compiler transformations" the paper argues should
+apply transparently to parallel code (§I): nothing here knows about barriers
+or parallel loops, yet — thanks to the barrier's memory-effect semantics —
+they remain correct when run on kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir import Operation, RewritePattern, Rewriter, apply_patterns_greedily
+from ..dialects import arith, math as math_d, scf
+from ..dialects.func import ModuleOp
+from .pass_manager import Pass
+
+
+def _constant_value(value) -> Optional[object]:
+    op = value.defining_op()
+    if isinstance(op, arith.ConstantOp):
+        return op.value
+    return None
+
+
+class FoldBinaryOp(RewritePattern):
+    """Fold binary arith ops with two constant operands."""
+
+    ROOT_OP = arith.BinaryOp
+
+    def match_and_rewrite(self, op: Operation, rewriter: Rewriter) -> bool:
+        lhs = _constant_value(op.operands[0])
+        rhs = _constant_value(op.operands[1])
+        if lhs is None or rhs is None or op.PY_FUNC is None:
+            return False
+        folded = op.PY_FUNC(lhs, rhs)
+        constant = arith.ConstantOp(folded, op.result.type)
+        rewriter.insert_before(op, constant)
+        rewriter.replace_op(op, [constant.result])
+        return True
+
+
+class FoldCmpOp(RewritePattern):
+    """Fold integer/float comparisons of constants."""
+
+    ROOT_OP = arith._CmpOp
+
+    def match_and_rewrite(self, op: Operation, rewriter: Rewriter) -> bool:
+        lhs = _constant_value(op.lhs)
+        rhs = _constant_value(op.rhs)
+        if lhs is None or rhs is None:
+            return False
+        folded = arith.CmpPredicate.evaluate(op.predicate, lhs, rhs)
+        constant = arith.ConstantOp(folded, op.result.type)
+        rewriter.insert_before(op, constant)
+        rewriter.replace_op(op, [constant.result])
+        return True
+
+
+class FoldSelect(RewritePattern):
+    """select(const, a, b) -> a or b; select(c, x, x) -> x."""
+
+    ROOT_OP = arith.SelectOp
+
+    def match_and_rewrite(self, op: arith.SelectOp, rewriter: Rewriter) -> bool:
+        condition = _constant_value(op.condition)
+        if condition is not None:
+            rewriter.replace_op(op, [op.true_value if condition else op.false_value])
+            return True
+        if op.true_value is op.false_value:
+            rewriter.replace_op(op, [op.true_value])
+            return True
+        return False
+
+
+class FoldCast(RewritePattern):
+    """Fold casts of constants and no-op casts."""
+
+    ROOT_OP = arith._CastOp
+
+    def match_and_rewrite(self, op: Operation, rewriter: Rewriter) -> bool:
+        if op.operands[0].type == op.result.type:
+            rewriter.replace_op(op, [op.operands[0]])
+            return True
+        value = _constant_value(op.operands[0])
+        if value is None:
+            return False
+        result_type = op.result.type
+        if isinstance(op, (arith.IndexCastOp, arith.IntCastOp, arith.FPToSIOp)):
+            folded = int(value)
+        else:
+            folded = float(value)
+        constant = arith.ConstantOp(folded, result_type)
+        rewriter.insert_before(op, constant)
+        rewriter.replace_op(op, [constant.result])
+        return True
+
+
+class FoldUnaryMath(RewritePattern):
+    """Fold math.<fn>(constant)."""
+
+    ROOT_OP = math_d.UnaryMathOp
+
+    def match_and_rewrite(self, op: math_d.UnaryMathOp, rewriter: Rewriter) -> bool:
+        value = _constant_value(op.operands[0])
+        if value is None:
+            return False
+        constant = arith.ConstantOp(op.evaluate(float(value)), op.result.type)
+        rewriter.insert_before(op, constant)
+        rewriter.replace_op(op, [constant.result])
+        return True
+
+
+class AlgebraicIdentities(RewritePattern):
+    """x+0, x-0, x*1, x*0, x/1 and friends."""
+
+    ROOT_OP = arith.BinaryOp
+
+    def match_and_rewrite(self, op: Operation, rewriter: Rewriter) -> bool:
+        lhs, rhs = op.operands
+        rhs_const = _constant_value(rhs)
+        lhs_const = _constant_value(lhs)
+        if isinstance(op, (arith.AddIOp, arith.AddFOp, arith.SubIOp, arith.SubFOp,
+                           arith.OrIOp, arith.XOrIOp, arith.ShLIOp, arith.ShRSIOp)):
+            if rhs_const == 0:
+                rewriter.replace_op(op, [lhs])
+                return True
+            if lhs_const == 0 and isinstance(op, (arith.AddIOp, arith.AddFOp, arith.OrIOp)):
+                rewriter.replace_op(op, [rhs])
+                return True
+        if isinstance(op, (arith.MulIOp, arith.MulFOp)):
+            if rhs_const == 1:
+                rewriter.replace_op(op, [lhs])
+                return True
+            if lhs_const == 1:
+                rewriter.replace_op(op, [rhs])
+                return True
+            if rhs_const == 0 or lhs_const == 0:
+                zero = arith.ConstantOp(0, op.result.type)
+                rewriter.insert_before(op, zero)
+                rewriter.replace_op(op, [zero.result])
+                return True
+        if isinstance(op, (arith.DivSIOp, arith.DivFOp)) and rhs_const == 1:
+            rewriter.replace_op(op, [lhs])
+            return True
+        return False
+
+
+class SimplifyConstantIf(RewritePattern):
+    """Inline the taken branch of an ``scf.if`` with a constant condition."""
+
+    ROOT_OP = scf.IfOp
+
+    def match_and_rewrite(self, op: scf.IfOp, rewriter: Rewriter) -> bool:
+        condition = _constant_value(op.condition)
+        if condition is None:
+            return False
+        block = op.then_block if condition else op.else_block
+        if block is None:
+            if op.results:
+                return False
+            rewriter.erase_op(op)
+            return True
+        terminator = block.terminator
+        yielded = list(terminator.operands) if terminator is not None else []
+        ops_to_move = [nested for nested in block.operations if nested is not terminator]
+        for nested in ops_to_move:
+            nested.remove_from_parent()
+            rewriter.insert_before(op, nested)
+        rewriter.replace_op(op, yielded) if op.results else rewriter.erase_op(op)
+        return True
+
+
+class RemoveZeroTripFor(RewritePattern):
+    """Erase ``scf.for`` loops whose constant bounds give zero iterations."""
+
+    ROOT_OP = scf.ForOp
+
+    def match_and_rewrite(self, op: scf.ForOp, rewriter: Rewriter) -> bool:
+        lower = _constant_value(op.lower_bound)
+        upper = _constant_value(op.upper_bound)
+        if lower is None or upper is None or upper > lower:
+            return False
+        rewriter.replace_op(op, list(op.iter_init)) if op.results else rewriter.erase_op(op)
+        return True
+
+
+DEFAULT_PATTERNS = (
+    FoldBinaryOp(),
+    FoldCmpOp(),
+    FoldSelect(),
+    FoldCast(),
+    FoldUnaryMath(),
+    AlgebraicIdentities(),
+    SimplifyConstantIf(),
+    RemoveZeroTripFor(),
+)
+
+
+class CanonicalizePass(Pass):
+    """Greedy application of the folding/simplification patterns, followed by
+    dead-code elimination (pure ops whose results are unused)."""
+
+    NAME = "canonicalize"
+
+    def run(self, module: ModuleOp) -> bool:
+        from .dce import eliminate_dead_code
+
+        changed = apply_patterns_greedily(module, DEFAULT_PATTERNS)
+        changed |= eliminate_dead_code(module)
+        return changed
+
+
+def canonicalize(module: ModuleOp) -> bool:
+    """Convenience function running :class:`CanonicalizePass` once."""
+    return CanonicalizePass().run(module)

@@ -1,0 +1,63 @@
+"""Common sub-expression elimination for pure operations.
+
+Two pure ops are equivalent when they share the op class, attributes and
+operand identity.  CSE runs scoped per block but reuses definitions from
+enclosing blocks (a value defined in an outer block dominates all nested
+blocks in the structured IR), which is what lets e.g. a ``blockDim.x *
+blockIdx.x`` computed on the host be reused inside the parallel body.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..ir import Block, Operation
+from ..dialects.func import ModuleOp
+from .pass_manager import Pass
+
+
+def _expression_key(op: Operation) -> Tuple:
+    attrs = tuple(sorted((k, repr(v)) for k, v in op.attributes.items()))
+    return (type(op).__name__, attrs, tuple(id(operand) for operand in op.operands),
+            tuple(str(result.type) for result in op.results))
+
+
+def _run_on_block(block: Block, available: Dict[Tuple, Operation]) -> bool:
+    changed = False
+    scope: Dict[Tuple, Operation] = dict(available)
+    for op in list(block.operations):
+        if op.parent_block is None:
+            continue
+        if op.is_pure() and not op.regions and op.results:
+            key = _expression_key(op)
+            existing = scope.get(key)
+            if existing is not None:
+                for old, new in zip(op.results, existing.results):
+                    old.replace_all_uses_with(new)
+                op.erase()
+                changed = True
+                continue
+            scope[key] = op
+        for region in op.regions:
+            for nested_block in region.blocks:
+                changed |= _run_on_block(nested_block, scope)
+    return changed
+
+
+def eliminate_common_subexpressions(root: Operation) -> bool:
+    changed = False
+    for region in root.regions:
+        for block in region.blocks:
+            changed |= _run_on_block(block, {})
+    return changed
+
+
+class CSEPass(Pass):
+    NAME = "cse"
+
+    def run(self, module: ModuleOp) -> bool:
+        changed = False
+        for fn in module.functions:
+            if not fn.is_declaration:
+                changed |= eliminate_common_subexpressions(fn)
+        return changed

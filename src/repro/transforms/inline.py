@@ -1,0 +1,97 @@
+"""Function inlining.
+
+CUDA ``__device__`` functions called from kernels must be visible to the
+barrier analyses and to parallel LICM (the Fig. 1 ``sum`` helper), so the
+pipeline inlines direct calls whose callee body is available.  Functions that
+end up unreferenced and private are removed afterwards by symbol DCE.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir import Operation, Value
+from ..dialects import func as func_d
+from ..dialects.func import ModuleOp
+from .pass_manager import Pass
+
+
+def _can_inline(call: func_d.CallOp, callee: func_d.FuncOp, caller: func_d.FuncOp,
+                device_only: bool) -> bool:
+    if callee.is_declaration or callee is caller:
+        return False
+    if callee.get_attr("noinline", False):
+        return False
+    if device_only and not (callee.is_device or callee.is_kernel):
+        return False
+    return True
+
+
+def inline_call(call: func_d.CallOp, callee: func_d.FuncOp) -> None:
+    """Inline one call site (single-block callee bodies)."""
+    block = call.parent_block
+    value_map: Dict[Value, Value] = {
+        formal: actual for formal, actual in zip(callee.arguments, call.operands)
+    }
+    return_values = []
+    for op in callee.body_block.operations:
+        cloned = op.clone(value_map)
+        if isinstance(cloned, func_d.ReturnOp):
+            return_values = list(cloned.operands)
+            cloned.drop_ref()
+            continue
+        block.insert_before(call, cloned)
+    for result, replacement in zip(call.results, return_values):
+        result.replace_all_uses_with(replacement)
+    call.erase()
+
+
+def inline_functions(module: ModuleOp, device_only: bool = False,
+                     max_iterations: int = 8) -> bool:
+    """Inline direct calls bottom-up until fixpoint (bounded for recursion)."""
+    changed_any = False
+    for _ in range(max_iterations):
+        changed = False
+        for caller in module.functions:
+            if caller.is_declaration:
+                continue
+            calls = [op for op in caller.walk() if isinstance(op, func_d.CallOp)]
+            for call in calls:
+                callee = module.lookup(call.callee)
+                if callee is not None and _can_inline(call, callee, caller, device_only):
+                    inline_call(call, callee)
+                    changed = True
+        changed_any |= changed
+        if not changed:
+            break
+    return changed_any
+
+
+def remove_dead_functions(module: ModuleOp) -> bool:
+    """Erase private/device functions that are no longer referenced."""
+    referenced = set()
+    for fn in module.functions:
+        for op in fn.walk():
+            if isinstance(op, func_d.CallOp):
+                referenced.add(op.callee)
+    changed = False
+    for fn in list(module.functions):
+        if fn.sym_name in referenced or fn.is_kernel:
+            continue
+        if fn.is_device or fn.get_attr("visibility") == "private":
+            fn.drop_ref()
+            module.body.remove(fn)
+            changed = True
+    return changed
+
+
+class InlinerPass(Pass):
+    NAME = "inline"
+
+    def __init__(self, device_only: bool = True) -> None:
+        self.device_only = device_only
+
+    def run(self, module: ModuleOp) -> bool:
+        changed = inline_functions(module, device_only=self.device_only)
+        changed |= remove_dead_functions(module)
+        return changed

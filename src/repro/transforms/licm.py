@@ -1,0 +1,147 @@
+"""Loop-invariant code motion, serial and parallel (§IV-C).
+
+Serial LICM is the textbook transformation: hoist an op out of an ``scf.for``
+/ ``scf.while`` when its operands are loop-invariant and, if it reads memory,
+nothing in the loop writes a conflicting location.
+
+Parallel LICM exploits the semantics of ``scf.parallel``: iterations may be
+interleaved arbitrarily (subject to barrier ordering), so it is legal to
+reason as if the loop executed in lock-step.  An op can then be hoisted as
+soon as its operands are invariant and no *prior* op in the body conflicts
+with it — conflicts with *subsequent* ops need not be checked.  This is what
+lets the ``sum`` call of Fig. 1 move out of the kernel entirely, turning the
+O(N²) program into O(N).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..ir import Operation, Value
+from ..dialects import func as func_d, memref as memref_d, polygeist, scf
+from ..dialects.func import ModuleOp
+from ..analysis import (
+    any_conflict,
+    collect_accesses,
+    function_is_read_only,
+    is_defined_inside,
+    op_is_speculatable,
+)
+from .pass_manager import Pass
+
+
+_LOOP_OPS = (scf.ForOp, scf.WhileOp)
+
+
+def _defined_within(value: Value, op: Operation) -> bool:
+    return is_defined_inside(value, op)
+
+
+def _reads_memory(op: Operation, module: Optional[ModuleOp]) -> bool:
+    return any(access.is_read for access in collect_accesses(op, module=module))
+
+
+def _is_hoist_candidate(op: Operation, module: Optional[ModuleOp]) -> bool:
+    if isinstance(op, (polygeist.PolygeistBarrierOp, memref_d.AllocaOp, memref_d.AllocOp)):
+        return False
+    if op.IS_TERMINATOR or op.regions:
+        return False
+    if op.is_pure():
+        return True
+    if isinstance(op, memref_d.LoadOp):
+        return True
+    if isinstance(op, func_d.CallOp) and module is not None:
+        callee = module.lookup(op.callee)
+        return callee is not None and function_is_read_only(callee, module)
+    return False
+
+
+def _hoist_from_serial_loop(loop: Operation, module: Optional[ModuleOp]) -> bool:
+    body = loop.regions[-1].block if isinstance(loop, scf.WhileOp) else loop.body
+    loop_accesses = collect_accesses(loop, module=module)
+    loop_writes = [access for access in loop_accesses if not access.is_read]
+    changed = False
+    for op in list(body.operations):
+        if not _is_hoist_candidate(op, module):
+            continue
+        if not all(not _defined_within(operand, loop) for operand in op.operands):
+            continue
+        if _reads_memory(op, module):
+            op_reads = collect_accesses(op, module=module)
+            if any_conflict(op_reads, loop_writes):
+                continue
+        op.remove_from_parent()
+        loop.parent_block.insert_before(loop, op)
+        changed = True
+    return changed
+
+
+def _hoist_from_parallel_loop(loop: scf.ParallelOp, module: Optional[ModuleOp]) -> bool:
+    """§IV-C: only *prior* ops in the body need to be conflict-checked."""
+    changed = False
+    body = loop.body
+    index = 0
+    while index < len(body.operations):
+        op = body.operations[index]
+        if not _is_hoist_candidate(op, module):
+            index += 1
+            continue
+        if not all(not _defined_within(operand, loop) for operand in op.operands):
+            index += 1
+            continue
+        if _reads_memory(op, module):
+            prior_accesses: List = []
+            for prior in body.operations[:index]:
+                prior_accesses.extend(collect_accesses(prior, module=module))
+            prior_writes = [access for access in prior_accesses if not access.is_read]
+            op_accesses = collect_accesses(op, module=module)
+            if any_conflict(op_accesses, prior_writes):
+                index += 1
+                continue
+        op.remove_from_parent()
+        loop.parent_block.insert_before(loop, op)
+        changed = True
+        # do not advance: the next op slid into this index.
+    return changed
+
+
+def hoist_loop_invariant_code(root: Operation, module: Optional[ModuleOp] = None,
+                              parallel: bool = True) -> bool:
+    """Run LICM bottom-up over every loop nested under ``root``."""
+    changed = False
+    loops = [op for op in root.walk_post_order()
+             if isinstance(op, _LOOP_OPS) or (parallel and isinstance(op, scf.ParallelOp))]
+    for loop in loops:
+        if loop.parent_block is None:
+            continue
+        if isinstance(loop, scf.ParallelOp):
+            changed |= _hoist_from_parallel_loop(loop, module)
+        else:
+            changed |= _hoist_from_serial_loop(loop, module)
+    return changed
+
+
+class LICMPass(Pass):
+    """Serial LICM only (used when parallel LICM is ablated away)."""
+
+    NAME = "licm"
+
+    def run(self, module: ModuleOp) -> bool:
+        changed = False
+        for fn in module.functions:
+            if not fn.is_declaration:
+                changed |= hoist_loop_invariant_code(fn, module, parallel=False)
+        return changed
+
+
+class ParallelLICMPass(Pass):
+    """Serial + parallel LICM (§IV-C)."""
+
+    NAME = "parallel-licm"
+
+    def run(self, module: ModuleOp) -> bool:
+        changed = False
+        for fn in module.functions:
+            if not fn.is_declaration:
+                changed |= hoist_loop_invariant_code(fn, module, parallel=True)
+        return changed

@@ -1,0 +1,278 @@
+"""Parallel loop splitting around barriers (§III-B1).
+
+A barrier whose direct parent is the parallel loop is eliminated by splitting
+the loop into two parallel loops: one running the code before the barrier and
+one running the code after it.  SSA values that cross the split point must be
+made available to the second loop, either by *caching* them in a buffer
+indexed by the iteration vector or by *recomputing* them; the min-cut
+analysis (``PipelineOptions.mincut``) chooses the cheapest combination,
+otherwise every crossing value is cached.
+
+Thread-local buffers (``memref.alloca`` inside the parallel body) that are
+live across the split are first *expanded* to one slot per iteration and
+hoisted in front of the loop, mirroring MCUDA's "thread-local to array"
+conversion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ir import Builder, DYNAMIC, MemorySpace, MemRefType, Operation, Value, memref as memref_type
+from ..dialects import arith, memref as memref_d, polygeist, scf
+from ..dialects.func import ModuleOp
+from ..analysis import crossing_values, def_use_edges_among, minimum_value_cut
+from .pass_manager import Pass
+
+
+class SplitError(RuntimeError):
+    """Raised when a barrier cannot be split at this position."""
+
+
+def _constant_of(value: Value) -> Optional[int]:
+    op = value.defining_op()
+    if isinstance(op, arith.ConstantOp) and isinstance(op.value, int):
+        return op.value
+    return None
+
+
+def _iteration_shape(parallel: scf.ParallelOp) -> Tuple[Tuple[int, ...], List[Value]]:
+    """Static-or-dynamic shape of the iteration space and the dynamic sizes."""
+    shape: List[int] = []
+    dynamic_sizes: List[Value] = []
+    for upper in parallel.upper_bounds:
+        constant = _constant_of(upper)
+        if constant is not None:
+            shape.append(constant)
+        else:
+            shape.append(DYNAMIC)
+            dynamic_sizes.append(upper)
+    return tuple(shape), dynamic_sizes
+
+
+def _top_level_user_indices(block, value: Value) -> List[int]:
+    indices = []
+    for use in value.uses:
+        node = use.owner
+        while node is not None and node.parent_block is not block:
+            node = node.parent_op
+        if node is not None:
+            indices.append(block.index_of(node))
+    return indices
+
+
+# ---------------------------------------------------------------------------
+# Thread-local buffer expansion
+# ---------------------------------------------------------------------------
+def expand_crossing_allocas(parallel: scf.ParallelOp, split_index: int) -> int:
+    """Expand per-iteration allocas that are live across the split point.
+
+    Each such ``memref.alloca`` of shape S becomes a ``memref.alloc`` of shape
+    ``iteration_space × S`` placed before the parallel loop; loads and stores
+    gain the iteration vector as leading indices.  Returns the number of
+    buffers expanded.  Raises :class:`SplitError` if a crossing buffer has a
+    use that is not a load/store/dealloc.
+    """
+    block = parallel.body
+    shape_prefix, dynamic_sizes = _iteration_shape(parallel)
+    builder = Builder.before_op(parallel)
+    expanded = 0
+
+    for op in list(block.operations[:split_index]):
+        if not isinstance(op, (memref_d.AllocaOp, memref_d.AllocOp)):
+            continue
+        buffer = op.result
+        user_indices = _top_level_user_indices(block, buffer)
+        if not user_indices or max(user_indices) < split_index:
+            continue  # not live across the split
+        old_type: MemRefType = buffer.type
+        new_type = memref_type(shape_prefix + old_type.shape, old_type.element_type,
+                               MemorySpace.GLOBAL)
+        # dynamic sizes of the original alloca come after the iteration sizes.
+        new_alloc = builder.insert(memref_d.AllocOp(new_type,
+                                                    list(dynamic_sizes) + list(op.operands)))
+        ivs = list(parallel.induction_vars)
+        for use in list(buffer.uses):
+            user = use.owner
+            if isinstance(user, memref_d.LoadOp) and user.memref is buffer:
+                replacement = memref_d.LoadOp(new_alloc.result, ivs + list(user.indices))
+                user.parent_block.insert_before(user, replacement)
+                user.result.replace_all_uses_with(replacement.result)
+                user.erase()
+            elif isinstance(user, memref_d.StoreOp) and user.memref is buffer:
+                replacement = memref_d.StoreOp(user.value, new_alloc.result,
+                                               ivs + list(user.indices))
+                user.parent_block.insert_before(user, replacement)
+                user.erase()
+            elif isinstance(user, memref_d.DeallocOp):
+                user.erase()
+            else:
+                raise SplitError(
+                    f"cannot expand alloca used by {user.name} across a barrier split")
+        op.erase()
+        expanded += 1
+    return expanded
+
+
+# ---------------------------------------------------------------------------
+# Cache-set selection
+# ---------------------------------------------------------------------------
+def select_values_to_cache(parallel: scf.ParallelOp, split_index: int,
+                           use_mincut: bool) -> Tuple[List[Value], List[Value]]:
+    """Return (values to cache, crossing values) for a split at ``split_index``."""
+    block = parallel.body
+    crossing = [value for value in crossing_values(block, split_index)
+                if value not in block.arguments]
+    cacheable = [value for value in crossing if not isinstance(value.type, MemRefType)]
+    memref_crossers = [value for value in crossing
+                       if isinstance(value.type, MemRefType) and value.defining_op() is not None
+                       and value.defining_op().parent_block is block]
+    if memref_crossers:
+        raise SplitError("memref-typed value crosses the split point "
+                         "(alloca expansion should have handled it)")
+
+    if not use_mincut:
+        # Even without the min-cut optimization, constants (and other nullary
+        # pure ops) are never worth a cache slot: rematerializing them in the
+        # second loop is free and keeps loop bounds/conditions analyzable.
+        trivially_rematerializable = [
+            value for value in cacheable
+            if value.defining_op() is not None and value.defining_op().is_pure()
+            and not value.defining_op().operands
+        ]
+        return [value for value in cacheable
+                if value not in trivially_rematerializable], crossing
+
+    # candidates: every scalar value defined at the top level before the split.
+    candidates: List[Value] = []
+    for op in block.operations[:split_index]:
+        for result in op.results:
+            if not isinstance(result.type, MemRefType):
+                candidates.append(result)
+    candidate_ids = {id(value): value for value in candidates}
+    edges = def_use_edges_among(candidates)
+    non_recomputable = [id(value) for value in candidates
+                        if value.defining_op() is not None
+                        and not value.defining_op().is_pure()]
+    required = [id(value) for value in cacheable]
+    cut = minimum_value_cut(list(candidate_ids), edges, non_recomputable, required)
+    return [candidate_ids[key] for key in candidate_ids if key in cut], crossing
+
+
+def _recompute_plan(parallel: scf.ParallelOp, split_index: int,
+                    cached: Sequence[Value], needed: Sequence[Value]) -> List[Operation]:
+    """Ops (in original order) that must be cloned into the second loop so
+    that every needed-but-not-cached value can be recomputed."""
+    block = parallel.body
+    cached_ids = {id(value) for value in cached}
+    needed_ids: Set[int] = set()
+
+    def mark(value: Value) -> None:
+        if id(value) in cached_ids or id(value) in needed_ids:
+            return
+        op = value.defining_op()
+        if op is None or op.parent_block is not block:
+            return  # free value (iv or defined outside)
+        if block.index_of(op) >= split_index:
+            return
+        needed_ids.add(id(value))
+        for operand in op.operands:
+            mark(operand)
+
+    for value in needed:
+        if id(value) not in cached_ids and not isinstance(value.type, MemRefType):
+            mark(value)
+
+    plan: List[Operation] = []
+    for op in block.operations[:split_index]:
+        if any(id(result) in needed_ids for result in op.results):
+            if not op.is_pure():
+                raise SplitError(f"cannot recompute non-pure op {op.name} in the second loop")
+            plan.append(op)
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# The split itself
+# ---------------------------------------------------------------------------
+def split_parallel_at_barrier(parallel: scf.ParallelOp,
+                              barrier: polygeist.PolygeistBarrierOp,
+                              use_mincut: bool = True) -> Tuple[scf.ParallelOp, scf.ParallelOp]:
+    """Split ``parallel`` around ``barrier`` (which must be a direct child).
+
+    Returns the two resulting loops (the original op is reused as the first).
+    """
+    block = parallel.body
+    if barrier.parent_block is not block:
+        raise SplitError("barrier is not an immediate child of the parallel loop")
+
+    split_index = block.index_of(barrier)
+    expand_crossing_allocas(parallel, split_index)
+    split_index = block.index_of(barrier)  # indices may have shifted
+
+    cached, crossing = select_values_to_cache(parallel, split_index, use_mincut)
+    recompute_ops = _recompute_plan(parallel, split_index, cached, crossing)
+
+    shape_prefix, dynamic_sizes = _iteration_shape(parallel)
+    outer_builder = Builder.before_op(parallel)
+
+    # 1. allocate one cache buffer per cached value.
+    caches: Dict[int, Value] = {}
+    for value in cached:
+        cache_type = memref_type(shape_prefix, value.type, MemorySpace.GLOBAL)
+        cache = outer_builder.insert(memref_d.AllocOp(cache_type, list(dynamic_sizes)))
+        caches[id(value)] = cache.result
+
+    ivs = list(parallel.induction_vars)
+
+    # 2. store cached values just before the barrier in the first loop.
+    store_builder = Builder.before_op(barrier)
+    for value in cached:
+        store_builder.insert(memref_d.StoreOp(value, caches[id(value)], ivs))
+
+    # 3. build the second loop after the first.
+    second = scf.ParallelOp(list(parallel.lower_bounds), list(parallel.upper_bounds),
+                            list(parallel.steps), parallel_level=parallel.parallel_level,
+                            iv_names=[iv.name_hint for iv in ivs])
+    parallel.parent_block.insert_after(parallel, second)
+    second_builder = Builder.at_end(second.body)
+
+    value_map: Dict[Value, Value] = {
+        old_iv: new_iv for old_iv, new_iv in zip(ivs, second.induction_vars)
+    }
+    for value in cached:
+        load = second_builder.insert(memref_d.LoadOp(caches[id(value)],
+                                                     list(second.induction_vars)))
+        value_map[value] = load.result
+    for op in recompute_ops:
+        cloned = second_builder.insert(op.clone(dict(value_map)))
+        for old_result, new_result in zip(op.results, cloned.results):
+            value_map[old_result] = new_result
+
+    split_index = block.index_of(barrier)
+    terminator = block.terminator
+    after_ops = [op for op in block.operations[split_index + 1:] if op is not terminator]
+    for op in after_ops:
+        second_builder.insert(op.clone(value_map))
+    second_builder.insert(scf.YieldOp())
+
+    # 4. remove the barrier and the moved ops from the first loop.
+    for op in reversed(after_ops):
+        op.drop_ref()
+        block.remove(op)
+    barrier.erase()
+
+    # 5. free the cache buffers after the second loop.
+    dealloc_builder = Builder.after_op(second)
+    for value in cached:
+        dealloc_builder.insert(memref_d.DeallocOp(caches[id(value)]))
+
+    return parallel, second
+
+
+def first_splittable_barrier(parallel: scf.ParallelOp) -> Optional[polygeist.PolygeistBarrierOp]:
+    """The first barrier that is an immediate child of ``parallel``, if any."""
+    for op in parallel.body.operations:
+        if isinstance(op, polygeist.PolygeistBarrierOp):
+            return op
+    return None

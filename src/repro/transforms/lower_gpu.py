@@ -1,0 +1,122 @@
+"""GPU-to-parallel conversion: from ``gpu`` dialect to the Fig. 3 representation.
+
+``gpu.launch`` becomes
+
+* an ``scf.parallel`` over all blocks in the grid (``parallel_level="grid"``),
+* (shared memory allocas stay where the frontend placed them: inside the
+  grid loop, outside the thread loop — one buffer per block),
+* a nested ``scf.parallel`` over all threads in a block
+  (``parallel_level="block"``), and
+* ``gpu.barrier`` → ``polygeist.barrier`` over the thread loop's ivs.
+
+Host-side ``gpu.alloc`` / ``gpu.memcpy`` / ``gpu.dealloc`` become plain memref
+operations: once everything runs on the CPU, device memory *is* host memory,
+which is also what makes hoisting code out of kernels legal (§II-A).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..ir import Builder, Operation, Value
+from ..dialects import gpu as gpu_d, memref as memref_d, polygeist, scf
+from ..dialects.func import ModuleOp
+from .pass_manager import Pass
+
+
+def convert_launch_to_parallel(launch: gpu_d.LaunchOp) -> scf.ParallelOp:
+    """Rewrite one ``gpu.launch`` into the nested parallel representation."""
+    block = launch.parent_block
+    builder = Builder.before_op(launch)
+
+    from ..dialects import arith
+    zero = builder.insert(arith.ConstantOp(0, launch.grid_dims[0].type)).result
+    one = builder.insert(arith.ConstantOp(1, launch.grid_dims[0].type)).result
+
+    grid_loop = scf.ParallelOp([zero, zero, zero], list(launch.grid_dims), [one, one, one],
+                               parallel_level=scf.ParallelOp.LEVEL_GRID,
+                               iv_names=["bx", "by", "bz"])
+    builder.insert(grid_loop)
+    grid_builder = Builder.at_end(grid_loop.body)
+
+    block_loop = scf.ParallelOp([zero, zero, zero], list(launch.block_dims), [one, one, one],
+                                parallel_level=scf.ParallelOp.LEVEL_BLOCK,
+                                iv_names=["tx", "ty", "tz"])
+
+    # value map: launch body args -> grid/block ivs and dims.
+    value_map: Dict[Value, Value] = {}
+    for old, new in zip(launch.block_ids, grid_loop.induction_vars):
+        value_map[old] = new
+    for old, new in zip(launch.thread_ids, block_loop.induction_vars):
+        value_map[old] = new
+    for old, new in zip(launch.grid_dim_args, launch.grid_dims):
+        value_map[old] = new
+    for old, new in zip(launch.block_dim_args, launch.block_dims):
+        value_map[old] = new
+
+    # Shared-memory allocas move to the grid loop (one per block); everything
+    # else goes inside the thread loop.
+    body_ops = [op for op in launch.body.operations if op is not launch.body.terminator]
+    block_builder = Builder.at_end(block_loop.body)
+    for op in body_ops:
+        if isinstance(op, memref_d.AllocaOp) and memref_d.is_shared_memref(op.result):
+            cloned = grid_builder.insert(op.clone(value_map))
+        elif isinstance(op, gpu_d.BarrierOp):
+            block_builder.insert(polygeist.PolygeistBarrierOp(list(block_loop.induction_vars)))
+            continue
+        else:
+            cloned = block_builder.insert(op.clone(value_map))
+        for old_result, new_result in zip(op.results, cloned.results):
+            value_map[old_result] = new_result
+
+    # barriers nested deeper inside cloned control flow
+    for op in list(block_loop.walk()):
+        if isinstance(op, gpu_d.BarrierOp):
+            replacement = polygeist.PolygeistBarrierOp(list(block_loop.induction_vars))
+            op.parent_block.insert_before(op, replacement)
+            op.erase()
+
+    block_builder.insert(scf.YieldOp())
+    grid_builder.insert(block_loop)
+    grid_builder.insert(scf.YieldOp())
+
+    launch.drop_ref()
+    block.remove(launch)
+    return grid_loop
+
+
+def lower_host_memory_ops(module: ModuleOp) -> bool:
+    """gpu.alloc/memcpy/dealloc → memref.alloc/copy/dealloc."""
+    changed = False
+    for op in list(module.walk()):
+        if isinstance(op, gpu_d.GPUAllocOp):
+            replacement = memref_d.AllocOp(op.result.type, list(op.operands))
+            op.parent_block.insert_before(op, replacement)
+            op.result.replace_all_uses_with(replacement.result)
+            op.erase()
+            changed = True
+        elif isinstance(op, gpu_d.GPUMemcpyOp):
+            replacement = memref_d.CopyOp(op.source, op.destination)
+            op.parent_block.insert_before(op, replacement)
+            op.erase()
+            changed = True
+        elif isinstance(op, gpu_d.GPUDeallocOp):
+            replacement = memref_d.DeallocOp(op.memref)
+            op.parent_block.insert_before(op, replacement)
+            op.erase()
+            changed = True
+    return changed
+
+
+class LowerGPUPass(Pass):
+    """Convert every ``gpu.launch`` and host GPU memory op in the module."""
+
+    NAME = "lower-gpu"
+
+    def run(self, module: ModuleOp) -> bool:
+        changed = lower_host_memory_ops(module)
+        launches = [op for op in module.walk() if isinstance(op, gpu_d.LaunchOp)]
+        for launch in launches:
+            convert_launch_to_parallel(launch)
+            changed = True
+        return changed

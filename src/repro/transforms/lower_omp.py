@@ -1,0 +1,89 @@
+"""Lowering of ``scf.parallel`` to the OpenMP dialect (§IV-D).
+
+Each parallel loop becomes an ``omp.parallel`` region (thread team fork)
+containing an ``omp.wsloop`` (work-sharing of the iteration space).  Nested
+parallel loops become nested regions with an increasing ``nest_level`` so the
+cost model can charge nested-parallelism overhead.
+
+Parallel loops that still contain ``polygeist.barrier`` operations are left
+untouched: the work-sharing execution model cannot implement a block-wide
+barrier (§III-B), so such loops fall back to the SIMT-style interpreter path
+(and pay for it in the cost model), matching the paper's statement that
+barriers must be eliminated before the loop can be workshared.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..ir import Builder, Operation
+from ..dialects import omp as omp_d, scf
+from ..dialects.func import ModuleOp
+from ..analysis import contains_barrier
+from .pass_manager import Pass
+
+
+def _omp_nest_level(op: Operation) -> int:
+    level = 0
+    parent = op.parent_op
+    while parent is not None:
+        if isinstance(parent, omp_d.OmpParallelOp):
+            level += 1
+        parent = parent.parent_op
+    return level
+
+
+def lower_parallel_to_omp(parallel: scf.ParallelOp,
+                          num_threads: Optional[int] = None) -> omp_d.OmpParallelOp:
+    """Rewrite one barrier-free ``scf.parallel`` into omp.parallel+wsloop."""
+    if contains_barrier(parallel, immediate_region_only=True):
+        raise ValueError("cannot lower a parallel loop that still contains barriers to OpenMP")
+
+    region = omp_d.OmpParallelOp(num_threads=num_threads,
+                                 nest_level=_omp_nest_level(parallel))
+    parallel.parent_block.insert_before(parallel, region)
+    region_builder = Builder.at_end(region.body)
+    wsloop = omp_d.OmpWsLoopOp(list(parallel.lower_bounds), list(parallel.upper_bounds),
+                               list(parallel.steps),
+                               iv_names=[iv.name_hint for iv in parallel.induction_vars])
+    wsloop.set_attr("parallel_level", parallel.parallel_level)
+    wsloop.set_attr("collapsed", parallel.get_attr("collapsed", False))
+    region_builder.insert(wsloop)
+
+    value_map = {old: new for old, new in zip(parallel.induction_vars, wsloop.induction_vars)}
+    body_builder = Builder.at_end(wsloop.body)
+    terminator = parallel.body.terminator
+    for op in parallel.body.operations:
+        if op is terminator:
+            continue
+        body_builder.insert(op.clone(value_map))
+
+    parallel.drop_ref()
+    parallel.parent_block.remove(parallel)
+    return region
+
+
+def lower_module_to_omp(module: ModuleOp, num_threads: Optional[int] = None) -> bool:
+    """Lower every barrier-free parallel loop, outermost first."""
+    changed = False
+    while True:
+        candidates: List[scf.ParallelOp] = []
+        for op in module.walk():
+            if isinstance(op, scf.ParallelOp) and op.parent_block is not None:
+                if not contains_barrier(op, immediate_region_only=True):
+                    candidates.append(op)
+                    break  # outermost-first: restart the walk after each rewrite
+        if not candidates:
+            return changed
+        lower_parallel_to_omp(candidates[0], num_threads)
+        changed = True
+
+
+class LowerToOpenMPPass(Pass):
+    NAME = "lower-to-openmp"
+
+    def __init__(self, num_threads: Optional[int] = None) -> None:
+        self.num_threads = num_threads
+
+    def run(self, module: ModuleOp) -> bool:
+        return lower_module_to_omp(module, self.num_threads)

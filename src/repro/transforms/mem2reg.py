@@ -1,0 +1,157 @@
+"""Barrier-aware memory-to-register promotion (§IV-B).
+
+Two cooperating rewrites:
+
+* **store-to-load forwarding** — a load sees the value of the closest
+  preceding store to the same location when nothing in between may overwrite
+  it.  Barriers do *not* block the scan when the access address is an
+  injective function of the thread ids (the §III-A "hole"): the same thread
+  wrote the location, and no other thread can touch it.
+* **dead store elimination** — a store that is overwritten by a later store
+  to the same location before any potentially-aliasing read becomes dead.
+
+Together they turn the Fig. 9 shared-memory staging
+(``weights[ty][tx] = hidden[index]; __syncthreads(); ... = weights[ty][tx]``)
+into a plain register use, exactly as described in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..ir import Block, Operation, Value
+from ..dialects import memref as memref_d, polygeist
+from ..dialects.func import ModuleOp
+from ..analysis import (
+    access_equivalent,
+    access_is_injective_in,
+    accesses_conflict,
+    barrier_thread_ivs,
+    collect_accesses,
+    enclosing_parallel,
+    extract_access,
+    may_alias,
+    uniform_symbols_for,
+)
+from ..analysis.effects import MemoryAccess
+from ..ir import EffectKind
+from .pass_manager import Pass
+
+
+def _barrier_blocks_access(barrier: polygeist.PolygeistBarrierOp, base: Value,
+                           access) -> bool:
+    """Does this barrier order the given access against other threads?"""
+    from ..analysis.barriers import is_thread_private
+
+    parallel = enclosing_parallel(barrier)
+    if parallel is not None and is_thread_private(base, parallel):
+        return False
+    if access is None:
+        return True
+    thread_ivs = list(barrier_thread_ivs(barrier))
+    uniform = uniform_symbols_for(parallel) if parallel is not None else []
+    return not access_is_injective_in(access, thread_ivs, uniform)
+
+
+def _op_may_write(op: Operation, base: Value, access, module: Optional[ModuleOp]) -> bool:
+    """Conservatively: does ``op`` possibly write the location (base, access)?"""
+    target = MemoryAccess(op, EffectKind.READ, base, access)
+    for candidate in collect_accesses(op, module=module):
+        if candidate.is_read:
+            continue
+        if accesses_conflict(candidate, target):
+            return True
+    return False
+
+
+def _op_may_read(op: Operation, base: Value, access, module: Optional[ModuleOp]) -> bool:
+    target = MemoryAccess(op, EffectKind.WRITE, base, access)
+    for candidate in collect_accesses(op, module=module):
+        if not candidate.is_read:
+            continue
+        if accesses_conflict(candidate, target):
+            return True
+    return False
+
+
+def _forward_load(load: memref_d.LoadOp, module: Optional[ModuleOp]) -> bool:
+    block = load.parent_block
+    access = extract_access(load.indices)
+    for prior in reversed(block.ops_before(load)):
+        if isinstance(prior, memref_d.StoreOp) and prior.memref is load.memref:
+            prior_access = extract_access(prior.indices)
+            if (access is not None and prior_access is not None
+                    and access_equivalent(access, prior_access)):
+                load.result.replace_all_uses_with(prior.value)
+                load.erase()
+                return True
+            if _op_may_write(prior, load.memref, access, module):
+                return False
+            continue
+        if isinstance(prior, polygeist.PolygeistBarrierOp):
+            if _barrier_blocks_access(prior, load.memref, access):
+                return False
+            continue
+        if _op_may_write(prior, load.memref, access, module):
+            return False
+    return False
+
+
+def _store_is_dead(store: memref_d.StoreOp, module: Optional[ModuleOp]) -> bool:
+    block = store.parent_block
+    access = extract_access(store.indices)
+    if access is None:
+        return False
+    for later in block.ops_after(store):
+        if isinstance(later, memref_d.StoreOp) and later.memref is store.memref:
+            later_access = extract_access(later.indices)
+            if later_access is not None and access_equivalent(access, later_access):
+                return True
+            if _op_may_read(later, store.memref, access, module):
+                return False
+            continue
+        if isinstance(later, polygeist.PolygeistBarrierOp):
+            if _barrier_blocks_access(later, store.memref, access):
+                return False
+            continue
+        if _op_may_read(later, store.memref, access, module):
+            return False
+    # the value may still be read after the block (e.g. by the caller).
+    return False
+
+
+def promote_block(block: Block, module: Optional[ModuleOp]) -> bool:
+    changed = False
+    for op in list(block.operations):
+        if op.parent_block is None:
+            continue
+        if isinstance(op, memref_d.LoadOp):
+            changed |= _forward_load(op, module)
+    for op in list(block.operations):
+        if op.parent_block is None:
+            continue
+        if isinstance(op, memref_d.StoreOp) and _store_is_dead(op, module):
+            op.erase()
+            changed = True
+    return changed
+
+
+def promote_memory_to_registers(root: Operation, module: Optional[ModuleOp] = None) -> bool:
+    """Run forwarding + dead store elimination on every block under ``root``."""
+    changed = False
+    for op in list(root.walk()):
+        for region in op.regions:
+            for block in region.blocks:
+                changed |= promote_block(block, module)
+    return changed
+
+
+class Mem2RegPass(Pass):
+    NAME = "mem2reg"
+
+    def run(self, module: ModuleOp) -> bool:
+        changed = False
+        for fn in module.functions:
+            if not fn.is_declaration:
+                changed |= promote_memory_to_registers(fn, module)
+        return changed

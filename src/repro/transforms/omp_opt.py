@@ -1,0 +1,149 @@
+"""OpenMP-level optimizations (§IV-D, Figs. 10 and 11).
+
+* **Parallel region fusion** — two adjacent ``omp.parallel`` regions are
+  merged into one, separated by an ``omp.barrier``, so the thread team is
+  forked once instead of twice.  This deliberately does *not* fuse the
+  workshared loops, so it cannot undo the barrier lowering.
+* **Parallel region hoisting** — a serial ``scf.for`` whose body is a single
+  ``omp.parallel`` region is rewritten so the region surrounds the loop: the
+  team is created once rather than once per iteration, with an
+  ``omp.barrier`` at the end of each iteration preserving the original
+  synchronization.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir import Block, Builder, Operation
+from ..dialects import omp as omp_d, scf
+from ..dialects.func import ModuleOp
+from .pass_manager import Pass
+
+
+def _non_terminator_ops(block: Block) -> List[Operation]:
+    terminator = block.terminator
+    return [op for op in block.operations if op is not terminator]
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10: fusion of adjacent parallel regions
+# ---------------------------------------------------------------------------
+def fuse_adjacent_parallel_regions(block: Block) -> bool:
+    """Merge runs of consecutive ``omp.parallel`` ops in ``block``.
+
+    Pure operations sitting between two regions (typically loop-bound
+    constants) do not prevent fusion: they are moved in front of the first
+    region, then the regions are merged with an ``omp.barrier`` in between.
+    """
+    changed = False
+    index = 0
+    while index < len(block.operations) - 1:
+        first = block.operations[index]
+        if not isinstance(first, omp_d.OmpParallelOp):
+            index += 1
+            continue
+        # look ahead for the next parallel region, skipping over pure ops.
+        skipped: List[Operation] = []
+        second = None
+        for candidate in block.operations[index + 1:]:
+            if isinstance(candidate, omp_d.OmpParallelOp):
+                second = candidate
+                break
+            if candidate.is_pure() and not candidate.IS_TERMINATOR:
+                skipped.append(candidate)
+                continue
+            break
+        if (second is None or first.num_threads != second.num_threads
+                or first.nest_level != second.nest_level):
+            index += 1
+            continue
+        for op in skipped:
+            op.move_before(first)
+        first.body.append(omp_d.OmpBarrierOp())
+        for op in list(second.body.operations):
+            second.body.remove(op)
+            first.body.append(op)
+        second.drop_ref()
+        block.remove(second)
+        changed = True
+        index = block.index_of(first)  # try to fuse the next neighbour too
+    return changed
+
+
+def fuse_parallel_regions(module: ModuleOp) -> bool:
+    changed = False
+    for op in list(module.walk()):
+        for region in op.regions:
+            for block in region.blocks:
+                changed |= fuse_adjacent_parallel_regions(block)
+    return changed
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11: hoisting a parallel region out of a serial loop
+# ---------------------------------------------------------------------------
+def hoist_parallel_out_of_loop(loop: scf.ForOp) -> bool:
+    """``for { omp.parallel { X } }`` → ``omp.parallel { for { X; omp.barrier } }``.
+
+    Pure ops surrounding the region inside the loop body (index arithmetic,
+    constants) are kept inside the loop: re-executing them per thread is
+    side-effect free.
+    """
+    body_ops = _non_terminator_ops(loop.body)
+    regions_in_body = [op for op in body_ops if isinstance(op, omp_d.OmpParallelOp)]
+    if len(regions_in_body) != 1:
+        return False
+    if any(not op.is_pure() for op in body_ops if op not in regions_in_body):
+        return False
+    if loop.results or loop.iter_args:
+        return False
+    inner: omp_d.OmpParallelOp = regions_in_body[0]
+
+    region = omp_d.OmpParallelOp(num_threads=inner.num_threads, nest_level=inner.nest_level)
+    loop.parent_block.insert_before(loop, region)
+
+    new_loop = scf.ForOp(loop.lower_bound, loop.upper_bound, loop.step,
+                         iv_name=loop.induction_var.name_hint or "i")
+    region.body.append(new_loop)
+    value_map = {loop.induction_var: new_loop.induction_var}
+    loop_builder = Builder.at_end(new_loop.body)
+    for op in body_ops:
+        if op is inner:
+            for nested in _non_terminator_ops(inner.body):
+                loop_builder.insert(nested.clone(value_map))
+            continue
+        cloned = op.clone(value_map)
+        loop_builder.insert(cloned)
+        for old_result, new_result in zip(op.results, cloned.results):
+            value_map[old_result] = new_result
+    loop_builder.insert(omp_d.OmpBarrierOp())
+    loop_builder.insert(scf.YieldOp())
+
+    loop.drop_ref()
+    loop.parent_block.remove(loop)
+    return True
+
+
+def hoist_parallel_regions(module: ModuleOp) -> bool:
+    changed = False
+    for op in list(module.walk()):
+        if isinstance(op, scf.ForOp) and op.parent_block is not None:
+            changed |= hoist_parallel_out_of_loop(op)
+    return changed
+
+
+class OpenMPOptPass(Pass):
+    """Region fusion + hoisting until fixpoint."""
+
+    NAME = "openmp-opt"
+
+    def run(self, module: ModuleOp) -> bool:
+        changed_any = False
+        for _ in range(8):
+            changed = fuse_parallel_regions(module)
+            changed |= hoist_parallel_regions(module)
+            changed_any |= changed
+            if not changed:
+                break
+        return changed_any

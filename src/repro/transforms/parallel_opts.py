@@ -1,0 +1,163 @@
+"""Block-parallelism restructuring: collapse, inner serialization (§IV-D).
+
+* **collapse** — when a grid-level parallel loop's body is nothing but the
+  block-level parallel loop (no shared memory staging between them), the two
+  levels are merged into a single parallel loop over the combined iteration
+  space, so a single OpenMP parallel-for covers all of it.
+* **inner serialization** — when shared memory *is* used, the nested
+  block-level parallel loops would become nested OpenMP regions whose
+  overhead (and false sharing) usually outweighs the extra parallelism; the
+  "PolygeistInnerSer" configuration rewrites the inner parallel loops into
+  ordinary serial ``scf.for`` nests instead.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir import Builder, Operation, Value
+from ..dialects import memref as memref_d, scf
+from ..dialects.func import ModuleOp
+from ..analysis import contains_barrier
+from .pass_manager import Pass
+
+
+def _non_terminator_ops(block) -> List[Operation]:
+    terminator = block.terminator
+    return [op for op in block.operations if op is not terminator]
+
+
+# ---------------------------------------------------------------------------
+# collapse grid×block into a single parallel loop
+# ---------------------------------------------------------------------------
+def collapse_nested_parallel(outer: scf.ParallelOp) -> bool:
+    """Merge ``outer { inner { body } }`` into one parallel loop when legal.
+
+    Pure ops in the outer body (hoisted constants, index arithmetic) do not
+    block collapsing — they are replicated into the merged body.  Any
+    side-effecting op at the outer level (in particular a shared-memory
+    ``memref.alloca``, which must stay one-per-block) prevents the collapse,
+    matching §IV-D.
+    """
+    body_ops = _non_terminator_ops(outer.body)
+    inner_loops = [op for op in body_ops if isinstance(op, scf.ParallelOp)]
+    if len(inner_loops) != 1:
+        return False
+    inner: scf.ParallelOp = inner_loops[0]
+    preamble = [op for op in body_ops if op is not inner]
+    if any(not op.is_pure() or op.regions for op in preamble):
+        return False
+    if contains_barrier(inner, immediate_region_only=True):
+        return False
+    for bound in list(inner.lower_bounds) + list(inner.upper_bounds) + list(inner.steps):
+        if bound in outer.induction_vars or any(
+                bound in op.results for op in preamble):
+            return False
+
+    merged = scf.ParallelOp(
+        list(outer.lower_bounds) + list(inner.lower_bounds),
+        list(outer.upper_bounds) + list(inner.upper_bounds),
+        list(outer.steps) + list(inner.steps),
+        parallel_level=scf.ParallelOp.LEVEL_GRID,
+        iv_names=[iv.name_hint for iv in outer.induction_vars]
+        + [iv.name_hint for iv in inner.induction_vars],
+    )
+    merged.set_attr("collapsed", True)
+    outer.parent_block.insert_before(outer, merged)
+
+    num_outer = len(outer.induction_vars)
+    value_map = {old: new for old, new in zip(outer.induction_vars,
+                                              merged.induction_vars[:num_outer])}
+    value_map.update({old: new for old, new in zip(inner.induction_vars,
+                                                   merged.induction_vars[num_outer:])})
+    builder = Builder.at_end(merged.body)
+    for op in preamble:
+        if op.is_before_in_block(inner):
+            cloned = builder.insert(op.clone(value_map))
+            for old_result, new_result in zip(op.results, cloned.results):
+                value_map[old_result] = new_result
+    inner_terminator = inner.body.terminator
+    for op in inner.body.operations:
+        if op is inner_terminator:
+            continue
+        builder.insert(op.clone(value_map))
+    builder.insert(scf.YieldOp())
+
+    outer.drop_ref()
+    outer.parent_block.remove(outer)
+    return True
+
+
+def collapse_parallel_loops(module: ModuleOp) -> bool:
+    changed = False
+    candidates = [op for op in module.walk()
+                  if isinstance(op, scf.ParallelOp)
+                  and op.parallel_level == scf.ParallelOp.LEVEL_GRID]
+    for outer in candidates:
+        if outer.parent_block is not None:
+            changed |= collapse_nested_parallel(outer)
+    return changed
+
+
+# ---------------------------------------------------------------------------
+# serialize inner (block-level) parallel loops
+# ---------------------------------------------------------------------------
+def serialize_parallel(parallel: scf.ParallelOp) -> scf.ForOp:
+    """Rewrite a parallel loop into a serial ``scf.for`` nest (one per dim)."""
+    if contains_barrier(parallel, immediate_region_only=True):
+        raise ValueError("cannot serialize a parallel loop that still contains barriers")
+    builder = Builder.before_op(parallel)
+    loops: List[scf.ForOp] = []
+    for dim in range(parallel.num_dims):
+        loop = scf.ForOp(parallel.lower_bounds[dim], parallel.upper_bounds[dim],
+                         parallel.steps[dim],
+                         iv_name=parallel.induction_vars[dim].name_hint or f"s{dim}")
+        builder.insert(loop)
+        loops.append(loop)
+        builder = Builder.at_end(loop.body)
+
+    value_map = {old: loop.induction_var for old, loop in zip(parallel.induction_vars, loops)}
+    terminator = parallel.body.terminator
+    for op in parallel.body.operations:
+        if op is terminator:
+            continue
+        builder.insert(op.clone(value_map))
+    for loop in reversed(loops):
+        Builder.at_end(loop.body).insert(scf.YieldOp())
+
+    parallel.drop_ref()
+    parallel.parent_block.remove(parallel)
+    return loops[0]
+
+
+def serialize_inner_parallel_loops(module: ModuleOp) -> bool:
+    """Serialize every parallel loop nested inside another parallel loop."""
+    changed = False
+    inner_loops = []
+    for op in module.walk():
+        if isinstance(op, scf.ParallelOp):
+            parent = op.parent_op
+            while parent is not None:
+                if isinstance(parent, scf.ParallelOp):
+                    inner_loops.append(op)
+                    break
+                parent = parent.parent_op
+    for loop in inner_loops:
+        if loop.parent_block is not None and not contains_barrier(loop, immediate_region_only=True):
+            serialize_parallel(loop)
+            changed = True
+    return changed
+
+
+class CollapsePass(Pass):
+    NAME = "collapse-parallel"
+
+    def run(self, module: ModuleOp) -> bool:
+        return collapse_parallel_loops(module)
+
+
+class InnerSerializationPass(Pass):
+    NAME = "inner-serialize"
+
+    def run(self, module: ModuleOp) -> bool:
+        return serialize_inner_parallel_loops(module)

@@ -1,0 +1,124 @@
+"""Tests for affine access extraction and alias analysis."""
+
+import pytest
+
+from repro.ir import Block, Builder, F32, I32, INDEX, memref
+from repro.dialects import arith, memref as memref_d
+from repro.analysis import (
+    AliasResult,
+    access_equivalent,
+    access_is_injective_in,
+    alias,
+    extract_access,
+    extract_affine,
+    may_alias,
+)
+
+from tests.helpers import build_function, build_parallel
+
+
+class TestAffineExtraction:
+    def _block_builder(self):
+        block = Block([INDEX, INDEX], ["tid", "j"])
+        return block, Builder.at_end(block), block.arguments[0], block.arguments[1]
+
+    def test_symbol(self):
+        _, _, tid, _ = self._block_builder()
+        expr = extract_affine(tid)
+        assert expr.coefficient_of(tid) == 1
+        assert expr.constant == 0
+
+    def test_constant(self):
+        _, builder, _, _ = self._block_builder()
+        c = builder.insert(arith.ConstantOp(7, INDEX))
+        expr = extract_affine(c.result)
+        assert expr.is_constant and expr.constant == 7
+
+    def test_linear_combination(self):
+        _, builder, tid, j = self._block_builder()
+        c4 = builder.insert(arith.ConstantOp(4, INDEX))
+        scaled = builder.insert(arith.MulIOp(j, c4.result))
+        total = builder.insert(arith.AddIOp(tid, scaled.result))
+        expr = extract_affine(total.result)
+        assert expr.coefficient_of(tid) == 1
+        assert expr.coefficient_of(j) == 4
+
+    def test_subtraction_and_constant_fold(self):
+        _, builder, tid, _ = self._block_builder()
+        c1 = builder.insert(arith.ConstantOp(1, INDEX))
+        expr = extract_affine(builder.insert(arith.SubIOp(tid, c1.result)).result)
+        assert expr.coefficient_of(tid) == 1
+        assert expr.constant == -1
+
+    def test_cancelled_symbol_disappears(self):
+        _, builder, tid, _ = self._block_builder()
+        diff = builder.insert(arith.SubIOp(tid, tid))
+        expr = extract_affine(diff.result)
+        assert expr.is_constant and expr.constant == 0
+
+    def test_non_affine_through_load_is_opaque_symbol(self):
+        _, builder, tid, _ = self._block_builder()
+        buf = builder.insert(memref_d.AllocOp(memref((8,), INDEX)))
+        load = builder.insert(memref_d.LoadOp(buf.result, [tid]))
+        expr = extract_affine(load.result)
+        # the load result is an opaque symbol, not decomposed further
+        assert expr.coefficient_of(load.result) == 1
+
+    def test_float_constant_not_affine(self):
+        _, builder, _, _ = self._block_builder()
+        c = builder.insert(arith.ConstantOp(1.5, F32))
+        assert extract_affine(c.result) is None
+
+    def test_access_equivalence(self):
+        _, builder, tid, j = self._block_builder()
+        access_a = extract_access([tid, j])
+        access_b = extract_access([tid, j])
+        access_c = extract_access([j, tid])
+        assert access_equivalent(access_a, access_b)
+        assert not access_equivalent(access_a, access_c)
+
+    def test_injectivity_in_thread_iv(self):
+        _, builder, tid, j = self._block_builder()
+        access = extract_access([tid])
+        assert access_is_injective_in(access, [tid])
+        # offset by a uniform symbol is still injective
+        shifted = extract_access([builder.insert(arith.AddIOp(tid, j)).result])
+        assert access_is_injective_in(shifted, [tid], uniform_symbols=[j])
+        # but not if the other symbol may vary per thread
+        assert not access_is_injective_in(shifted, [tid])
+        # an access not using the tid at all is not injective in it
+        assert not access_is_injective_in(extract_access([j]), [tid], uniform_symbols=[j])
+
+
+class TestAlias:
+    def test_same_value_must_alias(self):
+        block = Block()
+        builder = Builder.at_end(block)
+        buf = builder.insert(memref_d.AllocOp(memref((4,), F32)))
+        assert alias(buf.result, buf.result) is AliasResult.MUST
+
+    def test_distinct_allocations_no_alias(self):
+        block = Block()
+        builder = Builder.at_end(block)
+        a = builder.insert(memref_d.AllocOp(memref((4,), F32)))
+        b = builder.insert(memref_d.AllocaOp(memref((4,), F32)))
+        assert alias(a.result, b.result) is AliasResult.NO
+
+    def test_alloc_vs_argument_no_alias(self):
+        module, fn, builder = build_function("f", [memref((4,), F32)], ["arg"])
+        local = builder.insert(memref_d.AllocOp(memref((4,), F32)))
+        assert not may_alias(local.result, fn.arguments[0])
+
+    def test_arguments_noalias_attribute(self):
+        module, fn, _ = build_function("f", [memref((4,), F32), memref((4,), F32)],
+                                       ["a", "b"], noalias=True)
+        assert alias(fn.arguments[0], fn.arguments[1]) is AliasResult.NO
+
+    def test_arguments_may_alias_without_attribute(self):
+        module, fn, _ = build_function("f", [memref((4,), F32), memref((4,), F32)],
+                                       ["a", "b"], noalias=False)
+        assert alias(fn.arguments[0], fn.arguments[1]) is AliasResult.MAY
+
+    def test_non_memref_values_do_not_alias(self):
+        block = Block([I32, I32])
+        assert alias(block.arguments[0], block.arguments[1]) is AliasResult.NO

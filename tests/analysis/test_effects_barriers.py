@@ -1,0 +1,241 @@
+"""Tests for memory-effect collection, conflicts, and barrier semantics."""
+
+import pytest
+
+from repro.ir import Builder, EffectKind, F32, FunctionType, I32, INDEX, memref
+from repro.dialects import arith, func, memref as memref_d, polygeist, scf
+from repro.analysis import (
+    accesses_conflict,
+    any_conflict,
+    barrier_is_redundant,
+    barrier_memory_effects,
+    collect_accesses,
+    function_is_read_only,
+    op_is_speculatable,
+)
+
+from tests.helpers import (
+    alloc_shared,
+    build_function,
+    build_parallel,
+    close_parallel,
+    const_index,
+    finish_function,
+    insert_barrier,
+)
+
+
+class TestCollectAccesses:
+    def test_load_store(self):
+        module, fn, builder = build_function("f", [memref((8,), F32)], ["a"])
+        zero = const_index(builder, 0)
+        load = builder.insert(memref_d.LoadOp(fn.arguments[0], [zero]))
+        builder.insert(memref_d.StoreOp(load.result, fn.arguments[0], [zero]))
+        finish_function(builder)
+        accesses = collect_accesses(fn, module=module)
+        kinds = sorted(access.kind.value for access in accesses)
+        assert kinds == ["read", "write"]
+        assert all(access.base is fn.arguments[0] for access in accesses)
+
+    def test_call_summarized_through_callee(self):
+        module = func.ModuleOp()
+        callee = func.FuncOp("reader", FunctionType((memref((8,), F32),), ()), arg_names=["p"])
+        module.add_function(callee)
+        callee_builder = Builder.at_end(callee.body_block)
+        zero = callee_builder.insert(arith.ConstantOp(0, INDEX))
+        callee_builder.insert(memref_d.LoadOp(callee.arguments[0], [zero.result]))
+        callee_builder.insert(func.ReturnOp())
+
+        caller = func.FuncOp("caller", FunctionType((memref((8,), F32),), ()), arg_names=["q"])
+        module.add_function(caller)
+        caller_builder = Builder.at_end(caller.body_block)
+        caller_builder.insert(func.CallOp("reader", [caller.arguments[0]]))
+        caller_builder.insert(func.ReturnOp())
+
+        accesses = collect_accesses(caller, module=module)
+        assert len(accesses) == 1
+        assert accesses[0].kind is EffectKind.READ
+        assert accesses[0].base is caller.arguments[0]
+
+    def test_call_to_unknown_function_is_conservative(self):
+        module, fn, builder = build_function("f", [memref((8,), F32)], ["a"])
+        builder.insert(func.CallOp("extern_fn", [fn.arguments[0]]))
+        finish_function(builder)
+        accesses = collect_accesses(fn, module=module)
+        assert any(access.base is None and access.is_write for access in accesses)
+
+    def test_function_read_only_summary(self):
+        module = func.ModuleOp()
+        reader = func.FuncOp("sum", FunctionType((memref((8,), F32),), (F32,)), arg_names=["data"])
+        module.add_function(reader)
+        b = Builder.at_end(reader.body_block)
+        zero = b.insert(arith.ConstantOp(0, INDEX))
+        val = b.insert(memref_d.LoadOp(reader.arguments[0], [zero.result]))
+        b.insert(func.ReturnOp([val.result]))
+        assert function_is_read_only(reader, module)
+
+        writer = func.FuncOp("scale", FunctionType((memref((8,), F32),), ()), arg_names=["data"])
+        module.add_function(writer)
+        wb = Builder.at_end(writer.body_block)
+        zero2 = wb.insert(arith.ConstantOp(0, INDEX))
+        c = wb.insert(arith.ConstantOp(2.0, F32))
+        wb.insert(memref_d.StoreOp(c.result, writer.arguments[0], [zero2.result]))
+        wb.insert(func.ReturnOp())
+        assert not function_is_read_only(writer, module)
+
+    def test_speculatable(self):
+        module = func.ModuleOp()
+        reader = func.FuncOp("sum", FunctionType((memref((8,), F32),), (F32,)), arg_names=["data"])
+        module.add_function(reader)
+        b = Builder.at_end(reader.body_block)
+        zero = b.insert(arith.ConstantOp(0, INDEX))
+        val = b.insert(memref_d.LoadOp(reader.arguments[0], [zero.result]))
+        b.insert(func.ReturnOp([val.result]))
+
+        caller = func.FuncOp("caller", FunctionType((memref((8,), F32),), ()), arg_names=["q"])
+        module.add_function(caller)
+        cb = Builder.at_end(caller.body_block)
+        call = cb.insert(func.CallOp("sum", [caller.arguments[0]], [F32]))
+        cb.insert(func.ReturnOp())
+        assert op_is_speculatable(call, module)
+        add = arith.AddIOp(zero.result, zero.result)
+        assert op_is_speculatable(add, module)
+        load = memref_d.LoadOp(caller.arguments[0], [zero.result])
+        assert not op_is_speculatable(load, module)
+
+
+class TestConflicts:
+    def test_rar_never_conflicts(self):
+        module, fn, builder = build_function("f", [memref((8,), F32)], ["a"])
+        zero = const_index(builder, 0)
+        l1 = builder.insert(memref_d.LoadOp(fn.arguments[0], [zero]))
+        l2 = builder.insert(memref_d.LoadOp(fn.arguments[0], [zero]))
+        finish_function(builder)
+        a1 = collect_accesses(l1)[0]
+        a2 = collect_accesses(l2)[0]
+        assert not accesses_conflict(a1, a2)
+
+    def test_write_write_same_base_conflicts(self):
+        module, fn, builder = build_function("f", [memref((8,), F32)], ["a"])
+        zero = const_index(builder, 0)
+        c = builder.insert(arith.ConstantOp(1.0, F32))
+        s1 = builder.insert(memref_d.StoreOp(c.result, fn.arguments[0], [zero]))
+        s2 = builder.insert(memref_d.StoreOp(c.result, fn.arguments[0], [zero]))
+        finish_function(builder)
+        assert accesses_conflict(collect_accesses(s1)[0], collect_accesses(s2)[0])
+
+    def test_noalias_args_do_not_conflict(self):
+        module, fn, builder = build_function(
+            "f", [memref((8,), F32), memref((8,), F32)], ["a", "b"], noalias=True)
+        zero = const_index(builder, 0)
+        c = builder.insert(arith.ConstantOp(1.0, F32))
+        s = builder.insert(memref_d.StoreOp(c.result, fn.arguments[0], [zero]))
+        l = builder.insert(memref_d.LoadOp(fn.arguments[1], [zero]))
+        finish_function(builder)
+        assert not accesses_conflict(collect_accesses(s)[0], collect_accesses(l)[0])
+
+    def test_cross_thread_refinement(self):
+        """A[tid] write vs A[tid] read: no cross-thread conflict; A[tid+1] does."""
+        module, fn, builder = build_function("f", [memref((64,), F32)], ["a"])
+        loop, inner = build_parallel(builder, 64)
+        tid = loop.induction_vars[0]
+        c = inner.insert(arith.ConstantOp(1.0, F32))
+        store_same = inner.insert(memref_d.StoreOp(c.result, fn.arguments[0], [tid]))
+        load_same = inner.insert(memref_d.LoadOp(fn.arguments[0], [tid]))
+        one = inner.insert(arith.ConstantOp(1, INDEX))
+        shifted = inner.insert(arith.AddIOp(tid, one.result))
+        load_shifted = inner.insert(memref_d.LoadOp(fn.arguments[0], [shifted.result]))
+        close_parallel(inner)
+        finish_function(builder)
+
+        write = collect_accesses(store_same)[0]
+        read_same = collect_accesses(load_same)[0]
+        read_shifted = collect_accesses(load_shifted)[0]
+        assert not accesses_conflict(write, read_same, cross_thread_only=True, thread_ivs=[tid])
+        assert accesses_conflict(write, read_shifted, cross_thread_only=True, thread_ivs=[tid])
+        # without the refinement both conflict
+        assert accesses_conflict(write, read_same)
+
+
+class TestBarrierSemantics:
+    def _kernel_fig9_like(self):
+        """A simplified bpnn_layerforward: the first barrier is redundant."""
+        module, fn, builder = build_function(
+            "bpnn", [memref((256,), F32), memref((256,), F32), memref((256,), F32)],
+            ["input", "hidden", "output"], noalias=True)
+        # shared memory lives at the grid (block) level, outside the thread loop
+        node = alloc_shared(builder, (16,))
+        weights = alloc_shared(builder, (16,))
+        loop, inner = build_parallel(builder, 16)
+        tid = loop.induction_vars[0]
+
+        # node[tid] = input[tid]
+        val = inner.insert(memref_d.LoadOp(fn.arguments[0], [tid]))
+        inner.insert(memref_d.StoreOp(val.result, node, [tid]))
+        first_barrier = insert_barrier(inner, [tid])
+        # weights[tid] = hidden[tid]
+        hidden_val = inner.insert(memref_d.LoadOp(fn.arguments[1], [tid]))
+        inner.insert(memref_d.StoreOp(hidden_val.result, weights, [tid]))
+        second_barrier = insert_barrier(inner, [tid])
+        # output[tid] = weights[0] + weights[tid]: weights[0] was written by a
+        # *different* thread after the first barrier, so the second barrier
+        # carries a real cross-thread dependence (like the reduction in Fig. 9).
+        zero = const_index(inner, 0)
+        w0 = inner.insert(memref_d.LoadOp(weights, [zero]))
+        w = inner.insert(memref_d.LoadOp(weights, [tid]))
+        summed = inner.insert(arith.AddFOp(w0.result, w.result))
+        inner.insert(memref_d.StoreOp(summed.result, fn.arguments[2], [tid]))
+        close_parallel(inner)
+        finish_function(builder)
+        return module, first_barrier, second_barrier
+
+    def test_first_barrier_redundant(self):
+        module, first, second = self._kernel_fig9_like()
+        assert barrier_is_redundant(first, module=module)
+
+    def test_second_barrier_not_redundant(self):
+        # weights[] written per-thread before, weights[0] read by every thread
+        # after: a genuine cross-thread dependence, so the barrier must stay.
+        module, first, second = self._kernel_fig9_like()
+        assert not barrier_is_redundant(second, module=module)
+
+    def test_barrier_with_no_effects_removable(self):
+        module, fn, builder = build_function("empty", [memref((8,), F32)], ["a"])
+        loop, inner = build_parallel(builder, 8)
+        barrier = insert_barrier(inner, [loop.induction_vars[0]])
+        close_parallel(inner)
+        finish_function(builder)
+        assert barrier_is_redundant(barrier, module=module)
+
+    def test_barrier_effects_cover_both_sides(self):
+        module, fn, builder = build_function("k", [memref((8,), F32), memref((8,), F32)],
+                                             ["a", "b"], noalias=True)
+        loop, inner = build_parallel(builder, 8)
+        tid = loop.induction_vars[0]
+        c = inner.insert(arith.ConstantOp(2.0, F32))
+        inner.insert(memref_d.StoreOp(c.result, fn.arguments[0], [tid]))
+        barrier = insert_barrier(inner, [tid])
+        inner.insert(memref_d.LoadOp(fn.arguments[1], [tid]))
+        close_parallel(inner)
+        finish_function(builder)
+        effects = barrier_memory_effects(barrier, module=module)
+        bases = {access.base for access in effects}
+        assert fn.arguments[0] in bases and fn.arguments[1] in bases
+
+    def test_shared_reduction_barrier_kept(self):
+        """A[tid] += A[tid + 2^j] pattern: barrier is required."""
+        module, fn, builder = build_function("reduce", [memref((64,), F32)], ["a"])
+        shared = alloc_shared(builder, (64,))
+        loop, inner = build_parallel(builder, 64)
+        tid = loop.induction_vars[0]
+        offset = const_index(inner, 32)
+        other = inner.insert(arith.AddIOp(tid, offset))
+        load_other = inner.insert(memref_d.LoadOp(shared, [other.result]))
+        load_self = inner.insert(memref_d.LoadOp(shared, [tid]))
+        total = inner.insert(arith.AddFOp(load_other.result, load_self.result))
+        inner.insert(memref_d.StoreOp(total.result, shared, [tid]))
+        barrier = insert_barrier(inner, [tid])
+        inner.insert(memref_d.LoadOp(shared, [other.result]))
+        close_parallel(inner)
+        finish_function(builder)
+        assert not barrier_is_redundant(barrier, module=module)

@@ -1,0 +1,135 @@
+"""Tests for the min-cut cache selection and liveness utilities."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import Builder, F32, INDEX, memref
+from repro.dialects import arith, memref as memref_d, scf
+from repro.analysis import (
+    FlowNetwork,
+    crossing_values,
+    def_use_edges_among,
+    minimum_value_cut,
+    validate_cut,
+    values_defined_before,
+)
+
+from tests.helpers import build_function, build_parallel, close_parallel, finish_function
+
+
+class TestFlowNetwork:
+    def test_simple_max_flow(self):
+        network = FlowNetwork()
+        network.add_edge("s", "a", 3)
+        network.add_edge("a", "t", 2)
+        network.add_edge("s", "b", 2)
+        network.add_edge("b", "t", 3)
+        flow, _ = network.max_flow("s", "t")
+        assert flow == 4
+
+    def test_bottleneck(self):
+        network = FlowNetwork()
+        network.add_edge("s", "a", 10)
+        network.add_edge("a", "b", 1)
+        network.add_edge("b", "t", 10)
+        flow, _ = network.max_flow("s", "t")
+        assert flow == 1
+
+    def test_min_cut_reachable_side(self):
+        network = FlowNetwork()
+        network.add_edge("s", "a", 1)
+        network.add_edge("a", "t", 5)
+        reachable = network.min_cut_reachable("s", "t")
+        assert "s" in reachable and "t" not in reachable
+
+
+class TestMinimumValueCut:
+    def test_fig6_example(self):
+        """Paper Fig. 6: caching {x, y} (2 values) beats caching {a, b, c} (3)."""
+        values = ["x", "y", "a", "b", "c"]
+        edges = [("x", "a"), ("x", "c"), ("y", "b"), ("y", "c")]
+        non_recomputable = ["x", "y"]          # loads
+        required = ["a", "b", "c"]             # used after the barrier
+        cut = minimum_value_cut(values, edges, non_recomputable, required)
+        assert cut == {"x", "y"}
+        assert validate_cut(cut, edges, non_recomputable, required)
+
+    def test_direct_requirement_of_load(self):
+        values = ["x"]
+        cut = minimum_value_cut(values, [], ["x"], ["x"])
+        assert cut == {"x"}
+
+    def test_recomputable_chain_needs_no_cache(self):
+        # a = f(arg); b = g(a); both pure and arg is free: nothing to cache.
+        values = ["a", "b"]
+        edges = [("a", "b")]
+        cut = minimum_value_cut(values, edges, [], ["b"])
+        assert cut == set()
+        assert validate_cut(cut, edges, [], ["b"])
+
+    def test_weighted_cut_prefers_cheaper_value(self):
+        # y is expensive to cache (a whole vector); prefer caching x twice.
+        values = ["x", "y"]
+        edges = [("x", "y")]
+        cut = minimum_value_cut(values, edges, ["x"], ["y"], weights={"x": 1.0, "y": 10.0})
+        assert cut == {"x"}
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_random_dags_produce_valid_cuts(self, data):
+        """Property: the cut always makes every required value available and is
+        never larger than the trivial cut (cache every required value)."""
+        num_values = data.draw(st.integers(min_value=1, max_value=12))
+        values = list(range(num_values))
+        edges = []
+        for consumer in range(num_values):
+            producers = data.draw(st.lists(
+                st.integers(min_value=0, max_value=max(0, consumer - 1)),
+                max_size=3, unique=True)) if consumer > 0 else []
+            edges.extend((producer, consumer) for producer in producers)
+        non_recomputable = data.draw(st.lists(st.sampled_from(values), max_size=num_values,
+                                              unique=True))
+        required = data.draw(st.lists(st.sampled_from(values), min_size=1,
+                                      max_size=num_values, unique=True))
+        cut = minimum_value_cut(values, edges, non_recomputable, required)
+        assert validate_cut(cut, edges, non_recomputable, required)
+        assert len(cut) <= len(required)
+
+
+class TestLiveness:
+    def test_crossing_values(self):
+        module, fn, builder = build_function("f", [memref((16,), F32)], ["a"])
+        loop, inner = build_parallel(builder, 16)
+        tid = loop.induction_vars[0]
+        x = inner.insert(memref_d.LoadOp(fn.arguments[0], [tid]))
+        doubled = inner.insert(arith.AddFOp(x.result, x.result))
+        unused = inner.insert(arith.ConstantOp(5.0, F32))
+        split = len(loop.body.operations)  # split here: following ops are "after"
+        inner.insert(memref_d.StoreOp(doubled.result, fn.arguments[0], [tid]))
+        close_parallel(inner)
+        finish_function(builder)
+
+        crossing = crossing_values(loop.body, split)
+        assert doubled.result in crossing
+        assert tid in crossing          # used by the store's index
+        assert unused.result not in crossing
+        assert x.result not in crossing  # only used before the split
+
+    def test_def_use_edges(self):
+        module, fn, builder = build_function("f", [memref((16,), F32)], ["a"])
+        loop, inner = build_parallel(builder, 16)
+        tid = loop.induction_vars[0]
+        x = inner.insert(memref_d.LoadOp(fn.arguments[0], [tid]))
+        y = inner.insert(arith.AddFOp(x.result, x.result))
+        close_parallel(inner)
+        finish_function(builder)
+        values = [x.result, y.result]
+        edges = def_use_edges_among(values)
+        assert (id(x.result), id(y.result)) in edges
+
+    def test_values_defined_before_includes_block_args(self):
+        module, fn, builder = build_function("f", [memref((16,), F32)], ["a"])
+        loop, inner = build_parallel(builder, 16)
+        close_parallel(inner)
+        finish_function(builder)
+        assert loop.induction_vars[0] in values_defined_before(loop.body, 0)

@@ -1,0 +1,208 @@
+"""Frontend tests: lexer, parser, codegen and end-to-end compile+execute."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import CodegenError, ParseError, compile_cuda, parse, tokenize
+from repro.frontend import cast as ast
+from repro.dialects import gpu as gpu_d, omp as omp_d, polygeist, scf
+from repro.runtime import Interpreter
+from repro.transforms import PipelineOptions
+from repro.ir import verify
+
+
+NORMALIZE_SOURCE = """
+__device__ float sum(float* data, int n) {
+    float total = 0.0f;
+    for (int i = 0; i < n; i += 1) {
+        total += data[i];
+    }
+    return total;
+}
+
+__global__ void normalize(float* out, float* in, int n) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    float val = sum(in, n);
+    if (tid < n) {
+        out[tid] = in[tid] / val;
+    }
+}
+
+void launch(float* d_out, float* d_in, int n) {
+    normalize<<<(n + 31) / 32, 32>>>(d_out, d_in, n);
+}
+"""
+
+REDUCTION_SOURCE = """
+__global__ void block_sum(float* data, float* out, int n) {
+    __shared__ float buffer[32];
+    int tid = threadIdx.x;
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    buffer[tid] = data[gid];
+    __syncthreads();
+    for (int s = 16; s > 0; s = s / 2) {
+        if (tid < s) {
+            buffer[tid] += buffer[tid + s];
+        }
+        __syncthreads();
+    }
+    if (tid == 0) {
+        out[blockIdx.x] = buffer[0];
+    }
+}
+
+void host(float* data, float* out, int n) {
+    block_sum<<<n / 32, 32>>>(data, out, n);
+}
+"""
+
+OPENMP_SOURCE = """
+void scale(float* data, int n, float factor) {
+    #pragma omp parallel for
+    for (int i = 0; i < n; i += 1) {
+        data[i] = data[i] * factor;
+    }
+}
+"""
+
+
+class TestLexer:
+    def test_tokens(self):
+        tokens = tokenize("__global__ void f(float* x) { x[0] = 1.5f; }")
+        kinds = [token.kind for token in tokens]
+        assert "keyword" in kinds and "ident" in kinds and "float" in kinds
+        assert tokens[-1].kind == "eof"
+
+    def test_launch_chevrons(self):
+        tokens = tokenize("k<<<grid, 32>>>(a);")
+        texts = [token.text for token in tokens]
+        assert "<<<" in texts and ">>>" in texts
+
+    def test_comments_and_includes_skipped(self):
+        tokens = tokenize("#include <stdio.h>\n// comment\n/* block */ int x;")
+        texts = [token.text for token in tokens if token.kind != "eof"]
+        assert texts == ["int", "x", ";"]
+
+    def test_pragma_token(self):
+        tokens = tokenize("#pragma omp parallel for\nfor(;;){}")
+        assert tokens[0].kind == "pragma"
+        assert "omp" in tokens[0].text
+
+
+class TestParser:
+    def test_parse_normalize(self):
+        program = parse(NORMALIZE_SOURCE)
+        assert len(program.functions) == 3
+        kernel = program.find("normalize")
+        assert kernel.is_kernel
+        device = program.find("sum")
+        assert device.is_device
+        host = program.find("launch")
+        assert any(isinstance(statement, ast.LaunchStmt) for statement in host.body.statements)
+
+    def test_parse_shared_and_sync(self):
+        program = parse(REDUCTION_SOURCE)
+        kernel = program.find("block_sum")
+        declarations = [s for s in kernel.body.statements if isinstance(s, ast.DeclStmt)]
+        assert any(decl.shared and decl.array_dims == [32] for decl in declarations)
+
+    def test_parse_omp_pragma(self):
+        program = parse(OPENMP_SOURCE)
+        loop = program.find("scale").body.statements[0]
+        assert isinstance(loop, ast.ForStmt) and loop.omp_parallel
+
+    def test_parse_error_reported(self):
+        with pytest.raises(ParseError):
+            parse("void f( { }")
+
+    def test_expression_precedence(self):
+        program = parse("int f(int a, int b) { return a + b * 2; }")
+        ret = program.find("f").body.statements[0]
+        assert isinstance(ret.value, ast.BinOp) and ret.value.op == "+"
+        assert isinstance(ret.value.rhs, ast.BinOp) and ret.value.rhs.op == "*"
+
+
+class TestCodegen:
+    def test_normalize_module_structure(self):
+        module = compile_cuda(NORMALIZE_SOURCE)
+        verify(module)
+        assert module.lookup("launch") is not None
+        assert module.lookup("sum") is not None
+        launches = [op for op in module.walk() if isinstance(op, gpu_d.LaunchOp)]
+        assert len(launches) == 1
+        assert launches[0].kernel_name == "normalize"
+
+    def test_syncthreads_becomes_gpu_barrier(self):
+        module = compile_cuda(REDUCTION_SOURCE)
+        assert any(isinstance(op, gpu_d.BarrierOp) for op in module.walk())
+
+    def test_omp_pragma_becomes_parallel_loop(self):
+        module = compile_cuda(OPENMP_SOURCE)
+        assert any(isinstance(op, scf.ParallelOp) for op in module.walk())
+
+    def test_error_on_unknown_kernel(self):
+        with pytest.raises(CodegenError):
+            compile_cuda("void f() { missing<<<1, 1>>>(); }")
+
+    def test_error_on_syncthreads_outside_kernel(self):
+        with pytest.raises(CodegenError):
+            compile_cuda("void f() { __syncthreads(); }")
+
+
+class TestEndToEnd:
+    def test_normalize_oracle_vs_cpuified(self):
+        rng = np.random.default_rng(1)
+        data = rng.random(64).astype(np.float32) + 0.5
+        expected = data / data.sum()
+
+        oracle_module = compile_cuda(NORMALIZE_SOURCE)
+        oracle_out = np.zeros(64, dtype=np.float32)
+        Interpreter(oracle_module).run("launch", [oracle_out, data.copy(), 64])
+        assert np.allclose(oracle_out, expected, rtol=1e-4)
+
+        cpu_module = compile_cuda(NORMALIZE_SOURCE, cuda_lower=True)
+        cpu_out = np.zeros(64, dtype=np.float32)
+        Interpreter(cpu_module).run("launch", [cpu_out, data.copy(), 64])
+        assert np.allclose(cpu_out, expected, rtol=1e-4)
+
+    def test_normalize_parallel_licm_hoists_sum(self):
+        """The Fig. 1 motivation: after cpuify the sum() work runs once, not once
+        per thread, so the dynamic op count drops by an order of magnitude."""
+        data = np.ones(64, dtype=np.float32)
+
+        unoptimized = compile_cuda(NORMALIZE_SOURCE, cuda_lower=True,
+                                   options=PipelineOptions.opt_disabled())
+        out_a = np.zeros(64, dtype=np.float32)
+        interp_a = Interpreter(unoptimized)
+        interp_a.run("launch", [out_a, data.copy(), 64])
+
+        optimized = compile_cuda(NORMALIZE_SOURCE, cuda_lower=True)
+        out_b = np.zeros(64, dtype=np.float32)
+        interp_b = Interpreter(optimized)
+        interp_b.run("launch", [out_b, data.copy(), 64])
+
+        assert np.allclose(out_a, out_b, rtol=1e-5)
+        assert interp_b.report.dynamic_ops * 5 < interp_a.report.dynamic_ops
+
+    @pytest.mark.parametrize("flags", ["mincut,openmpopt,affine,innerser", "mincut", ""])
+    def test_reduction_kernel_matches_numpy(self, flags):
+        rng = np.random.default_rng(2)
+        data = rng.standard_normal(128).astype(np.float32)
+        expected = data.reshape(4, 32).sum(axis=1)
+
+        module = compile_cuda(REDUCTION_SOURCE, cuda_lower=True,
+                              cpuify_options=flags if flags else None,
+                              options=None if flags else PipelineOptions.opt_disabled())
+        out = np.zeros(4, dtype=np.float32)
+        Interpreter(module).run("host", [data.copy(), out, 128])
+        assert np.allclose(out, expected, rtol=1e-4)
+        # after lowering no GPU barrier survives
+        assert not any(isinstance(op, (gpu_d.BarrierOp, polygeist.PolygeistBarrierOp))
+                       for op in module.walk())
+
+    def test_openmp_reference_runs(self):
+        module = compile_cuda(OPENMP_SOURCE, cuda_lower=True)
+        data = np.arange(16, dtype=np.float32)
+        Interpreter(module).run("scale", [data, 16, 3.0])
+        assert np.allclose(data, np.arange(16) * 3.0)
+        assert any(isinstance(op, omp_d.OmpParallelOp) for op in module.walk())

@@ -1,0 +1,55 @@
+"""Shared helpers for building test IR fragments."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.ir import Builder, F32, FunctionType, INDEX, MemorySpace, Type, memref
+from repro.dialects import arith, func, memref as memref_d, polygeist, scf
+
+
+def build_function(name: str, arg_types: Sequence[Type], arg_names: Sequence[str] = (),
+                   noalias: bool = True) -> Tuple[func.ModuleOp, func.FuncOp, Builder]:
+    """Create a module with one empty function and a builder at its end."""
+    module = func.ModuleOp()
+    fn = func.FuncOp(name, FunctionType(tuple(arg_types), ()), arg_names=list(arg_names))
+    fn.set_attr("arg_noalias", noalias)
+    module.add_function(fn)
+    return module, fn, Builder.at_end(fn.body_block)
+
+
+def finish_function(builder: Builder) -> None:
+    builder.insert(func.ReturnOp())
+
+
+def const_index(builder: Builder, value: int):
+    return builder.insert(arith.ConstantOp(value, INDEX)).result
+
+
+def build_parallel(builder: Builder, extent: int, level: str = scf.ParallelOp.LEVEL_BLOCK,
+                   num_dims: int = 1) -> Tuple[scf.ParallelOp, Builder]:
+    """Insert a 1D (or nD) ``scf.parallel`` from 0 to ``extent`` step 1."""
+    zero = const_index(builder, 0)
+    upper = const_index(builder, extent)
+    one = const_index(builder, 1)
+    loop = builder.insert(scf.ParallelOp([zero] * num_dims, [upper] * num_dims,
+                                         [one] * num_dims, parallel_level=level))
+    inner = Builder.at_end(loop.body)
+    return loop, inner
+
+
+def close_parallel(inner_builder: Builder) -> None:
+    inner_builder.insert(scf.YieldOp())
+
+
+def alloc_global(builder: Builder, shape, element_type=F32):
+    return builder.insert(memref_d.AllocOp(memref(shape, element_type))).result
+
+
+def alloc_shared(builder: Builder, shape, element_type=F32):
+    return builder.insert(
+        memref_d.AllocaOp(memref(shape, element_type, MemorySpace.SHARED))).result
+
+
+def insert_barrier(builder: Builder, thread_ivs) -> polygeist.PolygeistBarrierOp:
+    return builder.insert(polygeist.PolygeistBarrierOp(list(thread_ivs)))

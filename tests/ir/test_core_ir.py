@@ -1,0 +1,299 @@
+"""Unit tests for the core IR data structures (values, ops, blocks, regions)."""
+
+import pytest
+
+from repro.ir import (
+    Block,
+    Builder,
+    EffectKind,
+    F32,
+    FunctionType,
+    I32,
+    INDEX,
+    IntegerType,
+    MemorySpace,
+    MemRefType,
+    Operation,
+    Region,
+    VerificationError,
+    memref,
+    print_op,
+    verify,
+)
+from repro.dialects import arith, func, memref as memref_d, scf
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+class TestTypes:
+    def test_integer_equality(self):
+        assert IntegerType(32) == I32
+        assert IntegerType(32) != IntegerType(64)
+
+    def test_type_str(self):
+        assert str(I32) == "i32"
+        assert str(F32) == "f32"
+        assert str(INDEX) == "index"
+
+    def test_memref_str(self):
+        t = memref((4, -1), F32)
+        assert str(t) == "memref<4x?xf32>"
+        shared = memref((256,), F32, MemorySpace.SHARED)
+        assert "shared" in str(shared)
+
+    def test_memref_static_shape(self):
+        assert memref((2, 3), F32).num_elements == 6
+        assert not memref((2, -1), F32).has_static_shape
+        with pytest.raises(ValueError):
+            memref((2, -1), F32).num_elements
+
+    def test_memref_rejects_nested(self):
+        with pytest.raises(ValueError):
+            memref((2,), memref((2,), F32))
+
+    def test_invalid_memory_space(self):
+        with pytest.raises(ValueError):
+            MemRefType((2,), F32, "weird")
+
+    def test_function_type(self):
+        ft = FunctionType((I32, F32), (F32,))
+        assert "i32" in str(ft) and "f32" in str(ft)
+
+    def test_predicates(self):
+        assert I32.is_integer and not I32.is_float
+        assert F32.is_float and F32.is_arithmetic
+        assert memref((1,), F32).is_memref
+
+
+# ---------------------------------------------------------------------------
+# Def-use chains
+# ---------------------------------------------------------------------------
+class TestDefUse:
+    def test_constant_result_use(self):
+        c = arith.ConstantOp(1, I32)
+        add = arith.AddIOp(c.result, c.result)
+        assert len(c.result.uses) == 2
+        assert add in c.result.users
+
+    def test_replace_all_uses(self):
+        c1 = arith.ConstantOp(1, I32)
+        c2 = arith.ConstantOp(2, I32)
+        add = arith.AddIOp(c1.result, c1.result)
+        c1.result.replace_all_uses_with(c2.result)
+        assert not c1.result.has_uses
+        assert add.operands[0] is c2.result and add.operands[1] is c2.result
+
+    def test_set_operand_updates_uses(self):
+        c1 = arith.ConstantOp(1, I32)
+        c2 = arith.ConstantOp(2, I32)
+        add = arith.AddIOp(c1.result, c1.result)
+        add.set_operand(0, c2.result)
+        assert len(c1.result.uses) == 1
+        assert len(c2.result.uses) == 1
+
+    def test_erase_requires_no_uses(self):
+        c = arith.ConstantOp(1, I32)
+        block = Block()
+        block.append(c)
+        add = arith.AddIOp(c.result, c.result)
+        block.append(add)
+        with pytest.raises(ValueError):
+            c.erase()
+        add.erase()
+        c.erase()
+        assert len(block.operations) == 0
+
+    def test_replace_uses_if(self):
+        c1 = arith.ConstantOp(1, I32)
+        c2 = arith.ConstantOp(2, I32)
+        add = arith.AddIOp(c1.result, c1.result)
+        c1.result.replace_uses_if(c2.result, lambda use: use.operand_index == 0)
+        assert add.operands[0] is c2.result
+        assert add.operands[1] is c1.result
+
+
+# ---------------------------------------------------------------------------
+# Blocks, regions, builder
+# ---------------------------------------------------------------------------
+class TestStructure:
+    def test_builder_insertion_order(self):
+        block = Block()
+        builder = Builder.at_end(block)
+        a = builder.insert(arith.ConstantOp(1, I32))
+        b = builder.insert(arith.ConstantOp(2, I32))
+        assert block.operations == [a, b]
+
+    def test_builder_before_after(self):
+        block = Block()
+        builder = Builder.at_end(block)
+        a = builder.insert(arith.ConstantOp(1, I32))
+        c = builder.insert(arith.ConstantOp(3, I32))
+        builder2 = Builder.before_op(c)
+        b = builder2.insert(arith.ConstantOp(2, I32))
+        assert block.operations == [a, b, c]
+
+    def test_move_before_after(self):
+        block = Block()
+        a = block.append(arith.ConstantOp(1, I32))
+        b = block.append(arith.ConstantOp(2, I32))
+        b.move_before(a)
+        assert block.operations == [b, a]
+        b.move_after(a)
+        assert block.operations == [a, b]
+
+    def test_parent_links(self):
+        module = func.ModuleOp()
+        fn = func.FuncOp("f", FunctionType((), ()))
+        module.add_function(fn)
+        assert fn.parent_op is module
+        assert module.lookup("f") is fn
+        assert module.lookup("missing") is None
+
+    def test_duplicate_symbol_rejected(self):
+        module = func.ModuleOp()
+        module.add_function(func.FuncOp("f", FunctionType((), ())))
+        with pytest.raises(ValueError):
+            module.add_function(func.FuncOp("f", FunctionType((), ())))
+
+    def test_is_ancestor(self):
+        module = func.ModuleOp()
+        fn = func.FuncOp("f", FunctionType((), ()))
+        module.add_function(fn)
+        c = fn.body_block.append(arith.ConstantOp(1, I32))
+        assert module.is_ancestor_of(c)
+        assert fn.is_ancestor_of(c)
+        assert not c.is_ancestor_of(fn)
+
+    def test_walk_order(self):
+        module = func.ModuleOp()
+        fn = func.FuncOp("f", FunctionType((), ()))
+        module.add_function(fn)
+        builder = Builder.at_end(fn.body_block)
+        builder.insert(arith.ConstantOp(1, I32))
+        builder.insert(func.ReturnOp())
+        names = [op.name for op in module.walk()]
+        assert names == ["builtin.module", "func.func", "arith.constant", "func.return"]
+
+    def test_walk_post_order(self):
+        module = func.ModuleOp()
+        fn = func.FuncOp("f", FunctionType((), ()))
+        module.add_function(fn)
+        fn.body_block.append(func.ReturnOp())
+        names = [op.name for op in module.walk_post_order()]
+        assert names == ["func.return", "func.func", "builtin.module"]
+
+
+# ---------------------------------------------------------------------------
+# Cloning
+# ---------------------------------------------------------------------------
+class TestClone:
+    def test_clone_remaps_nested_uses(self):
+        block = Block([INDEX])
+        builder = Builder.at_end(block)
+        c = builder.insert(arith.ConstantOp(0, INDEX))
+        one = builder.insert(arith.ConstantOp(1, INDEX))
+        ten = builder.insert(arith.ConstantOp(10, INDEX))
+        loop = builder.insert(scf.ForOp(c.result, ten.result, one.result))
+        loop_builder = Builder.at_end(loop.body)
+        add = loop_builder.insert(arith.AddIOp(loop.induction_var, loop.induction_var))
+        loop_builder.insert(scf.YieldOp())
+
+        clone = loop.clone({})
+        cloned_add = clone.body.operations[0]
+        assert cloned_add is not add
+        assert cloned_add.operands[0] is clone.induction_var
+        # original untouched
+        assert add.operands[0] is loop.induction_var
+
+    def test_clone_with_value_map(self):
+        c1 = arith.ConstantOp(1, I32)
+        c2 = arith.ConstantOp(2, I32)
+        add = arith.AddIOp(c1.result, c1.result)
+        clone = add.clone({c1.result: c2.result})
+        assert clone.operands[0] is c2.result
+
+    def test_clone_preserves_attributes(self):
+        c = arith.ConstantOp(42, I32)
+        assert c.clone({}).value == 42
+
+
+# ---------------------------------------------------------------------------
+# Memory effects
+# ---------------------------------------------------------------------------
+class TestEffects:
+    def test_pure_ops_have_no_effects(self):
+        c = arith.ConstantOp(1.0, F32)
+        assert c.memory_effects() == []
+        assert c.is_pure()
+
+    def test_load_store_effects(self):
+        buf = memref_d.AllocOp(memref((16,), F32))
+        idx = arith.ConstantOp(0, INDEX)
+        load = memref_d.LoadOp(buf.result, [idx.result])
+        effects = load.memory_effects()
+        assert len(effects) == 1
+        assert effects[0].kind is EffectKind.READ
+        assert effects[0].value is buf.result
+        store = memref_d.StoreOp(load.result, buf.result, [idx.result])
+        assert store.memory_effects()[0].kind is EffectKind.WRITE
+
+    def test_recursive_effects(self):
+        block = Block()
+        builder = Builder.at_end(block)
+        c0 = builder.insert(arith.ConstantOp(0, INDEX))
+        c1 = builder.insert(arith.ConstantOp(1, INDEX))
+        c4 = builder.insert(arith.ConstantOp(4, INDEX))
+        buf = builder.insert(memref_d.AllocOp(memref((4,), F32)))
+        loop = builder.insert(scf.ForOp(c0.result, c4.result, c1.result))
+        inner = Builder.at_end(loop.body)
+        cf = inner.insert(arith.ConstantOp(1.0, F32))
+        inner.insert(memref_d.StoreOp(cf.result, buf.result, [loop.induction_var]))
+        inner.insert(scf.YieldOp())
+        kinds = {effect.kind for effect in loop.memory_effects()}
+        assert kinds == {EffectKind.WRITE}
+
+
+# ---------------------------------------------------------------------------
+# Printer and verifier
+# ---------------------------------------------------------------------------
+class TestPrinterVerifier:
+    def _make_valid_func(self):
+        module = func.ModuleOp()
+        fn = func.FuncOp("f", FunctionType((F32,), (F32,)), arg_names=["x"])
+        module.add_function(fn)
+        builder = Builder.at_end(fn.body_block)
+        doubled = builder.insert(arith.AddFOp(fn.arguments[0], fn.arguments[0]))
+        builder.insert(func.ReturnOp([doubled.result]))
+        return module, fn
+
+    def test_print_contains_op_names(self):
+        module, _ = self._make_valid_func()
+        text = print_op(module)
+        assert "builtin.module" in text
+        assert "func.func" in text
+        assert "arith.addf" in text
+
+    def test_verify_valid_module(self):
+        module, _ = self._make_valid_func()
+        verify(module)
+
+    def test_verify_detects_dominance_violation(self):
+        module, fn = self._make_valid_func()
+        # build a use-before-def: move the add after the return
+        add = fn.body_block.operations[0]
+        ret = fn.body_block.operations[1]
+        add.move_after(ret)
+        with pytest.raises(VerificationError):
+            verify(module)
+
+    def test_verify_detects_misplaced_terminator(self):
+        module, fn = self._make_valid_func()
+        builder = Builder.at_end(fn.body_block)
+        builder.insert(arith.ConstantOp(0.0, F32))
+        with pytest.raises(VerificationError):
+            verify(module)
+
+    def test_printer_deterministic(self):
+        module, _ = self._make_valid_func()
+        assert print_op(module) == print_op(module)

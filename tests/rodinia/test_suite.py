@@ -1,0 +1,65 @@
+"""Rodinia suite tests: every benchmark compiles, runs, and the cpuified CUDA
+code matches the SIMT oracle; OpenMP references compile and run too."""
+
+import numpy as np
+import pytest
+
+from repro.rodinia import BENCHMARKS, FIGURE13_SET, run_benchmark, verify_benchmark
+from repro.baselines import compile_mcuda, mcuda_options, run_thread_per_thread
+from repro.runtime import Interpreter
+from repro.transforms import PipelineOptions
+
+
+ALL_NAMES = sorted(BENCHMARKS)
+
+
+class TestSuiteCorrectness:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_cpuified_matches_oracle(self, name):
+        assert verify_benchmark(name), f"{name}: cpuified output diverges from the SIMT oracle"
+
+    @pytest.mark.parametrize("name", ["backprop layerforward", "particlefilter", "matmul"])
+    def test_opt_disabled_still_correct(self, name):
+        assert verify_benchmark(name, options=PipelineOptions.opt_disabled())
+
+    @pytest.mark.parametrize("name", ["backprop layerforward", "hotspot", "nw"])
+    def test_mcuda_baseline_correct(self, name):
+        assert verify_benchmark(name, options=mcuda_options())
+
+
+class TestSuiteExecution:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_openmp_reference_runs(self, name):
+        bench = BENCHMARKS[name]
+        if bench.omp_source is None:
+            pytest.skip("no OpenMP reference")
+        report = run_benchmark(name, variant="omp")
+        assert report.cycles > 0
+
+    def test_cuda_variant_reports_parallel_regions(self):
+        report = run_benchmark("streamcluster", variant="cuda")
+        assert report.parallel_regions >= 1
+        assert report.dynamic_ops > 100
+
+    def test_thread_counts_affect_cycles(self):
+        slow = run_benchmark("srad_v1", variant="cuda", threads=1)
+        fast = run_benchmark("srad_v1", variant="cuda", threads=32)
+        assert fast.cycles < slow.cycles
+
+    def test_thread_per_thread_baseline(self):
+        bench = BENCHMARKS["matmul"]
+        report = run_thread_per_thread(bench.cuda_source, bench.entry, bench.make_inputs(1))
+        assert report.cycles > 0
+
+    def test_mcuda_compiles_matmul(self):
+        module = compile_mcuda(BENCHMARKS["matmul"].cuda_source)
+        args = BENCHMARKS["matmul"].make_inputs(1)
+        Interpreter(module).run("matmul", args)
+        n = args[3]
+        a = args[0].reshape(n, n)
+        b = args[1].reshape(n, n)
+        assert np.allclose(args[2].reshape(n, n), a @ b, rtol=1e-4)
+
+    def test_figure13_set_excludes_matmul(self):
+        assert "matmul" not in FIGURE13_SET
+        assert len(FIGURE13_SET) >= 10

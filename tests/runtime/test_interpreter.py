@@ -1,0 +1,326 @@
+"""Interpreter tests: scalar ops, control flow, SIMT execution, cost model,
+and end-to-end equivalence between the GPU oracle and the cpuified module."""
+
+import numpy as np
+import pytest
+
+from repro.ir import Builder, F32, FunctionType, I32, INDEX, memref, verify
+from repro.dialects import arith, func, gpu as gpu_d, math as math_d, memref as memref_d, scf
+from repro.runtime import A64FX_CMG, Interpreter, InterpreterError, MemRefStorage, XEON_8375C, execute
+from repro.transforms import PipelineOptions, cpuify
+
+from tests.helpers import (
+    build_function,
+    build_parallel,
+    close_parallel,
+    const_index,
+    finish_function,
+    insert_barrier,
+)
+
+
+class TestScalarAndControlFlow:
+    def _module_with(self, build):
+        module = func.ModuleOp()
+        fn = func.FuncOp("main", FunctionType((memref((16,), F32),), ()), arg_names=["buf"])
+        fn.set_attr("arg_noalias", True)
+        module.add_function(fn)
+        builder = Builder.at_end(fn.body_block)
+        build(fn, builder)
+        builder.insert(func.ReturnOp())
+        verify(module)
+        return module
+
+    def test_arith_and_store(self):
+        def build(fn, builder):
+            a = builder.insert(arith.ConstantOp(2.0, F32))
+            b = builder.insert(arith.ConstantOp(3.0, F32))
+            total = builder.insert(arith.MulFOp(a.result, b.result))
+            builder.insert(memref_d.StoreOp(total.result, fn.arguments[0], [const_index(builder, 0)]))
+        module = self._module_with(build)
+        data = np.zeros(16, dtype=np.float32)
+        Interpreter(module).run("main", [data])
+        assert data[0] == pytest.approx(6.0)
+
+    def test_math_ops(self):
+        def build(fn, builder):
+            x = builder.insert(arith.ConstantOp(4.0, F32))
+            root = builder.insert(math_d.UnaryMathOp("sqrt", x.result))
+            powed = builder.insert(math_d.PowFOp(root.result, x.result))
+            builder.insert(memref_d.StoreOp(root.result, fn.arguments[0], [const_index(builder, 0)]))
+            builder.insert(memref_d.StoreOp(powed.result, fn.arguments[0], [const_index(builder, 1)]))
+        module = self._module_with(build)
+        data = np.zeros(16, dtype=np.float32)
+        Interpreter(module).run("main", [data])
+        assert data[0] == pytest.approx(2.0)
+        assert data[1] == pytest.approx(16.0)
+
+    def test_for_loop_with_iter_args(self):
+        def build(fn, builder):
+            zero = const_index(builder, 0)
+            ten = const_index(builder, 10)
+            one = const_index(builder, 1)
+            init = builder.insert(arith.ConstantOp(0.0, F32))
+            loop = builder.insert(scf.ForOp(zero, ten, one, [init.result]))
+            inner = Builder.at_end(loop.body)
+            as_float = inner.insert(arith.SIToFPOp(
+                inner.insert(arith.IndexCastOp(loop.induction_var, I32)).result, F32))
+            total = inner.insert(arith.AddFOp(loop.iter_args[0], as_float.result))
+            inner.insert(scf.YieldOp([total.result]))
+            builder.insert(memref_d.StoreOp(loop.results[0], fn.arguments[0], [zero]))
+        module = self._module_with(build)
+        data = np.zeros(16, dtype=np.float32)
+        Interpreter(module).run("main", [data])
+        assert data[0] == pytest.approx(45.0)
+
+    def test_if_and_select(self):
+        def build(fn, builder):
+            a = builder.insert(arith.ConstantOp(5, I32))
+            b = builder.insert(arith.ConstantOp(3, I32))
+            cond = builder.insert(arith.CmpIOp(arith.CmpPredicate.GT, a.result, b.result))
+            if_op = builder.insert(scf.IfOp(cond.result, [F32]))
+            then = Builder.at_end(if_op.then_block)
+            then.insert(scf.YieldOp([then.insert(arith.ConstantOp(1.0, F32)).result]))
+            otherwise = Builder.at_end(if_op.else_block)
+            otherwise.insert(scf.YieldOp([otherwise.insert(arith.ConstantOp(-1.0, F32)).result]))
+            builder.insert(memref_d.StoreOp(if_op.results[0], fn.arguments[0], [const_index(builder, 0)]))
+        module = self._module_with(build)
+        data = np.zeros(16, dtype=np.float32)
+        Interpreter(module).run("main", [data])
+        assert data[0] == pytest.approx(1.0)
+
+    def test_while_loop(self):
+        def build(fn, builder):
+            counter = builder.insert(memref_d.AllocaOp(memref((), I32))).result
+            init = builder.insert(arith.ConstantOp(0, I32))
+            builder.insert(memref_d.StoreOp(init.result, counter, []))
+            while_op = builder.insert(scf.WhileOp([]))
+            before = Builder.at_end(while_op.before_block)
+            current = before.insert(memref_d.LoadOp(counter, []))
+            limit = before.insert(arith.ConstantOp(5, I32))
+            cond = before.insert(arith.CmpIOp(arith.CmpPredicate.LT, current.result, limit.result))
+            before.insert(scf.ConditionOp(cond.result))
+            after = Builder.at_end(while_op.after_block)
+            value = after.insert(memref_d.LoadOp(counter, []))
+            one = after.insert(arith.ConstantOp(1, I32))
+            incremented = after.insert(arith.AddIOp(value.result, one.result))
+            after.insert(memref_d.StoreOp(incremented.result, counter, []))
+            after.insert(scf.YieldOp())
+            final = builder.insert(memref_d.LoadOp(counter, []))
+            as_float = builder.insert(arith.SIToFPOp(final.result, F32))
+            builder.insert(memref_d.StoreOp(as_float.result, fn.arguments[0], [const_index(builder, 0)]))
+        module = self._module_with(build)
+        data = np.zeros(16, dtype=np.float32)
+        Interpreter(module).run("main", [data])
+        assert data[0] == pytest.approx(5.0)
+
+    def test_call_and_return_value(self):
+        module = func.ModuleOp()
+        callee = func.FuncOp("square", FunctionType((F32,), (F32,)), device=True, arg_names=["x"])
+        module.add_function(callee)
+        cb = Builder.at_end(callee.body_block)
+        squared = cb.insert(arith.MulFOp(callee.arguments[0], callee.arguments[0]))
+        cb.insert(func.ReturnOp([squared.result]))
+        main = func.FuncOp("main", FunctionType((memref((4,), F32),), ()), arg_names=["buf"])
+        module.add_function(main)
+        mb = Builder.at_end(main.body_block)
+        c = mb.insert(arith.ConstantOp(3.0, F32))
+        result = mb.insert(func.CallOp("square", [c.result], [F32]))
+        mb.insert(memref_d.StoreOp(result.result, main.arguments[0], [mb.insert(arith.ConstantOp(0, INDEX)).result]))
+        mb.insert(func.ReturnOp())
+        data = np.zeros(4, dtype=np.float32)
+        Interpreter(module).run("main", [data])
+        assert data[0] == pytest.approx(9.0)
+
+    def test_error_on_unknown_function(self):
+        module = func.ModuleOp()
+        with pytest.raises(InterpreterError):
+            Interpreter(module).run("missing", [])
+
+
+class TestParallelExecution:
+    def test_scf_parallel_without_barrier(self):
+        module, fn, builder = build_function("main", [memref((32,), F32)], ["buf"])
+        loop, inner = build_parallel(builder, 32)
+        tid = loop.induction_vars[0]
+        as_float = inner.insert(arith.SIToFPOp(inner.insert(arith.IndexCastOp(tid, I32)).result, F32))
+        inner.insert(memref_d.StoreOp(as_float.result, fn.arguments[0], [tid]))
+        close_parallel(inner)
+        finish_function(builder)
+        data = np.zeros(32, dtype=np.float32)
+        Interpreter(module).run("main", [data])
+        assert np.allclose(data, np.arange(32))
+
+    def test_scf_parallel_with_barrier_simt_phases(self):
+        """reverse via shared memory: needs real barrier semantics."""
+        module, fn, builder = build_function("main", [memref((16,), F32), memref((16,), F32)],
+                                             ["inp", "out"], noalias=True)
+        shared = builder.insert(memref_d.AllocaOp(memref((16,), F32, "shared"))).result
+        loop, inner = build_parallel(builder, 16)
+        tid = loop.induction_vars[0]
+        val = inner.insert(memref_d.LoadOp(fn.arguments[0], [tid]))
+        inner.insert(memref_d.StoreOp(val.result, shared, [tid]))
+        insert_barrier(inner, [tid])
+        fifteen = const_index(inner, 15)
+        mirrored = inner.insert(arith.SubIOp(fifteen, tid))
+        other = inner.insert(memref_d.LoadOp(shared, [mirrored.result]))
+        inner.insert(memref_d.StoreOp(other.result, fn.arguments[1], [tid]))
+        close_parallel(inner)
+        finish_function(builder)
+
+        inp = np.arange(16, dtype=np.float32)
+        out = np.zeros(16, dtype=np.float32)
+        interp = Interpreter(module)
+        interp.run("main", [inp, out])
+        assert np.allclose(out, inp[::-1])
+        assert interp.report.simt_phases >= 2
+
+    def test_gpu_launch_oracle(self):
+        module = func.ModuleOp()
+        fn = func.FuncOp("host", FunctionType((memref((64,), F32),), ()), arg_names=["data"])
+        fn.set_attr("arg_noalias", True)
+        module.add_function(fn)
+        builder = Builder.at_end(fn.body_block)
+        two = builder.insert(arith.ConstantOp(2, INDEX)).result
+        thirty_two = builder.insert(arith.ConstantOp(32, INDEX)).result
+        one = builder.insert(arith.ConstantOp(1, INDEX)).result
+        launch = builder.insert(gpu_d.LaunchOp([two, one, one], [thirty_two, one, one]))
+        body = Builder.at_end(launch.body)
+        bx = launch.block_ids[0]
+        tx = launch.thread_ids[0]
+        bdim = launch.block_dim_args[0]
+        gid = body.insert(arith.AddIOp(body.insert(arith.MulIOp(bx, bdim)).result, tx))
+        val = body.insert(memref_d.LoadOp(fn.arguments[0], [gid.result]))
+        doubled = body.insert(arith.AddFOp(val.result, val.result))
+        body.insert(memref_d.StoreOp(doubled.result, fn.arguments[0], [gid.result]))
+        body.insert(scf.YieldOp())
+        builder.insert(func.ReturnOp())
+
+        data = np.arange(64, dtype=np.float32)
+        expected = data * 2
+        Interpreter(module).run("host", [data])
+        assert np.allclose(data, expected)
+
+
+class TestCostModel:
+    def _saxpy_module(self, n=256):
+        module, fn, builder = build_function("main", [memref((n,), F32), memref((n,), F32)],
+                                             ["x", "y"], noalias=True)
+        loop, inner = build_parallel(builder, n)
+        tid = loop.induction_vars[0]
+        a = inner.insert(arith.ConstantOp(2.0, F32))
+        xv = inner.insert(memref_d.LoadOp(fn.arguments[0], [tid]))
+        yv = inner.insert(memref_d.LoadOp(fn.arguments[1], [tid]))
+        result = inner.insert(arith.AddFOp(inner.insert(arith.MulFOp(a.result, xv.result)).result, yv.result))
+        inner.insert(memref_d.StoreOp(result.result, fn.arguments[1], [tid]))
+        close_parallel(inner)
+        finish_function(builder)
+        return module
+
+    def test_more_threads_is_faster(self):
+        results = {}
+        for threads in (1, 8, 32):
+            module = self._saxpy_module()
+            report = execute(module, "main",
+                             [np.ones(256, dtype=np.float32), np.ones(256, dtype=np.float32)],
+                             threads=threads)
+            results[threads] = report.cycles
+        assert results[8] < results[1]
+        assert results[32] < results[8]
+
+    def test_cost_report_counts(self):
+        module = self._saxpy_module()
+        report = execute(module, "main",
+                         [np.ones(256, dtype=np.float32), np.ones(256, dtype=np.float32)])
+        assert report.dynamic_ops > 256
+        assert report.parallel_regions == 1
+        assert report.global_bytes > 0
+
+    def test_machines_differ(self):
+        module = self._saxpy_module()
+        xeon = execute(module, "main",
+                       [np.ones(256, dtype=np.float32), np.ones(256, dtype=np.float32)],
+                       machine=XEON_8375C, threads=12)
+        module2 = self._saxpy_module()
+        a64fx = execute(module2, "main",
+                        [np.ones(256, dtype=np.float32), np.ones(256, dtype=np.float32)],
+                        machine=A64FX_CMG, threads=12)
+        # the HBM machine moves global traffic faster.
+        assert a64fx.cycles != xeon.cycles
+
+
+class TestEndToEndEquivalence:
+    def _reduction_module(self):
+        """Per-block shared-memory tree reduction (same shape as the paper's
+        running example): returns (module builder fn, data size, grid, block)."""
+        module = func.ModuleOp()
+        n_blocks, block_size = 4, 32
+        n = n_blocks * block_size
+        fn = func.FuncOp("host", FunctionType((memref((n,), F32), memref((n_blocks,), F32)), ()),
+                         arg_names=["data", "out"])
+        fn.set_attr("arg_noalias", True)
+        module.add_function(fn)
+        builder = Builder.at_end(fn.body_block)
+        grid = builder.insert(arith.ConstantOp(n_blocks, INDEX)).result
+        block = builder.insert(arith.ConstantOp(block_size, INDEX)).result
+        one = builder.insert(arith.ConstantOp(1, INDEX)).result
+        launch = builder.insert(gpu_d.LaunchOp([grid, one, one], [block, one, one]))
+        body = Builder.at_end(launch.body)
+        bx = launch.block_ids[0]
+        tx = launch.thread_ids[0]
+        bdim = launch.block_dim_args[0]
+        shared = body.insert(memref_d.AllocaOp(memref((block_size,), F32, "shared"))).result
+        gid = body.insert(arith.AddIOp(body.insert(arith.MulIOp(bx, bdim)).result, tx))
+        val = body.insert(memref_d.LoadOp(fn.arguments[0], [gid.result]))
+        body.insert(memref_d.StoreOp(val.result, shared, [tx]))
+        body.insert(gpu_d.BarrierOp())
+        zero = body.insert(arith.ConstantOp(0, INDEX)).result
+        five = body.insert(arith.ConstantOp(5, INDEX)).result
+        sixteen = body.insert(arith.ConstantOp(16, INDEX)).result
+        loop = body.insert(scf.ForOp(zero, five, one, iv_name="step"))
+        lb = Builder.at_end(loop.body)
+        stride = lb.insert(arith.ShRSIOp(sixteen, loop.induction_var))
+        cond = lb.insert(arith.CmpIOp(arith.CmpPredicate.LT, tx, stride.result))
+        guard = lb.insert(scf.IfOp(cond.result, with_else=False))
+        then = Builder.at_end(guard.then_block)
+        partner = then.insert(arith.AddIOp(tx, stride.result))
+        mine = then.insert(memref_d.LoadOp(shared, [tx]))
+        other = then.insert(memref_d.LoadOp(shared, [partner.result]))
+        then.insert(memref_d.StoreOp(then.insert(arith.AddFOp(mine.result, other.result)).result,
+                                     shared, [tx]))
+        then.insert(scf.YieldOp())
+        lb.insert(gpu_d.BarrierOp())
+        lb.insert(scf.YieldOp())
+        is_first = body.insert(arith.CmpIOp(arith.CmpPredicate.EQ, tx, zero))
+        write = body.insert(scf.IfOp(is_first.result, with_else=False))
+        wb = Builder.at_end(write.then_block)
+        total = wb.insert(memref_d.LoadOp(shared, [zero]))
+        wb.insert(memref_d.StoreOp(total.result, fn.arguments[1], [bx]))
+        wb.insert(scf.YieldOp())
+        body.insert(scf.YieldOp())
+        builder.insert(func.ReturnOp())
+        verify(module)
+        return module, n, n_blocks
+
+    @pytest.mark.parametrize("options", [
+        PipelineOptions.all_optimizations(),
+        PipelineOptions.all_optimizations(inner_serialize=False),
+        PipelineOptions.opt_disabled(),
+    ])
+    def test_cpuified_module_matches_gpu_oracle(self, options):
+        rng = np.random.default_rng(0)
+
+        # oracle: run the unlowered module with SIMT semantics
+        module, n, n_blocks = self._reduction_module()
+        data = rng.standard_normal(n).astype(np.float32)
+        oracle_out = np.zeros(n_blocks, dtype=np.float32)
+        Interpreter(module).run("host", [data.copy(), oracle_out])
+        expected = data.reshape(n_blocks, -1).sum(axis=1)
+        assert np.allclose(oracle_out, expected, rtol=1e-5)
+
+        # cpuified module must produce the same output
+        module2, _, _ = self._reduction_module()
+        cpuify(module2, options)
+        cpu_out = np.zeros(n_blocks, dtype=np.float32)
+        Interpreter(module2).run("host", [data.copy(), cpu_out])
+        assert np.allclose(cpu_out, oracle_out, rtol=1e-5)

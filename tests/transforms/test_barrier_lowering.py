@@ -1,0 +1,440 @@
+"""Tests for barrier elimination, loop splitting, interchange, OMP lowering
+and the full cpuify pipeline (structural properties)."""
+
+import pytest
+
+from repro.ir import Builder, F32, FunctionType, I1, I32, INDEX, memref, print_op, verify
+from repro.dialects import arith, func, gpu as gpu_d, memref as memref_d, omp as omp_d, polygeist, scf
+from repro.analysis import barriers_in, contains_barrier
+from repro.transforms import (
+    BarrierEliminationPass,
+    BarrierLoweringPass,
+    InterchangeError,
+    LowerGPUPass,
+    LowerToOpenMPPass,
+    OpenMPOptPass,
+    PipelineOptions,
+    collapse_parallel_loops,
+    cpuify,
+    eliminate_redundant_barriers,
+    first_splittable_barrier,
+    fuse_parallel_regions,
+    hoist_parallel_regions,
+    interchange_for,
+    interchange_if,
+    interchange_while,
+    lower_module_to_omp,
+    select_values_to_cache,
+    serialize_inner_parallel_loops,
+    split_parallel_at_barrier,
+    wrap_with_barriers,
+)
+
+from tests.helpers import (
+    alloc_shared,
+    build_function,
+    build_parallel,
+    close_parallel,
+    const_index,
+    finish_function,
+    insert_barrier,
+)
+
+
+def count_ops(root, kind):
+    return sum(1 for op in root.walk() if isinstance(op, kind))
+
+
+class TestBarrierElimination:
+    def test_removes_redundant_barrier(self):
+        module, fn, builder = build_function(
+            "k", [memref((64,), F32), memref((64,), F32)], ["a", "b"], noalias=True)
+        loop, inner = build_parallel(builder, 64)
+        tid = loop.induction_vars[0]
+        val = inner.insert(memref_d.LoadOp(fn.arguments[0], [tid]))
+        insert_barrier(inner, [tid])   # orders nothing: a/b never conflict
+        inner.insert(memref_d.StoreOp(val.result, fn.arguments[1], [tid]))
+        close_parallel(inner)
+        finish_function(builder)
+        removed = eliminate_redundant_barriers(fn, module)
+        assert removed == 1
+        assert not barriers_in(fn)
+
+    def test_keeps_required_barrier(self):
+        module, fn, builder = build_function("k", [memref((64,), F32)], ["out"], noalias=True)
+        shared = alloc_shared(builder, (64,))
+        loop, inner = build_parallel(builder, 64)
+        tid = loop.induction_vars[0]
+        c = inner.insert(arith.ConstantOp(1.0, F32))
+        inner.insert(memref_d.StoreOp(c.result, shared, [tid]))
+        insert_barrier(inner, [tid])
+        zero = const_index(inner, 0)
+        first = inner.insert(memref_d.LoadOp(shared, [zero]))
+        inner.insert(memref_d.StoreOp(first.result, fn.arguments[0], [tid]))
+        close_parallel(inner)
+        finish_function(builder)
+        removed = eliminate_redundant_barriers(fn, module)
+        assert removed == 0
+        assert len(barriers_in(fn)) == 1
+
+
+class TestLoopSplitting:
+    def _kernel_with_crossing_values(self, use_mincut):
+        """Fig. 6: two loads and derived values crossing the barrier."""
+        module, fn, builder = build_function(
+            "k", [memref((128,), F32), memref((64,), F32)], ["data", "out"], noalias=True)
+        loop, inner = build_parallel(builder, 64)
+        tid = loop.induction_vars[0]
+        two = const_index(inner, 2)
+        tid2 = inner.insert(arith.MulIOp(tid, two))
+        x = inner.insert(memref_d.LoadOp(fn.arguments[0], [tid]))
+        y = inner.insert(memref_d.LoadOp(fn.arguments[0], [tid2.result]))
+        a = inner.insert(arith.MulFOp(x.result, x.result))
+        b = inner.insert(arith.MulFOp(y.result, y.result))
+        c = inner.insert(arith.SubFOp(x.result, y.result))
+        barrier = insert_barrier(inner, [tid])
+        total = inner.insert(arith.AddFOp(a.result, b.result))
+        total2 = inner.insert(arith.AddFOp(total.result, c.result))
+        inner.insert(memref_d.StoreOp(total2.result, fn.arguments[1], [tid]))
+        close_parallel(inner)
+        finish_function(builder)
+        return module, fn, loop, barrier
+
+    def test_split_structure(self):
+        module, fn, loop, barrier = self._kernel_with_crossing_values(use_mincut=True)
+        first, second = split_parallel_at_barrier(loop, barrier, use_mincut=True)
+        verify(module)
+        assert not barriers_in(fn)
+        assert count_ops(fn, scf.ParallelOp) == 2
+        # the second loop stores the final result
+        assert any(isinstance(op, memref_d.StoreOp) for op in second.body.operations)
+
+    def test_mincut_caches_fewer_values(self):
+        module_a, fn_a, loop_a, barrier_a = self._kernel_with_crossing_values(True)
+        split_index = loop_a.body.index_of(barrier_a)
+        cached_mincut, crossing = select_values_to_cache(loop_a, split_index, use_mincut=True)
+        cached_all, _ = select_values_to_cache(loop_a, split_index, use_mincut=False)
+        # crossing values are a, b, c (3); the min-cut caches x and y (2).
+        assert len(cached_all) == 3
+        assert len(cached_mincut) == 2
+
+    def test_split_allocates_cache_buffers(self):
+        module, fn, loop, barrier = self._kernel_with_crossing_values(False)
+        split_parallel_at_barrier(loop, barrier, use_mincut=False)
+        verify(module)
+        allocs = [op for op in fn.walk() if isinstance(op, memref_d.AllocOp)
+                  and not isinstance(op, memref_d.AllocaOp)]
+        assert len(allocs) == 3  # one cache per crossing value (a, b, c)
+
+    def test_split_expands_crossing_alloca(self):
+        module, fn, builder = build_function("k", [memref((64,), F32)], ["out"], noalias=True)
+        loop, inner = build_parallel(builder, 64)
+        tid = loop.induction_vars[0]
+        local = inner.insert(memref_d.AllocaOp(memref((), F32))).result
+        c = inner.insert(arith.ConstantOp(3.0, F32))
+        inner.insert(memref_d.StoreOp(c.result, local, []))
+        barrier = insert_barrier(inner, [tid])
+        reloaded = inner.insert(memref_d.LoadOp(local, []))
+        inner.insert(memref_d.StoreOp(reloaded.result, fn.arguments[0], [tid]))
+        close_parallel(inner)
+        finish_function(builder)
+        split_parallel_at_barrier(loop, barrier, use_mincut=True)
+        verify(module)
+        assert not barriers_in(fn)
+        # the thread-local scalar became a 64-slot buffer outside the loops.
+        expanded = [op for op in fn.body_block.operations if isinstance(op, memref_d.AllocOp)]
+        assert any(op.result.type.shape == (64,) for op in expanded)
+
+
+class TestInterchange:
+    def test_for_interchange(self):
+        module, fn, builder = build_function("k", [memref((64,), F32)], ["a"], noalias=True)
+        zero = const_index(builder, 0)
+        five = const_index(builder, 5)
+        one = const_index(builder, 1)
+        loop, inner = build_parallel(builder, 64)
+        tid = loop.induction_vars[0]
+        serial = inner.insert(scf.ForOp(zero, five, one, iv_name="j"))
+        serial_builder = Builder.at_end(serial.body)
+        c = serial_builder.insert(arith.ConstantOp(1.0, F32))
+        serial_builder.insert(memref_d.StoreOp(c.result, fn.arguments[0], [tid]))
+        serial_builder.insert(polygeist.PolygeistBarrierOp([tid]))
+        serial_builder.insert(scf.YieldOp())
+        close_parallel(inner)
+        finish_function(builder)
+
+        new_for = interchange_for(loop, serial)
+        verify(module)
+        # now: for { parallel { ... barrier ... } }
+        assert isinstance(new_for, scf.ForOp)
+        nested_parallel = [op for op in new_for.walk() if isinstance(op, scf.ParallelOp)]
+        assert len(nested_parallel) == 1
+        assert first_splittable_barrier(nested_parallel[0]) is not None
+
+    def test_if_interchange_uniform_condition(self):
+        module, fn, builder = build_function("k", [memref((64,), F32), memref((1,), I32)],
+                                             ["a", "flag"], noalias=True)
+        zero = const_index(builder, 0)
+        flag = builder.insert(memref_d.LoadOp(fn.arguments[1], [zero]))
+        zero_i = builder.insert(arith.ConstantOp(0, I32))
+        cond = builder.insert(arith.CmpIOp(arith.CmpPredicate.GT, flag.result, zero_i.result))
+        loop, inner = build_parallel(builder, 64)
+        tid = loop.induction_vars[0]
+        if_op = inner.insert(scf.IfOp(cond.result, with_else=False))
+        then_builder = Builder.at_end(if_op.then_block)
+        c = then_builder.insert(arith.ConstantOp(2.0, F32))
+        then_builder.insert(memref_d.StoreOp(c.result, fn.arguments[0], [tid]))
+        then_builder.insert(polygeist.PolygeistBarrierOp([tid]))
+        then_builder.insert(scf.YieldOp())
+        close_parallel(inner)
+        finish_function(builder)
+
+        new_if = interchange_if(loop, if_op)
+        verify(module)
+        nested_parallel = [op for op in new_if.walk() if isinstance(op, scf.ParallelOp)]
+        assert len(nested_parallel) == 1
+
+    def test_if_interchange_rejects_divergent_condition(self):
+        module, fn, builder = build_function("k", [memref((64,), F32)], ["a"], noalias=True)
+        loop, inner = build_parallel(builder, 64)
+        tid = loop.induction_vars[0]
+        limit = const_index(inner, 32)
+        cond = inner.insert(arith.CmpIOp(arith.CmpPredicate.LT, tid, limit))
+        if_op = inner.insert(scf.IfOp(cond.result, with_else=False))
+        Builder.at_end(if_op.then_block).insert(polygeist.PolygeistBarrierOp([tid]))
+        Builder.at_end(if_op.then_block).insert(scf.YieldOp())
+        close_parallel(inner)
+        finish_function(builder)
+        with pytest.raises(InterchangeError):
+            interchange_if(loop, if_op)
+
+    def test_while_interchange_builds_helper(self):
+        module, fn, builder = build_function("k", [memref((64,), F32), memref((1,), I32)],
+                                             ["a", "count"], noalias=True)
+        loop, inner = build_parallel(builder, 64)
+        tid = loop.induction_vars[0]
+        while_op = inner.insert(scf.WhileOp([]))
+        before = Builder.at_end(while_op.before_block)
+        zero = before.insert(arith.ConstantOp(0, INDEX))
+        count = before.insert(memref_d.LoadOp(fn.arguments[1], [zero.result]))
+        zero_i = before.insert(arith.ConstantOp(0, I32))
+        cond = before.insert(arith.CmpIOp(arith.CmpPredicate.GT, count.result, zero_i.result))
+        before.insert(scf.ConditionOp(cond.result))
+        after = Builder.at_end(while_op.after_block)
+        c = after.insert(arith.ConstantOp(1.0, F32))
+        after.insert(memref_d.StoreOp(c.result, fn.arguments[0], [tid]))
+        after.insert(polygeist.PolygeistBarrierOp([tid]))
+        after.insert(scf.YieldOp())
+        close_parallel(inner)
+        finish_function(builder)
+
+        new_while = interchange_while(loop, while_op)
+        verify(module)
+        assert isinstance(new_while, scf.WhileOp)
+        # helper variable allocated outside, and the condition is evaluated
+        # inside a parallel loop in the before region.
+        assert any(isinstance(op, memref_d.AllocOp) for op in fn.body_block.operations)
+        assert any(isinstance(op, scf.ParallelOp) for op in new_while.before_block.operations)
+
+    def test_wrap_with_barriers(self):
+        module, fn, builder = build_function("k", [memref((64,), F32)], ["a"], noalias=True)
+        zero = const_index(builder, 0)
+        five = const_index(builder, 5)
+        one = const_index(builder, 1)
+        loop, inner = build_parallel(builder, 64)
+        tid = loop.induction_vars[0]
+        c = inner.insert(arith.ConstantOp(1.0, F32))
+        inner.insert(memref_d.StoreOp(c.result, fn.arguments[0], [tid]))
+        serial = inner.insert(scf.ForOp(zero, five, one))
+        sb = Builder.at_end(serial.body)
+        sb.insert(polygeist.PolygeistBarrierOp([tid]))
+        sb.insert(scf.YieldOp())
+        inner.insert(memref_d.StoreOp(c.result, fn.arguments[0], [tid]))
+        close_parallel(inner)
+        finish_function(builder)
+        assert wrap_with_barriers(loop, serial)
+        top_level_barriers = [op for op in loop.body.operations
+                              if isinstance(op, polygeist.PolygeistBarrierOp)]
+        assert len(top_level_barriers) == 2
+
+
+class TestLowerGPUAndOMP:
+    def _launch_module(self):
+        module = func.ModuleOp()
+        fn = func.FuncOp("host", FunctionType((memref((256,), F32),), ()), arg_names=["data"])
+        fn.set_attr("arg_noalias", True)
+        module.add_function(fn)
+        builder = Builder.at_end(fn.body_block)
+        four = builder.insert(arith.ConstantOp(4, INDEX)).result
+        sixty_four = builder.insert(arith.ConstantOp(64, INDEX)).result
+        one = builder.insert(arith.ConstantOp(1, INDEX)).result
+        launch = builder.insert(gpu_d.LaunchOp([four, one, one], [sixty_four, one, one],
+                                               kernel_name="scale"))
+        body = Builder.at_end(launch.body)
+        bx, _, _ = launch.block_ids
+        tx, _, _ = launch.thread_ids
+        bdim = launch.block_dim_args[0]
+        offset = body.insert(arith.MulIOp(bx, bdim))
+        gid = body.insert(arith.AddIOp(offset.result, tx))
+        val = body.insert(memref_d.LoadOp(fn.arguments[0], [gid.result]))
+        doubled = body.insert(arith.AddFOp(val.result, val.result))
+        body.insert(memref_d.StoreOp(doubled.result, fn.arguments[0], [gid.result]))
+        body.insert(scf.YieldOp())
+        builder.insert(func.ReturnOp())
+        return module, fn
+
+    def test_launch_lowering_structure(self):
+        module, fn = self._launch_module()
+        LowerGPUPass().run(module)
+        verify(module)
+        parallels = [op for op in fn.walk() if isinstance(op, scf.ParallelOp)]
+        assert len(parallels) == 2
+        levels = {p.parallel_level for p in parallels}
+        assert levels == {"grid", "block"}
+        assert not any(isinstance(op, gpu_d.LaunchOp) for op in fn.walk())
+
+    def test_collapse_without_shared_memory(self):
+        module, fn = self._launch_module()
+        LowerGPUPass().run(module)
+        assert collapse_parallel_loops(module)
+        parallels = [op for op in fn.walk() if isinstance(op, scf.ParallelOp)]
+        assert len(parallels) == 1
+        assert parallels[0].num_dims == 6
+
+    def test_serialize_inner(self):
+        module, fn = self._launch_module()
+        LowerGPUPass().run(module)
+        assert serialize_inner_parallel_loops(module)
+        parallels = [op for op in fn.walk() if isinstance(op, scf.ParallelOp)]
+        assert len(parallels) == 1
+        assert parallels[0].parallel_level == "grid"
+        assert any(isinstance(op, scf.ForOp) for op in parallels[0].walk())
+
+    def test_lower_to_omp(self):
+        module, fn = self._launch_module()
+        LowerGPUPass().run(module)
+        serialize_inner_parallel_loops(module)
+        lower_module_to_omp(module)
+        verify(module)
+        assert count_ops(fn, omp_d.OmpParallelOp) == 1
+        assert count_ops(fn, omp_d.OmpWsLoopOp) == 1
+        assert count_ops(fn, scf.ParallelOp) == 0
+
+    def test_fuse_adjacent_omp_regions(self):
+        module, fn, builder = build_function("f", [memref((8,), F32)], ["a"], noalias=True)
+        for _ in range(2):
+            loop, inner = build_parallel(builder, 8)
+            c = inner.insert(arith.ConstantOp(1.0, F32))
+            inner.insert(memref_d.StoreOp(c.result, fn.arguments[0], [loop.induction_vars[0]]))
+            close_parallel(inner)
+        finish_function(builder)
+        lower_module_to_omp(module)
+        assert count_ops(fn, omp_d.OmpParallelOp) == 2
+        fuse_parallel_regions(module)
+        verify(module)
+        assert count_ops(fn, omp_d.OmpParallelOp) == 1
+        assert count_ops(fn, omp_d.OmpBarrierOp) == 1
+        assert count_ops(fn, omp_d.OmpWsLoopOp) == 2
+
+    def test_hoist_parallel_out_of_serial_loop(self):
+        module, fn, builder = build_function("f", [memref((8,), F32)], ["a"], noalias=True)
+        zero = const_index(builder, 0)
+        ten = const_index(builder, 10)
+        one = const_index(builder, 1)
+        outer = builder.insert(scf.ForOp(zero, ten, one))
+        inner_builder = Builder.at_end(outer.body)
+        loop, inner = build_parallel(inner_builder, 8)
+        c = inner.insert(arith.ConstantOp(1.0, F32))
+        inner.insert(memref_d.StoreOp(c.result, fn.arguments[0], [loop.induction_vars[0]]))
+        close_parallel(inner)
+        inner_builder.insert(scf.YieldOp())
+        finish_function(builder)
+        lower_module_to_omp(module)
+        hoist_parallel_regions(module)
+        verify(module)
+        # omp.parallel now encloses the for loop.
+        region = next(op for op in fn.walk() if isinstance(op, omp_d.OmpParallelOp))
+        assert any(isinstance(op, scf.ForOp) for op in region.walk())
+        assert count_ops(fn, omp_d.OmpBarrierOp) == 1
+
+
+class TestFullPipeline:
+    def _reduction_kernel_module(self):
+        """A kernel with shared memory and a barrier inside a serial loop."""
+        module = func.ModuleOp()
+        fn = func.FuncOp("host", FunctionType((memref((256,), F32), memref((4,), F32)), ()),
+                         arg_names=["data", "out"])
+        fn.set_attr("arg_noalias", True)
+        module.add_function(fn)
+        builder = Builder.at_end(fn.body_block)
+        four = builder.insert(arith.ConstantOp(4, INDEX)).result
+        sixty_four = builder.insert(arith.ConstantOp(64, INDEX)).result
+        one = builder.insert(arith.ConstantOp(1, INDEX)).result
+        launch = builder.insert(gpu_d.LaunchOp([four, one, one], [sixty_four, one, one],
+                                               kernel_name="block_sum"))
+        body = Builder.at_end(launch.body)
+        bx = launch.block_ids[0]
+        tx = launch.thread_ids[0]
+        bdim = launch.block_dim_args[0]
+        shared = body.insert(memref_d.AllocaOp(memref((64,), F32, "shared"))).result
+        offset = body.insert(arith.MulIOp(bx, bdim))
+        gid = body.insert(arith.AddIOp(offset.result, tx))
+        val = body.insert(memref_d.LoadOp(fn.arguments[0], [gid.result]))
+        body.insert(memref_d.StoreOp(val.result, shared, [tx]))
+        body.insert(gpu_d.BarrierOp())
+        # tree reduction: for s in {32, 16, 8, 4, 2, 1}: if tx < s: shared[tx] += shared[tx+s]
+        c32 = body.insert(arith.ConstantOp(32, INDEX)).result
+        zero_idx = body.insert(arith.ConstantOp(0, INDEX)).result
+        six = body.insert(arith.ConstantOp(6, INDEX)).result
+        loop = body.insert(scf.ForOp(zero_idx, six, one, iv_name="step"))
+        lb = Builder.at_end(loop.body)
+        # stride = 32 >> step
+        stride = lb.insert(arith.ShRSIOp(c32, loop.induction_var))
+        cond = lb.insert(arith.CmpIOp(arith.CmpPredicate.LT, tx, stride.result))
+        if_op = lb.insert(scf.IfOp(cond.result, with_else=False))
+        then = Builder.at_end(if_op.then_block)
+        partner = then.insert(arith.AddIOp(tx, stride.result))
+        mine = then.insert(memref_d.LoadOp(shared, [tx]))
+        other = then.insert(memref_d.LoadOp(shared, [partner.result]))
+        total = then.insert(arith.AddFOp(mine.result, other.result))
+        then.insert(memref_d.StoreOp(total.result, shared, [tx]))
+        then.insert(scf.YieldOp())
+        lb.insert(gpu_d.BarrierOp())
+        lb.insert(scf.YieldOp())
+        zero_cmp = body.insert(arith.ConstantOp(0, INDEX)).result
+        is_first = body.insert(arith.CmpIOp(arith.CmpPredicate.EQ, tx, zero_cmp))
+        guard = body.insert(scf.IfOp(is_first.result, with_else=False))
+        gbuilder = Builder.at_end(guard.then_block)
+        result = gbuilder.insert(memref_d.LoadOp(shared, [zero_cmp]))
+        gbuilder.insert(memref_d.StoreOp(result.result, fn.arguments[1], [bx]))
+        gbuilder.insert(scf.YieldOp())
+        body.insert(scf.YieldOp())
+        builder.insert(func.ReturnOp())
+        return module, fn
+
+    @pytest.mark.parametrize("options", [
+        PipelineOptions.all_optimizations(),
+        PipelineOptions.all_optimizations(inner_serialize=False),
+        PipelineOptions.opt_disabled(),
+        PipelineOptions.from_flags("mincut,openmpopt"),
+    ])
+    def test_cpuify_eliminates_gpu_dialect_and_barriers(self, options):
+        module, fn = self._reduction_kernel_module()
+        cpuify(module, options)
+        verify(module)
+        assert not any(isinstance(op, (gpu_d.LaunchOp, gpu_d.BarrierOp)) for op in module.walk())
+        # barriers only survive inside explicit fallback loops (none expected here)
+        remaining = barriers_in(fn)
+        assert not remaining
+
+    def test_cpuify_produces_omp_regions(self):
+        module, fn = self._reduction_kernel_module()
+        cpuify(module, PipelineOptions.all_optimizations())
+        assert count_ops(fn, omp_d.OmpParallelOp) >= 1
+        assert count_ops(fn, omp_d.OmpWsLoopOp) >= 1
+
+    def test_pipeline_options_flags(self):
+        options = PipelineOptions.from_flags("mincut,openmpopt,affine,innerser")
+        assert options.mincut and options.openmp_opt and options.affine and options.inner_serialize
+        with pytest.raises(ValueError):
+            PipelineOptions.from_flags("bogus")

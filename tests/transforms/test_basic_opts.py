@@ -1,0 +1,358 @@
+"""Tests for canonicalize / CSE / DCE / LICM / mem2reg / inline / unroll."""
+
+import pytest
+
+from repro.ir import Builder, F32, FunctionType, I1, I32, INDEX, memref, print_op, verify
+from repro.dialects import arith, func, math as math_d, memref as memref_d, polygeist, scf
+from repro.transforms import (
+    CanonicalizePass,
+    CSEPass,
+    LICMPass,
+    Mem2RegPass,
+    ParallelLICMPass,
+    canonicalize,
+    eliminate_common_subexpressions,
+    eliminate_dead_code,
+    fully_unroll,
+    hoist_loop_invariant_code,
+    inline_functions,
+    promote_memory_to_registers,
+    trip_count,
+    unroll_small_loops,
+)
+
+from tests.helpers import (
+    alloc_shared,
+    build_function,
+    build_parallel,
+    close_parallel,
+    const_index,
+    finish_function,
+    insert_barrier,
+)
+
+
+class TestCanonicalize:
+    def test_constant_fold_add(self):
+        module, fn, builder = build_function("f", [memref((4,), F32)], ["out"])
+        a = builder.insert(arith.ConstantOp(2, I32))
+        b = builder.insert(arith.ConstantOp(3, I32))
+        total = builder.insert(arith.AddIOp(a.result, b.result))
+        doubled = builder.insert(arith.MulIOp(total.result, total.result))
+        cast = builder.insert(arith.SIToFPOp(doubled.result, F32))
+        zero = const_index(builder, 0)
+        builder.insert(memref_d.StoreOp(cast.result, fn.arguments[0], [zero]))
+        finish_function(builder)
+        canonicalize(module)
+        verify(module)
+        constants = [op.value for op in fn.walk() if isinstance(op, arith.ConstantOp)]
+        assert 25.0 in constants
+        assert not any(isinstance(op, arith.AddIOp) for op in fn.walk())
+
+    def test_fold_math_and_cmp(self):
+        module, fn, builder = build_function("f", [memref((4,), F32)], ["out"])
+        four = builder.insert(arith.ConstantOp(4.0, F32))
+        root = builder.insert(math_d.UnaryMathOp("sqrt", four.result))
+        two = builder.insert(arith.ConstantOp(2.0, F32))
+        cmp = builder.insert(arith.CmpFOp(arith.CmpPredicate.EQ, root.result, two.result))
+        select = builder.insert(arith.SelectOp(cmp.result, four.result, two.result))
+        zero = const_index(builder, 0)
+        builder.insert(memref_d.StoreOp(select.result, fn.arguments[0], [zero]))
+        finish_function(builder)
+        canonicalize(module)
+        stored = fn.body_block.operations[-2]
+        assert isinstance(stored, memref_d.StoreOp)
+        assert stored.value.defining_op().value == 4.0
+
+    def test_identity_simplification(self):
+        module, fn, builder = build_function("f", [memref((4,), F32)], ["out"])
+        zero_f = builder.insert(arith.ConstantOp(0.0, F32))
+        value = builder.insert(memref_d.LoadOp(fn.arguments[0], [const_index(builder, 0)]))
+        added = builder.insert(arith.AddFOp(value.result, zero_f.result))
+        builder.insert(memref_d.StoreOp(added.result, fn.arguments[0], [const_index(builder, 1)]))
+        finish_function(builder)
+        canonicalize(module)
+        assert not any(isinstance(op, arith.AddFOp) for op in fn.walk())
+
+    def test_constant_if_inlined(self):
+        module, fn, builder = build_function("f", [memref((4,), F32)], ["out"])
+        true_val = builder.insert(arith.ConstantOp(1, I1))
+        if_op = builder.insert(scf.IfOp(true_val.result))
+        then_builder = Builder.at_end(if_op.then_block)
+        c = then_builder.insert(arith.ConstantOp(7.0, F32))
+        then_builder.insert(memref_d.StoreOp(c.result, fn.arguments[0], [const_index(then_builder, 0)]))
+        then_builder.insert(scf.YieldOp())
+        Builder.at_end(if_op.regions[1].block).insert(scf.YieldOp())
+        finish_function(builder)
+        canonicalize(module)
+        assert not any(isinstance(op, scf.IfOp) for op in fn.walk())
+        assert any(isinstance(op, memref_d.StoreOp) for op in fn.walk())
+
+    def test_dce_removes_unused_pure_chain(self):
+        module, fn, builder = build_function("f", [memref((4,), F32)], ["out"])
+        a = builder.insert(arith.ConstantOp(2, I32))
+        b = builder.insert(arith.AddIOp(a.result, a.result))
+        builder.insert(arith.MulIOp(b.result, b.result))
+        finish_function(builder)
+        eliminate_dead_code(module)
+        assert len(fn.body_block.operations) == 1  # just the return
+
+    def test_dce_keeps_stores(self):
+        module, fn, builder = build_function("f", [memref((4,), F32)], ["out"])
+        c = builder.insert(arith.ConstantOp(1.0, F32))
+        builder.insert(memref_d.StoreOp(c.result, fn.arguments[0], [const_index(builder, 0)]))
+        finish_function(builder)
+        eliminate_dead_code(module)
+        assert any(isinstance(op, memref_d.StoreOp) for op in fn.walk())
+
+
+class TestCSE:
+    def test_duplicate_pure_ops_merged(self):
+        module, fn, builder = build_function("f", [memref((8,), F32)], ["a"])
+        i0 = const_index(builder, 0)
+        x = builder.insert(arith.ConstantOp(3, I32))
+        first = builder.insert(arith.AddIOp(x.result, x.result))
+        second = builder.insert(arith.AddIOp(x.result, x.result))
+        as_float1 = builder.insert(arith.SIToFPOp(first.result, F32))
+        as_float2 = builder.insert(arith.SIToFPOp(second.result, F32))
+        total = builder.insert(arith.AddFOp(as_float1.result, as_float2.result))
+        builder.insert(memref_d.StoreOp(total.result, fn.arguments[0], [i0]))
+        finish_function(builder)
+        CSEPass().run(module)
+        adds = [op for op in fn.walk() if isinstance(op, arith.AddIOp)]
+        assert len(adds) == 1
+
+    def test_loads_not_csed(self):
+        module, fn, builder = build_function("f", [memref((8,), F32)], ["a"])
+        i0 = const_index(builder, 0)
+        l1 = builder.insert(memref_d.LoadOp(fn.arguments[0], [i0]))
+        l2 = builder.insert(memref_d.LoadOp(fn.arguments[0], [i0]))
+        total = builder.insert(arith.AddFOp(l1.result, l2.result))
+        builder.insert(memref_d.StoreOp(total.result, fn.arguments[0], [i0]))
+        finish_function(builder)
+        CSEPass().run(module)
+        loads = [op for op in fn.walk() if isinstance(op, memref_d.LoadOp)]
+        assert len(loads) == 2
+
+    def test_outer_value_reused_in_nested_block(self):
+        module, fn, builder = build_function("f", [memref((8,), F32)], ["a"])
+        x = builder.insert(arith.ConstantOp(3, I32))
+        outer = builder.insert(arith.AddIOp(x.result, x.result))
+        loop, inner = build_parallel(builder, 4)
+        duplicate = inner.insert(arith.AddIOp(x.result, x.result))
+        as_float = inner.insert(arith.SIToFPOp(duplicate.result, F32))
+        inner.insert(memref_d.StoreOp(as_float.result, fn.arguments[0], [loop.induction_vars[0]]))
+        close_parallel(inner)
+        finish_function(builder)
+        CSEPass().run(module)
+        adds = [op for op in fn.walk() if isinstance(op, arith.AddIOp)]
+        assert len(adds) == 1
+
+
+class TestLICM:
+    def _loop_with_invariant_load(self):
+        module, fn, builder = build_function("f", [memref((8,), F32), memref((8,), F32)],
+                                             ["a", "b"], noalias=True)
+        zero = const_index(builder, 0)
+        eight = const_index(builder, 8)
+        one = const_index(builder, 1)
+        loop = builder.insert(scf.ForOp(zero, eight, one))
+        inner = Builder.at_end(loop.body)
+        invariant = inner.insert(memref_d.LoadOp(fn.arguments[1], [zero]))
+        doubled = inner.insert(arith.AddFOp(invariant.result, invariant.result))
+        inner.insert(memref_d.StoreOp(doubled.result, fn.arguments[0], [loop.induction_var]))
+        inner.insert(scf.YieldOp())
+        finish_function(builder)
+        return module, fn, loop
+
+    def test_serial_licm_hoists_invariant_load(self):
+        module, fn, loop = self._loop_with_invariant_load()
+        hoist_loop_invariant_code(fn, module, parallel=False)
+        verify(module)
+        assert not any(isinstance(op, memref_d.LoadOp) for op in loop.body.operations)
+        assert any(isinstance(op, memref_d.LoadOp) for op in fn.body_block.operations)
+
+    def test_serial_licm_respects_conflicting_store(self):
+        module, fn, builder = build_function("f", [memref((8,), F32)], ["a"])
+        zero = const_index(builder, 0)
+        eight = const_index(builder, 8)
+        one = const_index(builder, 1)
+        loop = builder.insert(scf.ForOp(zero, eight, one))
+        inner = Builder.at_end(loop.body)
+        load = inner.insert(memref_d.LoadOp(fn.arguments[0], [zero]))
+        doubled = inner.insert(arith.AddFOp(load.result, load.result))
+        inner.insert(memref_d.StoreOp(doubled.result, fn.arguments[0], [loop.induction_var]))
+        inner.insert(scf.YieldOp())
+        finish_function(builder)
+        hoist_loop_invariant_code(fn, module, parallel=False)
+        # the load may read what the loop writes: it must stay inside.
+        assert any(isinstance(op, memref_d.LoadOp) for op in loop.body.operations)
+
+    def test_parallel_licm_hoists_readonly_call(self):
+        """The Fig. 1 normalize example: sum() moves out of the parallel loop."""
+        module = func.ModuleOp()
+        summ = func.FuncOp("sum", FunctionType((memref((64,), F32),), (F32,)),
+                           device=True, arg_names=["data"])
+        module.add_function(summ)
+        sb = Builder.at_end(summ.body_block)
+        acc = sb.insert(memref_d.LoadOp(summ.arguments[0], [sb.insert(arith.ConstantOp(0, INDEX)).result]))
+        sb.insert(func.ReturnOp([acc.result]))
+
+        kernel = func.FuncOp("normalize", FunctionType((memref((64,), F32), memref((64,), F32)), ()),
+                             kernel=True, arg_names=["out", "in"])
+        kernel.set_attr("arg_noalias", True)
+        module.add_function(kernel)
+        kb = Builder.at_end(kernel.body_block)
+        loop, inner = build_parallel(kb, 64)
+        tid = loop.induction_vars[0]
+        total = inner.insert(func.CallOp("sum", [kernel.arguments[1]], [F32]))
+        element = inner.insert(memref_d.LoadOp(kernel.arguments[1], [tid]))
+        normalized = inner.insert(arith.DivFOp(element.result, total.result))
+        inner.insert(memref_d.StoreOp(normalized.result, kernel.arguments[0], [tid]))
+        close_parallel(inner)
+        kb.insert(func.ReturnOp())
+
+        ParallelLICMPass().run(module)
+        verify(module)
+        # the call now sits in the kernel body, outside the parallel loop.
+        assert not any(isinstance(op, func.CallOp) for op in loop.body.operations)
+        assert any(isinstance(op, func.CallOp) for op in kernel.body_block.operations)
+
+    def test_parallel_licm_blocked_by_prior_write(self):
+        module, fn, builder = build_function("f", [memref((8,), F32), memref((8,), F32)],
+                                             ["a", "b"], noalias=False)
+        loop, inner = build_parallel(builder, 8)
+        tid = loop.induction_vars[0]
+        c = inner.insert(arith.ConstantOp(1.0, F32))
+        inner.insert(memref_d.StoreOp(c.result, fn.arguments[0], [tid]))
+        zero = const_index(builder, 0)
+        load = inner.insert(memref_d.LoadOp(fn.arguments[1], [zero]))
+        inner.insert(memref_d.StoreOp(load.result, fn.arguments[0], [tid]))
+        close_parallel(inner)
+        finish_function(builder)
+        hoist_loop_invariant_code(fn, module, parallel=True)
+        # args may alias, and a prior op writes: the load must stay.
+        assert any(isinstance(op, memref_d.LoadOp) for op in loop.body.operations)
+
+
+class TestMem2Reg:
+    def test_forwarding_across_barrier(self):
+        """Fig. 9 "Unnecessary Store/Load #1": forwarding works across syncs."""
+        module, fn, builder = build_function("k", [memref((64,), F32), memref((64,), F32)],
+                                             ["hidden", "out"], noalias=True)
+        weights = alloc_shared(builder, (64,))
+        loop, inner = build_parallel(builder, 64)
+        tid = loop.induction_vars[0]
+        hidden_val = inner.insert(memref_d.LoadOp(fn.arguments[0], [tid]))
+        inner.insert(memref_d.StoreOp(hidden_val.result, weights, [tid]))
+        insert_barrier(inner, [tid])
+        reloaded = inner.insert(memref_d.LoadOp(weights, [tid]))
+        doubled = inner.insert(arith.AddFOp(reloaded.result, reloaded.result))
+        inner.insert(memref_d.StoreOp(doubled.result, weights, [tid]))
+        insert_barrier(inner, [tid])
+        final = inner.insert(memref_d.LoadOp(weights, [tid]))
+        inner.insert(memref_d.StoreOp(final.result, fn.arguments[1], [tid]))
+        close_parallel(inner)
+        finish_function(builder)
+
+        promote_memory_to_registers(fn, module)
+        verify(module)
+        # the reload right after the first barrier is gone; its user now reads
+        # the register (SSA value) loaded from `hidden`.
+        remaining_loads = [op for op in loop.body.operations if isinstance(op, memref_d.LoadOp)]
+        assert all(op.memref is not weights or op is not reloaded for op in remaining_loads)
+        assert doubled.operands[0] is hidden_val.result
+
+    def test_forwarding_blocked_by_cross_thread_access(self):
+        module, fn, builder = build_function("k", [memref((64,), F32)], ["out"], noalias=True)
+        shared = alloc_shared(builder, (64,))
+        loop, inner = build_parallel(builder, 64)
+        tid = loop.induction_vars[0]
+        c = inner.insert(arith.ConstantOp(1.0, F32))
+        inner.insert(memref_d.StoreOp(c.result, shared, [tid]))
+        insert_barrier(inner, [tid])
+        one = const_index(inner, 1)
+        neighbor = inner.insert(arith.AddIOp(tid, one))
+        other = inner.insert(memref_d.LoadOp(shared, [neighbor.result]))
+        inner.insert(memref_d.StoreOp(other.result, fn.arguments[0], [tid]))
+        close_parallel(inner)
+        finish_function(builder)
+        promote_memory_to_registers(fn, module)
+        # the load reads a *different* thread's slot: it must remain a load.
+        assert any(isinstance(op, memref_d.LoadOp) and op.memref is shared
+                   for op in loop.body.operations)
+
+    def test_dead_store_elimination(self):
+        module, fn, builder = build_function("k", [memref((8,), F32)], ["a"], noalias=True)
+        zero = const_index(builder, 0)
+        c1 = builder.insert(arith.ConstantOp(1.0, F32))
+        c2 = builder.insert(arith.ConstantOp(2.0, F32))
+        builder.insert(memref_d.StoreOp(c1.result, fn.arguments[0], [zero]))
+        builder.insert(memref_d.StoreOp(c2.result, fn.arguments[0], [zero]))
+        finish_function(builder)
+        promote_memory_to_registers(fn, module)
+        stores = [op for op in fn.walk() if isinstance(op, memref_d.StoreOp)]
+        assert len(stores) == 1
+        assert stores[0].value is c2.result
+
+
+class TestInlineAndUnroll:
+    def test_inline_device_function(self):
+        module = func.ModuleOp()
+        helper = func.FuncOp("helper", FunctionType((F32,), (F32,)), device=True, arg_names=["x"])
+        module.add_function(helper)
+        hb = Builder.at_end(helper.body_block)
+        doubled = hb.insert(arith.AddFOp(helper.arguments[0], helper.arguments[0]))
+        hb.insert(func.ReturnOp([doubled.result]))
+
+        caller = func.FuncOp("caller", FunctionType((F32, memref((4,), F32)), ()),
+                             kernel=True, arg_names=["x", "out"])
+        module.add_function(caller)
+        cb = Builder.at_end(caller.body_block)
+        call = cb.insert(func.CallOp("helper", [caller.arguments[0]], [F32]))
+        zero = cb.insert(arith.ConstantOp(0, INDEX))
+        cb.insert(memref_d.StoreOp(call.result, caller.arguments[1], [zero.result]))
+        cb.insert(func.ReturnOp())
+
+        inline_functions(module, device_only=True)
+        verify(module)
+        assert not any(isinstance(op, func.CallOp) for op in caller.walk())
+        assert any(isinstance(op, arith.AddFOp) for op in caller.walk())
+
+    def test_trip_count(self):
+        module, fn, builder = build_function("f", [memref((4,), F32)], ["a"])
+        zero = const_index(builder, 0)
+        ten = const_index(builder, 10)
+        three = const_index(builder, 3)
+        loop = builder.insert(scf.ForOp(zero, ten, three))
+        Builder.at_end(loop.body).insert(scf.YieldOp())
+        finish_function(builder)
+        assert trip_count(loop) == 4
+
+    def test_full_unroll_replicates_body(self):
+        module, fn, builder = build_function("f", [memref((8,), F32)], ["a"])
+        zero = const_index(builder, 0)
+        four = const_index(builder, 4)
+        one = const_index(builder, 1)
+        loop = builder.insert(scf.ForOp(zero, four, one))
+        inner = Builder.at_end(loop.body)
+        c = inner.insert(arith.ConstantOp(1.0, F32))
+        inner.insert(memref_d.StoreOp(c.result, fn.arguments[0], [loop.induction_var]))
+        inner.insert(scf.YieldOp())
+        finish_function(builder)
+        assert fully_unroll(loop)
+        verify(module)
+        stores = [op for op in fn.walk() if isinstance(op, memref_d.StoreOp)]
+        assert len(stores) == 4
+        assert not any(isinstance(op, scf.ForOp) for op in fn.walk())
+
+    def test_unroll_only_with_barriers_filter(self):
+        module, fn, builder = build_function("f", [memref((8,), F32)], ["a"])
+        zero = const_index(builder, 0)
+        four = const_index(builder, 4)
+        one = const_index(builder, 1)
+        loop = builder.insert(scf.ForOp(zero, four, one))
+        Builder.at_end(loop.body).insert(scf.YieldOp())
+        finish_function(builder)
+        assert not unroll_small_loops(fn, only_with_barriers=True)
+        assert any(isinstance(op, scf.ForOp) for op in fn.walk())

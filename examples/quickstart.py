@@ -7,13 +7,17 @@ Demonstrates the three-step workflow:
      result on the simulated multicore, showing the O(N^2) -> O(N) effect of
      parallel loop-invariant code motion on the `sum` call.
 
+Execution uses the default compiled engine (IR translated once to Python
+closures); pass REPRO_ENGINE=interp to run on the tree-walking reference
+interpreter instead — outputs and simulated cycles are identical either way.
+
 Run with:  python examples/quickstart.py
 """
 
 import numpy as np
 
 from repro.frontend import compile_cuda
-from repro.runtime import Interpreter
+from repro.runtime import default_engine, make_executor
 from repro.transforms import PipelineOptions
 
 CUDA_SOURCE = """
@@ -47,7 +51,7 @@ def main() -> None:
     # 1. reference execution with genuine GPU (SIMT) semantics
     oracle = compile_cuda(CUDA_SOURCE)
     reference = np.zeros(n, dtype=np.float32)
-    Interpreter(oracle).run("launch", [reference, data.copy(), n])
+    make_executor(oracle).run("launch", [reference, data.copy(), n])
 
     # 2. GPU-to-CPU transpilation, unoptimized vs. fully optimized
     results = {}
@@ -55,12 +59,12 @@ def main() -> None:
                            ("optimized", PipelineOptions.all_optimizations())]:
         module = compile_cuda(CUDA_SOURCE, cuda_lower=True, options=options)
         output = np.zeros(n, dtype=np.float32)
-        interpreter = Interpreter(module, threads=32)
-        interpreter.run("launch", [output, data.copy(), n])
+        executor = make_executor(module, threads=32)
+        executor.run("launch", [output, data.copy(), n])
         assert np.allclose(output, reference, rtol=1e-4), "CPU result diverged from the oracle"
-        results[label] = interpreter.report
+        results[label] = executor.report
 
-    print("normalize kernel, n =", n)
+    print(f"normalize kernel, n = {n} (engine: {default_engine()})")
     print(f"  reference sum-normalized output verified against the SIMT oracle")
     for label, report in results.items():
         print(f"  {label:>13}: {report.dynamic_ops:8d} dynamic ops, "

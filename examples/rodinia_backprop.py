@@ -10,7 +10,7 @@ Run with:  python examples/rodinia_backprop.py
 import numpy as np
 
 from repro.rodinia import BENCHMARKS, run_module
-from repro.runtime import Interpreter
+from repro.runtime import make_executor
 from repro.transforms import PipelineOptions
 from repro.harness.tables import format_table
 
@@ -26,9 +26,9 @@ def main() -> None:
     bench = BENCHMARKS["backprop layerforward"]
     threads, scale = 8, 8
 
-    # oracle outputs
+    # oracle outputs (SIMT semantics, default compiled engine)
     oracle_args = bench.make_inputs(scale)
-    Interpreter(bench.compile_cuda(cuda_lower=False)).run(bench.entry, oracle_args)
+    make_executor(bench.compile_cuda(cuda_lower=False)).run(bench.entry, oracle_args)
 
     rows = []
     for label, options in SERIES.items():

@@ -13,17 +13,18 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..frontend import compile_cuda
-from ..runtime import CostReport, Interpreter, MachineModel, XEON_8375C
+from ..runtime import CostReport, MachineModel, XEON_8375C, make_executor
 
 
 def run_thread_per_thread(source: str, entry: str, arguments: Sequence, *,
                           machine: MachineModel = XEON_8375C,
-                          threads: Optional[int] = None) -> CostReport:
+                          threads: Optional[int] = None,
+                          engine: Optional[str] = None) -> CostReport:
     """Compile without lowering and execute with one emulated thread per GPU thread."""
     module = compile_cuda(source, cuda_lower=False)
-    interpreter = Interpreter(module, machine=machine, threads=threads)
-    interpreter.run(entry, arguments)
-    report = interpreter.report
+    executor = make_executor(module, engine=engine, machine=machine, threads=threads)
+    executor.run(entry, arguments)
+    report = executor.report
     # every simulated GPU thread becomes an OS thread: charge a fork per
     # thread-block phase on top of the interpreter's accounting.
     report.cycles += report.simt_phases * machine.fork_cost

@@ -28,20 +28,23 @@ ABLATION_SERIES: Dict[str, PipelineOptions] = {
 
 
 def _run_variant(bench, options: Optional[PipelineOptions], variant: str,
-                 scale: int, threads: int, machine) -> float:
+                 scale: int, threads: int, machine,
+                 engine: Optional[str] = None) -> float:
     arguments = bench.make_inputs(scale)
     if variant == "cuda":
         module = bench.compile_cuda(options)
     else:
         module = bench.compile_openmp()
-    report = run_module(module, bench.entry, arguments, machine=machine, threads=threads)
+    report = run_module(module, bench.entry, arguments, machine=machine,
+                        threads=threads, engine=engine)
     return report.cycles
 
 
 def run_speedup_over_openmp(benchmarks: Optional[Sequence[str]] = None, *,
                             threads: int = 32, scale: int = 1,
                             inner_serialize: bool = True,
-                            machine=XEON_8375C) -> Dict[str, Dict[str, float]]:
+                            machine=XEON_8375C,
+                            engine: Optional[str] = None) -> Dict[str, Dict[str, float]]:
     """Fig. 13 (right): {benchmark: {"OpenMP": cycles, "CUDA-OpenMP": cycles}}."""
     names = list(benchmarks or FIGURE13_SET)
     options = PipelineOptions.all_optimizations(inner_serialize=inner_serialize)
@@ -51,15 +54,16 @@ def run_speedup_over_openmp(benchmarks: Optional[Sequence[str]] = None, *,
         if bench.omp_source is None:
             continue
         results[name] = {
-            "OpenMP": _run_variant(bench, None, "omp", scale, threads, machine),
-            "CUDA-OpenMP": _run_variant(bench, options, "cuda", scale, threads, machine),
+            "OpenMP": _run_variant(bench, None, "omp", scale, threads, machine, engine),
+            "CUDA-OpenMP": _run_variant(bench, options, "cuda", scale, threads, machine, engine),
         }
     return results
 
 
 def run_ablation(benchmarks: Optional[Sequence[str]] = None, *,
                  threads: int = 32, scale: int = 1,
-                 machine=XEON_8375C) -> Dict[str, Dict[str, float]]:
+                 machine=XEON_8375C,
+                 engine: Optional[str] = None) -> Dict[str, Dict[str, float]]:
     """Fig. 13 (left): {benchmark: {series: cycles}}."""
     names = list(benchmarks or FIGURE13_SET)
     results: Dict[str, Dict[str, float]] = {}
@@ -67,7 +71,8 @@ def run_ablation(benchmarks: Optional[Sequence[str]] = None, *,
         bench = BENCHMARKS[name]
         results[name] = {}
         for series, options in ABLATION_SERIES.items():
-            results[name][series] = _run_variant(bench, options, "cuda", scale, threads, machine)
+            results[name][series] = _run_variant(bench, options, "cuda", scale,
+                                                 threads, machine, engine)
     return results
 
 

@@ -21,7 +21,8 @@ DEFAULT_THREADS = (1, 2, 4, 8, 16, 32)
 def run(benchmarks: Optional[Sequence[str]] = None, *,
         threads: Sequence[int] = DEFAULT_THREADS, scale: int = 1,
         inner_serialize: bool = False,
-        machine=XEON_8375C) -> Dict[str, Dict[str, Dict[int, float]]]:
+        machine=XEON_8375C,
+        engine: Optional[str] = None) -> Dict[str, Dict[str, Dict[int, float]]]:
     """Returns {benchmark: {"CUDA-OpenMP"/"OpenMP": {threads: cycles}}}."""
     names = list(benchmarks or FIGURE13_SET)
     options = PipelineOptions.all_optimizations(inner_serialize=inner_serialize)
@@ -32,14 +33,14 @@ def run(benchmarks: Optional[Sequence[str]] = None, *,
         cuda_module = bench.compile_cuda(options)
         for thread_count in threads:
             report = run_module(cuda_module, bench.entry, bench.make_inputs(scale),
-                                machine=machine, threads=thread_count)
+                                machine=machine, threads=thread_count, engine=engine)
             results[name]["CUDA-OpenMP"][thread_count] = report.cycles
         if bench.omp_source is not None:
             results[name]["OpenMP"] = {}
             omp_module = bench.compile_openmp()
             for thread_count in threads:
                 report = run_module(omp_module, bench.entry, bench.make_inputs(scale),
-                                    machine=machine, threads=thread_count)
+                                    machine=machine, threads=thread_count, engine=engine)
                 results[name]["OpenMP"][thread_count] = report.cycles
     return results
 

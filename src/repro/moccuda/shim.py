@@ -22,7 +22,7 @@ from typing import Callable, Deque, Dict, List, Optional
 import numpy as np
 
 from ..frontend import compile_cuda
-from ..runtime import A64FX_CMG, Interpreter
+from ..runtime import A64FX_CMG, make_executor, resolve_engine
 from ..transforms import PipelineOptions
 
 
@@ -97,11 +97,15 @@ void nll_loss(float* log_probs, int* targets, float* losses, float* total,
 class MocCUDASession:
     """The interception layer: call registry + device + streams + kernels."""
 
-    def __init__(self, options: Optional[PipelineOptions] = None) -> None:
+    def __init__(self, options: Optional[PipelineOptions] = None,
+                 engine: Optional[str] = None) -> None:
         self.device = DeviceProperties()
         self.streams: Dict[int, Stream] = {0: Stream(0)}
         self.call_log: List[str] = []
         self.options = options or PipelineOptions.all_optimizations()
+        if engine is not None:
+            resolve_engine(engine)  # fail fast on a bad engine name
+        self.engine = engine  # None = process default ("compiled")
         self._nll_module = None
 
     # -- CUDART surface -------------------------------------------------------
@@ -148,7 +152,8 @@ class MocCUDASession:
             raise ValueError("the transpiled kernel handles one warp (<=32 samples) per launch")
         losses = np.zeros(32, dtype=np.float32)
         total = np.zeros(1, dtype=np.float32)
-        interpreter = Interpreter(self._nll_loss_module(), machine=A64FX_CMG)
-        interpreter.run("nll_loss", [np.ascontiguousarray(log_probs.reshape(-1)),
-                                     targets.astype(np.int64), losses, total, batch, classes])
+        executor = make_executor(self._nll_loss_module(), engine=self.engine,
+                                 machine=A64FX_CMG)
+        executor.run("nll_loss", [np.ascontiguousarray(log_probs.reshape(-1)),
+                                  targets.astype(np.int64), losses, total, batch, classes])
         return float(total[0])

@@ -8,7 +8,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..frontend import compile_cuda
-from ..runtime import CostReport, Interpreter, MachineModel, XEON_8375C
+from ..runtime import CostReport, MachineModel, XEON_8375C, make_executor
 from ..transforms import PipelineOptions
 from . import kernels
 
@@ -181,17 +181,23 @@ FIGURE13_SET = [name for name in BENCHMARKS if name != "matmul"]
 
 
 def run_module(module, entry: str, arguments: Sequence, *,
-               machine: MachineModel = XEON_8375C, threads: Optional[int] = None) -> CostReport:
-    """Execute a compiled benchmark once and return its cost report."""
-    interpreter = Interpreter(module, machine=machine, threads=threads)
-    interpreter.run(entry, arguments)
-    return interpreter.report
+               machine: MachineModel = XEON_8375C, threads: Optional[int] = None,
+               engine: Optional[str] = None) -> CostReport:
+    """Execute a compiled benchmark once and return its cost report.
+
+    ``engine`` selects the execution engine ("compiled"/"interp"; None =
+    process default) — results and cost reports are engine-independent.
+    """
+    executor = make_executor(module, engine=engine, machine=machine, threads=threads)
+    executor.run(entry, arguments)
+    return executor.report
 
 
 def run_benchmark(name: str, *, variant: str = "cuda",
                   options: Optional[PipelineOptions] = None,
                   scale: int = 1, machine: MachineModel = XEON_8375C,
-                  threads: Optional[int] = None) -> CostReport:
+                  threads: Optional[int] = None,
+                  engine: Optional[str] = None) -> CostReport:
     """Compile and run one benchmark variant ("cuda", "omp" or "oracle")."""
     bench = BENCHMARKS[name]
     arguments = bench.make_inputs(scale)
@@ -205,21 +211,23 @@ def run_benchmark(name: str, *, variant: str = "cuda",
         module = bench.compile_cuda(cuda_lower=False)
     else:
         raise ValueError(f"unknown variant {variant!r}")
-    return run_module(module, bench.entry, arguments, machine=machine, threads=threads)
+    return run_module(module, bench.entry, arguments, machine=machine,
+                      threads=threads, engine=engine)
 
 
 def verify_benchmark(name: str, options: Optional[PipelineOptions] = None,
-                     scale: int = 1, rtol: float = 1e-4) -> bool:
+                     scale: int = 1, rtol: float = 1e-4,
+                     engine: Optional[str] = None) -> bool:
     """Check that the cpuified CUDA code matches the SIMT oracle bit-for-bit
     (floats: within tolerance) on this benchmark's outputs."""
     bench = BENCHMARKS[name]
     oracle_args = bench.make_inputs(scale)
     oracle = bench.compile_cuda(cuda_lower=False)
-    Interpreter(oracle).run(bench.entry, oracle_args)
+    make_executor(oracle, engine=engine).run(bench.entry, oracle_args)
 
     cpu_args = bench.make_inputs(scale)
     lowered = bench.compile_cuda(options or PipelineOptions.all_optimizations())
-    Interpreter(lowered).run(bench.entry, cpu_args)
+    make_executor(lowered, engine=engine).run(bench.entry, cpu_args)
 
     for index in bench.output_indices:
         expected, actual = oracle_args[index], cpu_args[index]

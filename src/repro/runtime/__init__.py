@@ -1,8 +1,20 @@
-"""repro.runtime — execution and the analytic performance model.
+"""repro.runtime — execution engines and the analytic performance model.
 
-* :class:`~repro.runtime.interpreter.Interpreter` executes modules: un-lowered
-  modules run with SIMT (GPU oracle) semantics, lowered modules run under the
-  simulated-multicore cost model.
+Two execution engines share one API (``run(name, args)`` + ``report``):
+
+* :class:`~repro.runtime.interpreter.Interpreter` — the tree-walking
+  reference engine: un-lowered modules run with SIMT (GPU oracle) semantics,
+  lowered modules run under the simulated-multicore cost model.  It is the
+  correctness and cost-accounting oracle.
+* :class:`~repro.runtime.compiler.CompiledEngine` — the default engine: a
+  one-time translation of each function to specialized Python closures with
+  SSA slot numbering, compiled barrier phases and lazy iteration spaces.
+  Bit-identical outputs and cost reports, much faster wall clock.
+
+Select with :func:`~repro.runtime.engine.make_executor` /
+:func:`~repro.runtime.engine.execute` (``engine="compiled"|"interp"``, or
+the ``REPRO_ENGINE`` environment variable).
+
 * :mod:`~repro.runtime.costmodel` defines the machine descriptions
   (``XEON_8375C`` for the Rodinia/MCUDA study, ``A64FX_CMG`` for MocCUDA)
   and the per-operation/memory cost tables.
@@ -20,11 +32,25 @@ from .costmodel import (
     memory_access_cost,
     op_cost,
 )
-from .interpreter import Interpreter, InterpreterError, execute
+from .interpreter import Interpreter, InterpreterError
+from .compiler import CompiledEngine, invalidate_compiled
+from .engine import (
+    ENGINE_COMPILED,
+    ENGINE_ENV_VAR,
+    ENGINE_INTERP,
+    ENGINES,
+    default_engine,
+    execute,
+    make_executor,
+    resolve_engine,
+)
 
 __all__ = [
     "MemRefStorage", "dtype_for",
     "A64FX_CMG", "CostReport", "MachineModel", "OP_COSTS", "XEON_8375C",
     "memory_access_cost", "op_cost",
-    "Interpreter", "InterpreterError", "execute",
+    "Interpreter", "InterpreterError",
+    "CompiledEngine", "invalidate_compiled",
+    "ENGINE_COMPILED", "ENGINE_ENV_VAR", "ENGINE_INTERP", "ENGINES",
+    "default_engine", "execute", "make_executor", "resolve_engine",
 ]

@@ -1,0 +1,1124 @@
+"""Compiled execution engine: one-time translation of IR to Python closures.
+
+The tree-walking :class:`~repro.runtime.interpreter.Interpreter` re-dispatches
+on the operation type for every dynamic operation and copies the whole
+environment dictionary per loop iteration and per SIMT thread.  This module
+removes that hot-path overhead by *compiling* each function once:
+
+* **SSA value numbering** — every SSA value of a function gets a flat integer
+  slot in a per-invocation register list.  Loop iterations reuse slots in
+  place (SSA dominance guarantees dead values are never read), so the
+  per-iteration ``dict(env)`` copy disappears entirely; SIMT threads take a
+  flat ``regs[:]`` list copy instead of a dict copy.
+* **specialized closures** — each operation compiles to a small closure with
+  operand slots, cost constants and type coercions resolved at compile time;
+  straight-line block bodies are stitched into generated straight-line code
+  (the ``generate_ast``-style "lower once, execute many" idiom).
+* **lazy iteration spaces** — ``scf.parallel`` / ``omp.wsloop`` iteration
+  spaces are ``itertools.product`` streams, never materialized lists.
+* **compiled barrier phases** — bodies whose barriers sit in straight-line
+  position compile to an explicit list of *phase closures* executed
+  phase-by-phase over all threads with no generators at all; bodies with
+  barriers under control flow fall back to compiled *generator* closures
+  scheduled by the same barrier-phase loop the interpreter uses.
+
+Cost accounting is replicated charge-for-charge in the interpreter's
+execution order, so a compiled run produces a bit-identical
+:class:`~repro.runtime.costmodel.CostReport` (the differential tests in
+``tests/runtime/test_engine_parity.py`` pin this).  Two deliberate
+differences, both only observable on malformed IR or exhausted budgets: the
+``max_dynamic_ops`` budget is checked per *block* instead of per op (the
+dynamic-op counter itself stays exact), and use-before-def reads surface as
+``None`` values instead of a "use of undefined value" error.
+
+Compiled programs are cached on the module object itself, keyed by the
+machine model (cost constants are baked into the closures).  The cache
+assumes the module is not mutated after its first compiled run — call
+:func:`invalidate_compiled` after transforming an already-executed module.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..dialects import arith, func as func_d, gpu as gpu_d, math as math_d, memref as memref_d
+from ..dialects import omp as omp_d, polygeist, scf
+from .costmodel import CostReport, MachineModel, XEON_8375C, op_cost
+from .interpreter import InterpreterError
+from .memory import MemRefStorage
+
+_BARRIER = object()  # yielded by compiled generator closures at barriers
+
+#: attribute used to cache compiled programs on the module operation.
+_CACHE_ATTR = "_compiled_programs"
+
+_TERMINATORS = (func_d.ReturnOp, scf.YieldOp, scf.ConditionOp)
+_BARRIER_OPS = (polygeist.PolygeistBarrierOp, gpu_d.BarrierOp)
+
+#: region-owning ops that run their bodies in their own execution context —
+#: a barrier nested under one of these never suspends the *enclosing* body.
+_CONTEXT_OPS = (scf.ParallelOp, gpu_d.LaunchOp, omp_d.OmpParallelOp,
+                omp_d.OmpWsLoopOp, omp_d.OmpSingleOp)
+
+
+class _BarrierEscape(Exception):
+    """A barrier executed in a context that cannot suspend (compiled code)."""
+
+
+class _State:
+    """Mutable per-run execution state shared by all compiled closures."""
+
+    __slots__ = ("report", "threads", "work", "max_ops", "program")
+
+    def __init__(self, report: CostReport, threads: int, work: List[float],
+                 max_ops: Optional[int], program: "_Program") -> None:
+        self.report = report
+        self.threads = threads
+        self.work = work
+        self.max_ops = max_ops
+        self.program = program
+
+
+class _CompiledFunction:
+    """One function lowered to closures: register template + body runner."""
+
+    __slots__ = ("name", "template", "arg_slots", "return_slots", "runner", "is_gen")
+
+    def __init__(self, name: str, template: List, arg_slots: List[int],
+                 return_slots: List[int], runner: Callable, is_gen: bool) -> None:
+        self.name = name
+        self.template = template
+        self.arg_slots = arg_slots
+        self.return_slots = return_slots
+        self.runner = runner
+        self.is_gen = is_gen
+
+
+def _split_executed(block) -> Tuple[List, Optional[object]]:
+    """Ops the interpreter would execute, split at the first terminator."""
+    body = []
+    for op in block.operations:
+        if isinstance(op, _TERMINATORS):
+            return body, op
+        body.append(op)
+    return body, None
+
+
+class _Program:
+    """All compiled functions of one module for one machine model."""
+
+    def __init__(self, module: func_d.ModuleOp, machine: MachineModel) -> None:
+        self.module = module
+        self.machine = machine
+        self._functions: Dict[Tuple[int, bool], _CompiledFunction] = {}
+        self._may_yield: Dict[int, bool] = {}
+        self._speedups: Dict[int, float] = {}
+        # cost constants baked into memory-access closures
+        self.local_cost = machine.local_access_cost
+        self.global_base = machine.global_access_cost * machine.hbm_bandwidth_factor
+
+    def function(self, fn: func_d.FuncOp, gen: bool) -> _CompiledFunction:
+        key = (id(fn), gen)
+        compiled = self._functions.get(key)
+        if compiled is None:
+            compiled = self._functions[key] = _FunctionCompiler(self, fn, gen).compile()
+        return compiled
+
+    def speedup(self, threads: int) -> float:
+        cached = self._speedups.get(threads)
+        if cached is None:
+            cached = self._speedups[threads] = self.machine.effective_speedup(threads)
+        return cached
+
+    # -- barrier reachability -------------------------------------------------
+    def op_may_yield(self, op) -> bool:
+        """True if executing ``op`` may surface a barrier to the enclosing body."""
+        if isinstance(op, _BARRIER_OPS):
+            return True
+        if isinstance(op, _CONTEXT_OPS):
+            return False
+        if isinstance(op, func_d.CallOp):
+            callee = self.module.lookup(op.callee)
+            if callee is None or callee.is_declaration:
+                return False
+            return self.function_may_yield(callee)
+        for region in op.regions:
+            for block in region.blocks:
+                for nested in block.operations:
+                    if self.op_may_yield(nested):
+                        return True
+        return False
+
+    def function_may_yield(self, fn: func_d.FuncOp) -> bool:
+        key = id(fn)
+        if key in self._may_yield:
+            return self._may_yield[key]
+        self._may_yield[key] = True  # conservative while recursing
+        result = any(self.op_may_yield(op) for op in fn.body_block.operations)
+        self._may_yield[key] = result
+        return result
+
+
+def program_for(module: func_d.ModuleOp, machine: MachineModel) -> _Program:
+    """The (cached) compiled program of ``module`` for ``machine``."""
+    cache = getattr(module, _CACHE_ATTR, None)
+    if cache is None:
+        cache = {}
+        setattr(module, _CACHE_ATTR, cache)
+    prog = cache.get(machine)
+    if prog is None:
+        prog = cache[machine] = _Program(module, machine)
+    return prog
+
+
+def invalidate_compiled(module: func_d.ModuleOp) -> None:
+    """Drop the compiled-program cache (call after mutating a run module)."""
+    if hasattr(module, _CACHE_ATTR):
+        delattr(module, _CACHE_ATTR)
+
+
+# ---------------------------------------------------------------------------
+# Function compilation
+# ---------------------------------------------------------------------------
+class _FunctionCompiler:
+    """Translates one function body to slot-addressed closures."""
+
+    def __init__(self, program: _Program, fn: func_d.FuncOp, gen: bool) -> None:
+        self.program = program
+        self.fn = fn
+        self.gen_mode = gen
+        self._slots: Dict[int, int] = {}
+        self.template: List = []
+        self._prebound: set = set()  # result ids of launch-prebound shared allocas
+        self._uid = 0  # unique suffix for names captured by generated source
+
+    def _name(self, prefix: str) -> str:
+        self._uid += 1
+        return f"_{prefix}{self._uid}"
+
+    # -- slot allocation ------------------------------------------------------
+    def slot(self, value) -> int:
+        key = id(value)
+        existing = self._slots.get(key)
+        if existing is None:
+            existing = self._slots[key] = len(self.template)
+            self.template.append(None)
+        return existing
+
+    def slots(self, values) -> List[int]:
+        return [self.slot(v) for v in values]
+
+    def compile(self) -> _CompiledFunction:
+        arg_slots = self.slots(self.fn.arguments)
+        runner = self.compile_block(self.fn.body_block, gen=self.gen_mode)
+        _, term = _split_executed(self.fn.body_block)
+        return_slots = self.slots(term.operands) if isinstance(term, func_d.ReturnOp) else []
+        return _CompiledFunction(self.fn.sym_name, self.template, arg_slots,
+                                 return_slots, runner, self.gen_mode)
+
+    # -- block compilation ----------------------------------------------------
+    def compile_block(self, block, gen: bool) -> Callable:
+        """Compile a block to a runner closure (generator closure if ``gen``)."""
+        ops, term = _split_executed(block)
+        nops = len(ops) + (1 if term is not None else 0)
+        items = []
+        for op in ops:
+            item = self.compile_op(op, gen)
+            if item is not None:
+                items.append(item)
+        return _build_runner(items, nops, gen)
+
+    def compile_chunks(self, block) -> List[Callable]:
+        """Compile a straight-line barrier body into phase-chunk closures."""
+        ops, term = _split_executed(block)
+        chunks: List[Callable] = []
+        steps: List[Tuple[str, Callable]] = []
+        count = 0
+        for op in ops:
+            count += 1  # every op (incl. the barrier itself) is a dynamic op
+            if isinstance(op, _BARRIER_OPS):
+                chunks.append(_build_runner(steps, count, gen=False))
+                steps, count = [], 0
+                continue
+            item = self.compile_op(op, gen=False)
+            if item is not None:
+                steps.append(item)
+        if term is not None:
+            count += 1
+        chunks.append(_build_runner(steps, count, gen=False))
+        return chunks
+
+    def compile_simt_body(self, block):
+        """Compile a SIMT body: phase chunks when barriers are straight-line,
+        compiled generator closures otherwise.  Returns a phase driver
+        ``run_simt(state, thread_regs) -> phases``."""
+        ops, _ = _split_executed(block)
+        straight = all(isinstance(op, _BARRIER_OPS) or not self.program.op_may_yield(op)
+                       for op in ops)
+        if straight:
+            chunks = self.compile_chunks(block)
+
+            def run_simt(state, thread_regs, _chunks=chunks):
+                if not thread_regs:
+                    return 0
+                for chunk in _chunks:
+                    for regs in thread_regs:
+                        chunk(state, regs)
+                return len(_chunks)
+        else:
+            body = self.compile_block(block, gen=True)
+
+            def run_simt(state, thread_regs, _body=body):
+                live = [_body(state, regs) for regs in thread_regs]
+                phases = 0
+                while live:
+                    phases += 1
+                    survivors = []
+                    keep = survivors.append
+                    for thread in live:
+                        try:
+                            next(thread)
+                        except StopIteration:
+                            continue
+                        keep(thread)
+                    live = survivors
+                return phases
+        return run_simt
+
+    # -- op compilation --------------------------------------------------------
+    def compile_op(self, op, gen: bool):
+        """Compile one op to an item ``(kind, closure)`` with kind ``'p'``
+        (plain step), ``'g'`` (generator step) or ``'b'`` (barrier yield);
+        returns ``None`` for ops with no runtime action (constants)."""
+        if isinstance(op, _BARRIER_OPS):
+            if gen:
+                return ("b", None)
+            def barrier(state, regs):
+                raise _BarrierEscape()
+            return ("p", barrier)
+        if isinstance(op, arith.ConstantOp):
+            self.template[self.slot(op.result)] = op.value
+            return None
+        if isinstance(op, arith.BinaryOp):
+            return self._c_binary(op)
+        if isinstance(op, arith._CmpOp):
+            return self._c_cmp(op)
+        if isinstance(op, arith._CastOp):
+            return self._c_cast(op)
+        if isinstance(op, arith.NegFOp):
+            return self._c_negf(op)
+        if isinstance(op, arith.SelectOp):
+            return self._c_select(op)
+        if isinstance(op, math_d.UnaryMathOp):
+            return self._c_math_unary(op)
+        if isinstance(op, math_d.PowFOp):
+            return self._c_math_pow(op)
+        if isinstance(op, memref_d.AllocOp):  # covers AllocaOp
+            if id(op.result) in self._prebound:
+                return None
+            return ("p", self._c_alloc(op))
+        if isinstance(op, memref_d.DeallocOp):
+            return ("p", self._c_dealloc(op))
+        if isinstance(op, memref_d.LoadOp):
+            return self._c_load(op)
+        if isinstance(op, memref_d.StoreOp):
+            return self._c_store(op)
+        if isinstance(op, memref_d.DimOp):
+            return ("p", self._c_dim(op))
+        if isinstance(op, memref_d.CopyOp):
+            return ("p", self._c_copy(op))
+        if isinstance(op, func_d.CallOp):
+            return self._c_call(op, gen)
+        if isinstance(op, scf.ForOp):
+            if gen and self.program.op_may_yield(op):
+                return ("g", self._c_for(op, gen=True))
+            return ("p", self._c_for(op, gen=False))
+        if isinstance(op, scf.IfOp):
+            if gen and self.program.op_may_yield(op):
+                return ("g", self._c_if(op, gen=True))
+            return ("p", self._c_if(op, gen=False))
+        if isinstance(op, scf.WhileOp):
+            if gen and self.program.op_may_yield(op):
+                return ("g", self._c_while(op, gen=True))
+            return ("p", self._c_while(op, gen=False))
+        if isinstance(op, scf.ParallelOp):
+            return ("p", self._c_scf_parallel(op))
+        if isinstance(op, gpu_d.LaunchOp):
+            return ("p", self._c_gpu_launch(op))
+        if isinstance(op, gpu_d.GPUAllocOp):
+            return ("p", self._c_gpu_alloc(op))
+        if isinstance(op, gpu_d.GPUDeallocOp):
+            return ("p", self._c_gpu_dealloc(op))
+        if isinstance(op, gpu_d.GPUMemcpyOp):
+            return ("p", self._c_gpu_memcpy(op))
+        if isinstance(op, omp_d.OmpParallelOp):
+            return ("p", self._c_omp_parallel(op))
+        if isinstance(op, omp_d.OmpWsLoopOp):
+            return ("p", self._c_omp_wsloop(op))
+        if isinstance(op, omp_d.OmpBarrierOp):
+            return ("p", self._c_omp_barrier(op))
+        if isinstance(op, omp_d.OmpSingleOp):
+            return ("p", self._c_omp_single(op))
+        message = f"no interpretation for op {op.name}"
+        def unsupported(state, regs):
+            raise InterpreterError(message)
+        return ("p", unsupported)
+
+    # -- scalar ops (inlined into the generated block source) -------------------
+    #: binary ops whose Python evaluation is inlined as an expression; every
+    #: template must match the corresponding ``PY_FUNC`` exactly.
+    _BINARY_EXPR = {
+        arith.AddIOp: "({a} + {b})", arith.SubIOp: "({a} - {b})",
+        arith.MulIOp: "({a} * {b})",
+        arith.MinSIOp: "min({a}, {b})", arith.MaxSIOp: "max({a}, {b})",
+        arith.AddFOp: "({a} + {b})", arith.SubFOp: "({a} - {b})",
+        arith.MulFOp: "({a} * {b})",
+        arith.MinFOp: "min({a}, {b})", arith.MaxFOp: "max({a}, {b})",
+        arith.DivFOp: "({a} / {b} if {b} != 0.0 else float('inf'))",
+    }
+    _CMP_EXPR = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">="}
+
+    def _charged(self, cost: float, lines: List[str], ns=None):
+        return ("src", [f"w[-1] += {cost!r}", *lines], ns or {})
+
+    def _c_binary(self, op):
+        ls, rs, ds = self.slot(op.lhs), self.slot(op.rhs), self.slot(op.result)
+        ns = {}
+        template = self._BINARY_EXPR.get(type(op))
+        if template is not None:
+            expr = template.format(a=f"regs[{ls}]", b=f"regs[{rs}]")
+        else:
+            name = self._name("f")
+            ns[name] = op.PY_FUNC
+            expr = f"{name}(regs[{ls}], regs[{rs}])"
+        if op.result.type.is_integer or op.result.type.is_index:
+            expr = f"int({expr})"
+        return self._charged(op_cost(op.name), [f"regs[{ds}] = {expr}"], ns)
+
+    def _c_cmp(self, op):
+        ls, rs, ds = self.slot(op.lhs), self.slot(op.rhs), self.slot(op.result)
+        cmp = self._CMP_EXPR[op.predicate]
+        return self._charged(
+            op_cost(op.name),
+            [f"regs[{ds}] = 1 if regs[{ls}] {cmp} regs[{rs}] else 0"])
+
+    def _c_cast(self, op):
+        src, ds = self.slot(op.input), self.slot(op.result)
+        convert = "float" if op.result.type.is_float else "int"
+        return self._charged(op_cost(op.name), [f"regs[{ds}] = {convert}(regs[{src}])"])
+
+    def _c_negf(self, op):
+        src, ds = self.slot(op.operands[0]), self.slot(op.result)
+        return self._charged(op_cost(op.name), [f"regs[{ds}] = -regs[{src}]"])
+
+    def _c_select(self, op):
+        cs = self.slot(op.condition)
+        ts, fs, ds = self.slot(op.true_value), self.slot(op.false_value), self.slot(op.result)
+        return self._charged(
+            op_cost(op.name),
+            [f"regs[{ds}] = regs[{ts}] if regs[{cs}] else regs[{fs}]"])
+
+    def _c_math_unary(self, op):
+        src, ds = self.slot(op.operands[0]), self.slot(op.result)
+        name = self._name("f")
+        return self._charged(
+            op_cost("math.unary"),
+            [f"regs[{ds}] = {name}(float(regs[{src}]))"],
+            {name: math_d.UNARY_FUNCTIONS[op.fn]})
+
+    def _c_math_pow(self, op):
+        ls, rs, ds = self.slot(op.lhs), self.slot(op.rhs), self.slot(op.result)
+        name = self._name("f")
+        return self._charged(
+            op_cost("math.powf"),
+            [f"regs[{ds}] = {name}(regs[{ls}], regs[{rs}])"],
+            {name: math_d.PowFOp.evaluate})
+
+    # -- memory ops -------------------------------------------------------------
+    def _c_alloc(self, op):
+        size_slots = self.slots(op.operands)
+        ds = self.slot(op.result)
+        mtype = op.memref_type
+        allocate = MemRefStorage.allocate
+        def step(state, regs):
+            sizes = [int(regs[s]) for s in size_slots]
+            storage = allocate(mtype, sizes)
+            state.work[-1] += 2.0
+            regs[ds] = storage
+        return step
+
+    def _c_dealloc(self, op):
+        ms = self.slot(op.memref)
+        def step(state, regs):
+            storage = regs[ms]
+            if storage.freed:
+                raise InterpreterError("use after free of a memref buffer")
+            storage.freed = True
+            state.work[-1] += 2.0
+        return step
+
+    def _mem_cost_prefix(self):
+        return self.program.local_cost, self.program.global_base
+
+    def _access_lines(self, memref_slot: int) -> List[str]:
+        """Shared prologue of a load/store: freed check + access charge.
+
+        Leaves the storage in ``_s`` and its array in ``_a``; the cost and
+        traffic accounting replicates ``memory_access_cost`` exactly (memory
+        space and element width are runtime properties of the buffer).
+        """
+        local_cost, global_base = self._mem_cost_prefix()
+        return [
+            f"_s = regs[{memref_slot}]",
+            "if _s.freed:",
+            "    raise _IE('use after free of a memref buffer')",
+            "_a = _s.array",
+            "_sp = _s.memory_space",
+            "if _sp == 'shared' or _sp == 'local':",
+            f"    w[-1] += {local_cost!r}",
+            "else:",
+            "    _eb = _a.itemsize",
+            f"    w[-1] += {global_base!r} * max(1.0, _eb / 4.0)",
+            "    if _sp == 'global':",
+            "        report.global_bytes += _eb",
+        ]
+
+    @staticmethod
+    def _index_expr(idx_slots: Sequence[int]) -> str:
+        return ", ".join(f"int(regs[{s}])" for s in idx_slots)
+
+    def _c_load(self, op):
+        ms = self.slot(op.memref)
+        idx_slots = self.slots(op.indices)
+        ds = self.slot(op.result)
+        if not idx_slots:
+            access = f"regs[{ds}] = _a.item()"
+        elif len(idx_slots) == 1:
+            access = f"regs[{ds}] = _a.item({self._index_expr(idx_slots)})"
+        else:
+            access = f"regs[{ds}] = _a.item(({self._index_expr(idx_slots)}))"
+        return ("src", [*self._access_lines(ms), access], {})
+
+    def _c_store(self, op):
+        vs = self.slot(op.value)
+        ms = self.slot(op.memref)
+        idx_slots = self.slots(op.indices)
+        target = self._index_expr(idx_slots) if idx_slots else "()"
+        access = f"_a[{target}] = regs[{vs}]"
+        return ("src", [*self._access_lines(ms), access], {})
+
+    def _c_dim(self, op):
+        ms, ds = self.slot(op.memref), self.slot(op.result)
+        dim = op.dim
+        def step(state, regs):
+            storage = regs[ms]
+            if storage.freed:
+                raise InterpreterError("use after free of a memref buffer")
+            regs[ds] = int(storage.array.shape[dim])
+        return step
+
+    def _c_copy(self, op):
+        ss, ds = self.slot(op.source), self.slot(op.destination)
+        _, global_base = self._mem_cost_prefix()
+        def step(state, regs):
+            source = regs[ss]
+            destination = regs[ds]
+            if source.freed or destination.freed:
+                raise InterpreterError("use after free of a memref buffer")
+            destination.copy_from(source)
+            element_bytes = int(source.array.itemsize)
+            state.work[-1] += (2.0 * int(source.array.size)
+                               * (global_base * max(1.0, element_bytes / 4.0)))
+            state.report.global_bytes += 2 * int(source.array.nbytes)
+        return step
+
+    # -- functions ---------------------------------------------------------------
+    def _c_call(self, op, gen: bool):
+        program = self.program
+        callee = program.module.lookup(op.callee)
+        if callee is None or callee.is_declaration:
+            message = f"call to unknown function {op.callee!r}"
+            def unknown(state, regs):
+                raise InterpreterError(message)
+            return ("p", unknown)
+        use_gen = gen and program.function_may_yield(callee)
+        arg_slots = self.slots(op.operands)
+        res_slots = self.slots(op.results)
+        cost = op_cost("func.call")
+        cell: List[Optional[_CompiledFunction]] = [None]
+        if use_gen:
+            def step(state, regs):
+                compiled = cell[0]
+                if compiled is None:
+                    compiled = cell[0] = program.function(callee, True)
+                state.work[-1] += cost
+                inner = compiled.template[:]
+                for dst, src in zip(compiled.arg_slots, arg_slots):
+                    inner[dst] = regs[src]
+                yield from compiled.runner(state, inner)
+                for dst, src in zip(res_slots, compiled.return_slots):
+                    regs[dst] = inner[src]
+            return ("g", step)
+        def step(state, regs):
+            compiled = cell[0]
+            if compiled is None:
+                compiled = cell[0] = program.function(callee, False)
+            state.work[-1] += cost
+            inner = compiled.template[:]
+            for dst, src in zip(compiled.arg_slots, arg_slots):
+                inner[dst] = regs[src]
+            compiled.runner(state, inner)
+            for dst, src in zip(res_slots, compiled.return_slots):
+                regs[dst] = inner[src]
+        return ("p", step)
+
+    # -- structured control flow ---------------------------------------------------
+    def _c_for(self, op, gen: bool):
+        lb, ub, st = self.slot(op.lower_bound), self.slot(op.upper_bound), self.slot(op.step)
+        iv_slot = self.slot(op.induction_var)
+        init_slots = self.slots(op.iter_init)
+        iter_slots = self.slots(op.iter_args)
+        result_slots = self.slots(op.results)
+        body = self.compile_block(op.body, gen=gen and self.program.op_may_yield(op))
+        _, term = _split_executed(op.body)
+        yield_slots = (self.slots(term.operands)
+                       if isinstance(term, scf.YieldOp) and result_slots else None)
+        cost = op_cost("scf.for")
+        if gen:
+            def run(state, regs):
+                work = state.work
+                work[-1] += cost
+                lower = int(regs[lb])
+                upper = int(regs[ub])
+                step = int(regs[st])
+                if step <= 0:
+                    raise InterpreterError("scf.for requires a positive step")
+                carried = [regs[s] for s in init_slots]
+                iv = lower
+                while iv < upper:
+                    regs[iv_slot] = iv
+                    for dst, value in zip(iter_slots, carried):
+                        regs[dst] = value
+                    yield from body(state, regs)
+                    if yield_slots is not None:
+                        carried = [regs[s] for s in yield_slots]
+                    iv += step
+                    work[-1] += cost
+                for dst, value in zip(result_slots, carried):
+                    regs[dst] = value
+            return run
+        if not iter_slots:
+            def run(state, regs):
+                work = state.work
+                work[-1] += cost
+                lower = int(regs[lb])
+                upper = int(regs[ub])
+                step = int(regs[st])
+                if step <= 0:
+                    raise InterpreterError("scf.for requires a positive step")
+                iv = lower
+                while iv < upper:
+                    regs[iv_slot] = iv
+                    body(state, regs)
+                    iv += step
+                    work[-1] += cost
+            return run
+        def run(state, regs):
+            work = state.work
+            work[-1] += cost
+            lower = int(regs[lb])
+            upper = int(regs[ub])
+            step = int(regs[st])
+            if step <= 0:
+                raise InterpreterError("scf.for requires a positive step")
+            carried = [regs[s] for s in init_slots]
+            iv = lower
+            while iv < upper:
+                regs[iv_slot] = iv
+                for dst, value in zip(iter_slots, carried):
+                    regs[dst] = value
+                body(state, regs)
+                if yield_slots is not None:
+                    carried = [regs[s] for s in yield_slots]
+                iv += step
+                work[-1] += cost
+            for dst, value in zip(result_slots, carried):
+                regs[dst] = value
+        return run
+
+    def _branch_copy_pairs(self, op, block):
+        """(result_slot, yielded_slot) pairs for one scf.if branch."""
+        if block is None or not op.results:
+            return None
+        _, term = _split_executed(block)
+        if not isinstance(term, scf.YieldOp):
+            return []
+        return list(zip(self.slots(op.results), self.slots(term.operands)))
+
+    def _c_if(self, op, gen: bool):
+        cs = self.slot(op.condition)
+        has_results = bool(op.results)
+        then_gen = gen and any(self.program.op_may_yield(o) for o in op.then_block.operations)
+        then_run = self.compile_block(op.then_block, gen=then_gen)
+        then_copy = self._branch_copy_pairs(op, op.then_block) or []
+        else_block = op.else_block
+        if else_block is not None:
+            else_gen = gen and any(self.program.op_may_yield(o) for o in else_block.operations)
+            else_run = self.compile_block(else_block, gen=else_gen)
+            else_copy = self._branch_copy_pairs(op, else_block) or []
+        else:
+            else_run = None
+            else_copy = []
+        cost = op_cost("scf.if")
+        if gen:
+            def run(state, regs):
+                state.work[-1] += cost
+                if regs[cs]:
+                    result = then_run(state, regs)
+                    if result is not None:
+                        yield from result
+                    for dst, src in then_copy:
+                        regs[dst] = regs[src]
+                elif else_run is not None:
+                    result = else_run(state, regs)
+                    if result is not None:
+                        yield from result
+                    for dst, src in else_copy:
+                        regs[dst] = regs[src]
+                elif has_results:
+                    raise InterpreterError("scf.if with results requires an else branch")
+            return run
+        def run(state, regs):
+            state.work[-1] += cost
+            if regs[cs]:
+                then_run(state, regs)
+                for dst, src in then_copy:
+                    regs[dst] = regs[src]
+            elif else_run is not None:
+                else_run(state, regs)
+                for dst, src in else_copy:
+                    regs[dst] = regs[src]
+            elif has_results:
+                raise InterpreterError("scf.if with results requires an else branch")
+        return run
+
+    def _c_while(self, op, gen: bool):
+        init_slots = self.slots(op.init_args)
+        before_args = self.slots(op.before_block.arguments)
+        before_gen = gen and any(self.program.op_may_yield(o)
+                                 for o in op.before_block.operations)
+        before_run = self.compile_block(op.before_block, gen=before_gen)
+        _, before_term = _split_executed(op.before_block)
+        if isinstance(before_term, scf.ConditionOp):
+            cond_slot = self.slot(before_term.condition)
+            fwd_slots = self.slots(before_term.forwarded)
+        else:
+            cond_slot = None
+            fwd_slots = []
+        after_args = self.slots(op.after_block.arguments)
+        after_gen = gen and any(self.program.op_may_yield(o)
+                                for o in op.after_block.operations)
+        after_run = self.compile_block(op.after_block, gen=after_gen)
+        _, after_term = _split_executed(op.after_block)
+        yield_slots = self.slots(after_term.operands) if isinstance(after_term, scf.YieldOp) else None
+        result_slots = self.slots(op.results)
+        cost = op_cost("scf.while")
+        if gen:
+            def run(state, regs):
+                work = state.work
+                carried = [regs[s] for s in init_slots]
+                while True:
+                    work[-1] += cost
+                    for dst, value in zip(before_args, carried):
+                        regs[dst] = value
+                    result = before_run(state, regs)
+                    if result is not None:
+                        yield from result
+                    if cond_slot is None:
+                        raise InterpreterError(
+                            "scf.while before-region did not reach scf.condition")
+                    proceed = regs[cond_slot]
+                    forwarded = [regs[s] for s in fwd_slots]
+                    if not proceed:
+                        for dst, value in zip(result_slots, forwarded):
+                            regs[dst] = value
+                        return
+                    for dst, value in zip(after_args, forwarded):
+                        regs[dst] = value
+                    result = after_run(state, regs)
+                    if result is not None:
+                        yield from result
+                    carried = ([regs[s] for s in yield_slots]
+                               if yield_slots is not None else forwarded)
+            return run
+        def run(state, regs):
+            work = state.work
+            carried = [regs[s] for s in init_slots]
+            while True:
+                work[-1] += cost
+                for dst, value in zip(before_args, carried):
+                    regs[dst] = value
+                before_run(state, regs)
+                if cond_slot is None:
+                    raise InterpreterError(
+                        "scf.while before-region did not reach scf.condition")
+                proceed = regs[cond_slot]
+                forwarded = [regs[s] for s in fwd_slots]
+                if not proceed:
+                    for dst, value in zip(result_slots, forwarded):
+                        regs[dst] = value
+                    return
+                for dst, value in zip(after_args, forwarded):
+                    regs[dst] = value
+                after_run(state, regs)
+                carried = ([regs[s] for s in yield_slots]
+                           if yield_slots is not None else forwarded)
+        return run
+
+    # -- parallel constructs ----------------------------------------------------
+    def _c_scf_parallel(self, op):
+        from ..analysis import contains_barrier
+
+        program = self.program
+        lb_slots = self.slots(op.lower_bounds)
+        ub_slots = self.slots(op.upper_bounds)
+        st_slots = self.slots(op.steps)
+        iv_slots = self.slots(op.induction_vars)
+        has_barrier = contains_barrier(op, immediate_region_only=True)
+        machine = program.machine
+        fork_cost = machine.fork_cost
+        phase_cost = machine.simt_phase_cost
+        if has_barrier:
+            run_simt = self.compile_simt_body(op.body)
+
+            def run(state, regs):
+                lowers = [int(regs[s]) for s in lb_slots]
+                uppers = [int(regs[s]) for s in ub_slots]
+                strides = [int(regs[s]) for s in st_slots]
+                ranges = [range(low, high, stride)
+                          for low, high, stride in zip(lowers, uppers, strides)]
+                total = 1
+                for axis in ranges:
+                    total *= len(axis)
+                state.report.parallel_regions += 1
+                work_stack = state.work
+                work_stack.append(0.0)
+                thread_regs = []
+                for point in product(*ranges):
+                    per_thread = regs[:]
+                    for dst, value in zip(iv_slots, point):
+                        per_thread[dst] = value
+                    thread_regs.append(per_thread)
+                phases = run_simt(state, thread_regs)
+                state.report.simt_phases += phases
+                work = work_stack.pop()
+                threads = min(state.threads, max(1, total))
+                wall = (fork_cost + work / state.program.speedup(threads)
+                        + phases * phase_cost)
+                work_stack[-1] += wall
+            return run
+
+        body = self.compile_block(op.body, gen=False)
+
+        def run(state, regs):
+            lowers = [int(regs[s]) for s in lb_slots]
+            uppers = [int(regs[s]) for s in ub_slots]
+            strides = [int(regs[s]) for s in st_slots]
+            ranges = [range(low, high, stride)
+                      for low, high, stride in zip(lowers, uppers, strides)]
+            total = 1
+            for axis in ranges:
+                total *= len(axis)
+            state.report.parallel_regions += 1
+            work_stack = state.work
+            work_stack.append(0.0)
+            try:
+                for point in product(*ranges):
+                    for dst, value in zip(iv_slots, point):
+                        regs[dst] = value
+                    body(state, regs)
+            except _BarrierEscape:
+                raise InterpreterError(
+                    "unexpected barrier in barrier-free parallel loop") from None
+            work = work_stack.pop()
+            threads = min(state.threads, max(1, total))
+            wall = fork_cost + work / state.program.speedup(threads)
+            work_stack[-1] += wall
+        return run
+
+    def _c_gpu_launch(self, op):
+        grid_slots = self.slots(op.grid_dims)
+        block_slots = self.slots(op.block_dims)
+        arg_slots = self.slots(op.body.arguments)
+        shared_allocas = []
+        saved_prebound = self._prebound
+        self._prebound = set(saved_prebound)
+        for nested in op.body.operations:
+            if isinstance(nested, memref_d.AllocaOp) and memref_d.is_shared_memref(nested.result):
+                shared_allocas.append((self.slot(nested.result), nested.memref_type))
+                self._prebound.add(id(nested.result))
+        run_simt = self.compile_simt_body(op.body)
+        self._prebound = saved_prebound
+        allocate = MemRefStorage.allocate
+        a0, a1, a2, a3, a4, a5, a6, a7, a8, a9, a10, a11 = arg_slots
+
+        def run(state, regs):
+            grid = [int(regs[s]) for s in grid_slots]
+            block = [int(regs[s]) for s in block_slots]
+            g0, g1, g2 = grid
+            b0, b1, b2 = block
+            report = state.report
+            for bz in range(g2):
+                for by in range(g1):
+                    for bx in range(g0):
+                        block_regs = regs[:]
+                        thread_regs = []
+                        append = thread_regs.append
+                        for tz in range(b2):
+                            for ty in range(b1):
+                                for tx in range(b0):
+                                    per_thread = block_regs[:]
+                                    per_thread[a0] = bx
+                                    per_thread[a1] = by
+                                    per_thread[a2] = bz
+                                    per_thread[a3] = tx
+                                    per_thread[a4] = ty
+                                    per_thread[a5] = tz
+                                    per_thread[a6] = g0
+                                    per_thread[a7] = g1
+                                    per_thread[a8] = g2
+                                    per_thread[a9] = b0
+                                    per_thread[a10] = b1
+                                    per_thread[a11] = b2
+                                    append(per_thread)
+                        for dst, mtype in shared_allocas:
+                            storage = allocate(mtype, [])
+                            for per_thread in thread_regs:
+                                per_thread[dst] = storage
+                        phases = run_simt(state, thread_regs)
+                        report.simt_phases += phases
+        return run
+
+    def _c_gpu_alloc(self, op):
+        size_slots = self.slots(op.operands)
+        ds = self.slot(op.result)
+        mtype = op.result.type
+        allocate = MemRefStorage.allocate
+        def step(state, regs):
+            regs[ds] = allocate(mtype, [int(regs[s]) for s in size_slots])
+        return step
+
+    def _c_gpu_dealloc(self, op):
+        ms = self.slot(op.memref)
+        def step(state, regs):
+            storage = regs[ms]
+            if storage.freed:
+                raise InterpreterError("use after free of a memref buffer")
+            storage.freed = True
+        return step
+
+    def _c_gpu_memcpy(self, op):
+        ds, ss = self.slot(op.destination), self.slot(op.source)
+        def step(state, regs):
+            destination = regs[ds]
+            if destination.freed:
+                raise InterpreterError("use after free of a memref buffer")
+            source = regs[ss]
+            if source.freed:
+                raise InterpreterError("use after free of a memref buffer")
+            destination.copy_from(source)
+        return step
+
+    # -- OpenMP -------------------------------------------------------------------
+    def _c_omp_parallel(self, op):
+        nested = op.nest_level > 0
+        body = self.compile_block(op.body, gen=False)
+        machine = self.program.machine
+        fork = machine.nested_fork_cost if nested else machine.fork_cost
+        penalty = machine.false_sharing_penalty
+
+        def run(state, regs):
+            report = state.report
+            report.parallel_regions += 1
+            if nested:
+                report.nested_regions += 1
+            work_stack = state.work
+            work_stack.append(0.0)
+            try:
+                body(state, regs)
+            except _BarrierEscape:
+                raise InterpreterError("GPU barrier inside an OpenMP region") from None
+            work = work_stack.pop()
+            if nested:
+                work *= penalty
+            work_stack[-1] += fork + work
+        return run
+
+    @staticmethod
+    def _static_team(op) -> Tuple[bool, bool, Optional[int]]:
+        """(has_parallel_parent, parent_is_nested, parent_num_threads)."""
+        parent = op.parent_op
+        while parent is not None and not isinstance(parent, omp_d.OmpParallelOp):
+            parent = parent.parent_op
+        if parent is None:
+            return False, False, None
+        return True, parent.nest_level > 0, parent.num_threads
+
+    def _c_omp_wsloop(self, op):
+        lb_slots = self.slots(op.lower_bounds)
+        ub_slots = self.slots(op.upper_bounds)
+        st_slots = self.slots(op.steps)
+        iv_slots = self.slots(op.induction_vars)
+        body = self.compile_block(op.body, gen=False)
+        has_parent, parent_nested, parent_threads = self._static_team(op)
+        nowait = op.nowait
+        sync_cost = self.program.machine.sync_cost
+
+        def run(state, regs):
+            state.report.workshared_loops += 1
+            lowers = [int(regs[s]) for s in lb_slots]
+            uppers = [int(regs[s]) for s in ub_slots]
+            strides = [int(regs[s]) for s in st_slots]
+            ranges = [range(low, high, stride)
+                      for low, high, stride in zip(lowers, uppers, strides)]
+            total = 1
+            for axis in ranges:
+                total *= len(axis)
+            work_stack = state.work
+            work_stack.append(0.0)
+            try:
+                for point in product(*ranges):
+                    for dst, value in zip(iv_slots, point):
+                        regs[dst] = value
+                    body(state, regs)
+            except _BarrierEscape:
+                raise InterpreterError("GPU barrier inside a workshared loop") from None
+            work = work_stack.pop()
+            if not has_parent or parent_nested:
+                team_size = 1
+            else:
+                team_size = parent_threads or state.threads
+            team = min(team_size, max(1, total))
+            wall = work / state.program.speedup(team)
+            if not nowait:
+                wall += sync_cost
+            work_stack[-1] += wall
+        return run
+
+    def _c_omp_barrier(self, op):
+        sync_cost = self.program.machine.sync_cost
+        def step(state, regs):
+            state.report.barriers += 1
+            state.work[-1] += sync_cost
+        return step
+
+    def _c_omp_single(self, op):
+        body = self.compile_block(op.body, gen=False)
+        def run(state, regs):
+            try:
+                body(state, regs)
+            except _BarrierEscape:
+                raise InterpreterError("GPU barrier inside omp.single") from None
+        return run
+
+
+# ---------------------------------------------------------------------------
+# Block-runner code generation
+# ---------------------------------------------------------------------------
+def _build_runner(items: Sequence[Tuple], nops: int, gen: bool) -> Callable:
+    """Stitch compiled items into one straight-line block runner.
+
+    The runner batches the block's dynamic-op count into a single increment
+    (every op of a block executes exactly once per block execution), splices
+    inlined op source (``src`` items) directly into the generated body, and
+    invokes the remaining step closures without any per-op dispatch.  ``gen``
+    blocks become generator functions yielding at barriers.
+    """
+    namespace = {"_IE": InterpreterError, "_B": _BARRIER}
+    lines = [
+        "def run(state, regs):",
+        "    report = state.report",
+        f"    report.dynamic_ops += {nops}",
+        "    if state.max_ops is not None and report.dynamic_ops > state.max_ops:",
+        "        raise _IE('dynamic operation budget exceeded')",
+        "    w = state.work",
+    ]
+    needs_yield = False
+    for index, item in enumerate(items):
+        kind = item[0]
+        if kind == "src":
+            _, src_lines, ns = item
+            namespace.update(ns)
+            lines.extend(f"    {line}" for line in src_lines)
+        elif kind == "p":
+            namespace[f"s{index}"] = item[1]
+            lines.append(f"    s{index}(state, regs)")
+        elif kind == "g":
+            namespace[f"s{index}"] = item[1]
+            lines.append(f"    yield from s{index}(state, regs)")
+            needs_yield = True
+        else:  # barrier
+            lines.append("    yield _B")
+            needs_yield = True
+    if gen and not needs_yield:
+        lines.append("    if False:")
+        lines.append("        yield None")
+    exec("\n".join(lines), namespace)  # noqa: S102 - compile-time codegen
+    return namespace["run"]
+
+
+# ---------------------------------------------------------------------------
+# Engine front end
+# ---------------------------------------------------------------------------
+class CompiledEngine:
+    """Drop-in replacement for :class:`Interpreter` backed by compiled closures.
+
+    The first :meth:`run` of a function triggers its one-time translation;
+    subsequent runs (same module, same machine) reuse the compiled program,
+    including across engine instances.
+    """
+
+    def __init__(self, module: func_d.ModuleOp, machine: MachineModel = XEON_8375C,
+                 threads: Optional[int] = None, collect_cost: bool = True,
+                 max_dynamic_ops: Optional[int] = None) -> None:
+        self.module = module
+        self.machine = machine
+        self.threads = threads if threads is not None else machine.cores
+        self.collect_cost = collect_cost
+        self.max_dynamic_ops = max_dynamic_ops
+        self.report = CostReport(machine=machine, threads=self.threads)
+        self._program = program_for(module, machine)
+        self._work: List[float] = [0.0]
+
+    def run(self, function_name: str, arguments: Sequence = ()) -> List:
+        """Execute ``function_name`` with the given arguments (Interpreter API)."""
+        fn = self.module.lookup(function_name)
+        if fn is None or fn.is_declaration:
+            raise InterpreterError(f"no function body for {function_name!r}")
+        if len(arguments) != len(fn.arguments):
+            raise InterpreterError(
+                f"{fn.sym_name}: expected {len(fn.arguments)} arguments, got {len(arguments)}")
+        compiled = self._program.function(fn, gen=False)
+        state = _State(self.report, self.threads, self._work,
+                       self.max_dynamic_ops, self._program)
+        regs = compiled.template[:]
+        for slot, argument in zip(compiled.arg_slots, arguments):
+            regs[slot] = self._wrap_argument(argument)
+        try:
+            compiled.runner(state, regs)
+        except _BarrierEscape:
+            raise InterpreterError("barrier executed outside a parallel context") from None
+        results = [regs[s] for s in compiled.return_slots]
+        if self.collect_cost:
+            self.report.cycles += self._work[0]
+        self._work[0] = 0.0
+        return results
+
+    @staticmethod
+    def _wrap_argument(argument):
+        if isinstance(argument, np.ndarray):
+            return MemRefStorage.from_numpy(argument)
+        return argument

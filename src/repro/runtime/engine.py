@@ -1,0 +1,74 @@
+"""Execution-engine selection: tree-walking interpreter vs. compiled closures.
+
+Every runtime entry point (harnesses, the Rodinia suite, the MocCUDA shim,
+benchmarks) goes through this layer and accepts an ``engine`` knob:
+
+* ``"compiled"`` — the default: one-time translation of each function to
+  specialized Python closures (:mod:`repro.runtime.compiler`), the same
+  transpile-don't-emulate move the paper applies to GPU constructs, applied
+  to our own execution hot path.
+* ``"interp"`` — the reference tree-walking
+  :class:`~repro.runtime.interpreter.Interpreter`, kept as the correctness
+  and cost-accounting oracle.
+
+Both engines produce bit-identical outputs and :class:`CostReport`s (pinned
+by ``tests/runtime/test_engine_parity.py``); only wall-clock speed differs.
+The process-wide default can be overridden with the ``REPRO_ENGINE``
+environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence, Union
+
+from .costmodel import CostReport, MachineModel, XEON_8375C
+from .compiler import CompiledEngine, invalidate_compiled
+from .interpreter import Interpreter, InterpreterError
+
+ENGINE_COMPILED = "compiled"
+ENGINE_INTERP = "interp"
+ENGINES = (ENGINE_COMPILED, ENGINE_INTERP)
+
+#: environment variable overriding the process-wide default engine.
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+Executor = Union[Interpreter, CompiledEngine]
+
+
+def default_engine() -> str:
+    """The process-wide default engine name (``REPRO_ENGINE`` or compiled)."""
+    return os.environ.get(ENGINE_ENV_VAR, ENGINE_COMPILED)
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Normalize and validate an engine name (``None`` = process default)."""
+    name = engine if engine is not None else default_engine()
+    if name not in ENGINES:
+        raise ValueError(f"unknown engine {name!r}; expected one of {ENGINES}")
+    return name
+
+
+def make_executor(module, *, engine: Optional[str] = None,
+                  machine: MachineModel = XEON_8375C,
+                  threads: Optional[int] = None,
+                  collect_cost: bool = True,
+                  max_dynamic_ops: Optional[int] = None) -> Executor:
+    """Build an executor (Interpreter or CompiledEngine) for ``module``.
+
+    Both classes share the same API: ``run(function_name, arguments)`` plus a
+    ``report`` attribute accumulating the simulated-cycle cost model.
+    """
+    name = resolve_engine(engine)
+    cls = Interpreter if name == ENGINE_INTERP else CompiledEngine
+    return cls(module, machine=machine, threads=threads,
+               collect_cost=collect_cost, max_dynamic_ops=max_dynamic_ops)
+
+
+def execute(module, function_name: str, arguments: Sequence = (), *,
+            engine: Optional[str] = None, machine: MachineModel = XEON_8375C,
+            threads: Optional[int] = None) -> CostReport:
+    """Run a function on the selected engine and return its cost report."""
+    executor = make_executor(module, engine=engine, machine=machine, threads=threads)
+    executor.run(function_name, arguments)
+    return executor.report

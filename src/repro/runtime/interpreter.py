@@ -18,6 +18,7 @@ be compared bit-for-bit (or within float tolerance) between the two modes.
 
 from __future__ import annotations
 
+from itertools import product
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -135,6 +136,19 @@ class Interpreter:
 
     def _bind(self, env: Dict[int, object], value: Value, concrete) -> None:
         env[id(value)] = concrete
+
+    @staticmethod
+    def _child_env(env: Dict[int, object]) -> Dict[int, object]:
+        """A copy of ``env`` for a nested scope, with the terminator cleared.
+
+        The ``__terminator__`` sentinel is only meaningful within the block
+        that set it; without clearing it a stale ``scf.yield`` copied via
+        ``dict(env)`` could be misread as the current block's terminator
+        (e.g. an ``scf.if`` whose chosen branch has no terminator).
+        """
+        child = dict(env)
+        child.pop("__terminator__", None)
+        return child
 
     # -- scalar ops ------------------------------------------------------------
     def _exec_binary(self, op: arith.BinaryOp, env) -> None:
@@ -279,7 +293,7 @@ class Interpreter:
         carried = [self._value(env, value) for value in op.iter_init]
         iv = lower
         while iv < upper:
-            body_env = dict(env)
+            body_env = self._child_env(env)
             self._bind(body_env, op.induction_var, iv)
             for arg, value in zip(op.iter_args, carried):
                 self._bind(body_env, arg, value)
@@ -300,7 +314,7 @@ class Interpreter:
             if op.results:
                 raise InterpreterError("scf.if with results requires an else branch")
             return
-        body_env = dict(env)
+        body_env = self._child_env(env)
         yield from self._execute_ops(block.operations, body_env)
         terminator = body_env.get("__terminator__")
         if op.results and isinstance(terminator, scf.YieldOp):
@@ -312,7 +326,7 @@ class Interpreter:
         carried = [self._value(env, value) for value in op.init_args]
         while True:
             self._charge(op_cost("scf.while"))
-            before_env = dict(env)
+            before_env = self._child_env(env)
             for arg, value in zip(op.before_block.arguments, carried):
                 self._bind(before_env, arg, value)
             yield from self._execute_ops(op.before_block.operations, before_env)
@@ -325,7 +339,7 @@ class Interpreter:
                 for result, value in zip(op.results, forwarded):
                     self._bind(env, result, value)
                 return
-            after_env = dict(env)
+            after_env = self._child_env(env)
             for arg, value in zip(op.after_block.arguments, forwarded):
                 self._bind(after_env, arg, value)
             yield from self._execute_ops(op.after_block.operations, after_env)
@@ -337,17 +351,21 @@ class Interpreter:
 
     # -- parallel constructs ----------------------------------------------------------------
     def _iteration_space(self, env, lower_bounds, upper_bounds, steps):
+        """Lazy row-major iteration space: ``(point_iterator, point_count)``.
+
+        The Cartesian product is streamed by ``itertools.product`` instead of
+        being materialized as nested list-comprehension copies, so large
+        iteration spaces cost O(num_dims) memory instead of O(points).
+        """
         lowers = [int(self._value(env, value)) for value in lower_bounds]
         uppers = [int(self._value(env, value)) for value in upper_bounds]
         strides = [int(self._value(env, value)) for value in steps]
-        spaces = []
-        for low, high, stride in zip(lowers, uppers, strides):
-            spaces.append(list(range(low, high, stride)))
-        # row-major enumeration of the multi-dimensional iteration space
-        indices = [[]]
-        for axis in spaces:
-            indices = [prefix + [value] for prefix in indices for value in axis]
-        return indices
+        axes = [range(low, high, stride)
+                for low, high, stride in zip(lowers, uppers, strides)]
+        count = 1
+        for axis in axes:
+            count *= len(axis)
+        return product(*axes), count
 
     def _run_simt(self, body_ops, per_thread_envs) -> int:
         """Run thread generators in barrier-delimited phases; returns #phases."""
@@ -371,7 +389,8 @@ class Interpreter:
     def _exec_scf_parallel(self, op: scf.ParallelOp, env):
         from ..analysis import contains_barrier
 
-        iterations = self._iteration_space(env, op.lower_bounds, op.upper_bounds, op.steps)
+        iterations, num_points = self._iteration_space(
+            env, op.lower_bounds, op.upper_bounds, op.steps)
         self.report.parallel_regions += 1
         self._work_stack.append(0.0)
         has_barrier = contains_barrier(op, immediate_region_only=True)
@@ -379,7 +398,7 @@ class Interpreter:
         if has_barrier:
             per_thread_envs = []
             for point in iterations:
-                thread_env = dict(env)
+                thread_env = self._child_env(env)
                 for iv, value in zip(op.induction_vars, point):
                     self._bind(thread_env, iv, value)
                 per_thread_envs.append(thread_env)
@@ -387,13 +406,13 @@ class Interpreter:
             self.report.simt_phases += phases
         else:
             for point in iterations:
-                body_env = dict(env)
+                body_env = self._child_env(env)
                 for iv, value in zip(op.induction_vars, point):
                     self._bind(body_env, iv, value)
                 for _ in self._execute_ops(op.body.operations, body_env):
                     raise InterpreterError("unexpected barrier in barrier-free parallel loop")
         work = self._work_stack.pop()
-        threads = min(self.threads, max(1, len(iterations)))
+        threads = min(self.threads, max(1, num_points))
         wall = (self.machine.fork_cost
                 + work / self.machine.effective_speedup(threads)
                 + phases * self.machine.simt_phase_cost)
@@ -408,7 +427,7 @@ class Interpreter:
             for by in range(grid[1]):
                 for bx in range(grid[0]):
                     per_thread_envs = []
-                    block_env = dict(env)
+                    block_env = self._child_env(env)
                     # shared allocas are part of the body and re-created per
                     # thread env copy; to share them within a block we execute
                     # them once here is unnecessary: the frontend emits shared
@@ -463,7 +482,7 @@ class Interpreter:
         if nested:
             self.report.nested_regions += 1
         self._work_stack.append(0.0)
-        body_env = dict(env)
+        body_env = self._child_env(env)
         for _ in self._execute_ops(op.body.operations, body_env):
             raise InterpreterError("GPU barrier inside an OpenMP region")
         work = self._work_stack.pop()
@@ -488,10 +507,11 @@ class Interpreter:
 
     def _exec_omp_wsloop(self, op: omp_d.OmpWsLoopOp, env):
         self.report.workshared_loops += 1
-        iterations = self._iteration_space(env, op.lower_bounds, op.upper_bounds, op.steps)
+        iterations, num_points = self._iteration_space(
+            env, op.lower_bounds, op.upper_bounds, op.steps)
         self._work_stack.append(0.0)
         for point in iterations:
-            body_env = dict(env)
+            body_env = self._child_env(env)
             for iv, value in zip(op.induction_vars, point):
                 self._bind(body_env, iv, value)
             for _ in self._execute_ops(op.body.operations, body_env):
@@ -500,7 +520,7 @@ class Interpreter:
         # a workshared loop cannot use more workers than it has iterations —
         # this is exactly why preserving the kernel's full (collapsed)
         # parallelism matters once block counts are small.
-        team = min(self._effective_team(op), max(1, len(iterations)))
+        team = min(self._effective_team(op), max(1, num_points))
         wall = work / self.machine.effective_speedup(team)
         if not op.nowait:
             wall += self.machine.sync_cost
@@ -515,7 +535,7 @@ class Interpreter:
         yield  # pragma: no cover
 
     def _exec_omp_single(self, op: omp_d.OmpSingleOp, env):
-        body_env = dict(env)
+        body_env = self._child_env(env)
         for _ in self._execute_ops(op.body.operations, body_env):
             raise InterpreterError("GPU barrier inside omp.single")
         return
@@ -551,9 +571,6 @@ class Interpreter:
     }
 
 
-def execute(module: func_d.ModuleOp, function_name: str, arguments: Sequence = (),
-            machine: MachineModel = XEON_8375C, threads: Optional[int] = None) -> CostReport:
-    """Convenience wrapper: run a function and return its cost report."""
-    interpreter = Interpreter(module, machine=machine, threads=threads)
-    interpreter.run(function_name, arguments)
-    return interpreter.report
+# NOTE: the module-level ``execute`` convenience wrapper lives in
+# :mod:`repro.runtime.engine` so that every entry point goes through the
+# engine-selection layer (``engine="compiled"|"interp"``, REPRO_ENGINE).

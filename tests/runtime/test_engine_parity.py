@@ -1,0 +1,128 @@
+"""Differential tests: the compiled engine vs. the interpreter oracle.
+
+Every Rodinia suite kernel (cuda-lowered, OpenMP reference and un-lowered
+SIMT oracle variants) plus the quickstart example runs through *both*
+execution engines; outputs must be bit-identical and the simulated-cycle
+``CostReport``s must match field for field (``cycles``, ``dynamic_ops``,
+phases, traffic, ...).  This is what allows the compiled engine to be the
+default everywhere while the interpreter stays the semantic oracle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.frontend import compile_cuda
+from repro.rodinia import BENCHMARKS
+from repro.runtime import A64FX_CMG, CompiledEngine, Interpreter, XEON_8375C
+from repro.transforms import PipelineOptions
+
+ALL_NAMES = sorted(BENCHMARKS)
+OMP_NAMES = sorted(n for n in BENCHMARKS if BENCHMARKS[n].omp_source is not None)
+#: barrier-heavy kernels whose oracle runs exercise SIMT phase execution.
+ORACLE_NAMES = ["backprop layerforward", "lud", "nw", "particlefilter"]
+
+QUICKSTART_CUDA = """
+__device__ float sum(float* data, int n) {
+    float total = 0.0f;
+    for (int i = 0; i < n; i++) {
+        total += data[i];
+    }
+    return total;
+}
+
+__global__ void normalize(float* out, float* in, int n) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    float val = sum(in, n);
+    if (tid < n) {
+        out[tid] = in[tid] / val;
+    }
+}
+
+void launch(float* d_out, float* d_in, int n) {
+    normalize<<<(n + 31) / 32, 32>>>(d_out, d_in, n);
+}
+"""
+
+
+def report_fields(report):
+    return (report.cycles, report.dynamic_ops, report.parallel_regions,
+            report.nested_regions, report.workshared_loops, report.barriers,
+            report.simt_phases, report.global_bytes)
+
+
+def assert_engines_agree(module, entry, make_args, output_indices, *,
+                         machine=XEON_8375C, threads=None):
+    interp_args = make_args()
+    compiled_args = make_args()
+
+    interpreter = Interpreter(module, machine=machine, threads=threads)
+    interpreter.run(entry, interp_args)
+    engine = CompiledEngine(module, machine=machine, threads=threads)
+    engine.run(entry, compiled_args)
+
+    for index in output_indices:
+        np.testing.assert_array_equal(
+            np.asarray(interp_args[index]), np.asarray(compiled_args[index]),
+            err_msg=f"output {index} diverged between engines")
+    assert report_fields(interpreter.report) == report_fields(engine.report), (
+        f"cost reports diverged:\n  interp   {report_fields(interpreter.report)}"
+        f"\n  compiled {report_fields(engine.report)}")
+
+
+class TestRodiniaParity:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_cuda_lowered_parity(self, name):
+        bench = BENCHMARKS[name]
+        module = bench.compile_cuda(PipelineOptions.all_optimizations())
+        assert_engines_agree(module, bench.entry, lambda: bench.make_inputs(1),
+                             bench.output_indices)
+
+    @pytest.mark.parametrize("name", OMP_NAMES)
+    def test_openmp_reference_parity(self, name):
+        bench = BENCHMARKS[name]
+        module = bench.compile_openmp()
+        assert_engines_agree(module, bench.entry, lambda: bench.make_inputs(1),
+                             bench.output_indices)
+
+    @pytest.mark.parametrize("name", ORACLE_NAMES)
+    def test_simt_oracle_parity(self, name):
+        bench = BENCHMARKS[name]
+        module = bench.compile_cuda(cuda_lower=False)
+        assert_engines_agree(module, bench.entry, lambda: bench.make_inputs(1),
+                             bench.output_indices)
+
+    def test_opt_disabled_parity(self):
+        bench = BENCHMARKS["backprop layerforward"]
+        module = bench.compile_cuda(PipelineOptions.opt_disabled())
+        assert_engines_agree(module, bench.entry, lambda: bench.make_inputs(1),
+                             bench.output_indices)
+
+
+class TestQuickstartParity:
+    def _make_args(self):
+        n = 128
+        rng = np.random.default_rng(0)
+        data = rng.random(n).astype(np.float32) + 0.5
+        return [np.zeros(n, dtype=np.float32), data, n]
+
+    @pytest.mark.parametrize("lower", [False, True])
+    def test_quickstart_parity(self, lower):
+        kwargs = ({"cuda_lower": True, "options": PipelineOptions.all_optimizations()}
+                  if lower else {})
+        module = compile_cuda(QUICKSTART_CUDA, **kwargs)
+        assert_engines_agree(module, "launch", self._make_args, (0,), threads=32)
+
+    def test_quickstart_parity_a64fx(self):
+        """Machine-model constants are baked into compiled closures per machine."""
+        module = compile_cuda(QUICKSTART_CUDA, cuda_lower=True,
+                              options=PipelineOptions.all_optimizations())
+        assert_engines_agree(module, "launch", self._make_args, (0,),
+                             machine=A64FX_CMG, threads=12)
+
+    def test_thread_sweep_parity(self):
+        """Same compiled module across thread counts (cache reuse path)."""
+        module = compile_cuda(QUICKSTART_CUDA, cuda_lower=True,
+                              options=PipelineOptions.all_optimizations())
+        for threads in (1, 4, 32):
+            assert_engines_agree(module, "launch", self._make_args, (0,),
+                                 threads=threads)

@@ -138,6 +138,63 @@ class TestScalarAndControlFlow:
             Interpreter(module).run("missing", [])
 
 
+class TestScopedTerminators:
+    def test_stale_terminator_not_misread_as_block_yield(self):
+        """A stale ``scf.yield`` inherited via the environment copy must not be
+        misread as the terminator of a branch that has none (regression for
+        the ``__terminator__`` scope leak)."""
+        interp = Interpreter(func.ModuleOp())
+        stale_value = arith.ConstantOp(123.0, F32)
+        stale_yield = scf.YieldOp([stale_value.result])
+        cond = arith.ConstantOp(1, I32)
+        if_op = scf.IfOp(cond.result, [F32])
+        # then-branch deliberately left without a terminator
+        then = Builder.at_end(if_op.then_block)
+        then.insert(arith.ConstantOp(0.0, F32))
+
+        env = {id(cond.result): 1, id(stale_value.result): 123.0,
+               "__terminator__": stale_yield}
+        for _ in interp._exec_if(if_op, env):
+            pass
+        # pre-fix this bound if_op.results[0] to the stale yield's 123.0
+        assert id(if_op.results[0]) not in env
+
+    def test_child_env_clears_terminator(self):
+        marker = scf.YieldOp()
+        child = Interpreter._child_env({"__terminator__": marker, 1: "kept"})
+        assert "__terminator__" not in child
+        assert child[1] == "kept"
+
+
+class TestLazyIterationSpace:
+    def test_iteration_space_streams_points(self):
+        """The Cartesian product is streamed lazily, not materialized."""
+        from itertools import product as _product
+
+        interp = Interpreter(func.ModuleOp())
+        bounds = [arith.ConstantOp(v, INDEX) for v in (0, 0, 6, 4, 2, 1)]
+        env = {id(op.result): op.value for op in bounds}
+        points, count = interp._iteration_space(
+            env, [bounds[0].result, bounds[1].result],
+            [bounds[2].result, bounds[3].result],
+            [bounds[4].result, bounds[5].result])
+        assert isinstance(points, _product)
+        assert count == 12
+        listed = list(points)
+        assert listed[0] == (0, 0)
+        assert listed[-1] == (4, 3)
+        assert len(listed) == 12
+
+    def test_empty_dimension_gives_zero_points(self):
+        interp = Interpreter(func.ModuleOp())
+        bounds = [arith.ConstantOp(v, INDEX) for v in (0, 0, 1)]
+        env = {id(op.result): op.value for op in bounds}
+        points, count = interp._iteration_space(
+            env, [bounds[0].result], [bounds[1].result], [bounds[2].result])
+        assert count == 0
+        assert list(points) == []
+
+
 class TestParallelExecution:
     def test_scf_parallel_without_barrier(self):
         module, fn, builder = build_function("main", [memref((32,), F32)], ["buf"])
@@ -223,7 +280,7 @@ class TestCostModel:
             module = self._saxpy_module()
             report = execute(module, "main",
                              [np.ones(256, dtype=np.float32), np.ones(256, dtype=np.float32)],
-                             threads=threads)
+                             engine="interp", threads=threads)
             results[threads] = report.cycles
         assert results[8] < results[1]
         assert results[32] < results[8]
@@ -231,7 +288,8 @@ class TestCostModel:
     def test_cost_report_counts(self):
         module = self._saxpy_module()
         report = execute(module, "main",
-                         [np.ones(256, dtype=np.float32), np.ones(256, dtype=np.float32)])
+                         [np.ones(256, dtype=np.float32), np.ones(256, dtype=np.float32)],
+                         engine="interp")
         assert report.dynamic_ops > 256
         assert report.parallel_regions == 1
         assert report.global_bytes > 0
@@ -240,11 +298,11 @@ class TestCostModel:
         module = self._saxpy_module()
         xeon = execute(module, "main",
                        [np.ones(256, dtype=np.float32), np.ones(256, dtype=np.float32)],
-                       machine=XEON_8375C, threads=12)
+                       engine="interp", machine=XEON_8375C, threads=12)
         module2 = self._saxpy_module()
         a64fx = execute(module2, "main",
                         [np.ones(256, dtype=np.float32), np.ones(256, dtype=np.float32)],
-                        machine=A64FX_CMG, threads=12)
+                        engine="interp", machine=A64FX_CMG, threads=12)
         # the HBM machine moves global traffic faster.
         assert a64fx.cycles != xeon.cycles
 

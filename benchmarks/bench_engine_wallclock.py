@@ -1,18 +1,21 @@
-"""Wall-clock microbenchmark: tree-walking interpreter vs. compiled engine.
+"""Wall-clock microbenchmark: interpreter vs. compiled vs. vectorized engine.
 
 Unlike the figure benchmarks (which report *simulated cycles* and are
 engine-independent by construction), this benchmark measures real wall-clock
-time of the two execution engines on the same modules:
+time of the three execution engines on the same modules:
 
 * a **barrier-free** kernel — the cuda-lowered matmul, whose hot path is the
   ``omp.parallel``/``omp.wsloop`` nest (the common case after cpuify), and
 * a **barrier-heavy** kernel — the un-lowered backprop layerforward oracle,
-  which exercises SIMT barrier-phase execution.
+  which exercises SIMT barrier-phase execution (and, for the vectorized
+  engine, the wholesale fallback to compiled generator scheduling).
 
-Results (times, speedups, and the engines' matching cost reports) are
-written to ``BENCH_engine.json`` at the repository root.  The compiled
-engine must beat the interpreter by >= 5x on the barrier-free kernel and
->= 3x on the barrier-heavy one.
+Results (times, the full engine speedup matrix, and the engines' matching
+cost reports) are written to ``BENCH_engine.json`` at the repository root.
+The compiled engine must beat the interpreter by >= 5x on the barrier-free
+kernel and >= 3x on the barrier-heavy one; the vectorized engine must
+additionally beat the *compiled* engine by >= 5x on the barrier-free matmul
+(whole-grid NumPy execution vs. per-iteration closures).
 
 Run directly (``python benchmarks/bench_engine_wallclock.py``) or via pytest
 (``pytest benchmarks/bench_engine_wallclock.py``).
@@ -23,17 +26,29 @@ import time
 from pathlib import Path
 
 from repro.rodinia import BENCHMARKS
-from repro.runtime import CompiledEngine, Interpreter
+from repro.runtime import CompiledEngine, Interpreter, VectorizedEngine
 from repro.transforms import PipelineOptions
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
-#: (label, benchmark, compile kwargs, input scale, required speedup)
+ENGINES = [
+    ("interpreter", Interpreter),
+    ("compiled", CompiledEngine),
+    ("vectorized", VectorizedEngine),
+]
+
+#: (label, benchmark, compile kwargs, input scale,
+#:  {(faster, baseline): required speedup})
 CASES = [
     ("barrier_free_matmul",
-     "matmul", {"options": PipelineOptions.all_optimizations()}, 3, 5.0),
+     "matmul", {"options": PipelineOptions.all_optimizations()}, 3,
+     {("compiled", "interpreter"): 5.0,
+      ("vectorized", "interpreter"): 5.0,
+      ("vectorized", "compiled"): 5.0}),
     ("barrier_heavy_backprop_oracle",
-     "backprop layerforward", {"cuda_lower": False}, 8, 3.0),
+     "backprop layerforward", {"cuda_lower": False}, 8,
+     {("compiled", "interpreter"): 3.0,
+      ("vectorized", "interpreter"): 3.0}),
 ]
 
 
@@ -50,40 +65,51 @@ def _best_time(executor_cls, module, entry, make_args, repeats=3):
     return best, report
 
 
-def run_case(label, bench_name, compile_kwargs, scale, floor):
+def run_case(label, bench_name, compile_kwargs, scale, floors):
     bench = BENCHMARKS[bench_name]
     module = bench.compile_cuda(**compile_kwargs)
     make_args = lambda: bench.make_inputs(scale)
 
-    # warm-up: triggers (and then amortizes) the one-time IR translation
+    # warm-up: triggers (and then amortizes) the one-time IR translations
     CompiledEngine(module).run(bench.entry, make_args())
+    VectorizedEngine(module).run(bench.entry, make_args())
 
-    interp_s, interp_report = _best_time(Interpreter, module, bench.entry, make_args)
-    compiled_s, compiled_report = _best_time(CompiledEngine, module, bench.entry, make_args)
-    speedup = interp_s / compiled_s
-    assert interp_report.cycles == compiled_report.cycles, (
-        f"{label}: simulated cycles diverged between engines")
-    assert interp_report.dynamic_ops == compiled_report.dynamic_ops
+    seconds = {}
+    reports = {}
+    for name, executor_cls in ENGINES:
+        seconds[name], reports[name] = _best_time(
+            executor_cls, module, bench.entry, make_args)
+    reference = reports["interpreter"]
+    for name in ("compiled", "vectorized"):
+        assert reports[name].cycles == reference.cycles, (
+            f"{label}: simulated cycles diverged between interpreter and {name}")
+        assert reports[name].dynamic_ops == reference.dynamic_ops, (
+            f"{label}: dynamic op counts diverged between interpreter and {name}")
+    speedups = {f"{fast}_over_{base}": seconds[base] / seconds[fast]
+                for fast, _ in ENGINES
+                for base, _ in ENGINES if fast != base}
     return {
         "benchmark": bench_name,
         "scale": scale,
-        "interpreter_seconds": interp_s,
-        "compiled_seconds": compiled_s,
-        "speedup": speedup,
-        "required_speedup": floor,
-        "dynamic_ops": compiled_report.dynamic_ops,
-        "simulated_cycles": compiled_report.cycles,
+        "seconds": seconds,
+        "speedups": speedups,
+        "required_speedups": {f"{fast}_over_{base}": floor
+                              for (fast, base), floor in floors.items()},
+        "dynamic_ops": reference.dynamic_ops,
+        "simulated_cycles": reference.cycles,
     }
 
 
 def run_all(write=True):
     results = {}
-    for label, bench_name, compile_kwargs, scale, floor in CASES:
-        results[label] = run_case(label, bench_name, compile_kwargs, scale, floor)
-        entry = results[label]
-        print(f"{label}: interpreter {entry['interpreter_seconds'] * 1e3:.1f} ms, "
-              f"compiled {entry['compiled_seconds'] * 1e3:.1f} ms, "
-              f"speedup {entry['speedup']:.1f}x (floor {floor:.0f}x)")
+    for label, bench_name, compile_kwargs, scale, floors in CASES:
+        entry = run_case(label, bench_name, compile_kwargs, scale, floors)
+        results[label] = entry
+        times = "  ".join(f"{name} {entry['seconds'][name] * 1e3:.1f} ms"
+                          for name, _ in ENGINES)
+        print(f"{label}: {times}")
+        for key, floor in entry["required_speedups"].items():
+            print(f"  {key}: {entry['speedups'][key]:.1f}x (floor {floor:.0f}x)")
     if write:
         RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
         print(f"wrote {RESULT_PATH}")
@@ -93,9 +119,10 @@ def run_all(write=True):
 def test_engine_wallclock_speedup():
     results = run_all(write=True)
     for label, entry in results.items():
-        assert entry["speedup"] >= entry["required_speedup"], (
-            f"{label}: compiled engine only {entry['speedup']:.2f}x faster, "
-            f"needs >= {entry['required_speedup']:.0f}x")
+        for key, floor in entry["required_speedups"].items():
+            assert entry["speedups"][key] >= floor, (
+                f"{label}: {key} only {entry['speedups'][key]:.2f}x, "
+                f"needs >= {floor:.0f}x")
 
 
 if __name__ == "__main__":

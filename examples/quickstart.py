@@ -8,8 +8,10 @@ Demonstrates the three-step workflow:
      parallel loop-invariant code motion on the `sum` call.
 
 Execution uses the default compiled engine (IR translated once to Python
-closures); pass REPRO_ENGINE=interp to run on the tree-walking reference
-interpreter instead — outputs and simulated cycles are identical either way.
+closures); pass REPRO_ENGINE=vectorized to execute whole thread grids as
+NumPy array operations, or REPRO_ENGINE=interp to run on the tree-walking
+reference interpreter — outputs and simulated cycles are identical in all
+three engines.
 
 Run with:  python examples/quickstart.py
 """

@@ -10,10 +10,11 @@
 
 from __future__ import annotations
 
+import argparse
 from typing import Dict, List, Optional, Sequence
 
 from ..rodinia import BENCHMARKS, FIGURE13_SET, run_module
-from ..runtime import XEON_8375C
+from ..runtime import ENGINES, XEON_8375C
 from ..transforms import PipelineOptions
 from .tables import format_table, geomean
 
@@ -114,11 +115,54 @@ def summarize_ablation(results: Dict[str, Dict[str, float]]) -> str:
     return "\n".join(lines)
 
 
-def main() -> str:
+def run_pass_stats(benchmarks: Optional[Sequence[str]] = None,
+                   options: Optional[PipelineOptions] = None,
+                   verbose: bool = True) -> str:
+    """Per-benchmark pass statistics: wall-clock + changed/unchanged table.
+
+    Compiles each benchmark's CUDA source to the un-lowered module, then
+    runs the full cpuify pipeline through a verbose :class:`PassManager`
+    (live per-pass timing lines) and reports the aggregate table.
+    """
+    from ..frontend import compile_cuda
+    from ..transforms.cpuify import build_pipeline
+
+    names = list(benchmarks or FIGURE13_SET)
+    options = options or PipelineOptions.all_optimizations()
+    sections: List[str] = []
+    for name in names:
+        bench = BENCHMARKS[name]
+        module = compile_cuda(bench.cuda_source, filename=f"{bench.name}.cu",
+                              cuda_lower=False)
+        if verbose:
+            print(f"{name}:")
+        pipeline = build_pipeline(options, verbose=verbose)
+        pipeline.run(module)
+        sections.append(f"{name}:")
+        sections.append(pipeline.statistics_summary())
+        sections.append("")
+    return "\n".join(sections)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> str:
+    parser = argparse.ArgumentParser(
+        description="Fig. 13: Rodinia speedups and the optimization ablation")
+    parser.add_argument("--pass-stats", action="store_true",
+                        help="print per-pass wall-clock timing and "
+                             "changed/unchanged statistics of the cpuify "
+                             "pipeline instead of the figure tables")
+    parser.add_argument("--engine", default=None, choices=ENGINES,
+                        help="execution engine for the figure runs "
+                             "(default: process default / REPRO_ENGINE)")
+    args = parser.parse_args(argv)
+    if args.pass_stats:
+        text = run_pass_stats()
+        print(text)
+        return text
     output = []
-    output.append(summarize_speedup(run_speedup_over_openmp()))
+    output.append(summarize_speedup(run_speedup_over_openmp(engine=args.engine)))
     output.append("")
-    output.append(summarize_ablation(run_ablation()))
+    output.append(summarize_ablation(run_ablation(engine=args.engine)))
     text = "\n".join(output)
     print(text)
     return text

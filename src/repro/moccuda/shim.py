@@ -105,7 +105,7 @@ class MocCUDASession:
         self.options = options or PipelineOptions.all_optimizations()
         if engine is not None:
             resolve_engine(engine)  # fail fast on a bad engine name
-        self.engine = engine  # None = process default ("compiled")
+        self.engine = engine  # "compiled"/"vectorized"/"interp"; None = default
         self._nll_module = None
 
     # -- CUDART surface -------------------------------------------------------

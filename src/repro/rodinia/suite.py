@@ -185,8 +185,9 @@ def run_module(module, entry: str, arguments: Sequence, *,
                engine: Optional[str] = None) -> CostReport:
     """Execute a compiled benchmark once and return its cost report.
 
-    ``engine`` selects the execution engine ("compiled"/"interp"; None =
-    process default) — results and cost reports are engine-independent.
+    ``engine`` selects the execution engine ("compiled"/"vectorized"/
+    "interp"; None = process default) — results and cost reports are
+    engine-independent.
     """
     executor = make_executor(module, engine=engine, machine=machine, threads=threads)
     executor.run(entry, arguments)

@@ -1,6 +1,6 @@
 """repro.runtime — execution engines and the analytic performance model.
 
-Two execution engines share one API (``run(name, args)`` + ``report``):
+Three execution engines share one API (``run(name, args)`` + ``report``):
 
 * :class:`~repro.runtime.interpreter.Interpreter` — the tree-walking
   reference engine: un-lowered modules run with SIMT (GPU oracle) semantics,
@@ -10,10 +10,15 @@ Two execution engines share one API (``run(name, args)`` + ``report``):
   one-time translation of each function to specialized Python closures with
   SSA slot numbering, compiled barrier phases and lazy iteration spaces.
   Bit-identical outputs and cost reports, much faster wall clock.
+* :class:`~repro.runtime.vectorizer.VectorizedEngine` — the compiled engine
+  plus whole-grid NumPy execution of barrier-delimited phases: SSA registers
+  become lane arrays, loads/stores become gathers/scatters; phases the
+  analyzer cannot vectorize fall back to compiled closures per phase.
 
 Select with :func:`~repro.runtime.engine.make_executor` /
-:func:`~repro.runtime.engine.execute` (``engine="compiled"|"interp"``, or
-the ``REPRO_ENGINE`` environment variable).
+:func:`~repro.runtime.engine.execute`
+(``engine="compiled"|"vectorized"|"interp"``, or the ``REPRO_ENGINE``
+environment variable).
 
 * :mod:`~repro.runtime.costmodel` defines the machine descriptions
   (``XEON_8375C`` for the Rodinia/MCUDA study, ``A64FX_CMG`` for MocCUDA)
@@ -22,6 +27,7 @@ the ``REPRO_ENGINE`` environment variable).
   type shared by both execution modes.
 """
 
+from .errors import InterpreterError, UseAfterFreeError
 from .memory import MemRefStorage, dtype_for
 from .costmodel import (
     A64FX_CMG,
@@ -32,12 +38,14 @@ from .costmodel import (
     memory_access_cost,
     op_cost,
 )
-from .interpreter import Interpreter, InterpreterError
+from .interpreter import Interpreter
 from .compiler import CompiledEngine, invalidate_compiled
+from .vectorizer import VectorizedEngine, machine_vectorizable
 from .engine import (
     ENGINE_COMPILED,
     ENGINE_ENV_VAR,
     ENGINE_INTERP,
+    ENGINE_VECTORIZED,
     ENGINES,
     default_engine,
     execute,
@@ -49,8 +57,9 @@ __all__ = [
     "MemRefStorage", "dtype_for",
     "A64FX_CMG", "CostReport", "MachineModel", "OP_COSTS", "XEON_8375C",
     "memory_access_cost", "op_cost",
-    "Interpreter", "InterpreterError",
+    "Interpreter", "InterpreterError", "UseAfterFreeError",
     "CompiledEngine", "invalidate_compiled",
-    "ENGINE_COMPILED", "ENGINE_ENV_VAR", "ENGINE_INTERP", "ENGINES",
-    "default_engine", "execute", "make_executor", "resolve_engine",
+    "VectorizedEngine", "machine_vectorizable",
+    "ENGINE_COMPILED", "ENGINE_ENV_VAR", "ENGINE_INTERP", "ENGINE_VECTORIZED",
+    "ENGINES", "default_engine", "execute", "make_executor", "resolve_engine",
 ]

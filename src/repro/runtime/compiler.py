@@ -47,7 +47,7 @@ import numpy as np
 from ..dialects import arith, func as func_d, gpu as gpu_d, math as math_d, memref as memref_d
 from ..dialects import omp as omp_d, polygeist, scf
 from .costmodel import CostReport, MachineModel, XEON_8375C, op_cost
-from .interpreter import InterpreterError
+from .errors import InterpreterError
 from .memory import MemRefStorage
 
 _BARRIER = object()  # yielded by compiled generator closures at barriers
@@ -110,6 +110,10 @@ def _split_executed(block) -> Tuple[List, Optional[object]]:
 class _Program:
     """All compiled functions of one module for one machine model."""
 
+    #: the function-compiler class used to lower each function; subclasses
+    #: (e.g. the vectorized engine's program) plug in an extended compiler.
+    COMPILER: type = None  # set to _FunctionCompiler below (defined later)
+
     def __init__(self, module: func_d.ModuleOp, machine: MachineModel) -> None:
         self.module = module
         self.machine = machine
@@ -124,7 +128,7 @@ class _Program:
         key = (id(fn), gen)
         compiled = self._functions.get(key)
         if compiled is None:
-            compiled = self._functions[key] = _FunctionCompiler(self, fn, gen).compile()
+            compiled = self._functions[key] = type(self).COMPILER(self, fn, gen).compile()
         return compiled
 
     def speedup(self, threads: int) -> float:
@@ -162,15 +166,24 @@ class _Program:
         return result
 
 
-def program_for(module: func_d.ModuleOp, machine: MachineModel) -> _Program:
-    """The (cached) compiled program of ``module`` for ``machine``."""
+def program_for(module: func_d.ModuleOp, machine: MachineModel,
+                cls: type = None) -> _Program:
+    """The (cached) compiled program of ``module`` for ``machine``.
+
+    ``cls`` selects the program flavour (default :class:`_Program`; the
+    vectorized engine passes its own subclass) — each flavour caches its own
+    program per machine model.
+    """
+    if cls is None:
+        cls = _Program
     cache = getattr(module, _CACHE_ATTR, None)
     if cache is None:
         cache = {}
         setattr(module, _CACHE_ATTR, cache)
-    prog = cache.get(machine)
+    key = (cls, machine)
+    prog = cache.get(key)
     if prog is None:
-        prog = cache[machine] = _Program(module, machine)
+        prog = cache[key] = cls(module, machine)
     return prog
 
 
@@ -178,6 +191,59 @@ def invalidate_compiled(module: func_d.ModuleOp) -> None:
     """Drop the compiled-program cache (call after mutating a run module)."""
     if hasattr(module, _CACHE_ATTR):
         delattr(module, _CACHE_ATTR)
+
+
+def build_launch_thread_regs(regs, arg_slots, bx, by, bz, grid, block):
+    """Per-thread register lists for one ``gpu.launch`` block.
+
+    Thread order is tz outermost / tx innermost, matching the interpreter's
+    env construction; shared by the compiled SIMT path and the vectorized
+    engine's mixed-mode launch runner so the register layout cannot diverge.
+    """
+    a0, a1, a2, a3, a4, a5, a6, a7, a8, a9, a10, a11 = arg_slots
+    g0, g1, g2 = grid
+    b0, b1, b2 = block
+    block_regs = regs[:]
+    thread_regs = []
+    append = thread_regs.append
+    for tz in range(b2):
+        for ty in range(b1):
+            for tx in range(b0):
+                per_thread = block_regs[:]
+                per_thread[a0] = bx
+                per_thread[a1] = by
+                per_thread[a2] = bz
+                per_thread[a3] = tx
+                per_thread[a4] = ty
+                per_thread[a5] = tz
+                per_thread[a6] = g0
+                per_thread[a7] = g1
+                per_thread[a8] = g2
+                per_thread[a9] = b0
+                per_thread[a10] = b1
+                per_thread[a11] = b2
+                append(per_thread)
+    return thread_regs
+
+
+def bind_shared_allocas(shared_allocas, thread_regs):
+    """Allocate each prebound shared buffer once and bind it in every thread."""
+    allocate = MemRefStorage.allocate
+    for dst, mtype in shared_allocas:
+        storage = allocate(mtype, [])
+        for per_thread in thread_regs:
+            per_thread[dst] = storage
+
+
+def build_parallel_thread_regs(regs, iv_slots, iterations):
+    """Per-thread register lists for a SIMT ``scf.parallel`` iteration space."""
+    thread_regs = []
+    for point in iterations:
+        per_thread = regs[:]
+        for dst, value in zip(iv_slots, point):
+            per_thread[dst] = value
+        thread_regs.append(per_thread)
+    return thread_regs
 
 
 # ---------------------------------------------------------------------------
@@ -453,10 +519,7 @@ class _FunctionCompiler:
     def _c_dealloc(self, op):
         ms = self.slot(op.memref)
         def step(state, regs):
-            storage = regs[ms]
-            if storage.freed:
-                raise InterpreterError("use after free of a memref buffer")
-            storage.freed = True
+            regs[ms].free()  # raises on double free (centralized in storage)
             state.work[-1] += 2.0
         return step
 
@@ -464,18 +527,18 @@ class _FunctionCompiler:
         return self.program.local_cost, self.program.global_base
 
     def _access_lines(self, memref_slot: int) -> List[str]:
-        """Shared prologue of a load/store: freed check + access charge.
+        """Shared prologue of a load/store: liveness check + access charge.
 
-        Leaves the storage in ``_s`` and its array in ``_a``; the cost and
-        traffic accounting replicates ``memory_access_cost`` exactly (memory
-        space and element width are runtime properties of the buffer).
+        Leaves the storage in ``_s`` and its array in ``_a``; the
+        use-after-free guard is centralized in ``MemRefStorage.check_alive``,
+        and the cost and traffic accounting replicates ``memory_access_cost``
+        exactly (memory space and element width are runtime properties of the
+        buffer).
         """
         local_cost, global_base = self._mem_cost_prefix()
         return [
             f"_s = regs[{memref_slot}]",
-            "if _s.freed:",
-            "    raise _IE('use after free of a memref buffer')",
-            "_a = _s.array",
+            "_a = _s.check_alive()",
             "_sp = _s.memory_space",
             "if _sp == 'shared' or _sp == 'local':",
             f"    w[-1] += {local_cost!r}",
@@ -514,10 +577,7 @@ class _FunctionCompiler:
         ms, ds = self.slot(op.memref), self.slot(op.result)
         dim = op.dim
         def step(state, regs):
-            storage = regs[ms]
-            if storage.freed:
-                raise InterpreterError("use after free of a memref buffer")
-            regs[ds] = int(storage.array.shape[dim])
+            regs[ds] = int(regs[ms].check_alive().shape[dim])
         return step
 
     def _c_copy(self, op):
@@ -526,9 +586,7 @@ class _FunctionCompiler:
         def step(state, regs):
             source = regs[ss]
             destination = regs[ds]
-            if source.freed or destination.freed:
-                raise InterpreterError("use after free of a memref buffer")
-            destination.copy_from(source)
+            destination.copy_from(source)  # checks both buffers' liveness
             element_bytes = int(source.array.itemsize)
             state.work[-1] += (2.0 * int(source.array.size)
                                * (global_base * max(1.0, element_bytes / 4.0)))
@@ -806,12 +864,8 @@ class _FunctionCompiler:
                 state.report.parallel_regions += 1
                 work_stack = state.work
                 work_stack.append(0.0)
-                thread_regs = []
-                for point in product(*ranges):
-                    per_thread = regs[:]
-                    for dst, value in zip(iv_slots, point):
-                        per_thread[dst] = value
-                    thread_regs.append(per_thread)
+                thread_regs = build_parallel_thread_regs(
+                    regs, iv_slots, product(*ranges))
                 phases = run_simt(state, thread_regs)
                 state.report.simt_phases += phases
                 work = work_stack.pop()
@@ -862,42 +916,17 @@ class _FunctionCompiler:
                 self._prebound.add(id(nested.result))
         run_simt = self.compile_simt_body(op.body)
         self._prebound = saved_prebound
-        allocate = MemRefStorage.allocate
-        a0, a1, a2, a3, a4, a5, a6, a7, a8, a9, a10, a11 = arg_slots
 
         def run(state, regs):
             grid = [int(regs[s]) for s in grid_slots]
             block = [int(regs[s]) for s in block_slots]
-            g0, g1, g2 = grid
-            b0, b1, b2 = block
             report = state.report
-            for bz in range(g2):
-                for by in range(g1):
-                    for bx in range(g0):
-                        block_regs = regs[:]
-                        thread_regs = []
-                        append = thread_regs.append
-                        for tz in range(b2):
-                            for ty in range(b1):
-                                for tx in range(b0):
-                                    per_thread = block_regs[:]
-                                    per_thread[a0] = bx
-                                    per_thread[a1] = by
-                                    per_thread[a2] = bz
-                                    per_thread[a3] = tx
-                                    per_thread[a4] = ty
-                                    per_thread[a5] = tz
-                                    per_thread[a6] = g0
-                                    per_thread[a7] = g1
-                                    per_thread[a8] = g2
-                                    per_thread[a9] = b0
-                                    per_thread[a10] = b1
-                                    per_thread[a11] = b2
-                                    append(per_thread)
-                        for dst, mtype in shared_allocas:
-                            storage = allocate(mtype, [])
-                            for per_thread in thread_regs:
-                                per_thread[dst] = storage
+            for bz in range(grid[2]):
+                for by in range(grid[1]):
+                    for bx in range(grid[0]):
+                        thread_regs = build_launch_thread_regs(
+                            regs, arg_slots, bx, by, bz, grid, block)
+                        bind_shared_allocas(shared_allocas, thread_regs)
                         phases = run_simt(state, thread_regs)
                         report.simt_phases += phases
         return run
@@ -914,22 +943,13 @@ class _FunctionCompiler:
     def _c_gpu_dealloc(self, op):
         ms = self.slot(op.memref)
         def step(state, regs):
-            storage = regs[ms]
-            if storage.freed:
-                raise InterpreterError("use after free of a memref buffer")
-            storage.freed = True
+            regs[ms].free()  # raises on double free (centralized in storage)
         return step
 
     def _c_gpu_memcpy(self, op):
         ds, ss = self.slot(op.destination), self.slot(op.source)
         def step(state, regs):
-            destination = regs[ds]
-            if destination.freed:
-                raise InterpreterError("use after free of a memref buffer")
-            source = regs[ss]
-            if source.freed:
-                raise InterpreterError("use after free of a memref buffer")
-            destination.copy_from(source)
+            regs[ds].copy_from(regs[ss])  # checks both buffers' liveness
         return step
 
     # -- OpenMP -------------------------------------------------------------------
@@ -1025,6 +1045,9 @@ class _FunctionCompiler:
         return run
 
 
+_Program.COMPILER = _FunctionCompiler
+
+
 # ---------------------------------------------------------------------------
 # Block-runner code generation
 # ---------------------------------------------------------------------------
@@ -1081,6 +1104,9 @@ class CompiledEngine:
     including across engine instances.
     """
 
+    #: program flavour; subclasses (the vectorized engine) override this.
+    PROGRAM_CLS = _Program
+
     def __init__(self, module: func_d.ModuleOp, machine: MachineModel = XEON_8375C,
                  threads: Optional[int] = None, collect_cost: bool = True,
                  max_dynamic_ops: Optional[int] = None) -> None:
@@ -1090,7 +1116,7 @@ class CompiledEngine:
         self.collect_cost = collect_cost
         self.max_dynamic_ops = max_dynamic_ops
         self.report = CostReport(machine=machine, threads=self.threads)
-        self._program = program_for(module, machine)
+        self._program = program_for(module, machine, type(self).PROGRAM_CLS)
         self._work: List[float] = [0.0]
 
     def run(self, function_name: str, arguments: Sequence = ()) -> List:

@@ -1,4 +1,4 @@
-"""Execution-engine selection: tree-walking interpreter vs. compiled closures.
+"""Execution-engine selection: interpreter, compiled closures, vectorized grids.
 
 Every runtime entry point (harnesses, the Rodinia suite, the MocCUDA shim,
 benchmarks) goes through this layer and accepts an ``engine`` knob:
@@ -7,14 +7,18 @@ benchmarks) goes through this layer and accepts an ``engine`` knob:
   specialized Python closures (:mod:`repro.runtime.compiler`), the same
   transpile-don't-emulate move the paper applies to GPU constructs, applied
   to our own execution hot path.
+* ``"vectorized"`` — the compiled engine plus whole-grid NumPy execution of
+  barrier-delimited phases (:mod:`repro.runtime.vectorizer`): SSA registers
+  become lane arrays, loads/stores become gathers/scatters, and phases the
+  analyzer cannot prove vectorizable fall back to the compiled closures.
 * ``"interp"`` — the reference tree-walking
   :class:`~repro.runtime.interpreter.Interpreter`, kept as the correctness
   and cost-accounting oracle.
 
-Both engines produce bit-identical outputs and :class:`CostReport`s (pinned
+All engines produce bit-identical outputs and :class:`CostReport`s (pinned
 by ``tests/runtime/test_engine_parity.py``); only wall-clock speed differs.
 The process-wide default can be overridden with the ``REPRO_ENGINE``
-environment variable.
+environment variable (``compiled``/``vectorized``/``interp``).
 """
 
 from __future__ import annotations
@@ -25,15 +29,23 @@ from typing import Optional, Sequence, Union
 from .costmodel import CostReport, MachineModel, XEON_8375C
 from .compiler import CompiledEngine, invalidate_compiled
 from .interpreter import Interpreter, InterpreterError
+from .vectorizer import VectorizedEngine
 
 ENGINE_COMPILED = "compiled"
 ENGINE_INTERP = "interp"
-ENGINES = (ENGINE_COMPILED, ENGINE_INTERP)
+ENGINE_VECTORIZED = "vectorized"
+ENGINES = (ENGINE_COMPILED, ENGINE_VECTORIZED, ENGINE_INTERP)
 
 #: environment variable overriding the process-wide default engine.
 ENGINE_ENV_VAR = "REPRO_ENGINE"
 
-Executor = Union[Interpreter, CompiledEngine]
+Executor = Union[Interpreter, CompiledEngine, VectorizedEngine]
+
+_ENGINE_CLASSES = {
+    ENGINE_COMPILED: CompiledEngine,
+    ENGINE_VECTORIZED: VectorizedEngine,
+    ENGINE_INTERP: Interpreter,
+}
 
 
 def default_engine() -> str:
@@ -54,13 +66,12 @@ def make_executor(module, *, engine: Optional[str] = None,
                   threads: Optional[int] = None,
                   collect_cost: bool = True,
                   max_dynamic_ops: Optional[int] = None) -> Executor:
-    """Build an executor (Interpreter or CompiledEngine) for ``module``.
+    """Build an executor (Interpreter, CompiledEngine or VectorizedEngine).
 
-    Both classes share the same API: ``run(function_name, arguments)`` plus a
+    All classes share the same API: ``run(function_name, arguments)`` plus a
     ``report`` attribute accumulating the simulated-cycle cost model.
     """
-    name = resolve_engine(engine)
-    cls = Interpreter if name == ENGINE_INTERP else CompiledEngine
+    cls = _ENGINE_CLASSES[resolve_engine(engine)]
     return cls(module, machine=machine, threads=threads,
                collect_cost=collect_cost, max_dynamic_ops=max_dynamic_ops)
 

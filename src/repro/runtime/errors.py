@@ -1,0 +1,19 @@
+"""Runtime error types shared by the execution engines and the memory layer.
+
+``InterpreterError`` historically lived in :mod:`repro.runtime.interpreter`
+(and is still re-exported from there); it moved here so that
+:mod:`repro.runtime.memory` can raise engine-compatible errors without a
+circular import — the use-after-free guard is centralized in
+:class:`~repro.runtime.memory.MemRefStorage` and must surface as an
+``InterpreterError`` to every engine.
+"""
+
+from __future__ import annotations
+
+
+class InterpreterError(RuntimeError):
+    """Raised on malformed IR or unsupported runtime situations."""
+
+
+class UseAfterFreeError(InterpreterError):
+    """Raised when a freed memref buffer is accessed (load/store/free/copy)."""

@@ -33,13 +33,10 @@ from .costmodel import (
     memory_access_cost,
     op_cost,
 )
+from .errors import InterpreterError, UseAfterFreeError
 from .memory import MemRefStorage
 
 _BARRIER = object()  # sentinel yielded by the execution generator at barriers
-
-
-class InterpreterError(RuntimeError):
-    """Raised on malformed IR or unsupported runtime situations."""
 
 
 class Interpreter:
@@ -210,8 +207,10 @@ class Interpreter:
         storage = self._value(env, value)
         if not isinstance(storage, MemRefStorage):
             raise InterpreterError(f"value {value.name} is not a memref at runtime")
-        if storage.freed:
-            raise InterpreterError("use after free of a memref buffer")
+        # delegate the use-after-free guard to the storage layer here, before
+        # any cost accounting, so a freed-buffer access raises without
+        # charging (matching the compiled engine's prologue ordering).
+        storage.check_alive()
         return storage
 
     def _exec_alloc(self, op: memref_d.AllocOp, env):
@@ -227,7 +226,7 @@ class Interpreter:
         yield  # pragma: no cover
 
     def _exec_dealloc(self, op: memref_d.DeallocOp, env):
-        self._storage(env, op.memref).freed = True
+        self._storage(env, op.memref).free()
         self._charge(2.0)
         return
         yield  # pragma: no cover
@@ -254,7 +253,7 @@ class Interpreter:
 
     def _exec_dim(self, op: memref_d.DimOp, env):
         storage = self._storage(env, op.memref)
-        self._bind(env, op.result, int(storage.array.shape[op.dim]))
+        self._bind(env, op.result, int(storage.check_alive().shape[op.dim]))
         return
         yield  # pragma: no cover
 
@@ -466,7 +465,7 @@ class Interpreter:
         yield  # pragma: no cover
 
     def _exec_gpu_dealloc(self, op: gpu_d.GPUDeallocOp, env):
-        self._storage(env, op.memref).freed = True
+        self._storage(env, op.memref).free()
         return
         yield  # pragma: no cover
 

@@ -5,6 +5,14 @@ Following the scientific-Python guidance the project's runtime is built on
 every memref is a contiguous ``numpy.ndarray`` of the right dtype.  Memory
 spaces are carried alongside the buffer so the cost model can charge global
 vs. shared/local accesses differently.
+
+Memory safety is centralized here: every accessor (:meth:`MemRefStorage.load`,
+:meth:`~MemRefStorage.store`, the bulk :meth:`~MemRefStorage.load_block` /
+:meth:`~MemRefStorage.store_block` used by the vectorized engine,
+:meth:`~MemRefStorage.free` and :meth:`~MemRefStorage.copy_from`) raises
+:class:`~repro.runtime.errors.UseAfterFreeError` on a freed buffer, so the
+engines no longer duplicate the guard in interpreter handlers or generated
+prologues — they go through :meth:`~MemRefStorage.check_alive`.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from ..ir import FloatType, IndexType, IntegerType, MemorySpace, MemRefType, Type
+from .errors import UseAfterFreeError
 
 
 def dtype_for(element_type: Type) -> np.dtype:
@@ -60,9 +69,27 @@ class MemRefStorage:
                    memory_space: str = MemorySpace.GLOBAL) -> "MemRefStorage":
         return cls(np.ascontiguousarray(array), memory_space)
 
+    # -- liveness --------------------------------------------------------------
+    def check_alive(self) -> np.ndarray:
+        """The backing array, raising :class:`UseAfterFreeError` when freed.
+
+        This is the single source of truth for the use-after-free guard: the
+        interpreter, the compiled engine's generated prologues and the
+        vectorized engine's bulk accessors all route through it.
+        """
+        if self.freed:
+            raise UseAfterFreeError("use after free of a memref buffer")
+        return self.array
+
+    def free(self) -> None:
+        """Mark the buffer freed (double-free raises like any other access)."""
+        self.check_alive()
+        self.freed = True
+
     # -- element access --------------------------------------------------------
     def load(self, indices: Tuple[int, ...]):
-        value = self.array[tuple(int(i) for i in indices)] if indices else self.array[()]
+        array = self.check_alive()
+        value = array[tuple(int(i) for i in indices)] if indices else array[()]
         if isinstance(value, np.floating):
             return float(value)
         if isinstance(value, np.integer):
@@ -70,13 +97,59 @@ class MemRefStorage:
         return value
 
     def store(self, value, indices: Tuple[int, ...]) -> None:
+        array = self.check_alive()
         if indices:
-            self.array[tuple(int(i) for i in indices)] = value
+            array[tuple(int(i) for i in indices)] = value
         else:
-            self.array[()] = value
+            array[()] = value
+
+    # -- bulk access ------------------------------------------------------------
+    def load_block(self, indices: Sequence = ()) -> np.ndarray:
+        """Bulk gather: elements at (arrays of) indices, without scalar boxing.
+
+        ``indices`` is one index array (or scalar) per memref dimension; they
+        broadcast against each other like numpy advanced indexing.  With no
+        indices the whole buffer is returned (a rank-0 buffer gathers to a
+        0-d array).  Unlike :meth:`load`, elements keep their numpy dtype —
+        the vectorized engine widens them itself.
+        """
+        array = self.check_alive()
+        if not len(indices):
+            return array
+        return array[tuple(indices)]
+
+    def store_block(self, values, indices: Sequence = ()) -> None:
+        """Bulk scatter: assign ``values`` at (arrays of) indices.
+
+        Duplicate indices resolve **last-writer-wins in element order**
+        (sequential thread order when lanes are laid out in thread order).
+        NumPy leaves duplicate-index assignment order unspecified, so the
+        tie-break is made explicit: duplicate targets are reduced to their
+        last writer before a single duplicate-free assignment.
+        """
+        array = self.check_alive()
+        if not len(indices):
+            array[...] = values
+            return
+        index_arrays = [np.asarray(index) for index in indices]
+        if not any(index.ndim for index in index_arrays):
+            array[tuple(int(index) for index in index_arrays)] = values
+            return
+        normalized = []
+        for index, extent in zip(index_arrays, array.shape):
+            index = np.asarray(index, dtype=np.int64)
+            if bool(((index < -extent) | (index >= extent)).any()):
+                raise IndexError(
+                    f"store_block index out of bounds for extent {extent}")
+            normalized.append(np.where(index < 0, index + extent, index))
+        flat = np.ravel_multi_index(tuple(normalized), array.shape).reshape(-1)
+        spread = np.broadcast_to(np.asarray(values), flat.shape).reshape(-1)
+        # last occurrence of each target = first occurrence in the reversal
+        last_writers, positions = np.unique(flat[::-1], return_index=True)
+        array.reshape(-1)[last_writers] = spread[::-1][positions]
 
     def copy_from(self, other: "MemRefStorage") -> None:
-        np.copyto(self.array.reshape(-1), other.array.reshape(-1))
+        np.copyto(self.check_alive().reshape(-1), other.check_alive().reshape(-1))
 
     # -- properties -------------------------------------------------------------
     @property

@@ -1,0 +1,1514 @@
+"""Vectorized SIMT engine: whole-grid NumPy execution between barriers.
+
+The compiled engine (PR 1) removed per-op dispatch but still runs every SIMT
+thread / parallel-loop iteration as a separate Python closure call.  This
+module exploits the same structural invariant the paper uses for barrier
+elimination — *a barrier splits a thread body into phases that are
+independent across threads within a phase* (§III-A) — to execute each
+barrier-delimited phase for **all threads at once** as NumPy array
+operations:
+
+* SSA registers become full-width arrays of shape ``(num_lanes,)``
+  (``float64``/``int64``, matching the interpreter's Python-scalar
+  arithmetic bit for bit);
+* thread-index induction variables become precomputed index grids
+  (broadcast ``arange`` / ``meshgrid`` lane arrays in thread order);
+* loads become fancy-indexed gathers (``MemRefStorage.load_block``),
+  stores become scatter assignments (``store_block``; duplicate indices
+  resolve last-writer-wins in lane order, matching sequential thread
+  order);
+* thread-local scalar/array ``memref.alloca`` cells become per-lane
+  buffers of shape ``(num_lanes, *shape)``;
+* ``scf.if`` under a varying condition becomes masked execution
+  (full-width boolean masks, ``np.where`` merges for results);
+* ``scf.for`` with lane-invariant bounds runs the loop sequentially with a
+  vectorized body.
+
+Phases containing unsupported ops (nested parallelism, ``scf.while``,
+calls, deallocs, lane-varying loop bounds, ...) fall back *per phase* to
+the compiled closures — correctness never depends on the analyzer being
+complete.  Regions whose barriers sit under control flow fall back
+wholesale to the compiled generator scheduling.
+
+Cost accounting is computed analytically (per-op static cost × lane count,
+the same ``memory_access_cost`` formulas × access count).  Because every
+per-op charge on the supported machines is an exact binary fraction
+(multiples of 2⁻⁸), float accumulation is associative in exact arithmetic
+and the grouped analytic totals are **bit-identical** to the interpreter's
+sequential per-thread accumulation; machines with non-dyadic access costs
+(e.g. ``A64FX_CMG``'s HBM factor) disable vectorization entirely and fall
+back to the compiled engine.  ``dynamic_ops``, phase counts and traffic
+counters are replicated exactly; like the compiled engine, the
+``max_dynamic_ops`` budget is checked per block of lanes rather than per
+scalar op (the counter itself stays exact).
+
+Known, documented divergences from the interpreter (shared with the spirit
+of the compiled engine's): lockstep execution reorders memory operations
+*across lanes* within a phase, which is unobservable for race-free programs
+(the language model already declares intra-phase cross-thread dependencies
+racy), and integer SSA values live in ``int64`` lanes instead of unbounded
+Python ints.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..dialects import arith, math as math_d, memref as memref_d, scf
+from ..ir import MemRefType
+from .compiler import (
+    CompiledEngine,
+    _BARRIER_OPS,
+    _FunctionCompiler,
+    _Program,
+    _build_runner,
+    _split_executed,
+    bind_shared_allocas,
+    build_launch_thread_regs,
+    build_parallel_thread_regs,
+)
+from .costmodel import MachineModel, op_cost
+from .errors import InterpreterError
+from .memory import MemRefStorage, dtype_for
+
+_U = "u"  # uniform: one Python scalar (or storage) shared by all lanes
+_V = "v"  # varying: a full-width (num_lanes,) numpy array
+
+#: maximum scf.if/scf.for nesting depth the vectorizer will analyze.  The
+#: dry-run classification passes (branch kind joins, iter-arg fixpoints)
+#: re-emit nested bodies, so emission work grows with ~2^depth; beyond this
+#: depth the phase falls back to closures instead of compiling slowly.
+_MAX_NESTING = 10
+
+
+class _Unsupported(Exception):
+    """A phase contains an op the vectorizer cannot (profitably) handle."""
+
+
+def _exact_cycles(cost: float) -> bool:
+    """True if ``cost`` is an exact multiple of 2^-8 (binary fraction).
+
+    Sums of such values are exact in float64 (well below the 2^53 mantissa
+    budget for any realistic simulated run), which is what makes the
+    analytic ``cost * count`` accounting bit-identical to the interpreter's
+    sequential accumulation regardless of grouping.
+    """
+    scaled = cost * 256.0
+    return scaled == int(scaled)
+
+
+def machine_vectorizable(machine: MachineModel) -> bool:
+    """Whether the machine's per-access costs allow exact analytic charging."""
+    return (_exact_cycles(machine.local_access_cost)
+            and _exact_cycles(machine.global_access_cost * machine.hbm_bandwidth_factor))
+
+
+# ---------------------------------------------------------------------------
+# Runtime helpers captured by generated phase code
+# ---------------------------------------------------------------------------
+def _v_divf(a, b):
+    b = np.asarray(b, dtype=np.float64)
+    with np.errstate(all="ignore"):
+        return np.where(b != 0.0, np.asarray(a, dtype=np.float64) / b, np.inf)
+
+
+def _v_divsi(a, b):
+    af = np.asarray(a, dtype=np.float64)
+    bf = np.asarray(b, dtype=np.float64)
+    with np.errstate(all="ignore"):
+        quotient = np.where(bf != 0.0, af / bf, 0.0)
+        return np.trunc(quotient).astype(np.int64)
+
+
+def _v_remsi(a, b):
+    # the interpreter evaluates ``int(math.fmod(a, b))`` — both operands
+    # round-trip through float64 (lossy above 2^53) before the C fmod, so
+    # the lanes must take the same float path, not exact int64 fmod.
+    b64 = np.asarray(b, dtype=np.int64)
+    af = np.asarray(a, dtype=np.float64)
+    bf = np.asarray(b, dtype=np.float64)
+    with np.errstate(all="ignore"):
+        return np.where(b64 != 0, np.fmod(af, bf), 0.0).astype(np.int64)
+
+
+def _v_remf(a, b):
+    b = np.asarray(b, dtype=np.float64)
+    with np.errstate(all="ignore"):
+        return np.where(b != 0.0, np.fmod(np.asarray(a, dtype=np.float64), b), np.nan)
+
+
+def _v_fptosi(values, mask, n):
+    """Float-to-int lanes with the interpreter's ``int(value)`` error
+    semantics: NaN/inf on an *active* lane raises (inactive lanes may hold
+    garbage by design and are excluded from the check)."""
+    arr = np.asarray(values, dtype=np.float64)
+    active = arr if mask is None else arr[mask]
+    if bool(np.isnan(active).any()):
+        raise ValueError("cannot convert float NaN to integer")
+    if bool(np.isinf(active).any()):
+        raise OverflowError("cannot convert float infinity to integer")
+    with np.errstate(all="ignore"):
+        return arr.astype(np.int64)
+
+
+def _v_minf(a, b):
+    """Python ``min`` semantics per lane: second argument wins only when
+    strictly smaller — unlike ``np.minimum``, NaN does not propagate from
+    the second position (``min(1.0, nan) == 1.0``)."""
+    with np.errstate(all="ignore"):
+        return np.where(np.asarray(b) < np.asarray(a), b, a)
+
+
+def _v_maxf(a, b):
+    """Python ``max`` semantics per lane (see :func:`_v_minf`)."""
+    with np.errstate(all="ignore"):
+        return np.where(np.asarray(b) > np.asarray(a), b, a)
+
+
+def _v_map(fn, values, mask, n):
+    """Elementwise Python-function map over active lanes (math.* parity).
+
+    The interpreter evaluates ``math.<fn>`` through the exact Python
+    callables in ``UNARY_FUNCTIONS``; numpy's SIMD transcendentals can
+    differ in the last ulp, so parity requires the Python loop.  Only
+    active lanes are evaluated (inactive lanes may hold garbage that the
+    Python functions would reject).
+    """
+    values = np.broadcast_to(np.asarray(values, dtype=np.float64), (n,))
+    out = np.zeros(n, dtype=np.float64)
+    if mask is None:
+        for i in range(n):
+            out[i] = fn(float(values[i]))
+    else:
+        for i in np.flatnonzero(mask):
+            out[i] = fn(float(values[i]))
+    return out
+
+
+def _v_map2(fn, lhs, rhs, mask, n):
+    lhs = np.broadcast_to(np.asarray(lhs, dtype=np.float64), (n,))
+    rhs = np.broadcast_to(np.asarray(rhs, dtype=np.float64), (n,))
+    out = np.zeros(n, dtype=np.float64)
+    if mask is None:
+        for i in range(n):
+            out[i] = fn(float(lhs[i]), float(rhs[i]))
+    else:
+        for i in np.flatnonzero(mask):
+            out[i] = fn(float(lhs[i]), float(rhs[i]))
+    return out
+
+
+def _v_bcast(value, n, dtype):
+    return np.broadcast_to(np.asarray(value, dtype=dtype), (n,))
+
+
+def _iteration_space(regs, lb_slots, ub_slots, st_slots) -> Tuple[List[range], int]:
+    """Read a region's (ranges, total points) from its bound slots."""
+    ranges = [range(int(regs[lb]), int(regs[ub]), int(regs[st]))
+              for lb, ub, st in zip(lb_slots, ub_slots, st_slots)]
+    total = 1
+    for axis in ranges:
+        total *= len(axis)
+    return ranges, total
+
+
+def _lane_arrays(ranges: Sequence[range]) -> List[np.ndarray]:
+    """Flattened row-major index grids, one per dimension, in lane order.
+
+    Lane order equals ``itertools.product(*ranges)`` order, i.e. the
+    sequential thread order of the interpreter — which is what makes
+    last-writer-wins scatters match sequential stores.
+    """
+    axes = [np.arange(r.start, r.stop, r.step, dtype=np.int64) for r in ranges]
+    grids = np.meshgrid(*axes, indexing="ij")
+    return [g.reshape(-1) for g in grids]
+
+
+class _LaneBuffer:
+    """Compile-time record of a per-lane alloca: vector rep ``(N, *shape)``."""
+
+    __slots__ = ("slot", "shape", "dtype", "space", "element_type")
+
+    def __init__(self, slot: int, shape: Tuple[int, ...], dtype, space: str,
+                 element_type) -> None:
+        self.slot = slot
+        self.shape = shape
+        self.dtype = dtype
+        self.space = space
+        self.element_type = element_type
+
+
+class _VectorPhase:
+    """One compiled phase: ``run(state, regs, n, lanes)`` + its interface.
+
+    ``reads``/``buf_reads``/``buf_writes``/``created``/``defs`` describe the
+    phase's boundary traffic for the mixed-mode adapter (gather live-ins
+    from per-thread register lists, scatter definitions back); ``source``
+    keeps the generated code for debugging.
+    """
+
+    __slots__ = ("run", "source", "reads", "buf_reads", "buf_writes",
+                 "created", "defs")
+
+    def __init__(self, run, source, reads, buf_reads, buf_writes,
+                 created, defs) -> None:
+        self.run = run
+        self.source = source
+        self.reads = reads          # {slot: np.dtype} varying scalar live-ins
+        self.buf_reads = buf_reads  # set of lane-buffer slots gathered
+        self.buf_writes = buf_writes  # pre-existing lane buffers written
+        self.created = created      # [(slot, shape, dtype, space, elem_type)]
+        self.defs = defs            # [(slot, "u"|"v")] top-level scalar defs
+
+
+class _Ctx:
+    """Compile-time execution context: active mask + active-lane count expr."""
+
+    __slots__ = ("mask", "count")
+
+    def __init__(self, mask: Optional[str], count: str) -> None:
+        self.mask = mask    # name of a full-width boolean mask, or None
+        self.count = count  # expression for the active lane count
+
+
+#: numpy expression templates for lane-varying binary arithmetic; must agree
+#: elementwise with the ops' ``PY_FUNC`` on float64/int64 lanes.
+_NP_BINARY = {
+    arith.AddIOp: "({a} + {b})",
+    arith.SubIOp: "({a} - {b})",
+    arith.MulIOp: "({a} * {b})",
+    arith.AndIOp: "({a} & {b})",
+    arith.OrIOp: "({a} | {b})",
+    arith.XOrIOp: "({a} ^ {b})",
+    arith.ShLIOp: "({a} << {b})",
+    arith.ShRSIOp: "({a} >> {b})",
+    arith.MinSIOp: "np.minimum({a}, {b})",
+    arith.MaxSIOp: "np.maximum({a}, {b})",
+    arith.AddFOp: "({a} + {b})",
+    arith.SubFOp: "({a} - {b})",
+    arith.MulFOp: "({a} * {b})",
+    arith.MinFOp: "_v_minf({a}, {b})",
+    arith.MaxFOp: "_v_maxf({a}, {b})",
+    arith.DivFOp: "_v_divf({a}, {b})",
+    arith.DivSIOp: "_v_divsi({a}, {b})",
+    arith.RemSIOp: "_v_remsi({a}, {b})",
+    arith.RemFOp: "_v_remf({a}, {b})",
+}
+
+_BASE_NAMESPACE = {
+    "np": np,
+    "_IE": InterpreterError,
+    "_v_divf": _v_divf,
+    "_v_divsi": _v_divsi,
+    "_v_remsi": _v_remsi,
+    "_v_remf": _v_remf,
+    "_v_minf": _v_minf,
+    "_v_maxf": _v_maxf,
+    "_v_fptosi": _v_fptosi,
+    "_v_map": _v_map,
+    "_v_map2": _v_map2,
+    "_v_bcast": _v_bcast,
+}
+
+
+def _np_dtype_name(value) -> str:
+    return "np.float64" if value.type.is_float else "np.int64"
+
+
+def _np_dtype(value):
+    return np.float64 if value.type.is_float else np.int64
+
+
+# ---------------------------------------------------------------------------
+# The region vectorizer: classification + source emission, one parallel region
+# ---------------------------------------------------------------------------
+class _RegionVectorizer:
+    """Compiles the barrier-delimited phases of one parallel region.
+
+    Value-kind classification (uniform vs. varying vs. per-lane buffer) is
+    shared across the region's phases so a slot defined in phase *k* keeps
+    its representation when phase *j > k* reads it — including across
+    fallback phases, whose top-level definitions are registered
+    conservatively as varying.
+    """
+
+    def __init__(self, fc: "_VectorFunctionCompiler") -> None:
+        self.fc = fc
+        self.program = fc.program
+        self.local_cost = self.program.local_cost
+        self.global_base = self.program.global_base
+        self.kinds: Dict[int, str] = {}
+        self.lane_bufs: Dict[int, _LaneBuffer] = {}
+        # thread-index provenance ("taint"): slots / rank-0 cells holding a
+        # value derived from a lane index, used by the single-lane-guard
+        # profitability heuristic (``if (tid == c)`` selects O(1) lanes,
+        # ``if (flag[tid] == c)`` may select many).
+        self.lane_taint: Set[int] = set()
+        self.taint_bufs: Set[int] = set()
+        # per-phase emission state
+        self.lines: List[str] = []
+        self.ns: Dict[str, object] = {}
+        self._indent = 0
+        self._defined: Set[int] = set()
+        self._reads: Dict[int, object] = {}
+        self._assign_log: List[int] = []
+        self._created: List[int] = []
+        self._buf_writes: Set[int] = set()
+        self._depth = 0
+
+    # -- shared helpers --------------------------------------------------------
+    def mark_varying(self, slot: int) -> None:
+        self.kinds[slot] = _V
+
+    def mark_lane_index(self, slot: int) -> None:
+        self.kinds[slot] = _V
+        self.lane_taint.add(slot)
+
+    def is_lane_index(self, value) -> bool:
+        return self.slot(value) in self.lane_taint
+
+    def slot(self, value) -> int:
+        return self.fc.slot(value)
+
+    def kind_of(self, value) -> str:
+        slot = self.slot(value)
+        if slot in self.lane_bufs:
+            return "buf"
+        return self.kinds.get(slot, _U)
+
+    def require_exact(self, cost: float) -> None:
+        if not _exact_cycles(cost):
+            raise _Unsupported(f"non-dyadic op cost {cost}")
+
+    def register_fallback_defs(self, ops: Sequence) -> None:
+        """Record the top-level definitions of a closure-executed phase.
+
+        Scalar results become (conservatively) varying; statically shaped
+        per-lane allocations become lane buffers the mixed-mode adapter can
+        stack/unstack; everything else stays opaque, which makes any later
+        vectorized phase reading it fall back too (its memref operand will
+        be classified varying, an unsupported combination).
+        """
+        for op in ops:
+            if isinstance(op, arith.ConstantOp):
+                self.fc.template[self.slot(op.result)] = op.value
+                continue
+            if isinstance(op, memref_d.AllocOp):
+                if id(op.result) in self.fc._prebound:
+                    continue  # uniform per-block storage bound by the runner
+                if not op.operands:
+                    mtype = op.memref_type
+                    slot = self.slot(op.result)
+                    self.lane_bufs[slot] = _LaneBuffer(
+                        slot, tuple(mtype.shape), dtype_for(mtype.element_type),
+                        mtype.memory_space, mtype.element_type)
+                    continue
+                # dynamically sized: opaque — later vector phases reading it
+                # will classify the operand varying and fall back themselves.
+            for result in op.results:
+                self.mark_varying(self.slot(result))
+
+    # -- emission primitives ----------------------------------------------------
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self._indent + line)
+
+    def charge(self, cost: float, ctx: _Ctx) -> None:
+        self.require_exact(cost)
+        if cost:
+            self.emit(f"w[-1] += {cost!r} * {ctx.count}")
+
+    def count_ops(self, nops: int, count: str) -> None:
+        if not nops:
+            return
+        self.emit(f"report.dynamic_ops += {nops} * {count}")
+        self.emit("if state.max_ops is not None and report.dynamic_ops > state.max_ops:")
+        self.emit("    raise _IE('dynamic operation budget exceeded')")
+
+    def ref(self, value) -> str:
+        """R-value expression for an SSA value; records live-in reads."""
+        slot = self.slot(value)
+        if slot not in self._defined and (slot in self.lane_bufs
+                                          or self.kinds.get(slot) == _V):
+            self._reads.setdefault(slot, value)
+        return f"regs[{slot}]"
+
+    def define(self, value, kind: str) -> str:
+        """L-value expression for an SSA result; records the definition."""
+        slot = self.slot(value)
+        self._defined.add(slot)
+        self._assign_log.append(slot)
+        self.lane_taint.discard(slot)
+        if kind == _V:
+            self.kinds[slot] = _V
+        else:
+            self.kinds.pop(slot, None)
+        return f"regs[{slot}]"
+
+    def _snapshot(self):
+        return (len(self.lines), self._indent, dict(self.kinds),
+                dict(self.lane_bufs), set(self._defined), dict(self._reads),
+                list(self._assign_log), list(self._created), set(self._buf_writes),
+                set(self.lane_taint), set(self.taint_bufs))
+
+    def _restore(self, snap) -> None:
+        (nlines, indent, kinds, bufs, defined, reads, log, created, writes,
+         taint, taint_bufs) = snap
+        del self.lines[nlines:]
+        self._indent = indent
+        self.kinds = kinds
+        self.lane_bufs = bufs
+        self._defined = defined
+        self._reads = reads
+        self._assign_log = log
+        self._created = created
+        self._buf_writes = writes
+        self.lane_taint = taint
+        self.taint_bufs = taint_bufs
+
+    # -- phase compilation -------------------------------------------------------
+    def vectorize_phase(self, ops: Sequence, nops: int) -> _VectorPhase:
+        self.lines = []
+        self.ns = dict(_BASE_NAMESPACE)
+        self._indent = 2
+        self._defined = set()
+        self._reads = {}
+        self._assign_log = []
+        self._created = []
+        self._buf_writes = set()
+        self._depth = 0
+
+        ctx = _Ctx(mask=None, count="_N")
+        for op in ops:
+            self.emit_op(op, ctx)
+
+        name = self.fc._name("vphase")
+        header = [
+            f"def {name}(state, regs, _N, _lanes):",
+            "    report = state.report",
+            "    w = state.work",
+        ]
+        count_lines = []
+        if nops:
+            count_lines = [
+                f"    report.dynamic_ops += {nops} * _N",
+                "    if state.max_ops is not None and report.dynamic_ops > state.max_ops:",
+                "        raise _IE('dynamic operation budget exceeded')",
+            ]
+        body = self.lines if self.lines else ["        pass"]
+        source = "\n".join(header + count_lines
+                           + ["    with np.errstate(all='ignore'):"] + body)
+        exec(source, self.ns)  # noqa: S102 - compile-time codegen
+        run = self.ns[name]
+
+        created_slots = set(self._created)
+        reads = {}
+        buf_reads = set()
+        for slot, value in self._reads.items():
+            if slot in self.lane_bufs:
+                if slot not in created_slots:
+                    buf_reads.add(slot)
+            else:
+                reads[slot] = _np_dtype(value)
+        buf_writes = {slot for slot in self._buf_writes if slot not in created_slots}
+        top_result_slots = {self.slot(result) for op in ops for result in op.results}
+        # only top-level allocas can be read by later phases (SSA dominance);
+        # branch-local ones must not be materialized (their lanes may not
+        # even have executed the allocation).
+        created = [(slot, self.lane_bufs[slot].shape, self.lane_bufs[slot].dtype,
+                    self.lane_bufs[slot].space, self.lane_bufs[slot].element_type)
+                   for slot in self._created if slot in top_result_slots]
+        defs = []
+        for op in ops:
+            if isinstance(op, arith.ConstantOp):
+                continue  # template-initialized; already in every thread's regs
+            for result in op.results:
+                slot = self.slot(result)
+                if slot in created_slots or slot in self.lane_bufs:
+                    continue
+                defs.append((slot, self.kinds.get(slot, _U)))
+        return _VectorPhase(run, source, reads, buf_reads, buf_writes,
+                            created, defs)
+
+    # -- op emission -------------------------------------------------------------
+    def emit_op(self, op, ctx: _Ctx) -> None:
+        if isinstance(op, arith.ConstantOp):
+            self.fc.template[self.slot(op.result)] = op.value
+            self._defined.add(self.slot(op.result))
+            return
+        if isinstance(op, arith.BinaryOp):
+            return self.emit_binary(op, ctx)
+        if isinstance(op, arith._CmpOp):
+            return self.emit_cmp(op, ctx)
+        if isinstance(op, arith._CastOp):
+            return self.emit_cast(op, ctx)
+        if isinstance(op, arith.NegFOp):
+            return self.emit_negf(op, ctx)
+        if isinstance(op, arith.SelectOp):
+            return self.emit_select(op, ctx)
+        if isinstance(op, math_d.UnaryMathOp):
+            return self.emit_math_unary(op, ctx)
+        if isinstance(op, math_d.PowFOp):
+            return self.emit_math_pow(op, ctx)
+        if isinstance(op, memref_d.AllocOp):  # covers AllocaOp
+            return self.emit_alloc(op, ctx)
+        if isinstance(op, memref_d.LoadOp):
+            return self.emit_load(op, ctx)
+        if isinstance(op, memref_d.StoreOp):
+            return self.emit_store(op, ctx)
+        if isinstance(op, memref_d.DimOp):
+            return self.emit_dim(op, ctx)
+        if isinstance(op, scf.IfOp):
+            return self.emit_if(op, ctx)
+        if isinstance(op, scf.ForOp):
+            return self.emit_for(op, ctx)
+        raise _Unsupported(f"op {op.name} is not vectorizable")
+
+    # -- scalar compute ----------------------------------------------------------
+    def emit_binary(self, op, ctx: _Ctx) -> None:
+        cost = op_cost(op.name)
+        lhs_k, rhs_k = self.kind_of(op.lhs), self.kind_of(op.rhs)
+        if "buf" in (lhs_k, rhs_k):
+            raise _Unsupported("arithmetic on a memref value")
+        varying = _V in (lhs_k, rhs_k)
+        a, b = self.ref(op.lhs), self.ref(op.rhs)
+        if varying:
+            template = _NP_BINARY.get(type(op))
+            if template is None:
+                raise _Unsupported(f"no vector template for {op.name}")
+            expr = template.format(a=a, b=b)
+        else:
+            template = _FunctionCompiler._BINARY_EXPR.get(type(op))
+            if template is not None:
+                expr = template.format(a=a, b=b)
+            else:
+                fn = self.fc._name("f")
+                self.ns[fn] = op.PY_FUNC
+                expr = f"{fn}({a}, {b})"
+            if op.result.type.is_integer or op.result.type.is_index:
+                expr = f"int({expr})"
+        self.charge(cost, ctx)
+        tainted = (isinstance(op, (arith.AddIOp, arith.SubIOp, arith.MulIOp))
+                   and ((self.is_lane_index(op.lhs) and rhs_k == _U)
+                        or (self.is_lane_index(op.rhs) and lhs_k == _U)))
+        target = self.define(op.result, _V if varying else _U)
+        if tainted:
+            self.lane_taint.add(self.slot(op.result))
+        self.emit(f"{target} = {expr}")
+
+    def emit_cmp(self, op, ctx: _Ctx) -> None:
+        cost = op_cost(op.name)
+        varying = _V in (self.kind_of(op.lhs), self.kind_of(op.rhs))
+        a, b = self.ref(op.lhs), self.ref(op.rhs)
+        cmp = _FunctionCompiler._CMP_EXPR[op.predicate]
+        self.charge(cost, ctx)
+        target = self.define(op.result, _V if varying else _U)
+        if varying:
+            self.emit(f"{target} = ({a} {cmp} {b}).astype(np.int64)")
+        else:
+            self.emit(f"{target} = 1 if {a} {cmp} {b} else 0")
+
+    def emit_cast(self, op, ctx: _Ctx) -> None:
+        cost = op_cost(op.name)
+        varying = self.kind_of(op.input) == _V
+        tainted = self.is_lane_index(op.input)
+        src = self.ref(op.input)
+        self.charge(cost, ctx)
+        target = self.define(op.result, _V if varying else _U)
+        if tainted:
+            self.lane_taint.add(self.slot(op.result))
+        if varying:
+            if op.result.type.is_float:
+                self.emit(f"{target} = np.asarray({src}).astype(np.float64)")
+            elif op.input.type.is_float:
+                # int(value) raises on NaN/inf in the interpreter
+                mask = ctx.mask or "None"
+                self.emit(f"{target} = _v_fptosi({src}, {mask}, _N)")
+            else:
+                self.emit(f"{target} = np.asarray({src}).astype(np.int64)")
+        else:
+            convert = "float" if op.result.type.is_float else "int"
+            self.emit(f"{target} = {convert}({src})")
+
+    def emit_negf(self, op, ctx: _Ctx) -> None:
+        varying = self.kind_of(op.operands[0]) == _V
+        src = self.ref(op.operands[0])
+        self.charge(op_cost(op.name), ctx)
+        target = self.define(op.result, _V if varying else _U)
+        self.emit(f"{target} = -{src}")
+
+    def emit_select(self, op, ctx: _Ctx) -> None:
+        kinds = [self.kind_of(op.condition), self.kind_of(op.true_value),
+                 self.kind_of(op.false_value)]
+        if "buf" in kinds or isinstance(op.result.type, MemRefType):
+            raise _Unsupported("select over memref values")
+        varying = _V in kinds
+        c = self.ref(op.condition)
+        t, f = self.ref(op.true_value), self.ref(op.false_value)
+        self.charge(op_cost(op.name), ctx)
+        target = self.define(op.result, _V if varying else _U)
+        if varying:
+            self.emit(f"{target} = np.where(np.asarray({c}) != 0, {t}, {f})")
+        else:
+            self.emit(f"{target} = {t} if {c} else {f}")
+
+    def emit_math_unary(self, op, ctx: _Ctx) -> None:
+        varying = self.kind_of(op.operands[0]) == _V
+        src = self.ref(op.operands[0])
+        fn = self.fc._name("f")
+        self.ns[fn] = math_d.UNARY_FUNCTIONS[op.fn]
+        self.charge(op_cost("math.unary"), ctx)
+        target = self.define(op.result, _V if varying else _U)
+        if varying:
+            mask = ctx.mask or "None"
+            self.emit(f"{target} = _v_map({fn}, {src}, {mask}, _N)")
+        else:
+            self.emit(f"{target} = {fn}(float({src}))")
+
+    def emit_math_pow(self, op, ctx: _Ctx) -> None:
+        varying = _V in (self.kind_of(op.lhs), self.kind_of(op.rhs))
+        a, b = self.ref(op.lhs), self.ref(op.rhs)
+        fn = self.fc._name("f")
+        self.ns[fn] = math_d.PowFOp.evaluate
+        self.charge(op_cost("math.powf"), ctx)
+        target = self.define(op.result, _V if varying else _U)
+        if varying:
+            mask = ctx.mask or "None"
+            self.emit(f"{target} = _v_map2({fn}, {a}, {b}, {mask}, _N)")
+        else:
+            self.emit(f"{target} = {fn}({a}, {b})")
+
+    # -- memory ------------------------------------------------------------------
+    def emit_alloc(self, op, ctx: _Ctx) -> None:
+        if id(op.result) in self.fc._prebound:
+            # launch-prebound shared buffer: bound uniformly by the region
+            # runner; counted as a dynamic op but no action and no charge,
+            # exactly like the interpreter's pre-bound early return.
+            self._defined.add(self.slot(op.result))
+            return
+        if op.operands:
+            raise _Unsupported("dynamically sized per-lane allocation")
+        mtype = op.memref_type
+        shape = tuple(int(extent) for extent in mtype.shape)
+        dtype = dtype_for(mtype.element_type)
+        slot = self.slot(op.result)
+        self.charge(2.0, ctx)
+        dt = self.fc._name("dt")
+        self.ns[dt] = dtype
+        self._defined.add(slot)
+        self._assign_log.append(slot)
+        self.lane_bufs[slot] = _LaneBuffer(slot, shape, dtype,
+                                           mtype.memory_space, mtype.element_type)
+        self._created.append(slot)
+        self.emit(f"regs[{slot}] = np.zeros((_N,) + {shape!r}, dtype={dt})")
+
+    def _lane_buf_charge(self, buf: _LaneBuffer, ctx: _Ctx) -> None:
+        if buf.space in ("shared", "local"):
+            self.charge(self.local_cost, ctx)
+        else:
+            itemsize = int(np.dtype(buf.dtype).itemsize)
+            self.charge(self.global_base * max(1.0, itemsize / 4.0), ctx)
+            if buf.space == "global":
+                self.emit(f"report.global_bytes += {itemsize} * {ctx.count}")
+
+    def _storage_charge_lines(self, svar: str, ctx: _Ctx) -> None:
+        """Runtime-space charge for a uniform storage access (post-access)."""
+        self.emit(f"if {svar}.memory_space == 'shared' or {svar}.memory_space == 'local':")
+        self.emit(f"    w[-1] += {self.local_cost!r} * {ctx.count}")
+        self.emit("else:")
+        eb = self.fc._name("eb")
+        self.emit(f"    {eb} = {svar}.array.itemsize")
+        self.emit(f"    w[-1] += {self.global_base!r} * max(1.0, {eb} / 4.0) * {ctx.count}")
+        self.emit(f"    if {svar}.memory_space == 'global':")
+        self.emit(f"        report.global_bytes += {eb} * {ctx.count}")
+
+    def _masked(self, expr: str, kind: str, ctx: _Ctx) -> str:
+        """Compress a varying operand to active lanes (uniforms pass through)."""
+        if kind == _V and ctx.mask is not None:
+            return f"{expr}[{ctx.mask}]"
+        return expr
+
+    def emit_load(self, op, ctx: _Ctx) -> None:
+        mem_kind = self.kind_of(op.memref)
+        idx_kinds = [self.kind_of(index) for index in op.indices]
+        if "buf" in idx_kinds:
+            raise _Unsupported("memref-typed index")
+        result_dt = _np_dtype_name(op.result)
+        if mem_kind == "buf":
+            slot = self.slot(op.memref)
+            buf = self.lane_bufs[slot]
+            self.ref(op.memref)
+            target = self.define(op.result, _V)
+            if not buf.shape and slot in self.taint_bufs:
+                self.lane_taint.add(self.slot(op.result))
+            if not buf.shape:
+                self.emit(f"{target} = regs[{slot}].astype({result_dt})")
+            else:
+                sel = ["_lanes" if ctx.mask is None else f"_lanes[{ctx.mask}]"]
+                for index, kind in zip(op.indices, idx_kinds):
+                    sel.append(self._masked(self.ref(index), kind, ctx))
+                gather = f"regs[{slot}][{', '.join(sel)}]"
+                if ctx.mask is None:
+                    self.emit(f"{target} = {gather}.astype({result_dt})")
+                else:
+                    tmp = self.fc._name("t")
+                    self.emit(f"{tmp} = np.zeros(_N, dtype={result_dt})")
+                    self.emit(f"{tmp}[{ctx.mask}] = {gather}")
+                    self.emit(f"{target} = {tmp}")
+            self._lane_buf_charge(buf, ctx)
+            return
+        if mem_kind != _U:
+            raise _Unsupported("lane-varying memref operand")
+        svar = self.fc._name("s")
+        self.emit(f"{svar} = {self.ref(op.memref)}")
+        if _V not in idx_kinds:
+            # lane-invariant access: execute once, charge per lane
+            index_tuple = ", ".join(f"int({self.ref(i)})" for i in op.indices)
+            target = self.define(op.result, _U)
+            self.emit(f"{target} = {svar}.load(({index_tuple}{',' if len(op.indices) == 1 else ''}))")
+            self._storage_charge_lines(svar, ctx)
+            return
+        parts = []
+        for index, kind in zip(op.indices, idx_kinds):
+            expr = self.ref(index)
+            if kind == _U:
+                expr = f"int({expr})"
+            parts.append(self._masked(expr, kind, ctx))
+        gather_call = f"{svar}.load_block(({', '.join(parts)}{',' if len(parts) == 1 else ''}))"
+        target = self.define(op.result, _V)
+        if ctx.mask is None:
+            self.emit(f"{target} = {gather_call}.astype({result_dt})")
+        else:
+            tmp = self.fc._name("t")
+            self.emit(f"{tmp} = np.zeros(_N, dtype={result_dt})")
+            self.emit(f"{tmp}[{ctx.mask}] = {gather_call}")
+            self.emit(f"{target} = {tmp}")
+        self._storage_charge_lines(svar, ctx)
+
+    def emit_store(self, op, ctx: _Ctx) -> None:
+        mem_kind = self.kind_of(op.memref)
+        value_kind = self.kind_of(op.value)
+        idx_kinds = [self.kind_of(index) for index in op.indices]
+        if value_kind == "buf" or "buf" in idx_kinds:
+            raise _Unsupported("memref-typed store operand")
+        if mem_kind == "buf":
+            slot = self.slot(op.memref)
+            buf = self.lane_bufs[slot]
+            self.ref(op.memref)
+            if slot not in self._created:
+                self._buf_writes.add(slot)
+            if not buf.shape and self.is_lane_index(op.value):
+                self.taint_bufs.add(slot)
+            value = self._masked(self.ref(op.value), value_kind, ctx)
+            if not buf.shape:
+                if ctx.mask is None:
+                    self.emit(f"regs[{slot}][:] = {value}")
+                else:
+                    self.emit(f"regs[{slot}][{ctx.mask}] = {value}")
+            else:
+                sel = ["_lanes" if ctx.mask is None else f"_lanes[{ctx.mask}]"]
+                for index, kind in zip(op.indices, idx_kinds):
+                    sel.append(self._masked(self.ref(index), kind, ctx))
+                self.emit(f"regs[{slot}][{', '.join(sel)}] = {value}")
+            self._lane_buf_charge(buf, ctx)
+            return
+        if mem_kind != _U:
+            raise _Unsupported("lane-varying memref operand")
+        if _V not in idx_kinds:
+            if value_kind == _V:
+                # lane-varying value racing into one lane-invariant location:
+                # sequential order decides the winner — leave to the closures.
+                raise _Unsupported("varying store to a lane-invariant location")
+            svar = self.fc._name("s")
+            self.emit(f"{svar} = {self.ref(op.memref)}")
+            index_tuple = ", ".join(f"int({self.ref(i)})" for i in op.indices)
+            self.emit(f"{svar}.store({self.ref(op.value)}, ({index_tuple}{',' if len(op.indices) == 1 else ''}))")
+            self._storage_charge_lines(svar, ctx)
+            return
+        svar = self.fc._name("s")
+        self.emit(f"{svar} = {self.ref(op.memref)}")
+        parts = []
+        for index, kind in zip(op.indices, idx_kinds):
+            expr = self.ref(index)
+            if kind == _U:
+                expr = f"int({expr})"
+            parts.append(self._masked(expr, kind, ctx))
+        value = self._masked(self.ref(op.value), value_kind, ctx)
+        self.emit(f"{svar}.store_block({value}, ({', '.join(parts)}{',' if len(parts) == 1 else ''}))")
+        self._storage_charge_lines(svar, ctx)
+
+    def emit_dim(self, op, ctx: _Ctx) -> None:
+        mem_kind = self.kind_of(op.memref)
+        target_kind = _U
+        if mem_kind == "buf":
+            buf = self.lane_bufs[self.slot(op.memref)]
+            target = self.define(op.result, target_kind)
+            self.emit(f"{target} = {int(buf.shape[op.dim])}")
+            return
+        if mem_kind != _U:
+            raise _Unsupported("lane-varying memref operand")
+        target = self.define(op.result, target_kind)
+        self.emit(f"{target} = int({self.ref(op.memref)}.check_alive().shape[{op.dim}])")
+
+    # -- control flow ------------------------------------------------------------
+    def emit_if(self, op, ctx: _Ctx) -> None:
+        then_ops, then_term = _split_executed(op.then_block)
+        then_nops = len(then_ops) + (1 if then_term is not None else 0)
+        else_block = op.else_block
+        if else_block is not None:
+            else_ops, else_term = _split_executed(else_block)
+            else_nops = len(else_ops) + (1 if else_term is not None else 0)
+        else:
+            else_ops, else_term, else_nops = [], None, 0
+        if op.results and else_block is None:
+            raise _Unsupported("scf.if with results but no else branch")
+        then_yield = list(then_term.operands) if isinstance(then_term, scf.YieldOp) else []
+        else_yield = list(else_term.operands) if isinstance(else_term, scf.YieldOp) else []
+        if any(isinstance(result.type, MemRefType) for result in op.results):
+            raise _Unsupported("scf.if yielding a memref value")
+
+        cond_kind = self.kind_of(op.condition)
+        self.charge(op_cost("scf.if"), ctx)
+        self._depth += 1
+        if self._depth > _MAX_NESTING:
+            raise _Unsupported("control-flow nesting too deep to vectorize")
+        try:
+            if cond_kind == _U:
+                self._emit_uniform_if(op, ctx, then_ops, then_nops, then_yield,
+                                      else_block, else_ops, else_nops, else_yield)
+            else:
+                self._emit_masked_if(op, ctx, then_ops, then_nops, then_yield,
+                                     else_block, else_ops, else_nops, else_yield)
+        finally:
+            self._depth -= 1
+
+    def _emit_uniform_if(self, op, ctx, then_ops, then_nops, then_yield,
+                         else_block, else_ops, else_nops, else_yield) -> None:
+        # pre-classify both branches to join result kinds consistently
+        result_kinds = self._join_branch_kinds(op, ctx, then_ops, then_yield,
+                                               else_ops, else_yield,
+                                               bool(else_block))
+        self.emit(f"if {self.ref(op.condition)}:")
+        self._indent += 1
+        self.count_ops(then_nops, ctx.count)
+        for nested in then_ops:
+            self.emit_op(nested, ctx)
+        self._emit_branch_result_copies(op, then_yield, result_kinds)
+        if not then_ops and not op.results and not then_nops:
+            self.emit("pass")
+        self._indent -= 1
+        if else_block is not None:
+            self.emit("else:")
+            self._indent += 1
+            self.count_ops(else_nops, ctx.count)
+            for nested in else_ops:
+                self.emit_op(nested, ctx)
+            self._emit_branch_result_copies(op, else_yield, result_kinds)
+            if not else_ops and not op.results and not else_nops:
+                self.emit("pass")
+            self._indent -= 1
+
+    def _join_branch_kinds(self, op, ctx, then_ops, then_yield, else_ops,
+                           else_yield, has_else) -> List[str]:
+        """Result kinds joined over both branches (dry classification runs)."""
+        if not op.results:
+            return []
+        snap = self._snapshot()
+        try:
+            for nested in then_ops:
+                self.emit_op(nested, ctx)
+            then_kinds = [self.kind_of(value) for value in then_yield]
+        finally:
+            self._restore(snap)
+        if has_else:
+            snap = self._snapshot()
+            try:
+                for nested in else_ops:
+                    self.emit_op(nested, ctx)
+                else_kinds = [self.kind_of(value) for value in else_yield]
+            finally:
+                self._restore(snap)
+        else:
+            else_kinds = then_kinds
+        if "buf" in then_kinds or "buf" in else_kinds:
+            raise _Unsupported("scf.if yielding a memref value")
+        return [_V if _V in pair else _U
+                for pair in zip(then_kinds, else_kinds)]
+
+    def _emit_branch_result_copies(self, op, yielded, result_kinds) -> None:
+        for result, value, kind in zip(op.results, yielded, result_kinds):
+            source = self.ref(value)
+            if kind == _V and self.kind_of(value) == _U:
+                source = f"_v_bcast({source}, _N, {_np_dtype_name(result)})"
+            target = self.define(result, kind)
+            self.emit(f"{target} = {source}")
+
+    def _emit_masked_if(self, op, ctx, then_ops, then_nops, then_yield,
+                        else_block, else_ops, else_nops, else_yield) -> None:
+        defining = op.condition.defining_op()
+        if (isinstance(defining, arith._CmpOp) and defining.predicate == "eq"
+                and ((self.is_lane_index(defining.lhs)
+                      and self.kind_of(defining.rhs) == _U)
+                     or (self.is_lane_index(defining.rhs)
+                         and self.kind_of(defining.lhs) == _U))):
+            # single-lane guard (``if (tid == c)`` with a lane-index-derived
+            # operand against a uniform): masked full-width execution would
+            # do O(N) work for O(1) lanes — leave the phase to the compiled
+            # closures.  Broad data-dependent equality masks (e.g.
+            # ``flag[tid] == 1``) are not lane-index-derived and vectorize.
+            raise _Unsupported("single-lane equality guard")
+        cond = self.ref(op.condition)
+        mvar = self.fc._name("m")
+        nvar = self.fc._name("n")
+        if ctx.mask is None:
+            self.emit(f"{mvar} = (np.asarray({cond}) != 0)")
+        else:
+            self.emit(f"{mvar} = {ctx.mask} & (np.asarray({cond}) != 0)")
+        self.emit(f"{nvar} = int({mvar}.sum())")
+        then_ctx = _Ctx(mask=mvar, count=nvar)
+
+        then_tmps = [self.fc._name("t") for _ in op.results]
+        self.count_ops(then_nops, nvar)
+        self.emit(f"if {nvar}:")
+        self._indent += 1
+        log_start = len(self._assign_log)
+        for nested in then_ops:
+            self.emit_op(nested, then_ctx)
+        for tmp, value in zip(then_tmps, then_yield):
+            self.emit(f"{tmp} = {self.ref(value)}")
+        if not then_ops and not then_tmps:
+            self.emit("pass")
+        self._indent -= 1
+        assigned = list(dict.fromkeys(self._assign_log[log_start:]))
+        if assigned or then_tmps:
+            self.emit("else:")
+            self._indent += 1
+            for slot in assigned:
+                self.emit(f"regs[{slot}] = 0")
+            for tmp in then_tmps:
+                self.emit(f"{tmp} = 0")
+            self._indent -= 1
+
+        else_tmps = [self.fc._name("t") for _ in op.results]
+        if else_block is not None:
+            m2var = self.fc._name("m")
+            n2var = self.fc._name("n")
+            if ctx.mask is None:
+                self.emit(f"{m2var} = ~{mvar}")
+            else:
+                self.emit(f"{m2var} = {ctx.mask} & ~{mvar}")
+            self.emit(f"{n2var} = int({m2var}.sum())")
+            else_ctx = _Ctx(mask=m2var, count=n2var)
+            self.count_ops(else_nops, n2var)
+            self.emit(f"if {n2var}:")
+            self._indent += 1
+            log_start = len(self._assign_log)
+            for nested in else_ops:
+                self.emit_op(nested, else_ctx)
+            for tmp, value in zip(else_tmps, else_yield):
+                self.emit(f"{tmp} = {self.ref(value)}")
+            if not else_ops and not else_tmps:
+                self.emit("pass")
+            self._indent -= 1
+            assigned = list(dict.fromkeys(self._assign_log[log_start:]))
+            if assigned or else_tmps:
+                self.emit("else:")
+                self._indent += 1
+                for slot in assigned:
+                    self.emit(f"regs[{slot}] = 0")
+                for tmp in else_tmps:
+                    self.emit(f"{tmp} = 0")
+                self._indent -= 1
+
+        for result, then_tmp, else_tmp in zip(op.results, then_tmps, else_tmps):
+            target = self.define(result, _V)
+            self.emit(f"{target} = np.where({mvar}, {then_tmp}, {else_tmp})")
+
+    def emit_for(self, op, ctx: _Ctx) -> None:
+        for bound in (op.lower_bound, op.upper_bound, op.step):
+            if self.kind_of(bound) != _U:
+                raise _Unsupported("lane-varying scf.for bounds")
+        body_ops, term = _split_executed(op.body)
+        body_nops = len(body_ops) + (1 if term is not None else 0)
+        yield_vals = list(term.operands) if isinstance(term, scf.YieldOp) else []
+        cost = op_cost("scf.for")
+        self._depth += 1
+        if self._depth > _MAX_NESTING:
+            self._depth -= 1
+            raise _Unsupported("control-flow nesting too deep to vectorize")
+
+        # fixpoint classification of the loop-carried kinds
+        iter_kinds = [self.kind_of(value) for value in op.iter_init]
+        while True:
+            snap = self._snapshot()
+            try:
+                self._bind_iter_kinds(op, iter_kinds)
+                for nested in body_ops:
+                    self.emit_op(nested, ctx)
+                new_kinds = [_V if (old == _V or self.kind_of(value) == _V) else _U
+                             for old, value in zip(iter_kinds, yield_vals)]
+                if any(self.kind_of(value) == "buf" for value in yield_vals):
+                    raise _Unsupported("scf.for carrying a memref value")
+            finally:
+                self._restore(snap)
+            if new_kinds == iter_kinds:
+                break
+            iter_kinds = new_kinds
+
+        self.charge(cost, ctx)
+        lb = self.fc._name("lb")
+        ub = self.fc._name("ub")
+        st = self.fc._name("st")
+        iv = self.fc._name("iv")
+        self.emit(f"{lb} = int({self.ref(op.lower_bound)})")
+        self.emit(f"{ub} = int({self.ref(op.upper_bound)})")
+        self.emit(f"{st} = int({self.ref(op.step)})")
+        # no zero-active-lane guard is needed: masked contexts only execute
+        # inside the positive-count ``if <n>:`` branches _emit_masked_if
+        # emits, so ctx.count > 0 whenever these lines run.
+        self.emit(f"if {st} <= 0:")
+        self.emit("    raise _IE('scf.for requires a positive step')")
+        self._bind_iter_kinds(op, iter_kinds)
+        for arg, init, kind in zip(op.iter_args, op.iter_init, iter_kinds):
+            source = self.ref(init)
+            if kind == _V and self.kind_of(init) == _U:
+                source = f"_v_bcast({source}, _N, {_np_dtype_name(arg)})"
+            self.emit(f"regs[{self.slot(arg)}] = {source}")
+        self.emit(f"{iv} = {lb}")
+        self.emit(f"while {iv} < {ub}:")
+        self._indent += 1
+        iv_target = self.define(op.induction_var, _U)
+        self.emit(f"{iv_target} = {iv}")
+        self.count_ops(body_nops, ctx.count)
+        for nested in body_ops:
+            self.emit_op(nested, ctx)
+        for arg, value, kind in zip(op.iter_args, yield_vals, iter_kinds):
+            source = self.ref(value)
+            if kind == _V and self.kind_of(value) == _U:
+                source = f"_v_bcast({source}, _N, {_np_dtype_name(arg)})"
+            self.emit(f"regs[{self.slot(arg)}] = {source}")
+        self.emit(f"{iv} += {st}")
+        self.emit(f"w[-1] += {cost!r} * {ctx.count}")
+        self._indent -= 1
+        for result, arg, kind in zip(op.results, op.iter_args, iter_kinds):
+            target = self.define(result, kind)
+            self.emit(f"{target} = regs[{self.slot(arg)}]")
+        self._depth -= 1
+
+    def _bind_iter_kinds(self, op, iter_kinds: List[str]) -> None:
+        self._defined.add(self.slot(op.induction_var))
+        self.kinds.pop(self.slot(op.induction_var), None)
+        for arg, kind in zip(op.iter_args, iter_kinds):
+            slot = self.slot(arg)
+            self._defined.add(slot)
+            if kind == _V:
+                self.kinds[slot] = _V
+            else:
+                self.kinds.pop(slot, None)
+
+
+# ---------------------------------------------------------------------------
+# Region splitting and the mixed-mode adapter
+# ---------------------------------------------------------------------------
+def _split_chunks(block) -> List[Tuple[List, int]]:
+    """Split a straight-line barrier body into (ops, dynamic-op count) phases.
+
+    Counting mirrors ``_FunctionCompiler.compile_chunks``: every op including
+    the barrier itself belongs to the chunk it terminates, and the block
+    terminator counts toward the last chunk.
+    """
+    ops, term = _split_executed(block)
+    chunks: List[Tuple[List, int]] = []
+    current: List = []
+    count = 0
+    for op in ops:
+        count += 1
+        if isinstance(op, _BARRIER_OPS):
+            chunks.append((current, count))
+            current, count = [], 0
+            continue
+        current.append(op)
+    if term is not None:
+        count += 1
+    chunks.append((current, count))
+    return chunks
+
+
+def _make_mixed_chunk(phase: _VectorPhase):
+    """Adapt a vectorized phase to run between closure phases.
+
+    Gathers the phase's varying live-ins from the per-thread register lists
+    into lane arrays, runs the vectorized phase, then scatters its
+    definitions back (including materializing per-lane buffers it created as
+    real :class:`MemRefStorage` objects for downstream closure phases).
+    """
+    scalar_reads = sorted(phase.reads.items())
+    buf_gathers = sorted(phase.buf_reads | phase.buf_writes)
+    buf_writebacks = sorted(phase.buf_writes)
+    created = phase.created
+    scalar_defs = phase.defs
+    run = phase.run
+
+    def adapter(state, thread_regs):
+        n = len(thread_regs)
+        vregs = thread_regs[0][:]
+        lanes = np.arange(n)
+        for slot, dtype in scalar_reads:
+            vregs[slot] = np.fromiter((t[slot] for t in thread_regs), dtype, n)
+        for slot in buf_gathers:
+            vregs[slot] = np.stack([t[slot].check_alive() for t in thread_regs])
+        run(state, vregs, n, lanes)
+        for slot in buf_writebacks:
+            arrays = vregs[slot]
+            for i, tregs in enumerate(thread_regs):
+                tregs[slot].check_alive()[...] = arrays[i]
+        for slot, shape, dtype, space, element_type in created:
+            arrays = vregs[slot]
+            for i, tregs in enumerate(thread_regs):
+                tregs[slot] = MemRefStorage(np.array(arrays[i], dtype=dtype),
+                                            space, element_type)
+        for slot, kind in scalar_defs:
+            value = vregs[slot]
+            if kind == _V and isinstance(value, np.ndarray):
+                for tregs, scalar in zip(thread_regs, value.tolist()):
+                    tregs[slot] = scalar
+            else:
+                for tregs in thread_regs:
+                    tregs[slot] = value
+
+    return adapter
+
+
+# ---------------------------------------------------------------------------
+# The vector-aware function compiler
+# ---------------------------------------------------------------------------
+class _VectorFunctionCompiler(_FunctionCompiler):
+    """Extends the compiled-engine function compiler with vectorized regions.
+
+    Each ``omp.wsloop`` / ``scf.parallel`` / ``gpu.launch`` is analyzed
+    phase-by-phase; vectorizable phases run as whole-grid NumPy functions,
+    the rest fall back to the inherited compiled closures — per phase when
+    barriers are straight-line, per region otherwise.
+    """
+
+    def _vectorize_chunks(self, chunk_specs, varying_slots):
+        rv = _RegionVectorizer(self)
+        for slot in varying_slots:
+            rv.mark_lane_index(slot)  # region lanes ARE the thread indices
+        plans = []
+        stats = self.program.vector_stats
+        for ops, nops in chunk_specs:
+            try:
+                phase = rv.vectorize_phase(ops, nops)
+            except _Unsupported:
+                steps = []
+                for op in ops:
+                    item = self.compile_op(op, gen=False)
+                    if item is not None:
+                        steps.append(item)
+                plans.append(("closure", _build_runner(steps, nops, gen=False)))
+                rv.register_fallback_defs(ops)
+                stats["closure_phases"] += 1
+                continue
+            plans.append(("vec", phase))
+            stats["vectorized_phases"] += 1
+        return plans
+
+    @staticmethod
+    def _chunk_steps(plans):
+        return [(kind, plan if kind == "closure" else _make_mixed_chunk(plan))
+                for kind, plan in plans]
+
+    # -- OpenMP workshared loops -------------------------------------------------
+    def _c_omp_wsloop(self, op):
+        if not self.program.vector_enabled:
+            return super()._c_omp_wsloop(op)
+        ops, term = _split_executed(op.body)
+        nops = len(ops) + (1 if term is not None else 0)
+        iv_slots = self.slots(op.induction_vars)
+        plans = self._vectorize_chunks([(ops, nops)], iv_slots)
+        stats = self.program.vector_stats
+        if plans[0][0] != "vec":
+            # the closure steps built by _vectorize_chunks are discarded and
+            # the body recompiled by super() — duplicate one-time translation
+            # on the fallback path only, accepted to keep the inherited
+            # region bookkeeping in one place.
+            stats["fallback_regions"] += 1
+            return super()._c_omp_wsloop(op)
+        stats["vectorized_regions"] += 1
+        phase = plans[0][1].run
+        lb_slots = self.slots(op.lower_bounds)
+        ub_slots = self.slots(op.upper_bounds)
+        st_slots = self.slots(op.steps)
+        has_parent, parent_nested, parent_threads = self._static_team(op)
+        nowait = op.nowait
+        sync_cost = self.program.machine.sync_cost
+
+        def run(state, regs):
+            state.report.workshared_loops += 1
+            ranges, total = _iteration_space(regs, lb_slots, ub_slots, st_slots)
+            work_stack = state.work
+            work_stack.append(0.0)
+            if total:
+                for dst, grid in zip(iv_slots, _lane_arrays(ranges)):
+                    regs[dst] = grid
+                phase(state, regs, total, np.arange(total))
+            work = work_stack.pop()
+            if not has_parent or parent_nested:
+                team_size = 1
+            else:
+                team_size = parent_threads or state.threads
+            team = min(team_size, max(1, total))
+            wall = work / state.program.speedup(team)
+            if not nowait:
+                wall += sync_cost
+            work_stack[-1] += wall
+
+        return run
+
+    # -- scf.parallel -------------------------------------------------------------
+    def _c_scf_parallel(self, op):
+        if not self.program.vector_enabled:
+            return super()._c_scf_parallel(op)
+        from ..analysis import contains_barrier
+
+        stats = self.program.vector_stats
+        program = self.program
+        machine = program.machine
+        fork_cost = machine.fork_cost
+        phase_cost = machine.simt_phase_cost
+        lb_slots = self.slots(op.lower_bounds)
+        ub_slots = self.slots(op.upper_bounds)
+        st_slots = self.slots(op.steps)
+        iv_slots = self.slots(op.induction_vars)
+
+        def read_space(state, regs):
+            return _iteration_space(regs, lb_slots, ub_slots, st_slots)
+
+        if not contains_barrier(op, immediate_region_only=True):
+            ops, term = _split_executed(op.body)
+            nops = len(ops) + (1 if term is not None else 0)
+            plans = self._vectorize_chunks([(ops, nops)], iv_slots)
+            if plans[0][0] != "vec":
+                stats["fallback_regions"] += 1
+                return super()._c_scf_parallel(op)
+            stats["vectorized_regions"] += 1
+            phase = plans[0][1].run
+
+            def run(state, regs):
+                ranges, total = read_space(state, regs)
+                state.report.parallel_regions += 1
+                work_stack = state.work
+                work_stack.append(0.0)
+                if total:
+                    for dst, grid in zip(iv_slots, _lane_arrays(ranges)):
+                        regs[dst] = grid
+                    phase(state, regs, total, np.arange(total))
+                work = work_stack.pop()
+                threads = min(state.threads, max(1, total))
+                work_stack[-1] += fork_cost + work / state.program.speedup(threads)
+
+            return run
+
+        ops, _ = _split_executed(op.body)
+        straight = all(isinstance(o, _BARRIER_OPS) or not program.op_may_yield(o)
+                       for o in ops)
+        if not straight:
+            stats["fallback_regions"] += 1
+            return super()._c_scf_parallel(op)
+        plans = self._vectorize_chunks(_split_chunks(op.body), iv_slots)
+        n_vec = sum(1 for kind, _ in plans if kind == "vec")
+        num_phases = len(plans)
+        if n_vec == 0:
+            stats["fallback_regions"] += 1
+            return super()._c_scf_parallel(op)
+        if n_vec == num_phases:
+            stats["vectorized_regions"] += 1
+            phases = [plan.run for _, plan in plans]
+
+            def run(state, regs):
+                ranges, total = read_space(state, regs)
+                state.report.parallel_regions += 1
+                work_stack = state.work
+                work_stack.append(0.0)
+                executed = 0
+                if total:
+                    for dst, grid in zip(iv_slots, _lane_arrays(ranges)):
+                        regs[dst] = grid
+                    lanes = np.arange(total)
+                    for phase in phases:
+                        phase(state, regs, total, lanes)
+                    executed = num_phases
+                state.report.simt_phases += executed
+                work = work_stack.pop()
+                threads = min(state.threads, max(1, total))
+                work_stack[-1] += (fork_cost + work / state.program.speedup(threads)
+                                   + executed * phase_cost)
+
+            return run
+
+        stats["mixed_regions"] += 1
+        chunk_steps = self._chunk_steps(plans)
+
+        def run(state, regs):
+            ranges, total = read_space(state, regs)
+            state.report.parallel_regions += 1
+            work_stack = state.work
+            work_stack.append(0.0)
+            thread_regs = build_parallel_thread_regs(
+                regs, iv_slots, product(*ranges))
+            executed = 0
+            if thread_regs:
+                for kind, step in chunk_steps:
+                    if kind == "closure":
+                        for tregs in thread_regs:
+                            step(state, tregs)
+                    else:
+                        step(state, thread_regs)
+                executed = num_phases
+            state.report.simt_phases += executed
+            work = work_stack.pop()
+            threads = min(state.threads, max(1, total))
+            work_stack[-1] += (fork_cost + work / state.program.speedup(threads)
+                               + executed * phase_cost)
+
+        return run
+
+    # -- gpu.launch ---------------------------------------------------------------
+    def _c_gpu_launch(self, op):
+        if not self.program.vector_enabled:
+            return super()._c_gpu_launch(op)
+        stats = self.program.vector_stats
+        ops, _ = _split_executed(op.body)
+        straight = all(isinstance(o, _BARRIER_OPS) or not self.program.op_may_yield(o)
+                       for o in ops)
+        if not straight:
+            stats["fallback_regions"] += 1
+            return super()._c_gpu_launch(op)
+        grid_slots = self.slots(op.grid_dims)
+        block_slots = self.slots(op.block_dims)
+        a = self.slots(op.body.arguments)
+        shared_allocas = []
+        saved_prebound = self._prebound
+        self._prebound = set(saved_prebound)
+        try:
+            for nested in op.body.operations:
+                if (isinstance(nested, memref_d.AllocaOp)
+                        and memref_d.is_shared_memref(nested.result)):
+                    shared_allocas.append((self.slot(nested.result), nested.memref_type))
+                    self._prebound.add(id(nested.result))
+            plans = self._vectorize_chunks(_split_chunks(op.body), a[3:6])
+        finally:
+            self._prebound = saved_prebound
+        n_vec = sum(1 for kind, _ in plans if kind == "vec")
+        num_phases = len(plans)
+        if n_vec == 0:
+            stats["fallback_regions"] += 1
+            return super()._c_gpu_launch(op)
+        allocate = MemRefStorage.allocate
+        if n_vec == num_phases:
+            stats["vectorized_regions"] += 1
+            phases = [plan.run for _, plan in plans]
+
+            def run(state, regs):
+                grid = [int(regs[s]) for s in grid_slots]
+                block = [int(regs[s]) for s in block_slots]
+                g0, g1, g2 = grid
+                b0, b1, b2 = block
+                report = state.report
+                nthreads = b0 * b1 * b2
+                if nthreads > 0:
+                    tz_grid, ty_grid, tx_grid = _lane_arrays(
+                        [range(b2), range(b1), range(b0)])
+                    lanes = np.arange(nthreads)
+                for bz in range(g2):
+                    for by in range(g1):
+                        for bx in range(g0):
+                            if nthreads <= 0:
+                                continue
+                            regs[a[0]] = bx
+                            regs[a[1]] = by
+                            regs[a[2]] = bz
+                            regs[a[3]] = tx_grid
+                            regs[a[4]] = ty_grid
+                            regs[a[5]] = tz_grid
+                            regs[a[6]] = g0
+                            regs[a[7]] = g1
+                            regs[a[8]] = g2
+                            regs[a[9]] = b0
+                            regs[a[10]] = b1
+                            regs[a[11]] = b2
+                            for dst, mtype in shared_allocas:
+                                regs[dst] = allocate(mtype, [])
+                            for phase in phases:
+                                phase(state, regs, nthreads, lanes)
+                            report.simt_phases += num_phases
+
+            return run
+
+        stats["mixed_regions"] += 1
+        chunk_steps = self._chunk_steps(plans)
+
+        def run(state, regs):
+            grid = [int(regs[s]) for s in grid_slots]
+            block = [int(regs[s]) for s in block_slots]
+            report = state.report
+            for bz in range(grid[2]):
+                for by in range(grid[1]):
+                    for bx in range(grid[0]):
+                        thread_regs = build_launch_thread_regs(
+                            regs, a, bx, by, bz, grid, block)
+                        bind_shared_allocas(shared_allocas, thread_regs)
+                        if not thread_regs:
+                            continue
+                        for kind, step in chunk_steps:
+                            if kind == "closure":
+                                for tregs in thread_regs:
+                                    step(state, tregs)
+                            else:
+                                step(state, thread_regs)
+                        report.simt_phases += num_phases
+
+        return run
+
+
+class _VectorProgram(_Program):
+    """Program flavour whose function compiler vectorizes parallel regions."""
+
+    def __init__(self, module, machine: MachineModel) -> None:
+        super().__init__(module, machine)
+        self.vector_enabled = machine_vectorizable(machine)
+        #: compile-time counters, filled as functions are first compiled.
+        self.vector_stats = {
+            "vectorized_regions": 0,
+            "mixed_regions": 0,
+            "fallback_regions": 0,
+            "vectorized_phases": 0,
+            "closure_phases": 0,
+        }
+
+
+_VectorProgram.COMPILER = _VectorFunctionCompiler
+
+
+# ---------------------------------------------------------------------------
+# Engine front end
+# ---------------------------------------------------------------------------
+class VectorizedEngine(CompiledEngine):
+    """Drop-in engine executing whole thread grids as NumPy array operations.
+
+    Shares the compiled engine's API, caching and cost semantics; parallel
+    regions whose barrier-delimited phases pass the vectorizer's analysis
+    run as full-grid NumPy code, everything else falls back to the compiled
+    closures (per phase where possible, per region otherwise).  Outputs and
+    :class:`CostReport` fields stay bit-identical to the interpreter.
+    """
+
+    PROGRAM_CLS = _VectorProgram
+
+    @property
+    def vector_stats(self) -> Dict[str, int]:
+        """Compile-time vectorization counters of the underlying program."""
+        return self._program.vector_stats

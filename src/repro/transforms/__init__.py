@@ -5,7 +5,7 @@ The public entry point is :func:`cpuify`, which mirrors the paper's
 for tests, ablations and custom pipelines.
 """
 
-from .pass_manager import FunctionPass, Pass, PassManager, PipelineOptions
+from .pass_manager import FunctionPass, Pass, PassManager, PassStatistic, PipelineOptions
 from .canonicalize import CanonicalizePass, canonicalize
 from .cse import CSEPass, eliminate_common_subexpressions
 from .dce import DCEPass, eliminate_dead_code
@@ -43,7 +43,7 @@ from .omp_opt import OpenMPOptPass, fuse_parallel_regions, hoist_parallel_region
 from .cpuify import FALLBACK_ATTR, BarrierLoweringPass, build_pipeline, cpuify
 
 __all__ = [
-    "FunctionPass", "Pass", "PassManager", "PipelineOptions",
+    "FunctionPass", "Pass", "PassManager", "PassStatistic", "PipelineOptions",
     "CanonicalizePass", "canonicalize",
     "CSEPass", "eliminate_common_subexpressions",
     "DCEPass", "eliminate_dead_code",

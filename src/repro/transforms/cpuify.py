@@ -107,9 +107,14 @@ class BarrierLoweringPass(Pass):
         return False
 
 
-def build_pipeline(options: PipelineOptions) -> PassManager:
-    """Assemble the pass pipeline for the given options."""
-    pm = PassManager(verify_each=True)
+def build_pipeline(options: PipelineOptions, verbose: bool = False) -> PassManager:
+    """Assemble the pass pipeline for the given options.
+
+    ``verbose`` turns on the pass manager's live per-pass timing lines; the
+    aggregate table is available afterwards via
+    :meth:`PassManager.statistics_summary`.
+    """
+    pm = PassManager(verify_each=True, verbose=verbose)
     pm.add(LowerGPUPass())
     pm.add(CanonicalizePass())
     pm.add(CSEPass())
@@ -152,10 +157,11 @@ def build_pipeline(options: PipelineOptions) -> PassManager:
     return pm
 
 
-def cpuify(module: ModuleOp, options: Optional[PipelineOptions] = None) -> ModuleOp:
+def cpuify(module: ModuleOp, options: Optional[PipelineOptions] = None,
+           verbose: bool = False) -> ModuleOp:
     """Run the full GPU-to-CPU pipeline in place and return the module."""
     options = options or PipelineOptions.all_optimizations()
-    pipeline = build_pipeline(options)
+    pipeline = build_pipeline(options, verbose=verbose)
     pipeline.run(module)
     verify(module)
     return module

@@ -8,8 +8,9 @@ so the experiment harness can sweep them.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..dialects.func import ModuleOp
 
@@ -44,13 +45,30 @@ class FunctionPass(Pass):
         raise NotImplementedError
 
 
-class PassManager:
-    """Runs an ordered list of passes, optionally verifying after each."""
+@dataclass(frozen=True)
+class PassStatistic:
+    """One pass execution: what ran, whether it changed the IR, how long."""
 
-    def __init__(self, passes: Sequence[Pass] = (), verify_each: bool = True) -> None:
+    name: str
+    changed: bool
+    seconds: float
+
+
+class PassManager:
+    """Runs an ordered list of passes, optionally verifying after each.
+
+    Every run records a :class:`PassStatistic` per pass (wall-clock time and
+    whether the IR changed); with ``verbose=True`` each pass additionally
+    prints a live timing line — the Rodinia harness exposes this under its
+    ``--pass-stats`` flag.
+    """
+
+    def __init__(self, passes: Sequence[Pass] = (), verify_each: bool = True,
+                 verbose: bool = False) -> None:
         self.passes: List[Pass] = list(passes)
         self.verify_each = verify_each
-        self.statistics: List[tuple] = []
+        self.verbose = verbose
+        self.statistics: List[PassStatistic] = []
 
     def add(self, pass_: Pass) -> "PassManager":
         self.passes.append(pass_)
@@ -61,12 +79,39 @@ class PassManager:
 
         changed_any = False
         for pass_ in self.passes:
+            start = time.perf_counter()
             changed = pass_.run(module)
+            elapsed = time.perf_counter() - start
             changed_any |= changed
-            self.statistics.append((pass_.NAME, changed))
+            self.statistics.append(PassStatistic(pass_.NAME, changed, elapsed))
+            if self.verbose:
+                status = "changed" if changed else "no-op"
+                print(f"  [pass] {pass_.NAME:<22} {status:<8} {elapsed * 1e3:8.2f} ms")
             if self.verify_each:
                 verify(module)
         return changed_any
+
+    def statistics_summary(self) -> str:
+        """Per-pass aggregate table: runs, IR changes, total wall-clock time."""
+        totals: Dict[str, List[float]] = {}
+        order: List[str] = []
+        for stat in self.statistics:
+            if stat.name not in totals:
+                totals[stat.name] = [0, 0, 0.0]
+                order.append(stat.name)
+            entry = totals[stat.name]
+            entry[0] += 1
+            entry[1] += int(stat.changed)
+            entry[2] += stat.seconds
+        lines = [f"{'pass':<24} {'runs':>5} {'changed':>8} {'total ms':>10}"]
+        for name in sorted(order, key=lambda n: -totals[n][2]):
+            runs, changed, seconds = totals[name]
+            lines.append(f"{name:<24} {runs:>5d} {changed:>8d} {seconds * 1e3:>10.2f}")
+        total = sum(stat.seconds for stat in self.statistics)
+        lines.append(f"{'total':<24} {len(self.statistics):>5d} "
+                     f"{sum(int(s.changed) for s in self.statistics):>8d} "
+                     f"{total * 1e3:>10.2f}")
+        return "\n".join(lines)
 
 
 @dataclass(frozen=True)

@@ -1,11 +1,13 @@
-"""Differential tests: the compiled engine vs. the interpreter oracle.
+"""Differential tests: compiled and vectorized engines vs. the interpreter.
 
 Every Rodinia suite kernel (cuda-lowered, OpenMP reference and un-lowered
-SIMT oracle variants) plus the quickstart example runs through *both*
+SIMT oracle variants) plus the quickstart example runs through **all three**
 execution engines; outputs must be bit-identical and the simulated-cycle
 ``CostReport``s must match field for field (``cycles``, ``dynamic_ops``,
-phases, traffic, ...).  This is what allows the compiled engine to be the
-default everywhere while the interpreter stays the semantic oracle.
+phases, traffic, ...).  This is what allows the compiled/vectorized engines
+to run everywhere while the interpreter stays the semantic oracle — and
+what pins the vectorized engine's analytic cost accounting to the
+interpreter's sequential accumulation bit for bit.
 """
 
 import numpy as np
@@ -13,13 +15,22 @@ import pytest
 
 from repro.frontend import compile_cuda
 from repro.rodinia import BENCHMARKS
-from repro.runtime import A64FX_CMG, CompiledEngine, Interpreter, XEON_8375C
+from repro.runtime import (
+    A64FX_CMG,
+    CompiledEngine,
+    Interpreter,
+    VectorizedEngine,
+    XEON_8375C,
+)
 from repro.transforms import PipelineOptions
 
 ALL_NAMES = sorted(BENCHMARKS)
 OMP_NAMES = sorted(n for n in BENCHMARKS if BENCHMARKS[n].omp_source is not None)
 #: barrier-heavy kernels whose oracle runs exercise SIMT phase execution.
-ORACLE_NAMES = ["backprop layerforward", "lud", "nw", "particlefilter"]
+ORACLE_NAMES = ["backprop layerforward", "hotspot", "lud", "nw", "particlefilter",
+                "pathfinder"]
+#: the non-interpreter engines checked against the oracle.
+FAST_ENGINES = [CompiledEngine, VectorizedEngine]
 
 QUICKSTART_CUDA = """
 __device__ float sum(float* data, int n) {
@@ -52,21 +63,23 @@ def report_fields(report):
 
 def assert_engines_agree(module, entry, make_args, output_indices, *,
                          machine=XEON_8375C, threads=None):
-    interp_args = make_args()
-    compiled_args = make_args()
-
+    oracle_args = make_args()
     interpreter = Interpreter(module, machine=machine, threads=threads)
-    interpreter.run(entry, interp_args)
-    engine = CompiledEngine(module, machine=machine, threads=threads)
-    engine.run(entry, compiled_args)
+    interpreter.run(entry, oracle_args)
 
-    for index in output_indices:
-        np.testing.assert_array_equal(
-            np.asarray(interp_args[index]), np.asarray(compiled_args[index]),
-            err_msg=f"output {index} diverged between engines")
-    assert report_fields(interpreter.report) == report_fields(engine.report), (
-        f"cost reports diverged:\n  interp   {report_fields(interpreter.report)}"
-        f"\n  compiled {report_fields(engine.report)}")
+    for engine_cls in FAST_ENGINES:
+        engine_args = make_args()
+        engine = engine_cls(module, machine=machine, threads=threads)
+        engine.run(entry, engine_args)
+        for index in output_indices:
+            np.testing.assert_array_equal(
+                np.asarray(oracle_args[index]), np.asarray(engine_args[index]),
+                err_msg=f"output {index} diverged between the interpreter "
+                        f"and {engine_cls.__name__}")
+        assert report_fields(interpreter.report) == report_fields(engine.report), (
+            f"cost reports diverged for {engine_cls.__name__}:"
+            f"\n  interp {report_fields(interpreter.report)}"
+            f"\n  engine {report_fields(engine.report)}")
 
 
 class TestRodiniaParity:
@@ -97,6 +110,14 @@ class TestRodiniaParity:
         assert_engines_agree(module, bench.entry, lambda: bench.make_inputs(1),
                              bench.output_indices)
 
+    @pytest.mark.parametrize("name", ["matmul", "nw", "srad_v1"])
+    def test_larger_scale_parity(self, name):
+        """Scale-2 inputs: more lanes per vectorized region, same reports."""
+        bench = BENCHMARKS[name]
+        module = bench.compile_cuda(PipelineOptions.all_optimizations())
+        assert_engines_agree(module, bench.entry, lambda: bench.make_inputs(2),
+                             bench.output_indices)
+
 
 class TestQuickstartParity:
     def _make_args(self):
@@ -113,7 +134,9 @@ class TestQuickstartParity:
         assert_engines_agree(module, "launch", self._make_args, (0,), threads=32)
 
     def test_quickstart_parity_a64fx(self):
-        """Machine-model constants are baked into compiled closures per machine."""
+        """Machine-model constants are baked into compiled closures per
+        machine; the A64FX's non-dyadic HBM access cost additionally disables
+        vectorization, so this pins the engine-level fallback too."""
         module = compile_cuda(QUICKSTART_CUDA, cuda_lower=True,
                               options=PipelineOptions.all_optimizations())
         assert_engines_agree(module, "launch", self._make_args, (0,),

@@ -4,18 +4,42 @@ For each benchmark and thread count T the driver records simulated cycles and
 reports the speedup T1/Tn.  The paper's headline numbers: on 32 threads the
 transpiled CUDA codes reach a 16.1× geomean (14.9× with inner serialization)
 while the native OpenMP versions reach 7.1×.
+
+Two modes:
+
+* **simulated** (default) — the analytic cost model's cycles per thread
+  count, engine-independent by construction.
+* **--wallclock** — *measured* seconds per worker count on the multicore
+  engine (real processes, shared-memory buffers), reported as T1/Tn
+  speedups next to the simulated table.  This is the first path where
+  Fig. 14 is a measurement rather than a model; on a machine with fewer
+  cores than workers the speedups simply saturate.
+
+CLI::
+
+    python -m repro.harness.fig14_scaling [--engine ENGINE] [--wallclock]
+        [--threads 1,2,4,...] [--scale N] [--benchmarks a,b,...]
+        [--repeats R]
 """
 
 from __future__ import annotations
 
+import argparse
+import time
 from typing import Dict, Optional, Sequence
 
 from ..rodinia import BENCHMARKS, FIGURE13_SET, run_module
-from ..runtime import XEON_8375C
+from ..runtime import XEON_8375C, make_executor
 from ..transforms import PipelineOptions
 from .tables import format_table, geomean
 
 DEFAULT_THREADS = (1, 2, 4, 8, 16, 32)
+#: worker counts for the measured (wall-clock) mode; kept small because
+#: every count above the machine's core count only measures overhead.
+DEFAULT_WALLCLOCK_WORKERS = (1, 2, 4)
+#: wall-clock mode defaults to the kernels with enough parallel work for a
+#: dispatch to be measurable at small scales.
+DEFAULT_WALLCLOCK_SET = ("matmul", "hotspot", "pathfinder", "srad_v1")
 
 
 def run(benchmarks: Optional[Sequence[str]] = None, *,
@@ -78,8 +102,98 @@ def summarize(results: Dict[str, Dict[str, Dict[int, float]]]) -> str:
     return "\n".join(lines)
 
 
-def main() -> str:
-    output = summarize(run())
+# ---------------------------------------------------------------------------
+# Measured wall-clock scaling (multicore engine)
+# ---------------------------------------------------------------------------
+def run_wallclock(benchmarks: Optional[Sequence[str]] = None, *,
+                  workers: Sequence[int] = DEFAULT_WALLCLOCK_WORKERS,
+                  scale: int = 4, repeats: int = 3,
+                  engine: str = "multicore") -> Dict[str, Dict[int, float]]:
+    """Measured seconds per worker count: {benchmark: {workers: seconds}}.
+
+    Each (benchmark, worker-count) cell is the best of ``repeats`` runs of
+    the cuda-lowered kernel on the selected engine (the multicore engine;
+    any other registered engine is accepted for baselines and simply
+    ignores the worker count).  The first run per module warms the one-time
+    IR translation and the worker pool so the steady state is measured.
+    """
+    names = list(benchmarks or DEFAULT_WALLCLOCK_SET)
+    options = PipelineOptions.all_optimizations()
+    results: Dict[str, Dict[int, float]] = {}
+    for name in names:
+        bench = BENCHMARKS[name]
+        module = bench.compile_cuda(options)
+        results[name] = {}
+        for worker_count in workers:
+            executor = make_executor(module, engine=engine, workers=worker_count)
+            executor.run(bench.entry, bench.make_inputs(scale))  # warm-up
+            best = float("inf")
+            for _ in range(repeats):
+                arguments = bench.make_inputs(scale)
+                executor = make_executor(module, engine=engine, workers=worker_count)
+                start = time.perf_counter()
+                executor.run(bench.entry, arguments)
+                best = min(best, time.perf_counter() - start)
+            results[name][worker_count] = best
+    return results
+
+
+def summarize_wallclock(results: Dict[str, Dict[int, float]]) -> str:
+    workers = sorted(next(iter(results.values())))
+    lines = ["Fig. 14 (measured): wall-clock seconds and T1/Tn speedup on the "
+             "multicore engine"]
+    rows = []
+    for name, per_worker in results.items():
+        base = per_worker[min(per_worker)]
+        rows.append([name, "seconds"] + [per_worker[w] for w in workers])
+        rows.append([name, "T1/Tn"] + [base / per_worker[w] for w in workers])
+    lines.append(format_table(["benchmark", "metric", *[str(w) for w in workers]],
+                              rows, float_format="{:.4f}"))
+    from ..runtime.multicore import available_cpus
+    cpus = available_cpus()
+    lines.append("")
+    lines.append(f"({cpus} CPU(s) available — speedups saturate at the core count; "
+                 "worker counts above it measure dispatch overhead)")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> str:
+    parser = argparse.ArgumentParser(
+        description="Fig. 14 thread-scaling experiment")
+    parser.add_argument("--engine", default=None,
+                        help="execution engine (compiled/vectorized/multicore/"
+                             "interp; default: process default)")
+    parser.add_argument("--wallclock", action="store_true",
+                        help="additionally measure real seconds per worker "
+                             "count on the multicore engine")
+    parser.add_argument("--threads", default=None,
+                        help="comma-separated thread (simulated) / worker "
+                             "(wall-clock) counts")
+    parser.add_argument("--scale", type=int, default=1,
+                        help="input scale for the simulated table (wall-clock "
+                             "mode uses max(scale, 4) for measurable runs)")
+    parser.add_argument("--benchmarks", default=None,
+                        help="comma-separated benchmark subset")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="wall-clock repetitions per cell (best-of)")
+    parser.add_argument("--inner-serialize", action="store_true",
+                        help="enable inner serialization in the pipeline")
+    args = parser.parse_args(argv)
+
+    thread_counts = (tuple(int(t) for t in args.threads.split(","))
+                     if args.threads else None)
+    names = args.benchmarks.split(",") if args.benchmarks else None
+
+    sections = [summarize(run(
+        names, threads=thread_counts or DEFAULT_THREADS, scale=args.scale,
+        inner_serialize=args.inner_serialize, engine=args.engine))]
+    if args.wallclock:
+        sections.append("")
+        sections.append(summarize_wallclock(run_wallclock(
+            names, workers=thread_counts or DEFAULT_WALLCLOCK_WORKERS,
+            scale=max(args.scale, 4), repeats=args.repeats,
+            engine=args.engine or "multicore")))
+    output = "\n".join(sections)
     print(output)
     return output
 

@@ -95,17 +95,28 @@ void nll_loss(float* log_probs, int* targets, float* losses, float* total,
 
 
 class MocCUDASession:
-    """The interception layer: call registry + device + streams + kernels."""
+    """The interception layer: call registry + device + streams + kernels.
+
+    ``engine`` selects the execution engine for transpiled kernels
+    (``"compiled"``/``"vectorized"``/``"multicore"``/``"interp"``; ``None``
+    = process default) and ``workers`` sizes the multicore engine's pool
+    when that engine is selected (ignored by the in-process engines) — on
+    the multicore engine the transpiled NLL-loss launch is sharded across
+    real CPU cores, which is the closest this reproduction gets to
+    MocCUDA's actual many-core A64FX execution.
+    """
 
     def __init__(self, options: Optional[PipelineOptions] = None,
-                 engine: Optional[str] = None) -> None:
+                 engine: Optional[str] = None,
+                 workers: Optional[int] = None) -> None:
         self.device = DeviceProperties()
         self.streams: Dict[int, Stream] = {0: Stream(0)}
         self.call_log: List[str] = []
         self.options = options or PipelineOptions.all_optimizations()
         if engine is not None:
             resolve_engine(engine)  # fail fast on a bad engine name
-        self.engine = engine  # "compiled"/"vectorized"/"interp"; None = default
+        self.engine = engine
+        self.workers = workers
         self._nll_module = None
 
     # -- CUDART surface -------------------------------------------------------
@@ -153,7 +164,7 @@ class MocCUDASession:
         losses = np.zeros(32, dtype=np.float32)
         total = np.zeros(1, dtype=np.float32)
         executor = make_executor(self._nll_loss_module(), engine=self.engine,
-                                 machine=A64FX_CMG)
+                                 machine=A64FX_CMG, workers=self.workers)
         executor.run("nll_loss", [np.ascontiguousarray(log_probs.reshape(-1)),
                                   targets.astype(np.int64), losses, total, batch, classes])
         return float(total[0])

@@ -182,14 +182,17 @@ FIGURE13_SET = [name for name in BENCHMARKS if name != "matmul"]
 
 def run_module(module, entry: str, arguments: Sequence, *,
                machine: MachineModel = XEON_8375C, threads: Optional[int] = None,
-               engine: Optional[str] = None) -> CostReport:
+               engine: Optional[str] = None,
+               workers: Optional[int] = None) -> CostReport:
     """Execute a compiled benchmark once and return its cost report.
 
     ``engine`` selects the execution engine ("compiled"/"vectorized"/
-    "interp"; None = process default) — results and cost reports are
-    engine-independent.
+    "multicore"/"interp"; None = process default) — results and cost
+    reports are engine-independent.  ``workers`` sizes the multicore
+    engine's worker pool (ignored by the in-process engines).
     """
-    executor = make_executor(module, engine=engine, machine=machine, threads=threads)
+    executor = make_executor(module, engine=engine, machine=machine,
+                             threads=threads, workers=workers)
     executor.run(entry, arguments)
     return executor.report
 
@@ -198,7 +201,8 @@ def run_benchmark(name: str, *, variant: str = "cuda",
                   options: Optional[PipelineOptions] = None,
                   scale: int = 1, machine: MachineModel = XEON_8375C,
                   threads: Optional[int] = None,
-                  engine: Optional[str] = None) -> CostReport:
+                  engine: Optional[str] = None,
+                  workers: Optional[int] = None) -> CostReport:
     """Compile and run one benchmark variant ("cuda", "omp" or "oracle")."""
     bench = BENCHMARKS[name]
     arguments = bench.make_inputs(scale)
@@ -213,7 +217,7 @@ def run_benchmark(name: str, *, variant: str = "cuda",
     else:
         raise ValueError(f"unknown variant {variant!r}")
     return run_module(module, bench.entry, arguments, machine=machine,
-                      threads=threads, engine=engine)
+                      threads=threads, engine=engine, workers=workers)
 
 
 def verify_benchmark(name: str, options: Optional[PipelineOptions] = None,

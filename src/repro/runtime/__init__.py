@@ -1,6 +1,6 @@
 """repro.runtime — execution engines and the analytic performance model.
 
-Three execution engines share one API (``run(name, args)`` + ``report``):
+Four execution engines share one API (``run(name, args)`` + ``report``):
 
 * :class:`~repro.runtime.interpreter.Interpreter` — the tree-walking
   reference engine: un-lowered modules run with SIMT (GPU oracle) semantics,
@@ -14,17 +14,26 @@ Three execution engines share one API (``run(name, args)`` + ``report``):
   plus whole-grid NumPy execution of barrier-delimited phases: SSA registers
   become lane arrays, loads/stores become gathers/scatters; phases the
   analyzer cannot vectorize fall back to compiled closures per phase.
+* :class:`~repro.runtime.multicore.MulticoreEngine` — the only engine that
+  uses more than one CPU core: ``gpu.launch`` block grids and outermost
+  barrier-free parallel loops are sharded across a persistent worker-process
+  pool, with memrefs promoted to ``multiprocessing.shared_memory`` views
+  (:mod:`repro.runtime.sharedmem`) so workers scatter/gather in place, and
+  per-worker costs folded in thread order for bit-identical reports.
 
 Select with :func:`~repro.runtime.engine.make_executor` /
 :func:`~repro.runtime.engine.execute`
-(``engine="compiled"|"vectorized"|"interp"``, or the ``REPRO_ENGINE``
-environment variable).
+(``engine="compiled"|"vectorized"|"multicore"|"interp"``, or the
+``REPRO_ENGINE`` environment variable; ``workers=`` / ``REPRO_WORKERS``
+sizes the multicore pool).  Engines self-register in
+:mod:`repro.runtime.registry` — adding one is a single module with a
+``register_engine`` call.
 
 * :mod:`~repro.runtime.costmodel` defines the machine descriptions
   (``XEON_8375C`` for the Rodinia/MCUDA study, ``A64FX_CMG`` for MocCUDA)
   and the per-operation/memory cost tables.
 * :class:`~repro.runtime.memory.MemRefStorage` is the numpy-backed buffer
-  type shared by both execution modes.
+  type shared by all execution modes.
 """
 
 from .errors import InterpreterError, UseAfterFreeError
@@ -38,13 +47,22 @@ from .costmodel import (
     memory_access_cost,
     op_cost,
 )
+from .registry import engine_names, register_engine
 from .interpreter import Interpreter
 from .compiler import CompiledEngine, invalidate_compiled
 from .vectorizer import VectorizedEngine, machine_vectorizable
+from .multicore import (
+    MulticoreEngine,
+    default_workers,
+    multicore_available,
+    shutdown_worker_pools,
+)
+from . import sharedmem
 from .engine import (
     ENGINE_COMPILED,
     ENGINE_ENV_VAR,
     ENGINE_INTERP,
+    ENGINE_MULTICORE,
     ENGINE_VECTORIZED,
     ENGINES,
     default_engine,
@@ -54,12 +72,16 @@ from .engine import (
 )
 
 __all__ = [
-    "MemRefStorage", "dtype_for",
+    "MemRefStorage", "dtype_for", "sharedmem",
     "A64FX_CMG", "CostReport", "MachineModel", "OP_COSTS", "XEON_8375C",
     "memory_access_cost", "op_cost",
     "Interpreter", "InterpreterError", "UseAfterFreeError",
     "CompiledEngine", "invalidate_compiled",
     "VectorizedEngine", "machine_vectorizable",
-    "ENGINE_COMPILED", "ENGINE_ENV_VAR", "ENGINE_INTERP", "ENGINE_VECTORIZED",
-    "ENGINES", "default_engine", "execute", "make_executor", "resolve_engine",
+    "MulticoreEngine", "default_workers", "multicore_available",
+    "shutdown_worker_pools",
+    "engine_names", "register_engine",
+    "ENGINE_COMPILED", "ENGINE_ENV_VAR", "ENGINE_INTERP", "ENGINE_MULTICORE",
+    "ENGINE_VECTORIZED", "ENGINES", "default_engine", "execute",
+    "make_executor", "resolve_engine",
 ]

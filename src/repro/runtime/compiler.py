@@ -39,7 +39,7 @@ assumes the module is not mutated after its first compiled run — call
 
 from __future__ import annotations
 
-from itertools import product
+from itertools import islice, product
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -49,6 +49,7 @@ from ..dialects import omp as omp_d, polygeist, scf
 from .costmodel import CostReport, MachineModel, XEON_8375C, op_cost
 from .errors import InterpreterError
 from .memory import MemRefStorage
+from .registry import register_engine
 
 _BARRIER = object()  # yielded by compiled generator closures at barriers
 
@@ -69,17 +70,25 @@ class _BarrierEscape(Exception):
 
 
 class _State:
-    """Mutable per-run execution state shared by all compiled closures."""
+    """Mutable per-run execution state shared by all compiled closures.
 
-    __slots__ = ("report", "threads", "work", "max_ops", "program")
+    ``shard`` is the multicore engine's dispatch context (worker pool +
+    worker count); it is ``None`` for the compiled/vectorized engines and
+    inside worker processes, which makes every shard-capable region runner
+    fall through to plain in-process execution.
+    """
+
+    __slots__ = ("report", "threads", "work", "max_ops", "program", "shard")
 
     def __init__(self, report: CostReport, threads: int, work: List[float],
-                 max_ops: Optional[int], program: "_Program") -> None:
+                 max_ops: Optional[int], program: "_Program",
+                 shard=None) -> None:
         self.report = report
         self.threads = threads
         self.work = work
         self.max_ops = max_ops
         self.program = program
+        self.shard = shard
 
 
 class _CompiledFunction:
@@ -244,6 +253,31 @@ def build_parallel_thread_regs(regs, iv_slots, iterations):
             per_thread[dst] = value
         thread_regs.append(per_thread)
     return thread_regs
+
+
+def _iteration_space(regs, lb_slots, ub_slots, st_slots) -> Tuple[List[range], int]:
+    """Read a region's (ranges, total points) from its bound slots."""
+    ranges = [range(int(regs[lb]), int(regs[ub]), int(regs[st]))
+              for lb, ub, st in zip(lb_slots, ub_slots, st_slots)]
+    total = 1
+    for axis in ranges:
+        total *= len(axis)
+    return ranges, total
+
+
+def _span_points(ranges, start: int, stop: Optional[int]):
+    """Row-major iteration points of ``[start, stop)`` within the space.
+
+    ``start == 0`` with ``stop=None`` is the whole space (no islice
+    wrapper on the sequential hot path); a proper sub-span streams through
+    ``itertools.islice`` — shard spans are contiguous in the same
+    sequential order, which is what keeps worker-order cost aggregation
+    equal to the interpreter's single sequential accumulation.
+    """
+    points = product(*ranges)
+    if start == 0 and stop is None:
+        return points
+    return islice(points, start, stop)
 
 
 # ---------------------------------------------------------------------------
@@ -837,75 +871,95 @@ class _FunctionCompiler:
         return run
 
     # -- parallel constructs ----------------------------------------------------
-    def _c_scf_parallel(self, op):
-        from ..analysis import contains_barrier
+    #
+    # Each shardable region compiles in two parts: a *plan* that can execute
+    # any contiguous sub-span of the region's work (`run_span(state, regs,
+    # ranges, start, stop)` for iteration spaces, `run_blocks(state, regs,
+    # grid, block, start, stop)` for launch block grids) and a *wrapper*
+    # that owns the sequential accounting (report counters, work frames,
+    # wall-clock formulas) and runs the full span.  The vectorized engine
+    # overrides the plans; the multicore engine overrides the region
+    # methods to dispatch plan sub-spans to worker processes.
+    def _parallel_span_plan(self, op) -> Callable:
+        iv_slots = self.slots(op.induction_vars)
+        body = self.compile_block(op.body, gen=False)
 
+        def run_span(state, regs, ranges, start, stop):
+            for point in _span_points(ranges, start, stop):
+                for dst, value in zip(iv_slots, point):
+                    regs[dst] = value
+                body(state, regs)
+        return run_span
+
+    def _parallel_accounting(self, op) -> Callable:
+        """The barrier-free ``scf.parallel`` wall-clock epilogue.
+
+        Shared by the sequential wrapper and the multicore engine's shard
+        dispatcher so the two paths can never drift apart: ``finish`` takes
+        the region's summed work and charges the enclosing frame.
+        """
+        fork_cost = self.program.machine.fork_cost
+
+        def finish(state, total, work):
+            threads = min(state.threads, max(1, total))
+            state.work[-1] += fork_cost + work / state.program.speedup(threads)
+        return finish
+
+    def _parallel_wrapper(self, op, run_span) -> Callable:
+        lb_slots = self.slots(op.lower_bounds)
+        ub_slots = self.slots(op.upper_bounds)
+        st_slots = self.slots(op.steps)
+        finish = self._parallel_accounting(op)
+
+        def run(state, regs):
+            ranges, total = _iteration_space(regs, lb_slots, ub_slots, st_slots)
+            state.report.parallel_regions += 1
+            work_stack = state.work
+            work_stack.append(0.0)
+            try:
+                run_span(state, regs, ranges, 0, None)
+            except _BarrierEscape:
+                raise InterpreterError(
+                    "unexpected barrier in barrier-free parallel loop") from None
+            work = work_stack.pop()
+            finish(state, total, work)
+        return run
+
+    def _c_scf_parallel_simt(self, op):
         program = self.program
         lb_slots = self.slots(op.lower_bounds)
         ub_slots = self.slots(op.upper_bounds)
         st_slots = self.slots(op.steps)
         iv_slots = self.slots(op.induction_vars)
-        has_barrier = contains_barrier(op, immediate_region_only=True)
         machine = program.machine
         fork_cost = machine.fork_cost
         phase_cost = machine.simt_phase_cost
-        if has_barrier:
-            run_simt = self.compile_simt_body(op.body)
-
-            def run(state, regs):
-                lowers = [int(regs[s]) for s in lb_slots]
-                uppers = [int(regs[s]) for s in ub_slots]
-                strides = [int(regs[s]) for s in st_slots]
-                ranges = [range(low, high, stride)
-                          for low, high, stride in zip(lowers, uppers, strides)]
-                total = 1
-                for axis in ranges:
-                    total *= len(axis)
-                state.report.parallel_regions += 1
-                work_stack = state.work
-                work_stack.append(0.0)
-                thread_regs = build_parallel_thread_regs(
-                    regs, iv_slots, product(*ranges))
-                phases = run_simt(state, thread_regs)
-                state.report.simt_phases += phases
-                work = work_stack.pop()
-                threads = min(state.threads, max(1, total))
-                wall = (fork_cost + work / state.program.speedup(threads)
-                        + phases * phase_cost)
-                work_stack[-1] += wall
-            return run
-
-        body = self.compile_block(op.body, gen=False)
+        run_simt = self.compile_simt_body(op.body)
 
         def run(state, regs):
-            lowers = [int(regs[s]) for s in lb_slots]
-            uppers = [int(regs[s]) for s in ub_slots]
-            strides = [int(regs[s]) for s in st_slots]
-            ranges = [range(low, high, stride)
-                      for low, high, stride in zip(lowers, uppers, strides)]
-            total = 1
-            for axis in ranges:
-                total *= len(axis)
+            ranges, total = _iteration_space(regs, lb_slots, ub_slots, st_slots)
             state.report.parallel_regions += 1
             work_stack = state.work
             work_stack.append(0.0)
-            try:
-                for point in product(*ranges):
-                    for dst, value in zip(iv_slots, point):
-                        regs[dst] = value
-                    body(state, regs)
-            except _BarrierEscape:
-                raise InterpreterError(
-                    "unexpected barrier in barrier-free parallel loop") from None
+            thread_regs = build_parallel_thread_regs(
+                regs, iv_slots, product(*ranges))
+            phases = run_simt(state, thread_regs)
+            state.report.simt_phases += phases
             work = work_stack.pop()
             threads = min(state.threads, max(1, total))
-            wall = fork_cost + work / state.program.speedup(threads)
+            wall = (fork_cost + work / state.program.speedup(threads)
+                    + phases * phase_cost)
             work_stack[-1] += wall
         return run
 
-    def _c_gpu_launch(self, op):
-        grid_slots = self.slots(op.grid_dims)
-        block_slots = self.slots(op.block_dims)
+    def _c_scf_parallel(self, op):
+        from ..analysis import contains_barrier
+
+        if contains_barrier(op, immediate_region_only=True):
+            return self._c_scf_parallel_simt(op)
+        return self._parallel_wrapper(op, self._parallel_span_plan(op))
+
+    def _launch_plan(self, op) -> Callable:
         arg_slots = self.slots(op.body.arguments)
         shared_allocas = []
         saved_prebound = self._prebound
@@ -917,19 +971,32 @@ class _FunctionCompiler:
         run_simt = self.compile_simt_body(op.body)
         self._prebound = saved_prebound
 
+        def run_blocks(state, regs, grid, block, start, stop):
+            g0, g1 = grid[0], grid[1]
+            report = state.report
+            for linear in range(start, stop):
+                bx = linear % g0
+                by = (linear // g0) % g1
+                bz = linear // (g0 * g1)
+                thread_regs = build_launch_thread_regs(
+                    regs, arg_slots, bx, by, bz, grid, block)
+                bind_shared_allocas(shared_allocas, thread_regs)
+                phases = run_simt(state, thread_regs)
+                report.simt_phases += phases
+        return run_blocks
+
+    def _launch_wrapper(self, op, run_blocks) -> Callable:
+        grid_slots = self.slots(op.grid_dims)
+        block_slots = self.slots(op.block_dims)
+
         def run(state, regs):
             grid = [int(regs[s]) for s in grid_slots]
             block = [int(regs[s]) for s in block_slots]
-            report = state.report
-            for bz in range(grid[2]):
-                for by in range(grid[1]):
-                    for bx in range(grid[0]):
-                        thread_regs = build_launch_thread_regs(
-                            regs, arg_slots, bx, by, bz, grid, block)
-                        bind_shared_allocas(shared_allocas, thread_regs)
-                        phases = run_simt(state, thread_regs)
-                        report.simt_phases += phases
+            run_blocks(state, regs, grid, block, 0, grid[0] * grid[1] * grid[2])
         return run
+
+    def _c_gpu_launch(self, op):
+        return self._launch_wrapper(op, self._launch_plan(op))
 
     def _c_gpu_alloc(self, op):
         size_slots = self.slots(op.operands)
@@ -987,36 +1054,24 @@ class _FunctionCompiler:
             return False, False, None
         return True, parent.nest_level > 0, parent.num_threads
 
-    def _c_omp_wsloop(self, op):
-        lb_slots = self.slots(op.lower_bounds)
-        ub_slots = self.slots(op.upper_bounds)
-        st_slots = self.slots(op.steps)
+    def _wsloop_span_plan(self, op) -> Callable:
         iv_slots = self.slots(op.induction_vars)
         body = self.compile_block(op.body, gen=False)
+
+        def run_span(state, regs, ranges, start, stop):
+            for point in _span_points(ranges, start, stop):
+                for dst, value in zip(iv_slots, point):
+                    regs[dst] = value
+                body(state, regs)
+        return run_span
+
+    def _wsloop_accounting(self, op) -> Callable:
+        """The ``omp.wsloop`` wall-clock epilogue (see _parallel_accounting)."""
         has_parent, parent_nested, parent_threads = self._static_team(op)
         nowait = op.nowait
         sync_cost = self.program.machine.sync_cost
 
-        def run(state, regs):
-            state.report.workshared_loops += 1
-            lowers = [int(regs[s]) for s in lb_slots]
-            uppers = [int(regs[s]) for s in ub_slots]
-            strides = [int(regs[s]) for s in st_slots]
-            ranges = [range(low, high, stride)
-                      for low, high, stride in zip(lowers, uppers, strides)]
-            total = 1
-            for axis in ranges:
-                total *= len(axis)
-            work_stack = state.work
-            work_stack.append(0.0)
-            try:
-                for point in product(*ranges):
-                    for dst, value in zip(iv_slots, point):
-                        regs[dst] = value
-                    body(state, regs)
-            except _BarrierEscape:
-                raise InterpreterError("GPU barrier inside a workshared loop") from None
-            work = work_stack.pop()
+        def finish(state, total, work):
             if not has_parent or parent_nested:
                 team_size = 1
             else:
@@ -1025,8 +1080,30 @@ class _FunctionCompiler:
             wall = work / state.program.speedup(team)
             if not nowait:
                 wall += sync_cost
-            work_stack[-1] += wall
+            state.work[-1] += wall
+        return finish
+
+    def _wsloop_wrapper(self, op, run_span) -> Callable:
+        lb_slots = self.slots(op.lower_bounds)
+        ub_slots = self.slots(op.upper_bounds)
+        st_slots = self.slots(op.steps)
+        finish = self._wsloop_accounting(op)
+
+        def run(state, regs):
+            state.report.workshared_loops += 1
+            ranges, total = _iteration_space(regs, lb_slots, ub_slots, st_slots)
+            work_stack = state.work
+            work_stack.append(0.0)
+            try:
+                run_span(state, regs, ranges, 0, None)
+            except _BarrierEscape:
+                raise InterpreterError("GPU barrier inside a workshared loop") from None
+            work = work_stack.pop()
+            finish(state, total, work)
         return run
+
+    def _c_omp_wsloop(self, op):
+        return self._wsloop_wrapper(op, self._wsloop_span_plan(op))
 
     def _c_omp_barrier(self, op):
         sync_cost = self.program.machine.sync_cost
@@ -1116,8 +1193,18 @@ class CompiledEngine:
         self.collect_cost = collect_cost
         self.max_dynamic_ops = max_dynamic_ops
         self.report = CostReport(machine=machine, threads=self.threads)
-        self._program = program_for(module, machine, type(self).PROGRAM_CLS)
+        self._program = program_for(module, machine, self._program_cls())
         self._work: List[float] = [0.0]
+
+    def _program_cls(self) -> type:
+        """Program flavour hook (the multicore engine picks per instance)."""
+        return type(self).PROGRAM_CLS
+
+    def _make_state(self) -> _State:
+        """Per-run execution state hook (the multicore engine attaches its
+        shard-dispatch context here)."""
+        return _State(self.report, self.threads, self._work,
+                      self.max_dynamic_ops, self._program)
 
     def run(self, function_name: str, arguments: Sequence = ()) -> List:
         """Execute ``function_name`` with the given arguments (Interpreter API)."""
@@ -1128,8 +1215,7 @@ class CompiledEngine:
             raise InterpreterError(
                 f"{fn.sym_name}: expected {len(fn.arguments)} arguments, got {len(arguments)}")
         compiled = self._program.function(fn, gen=False)
-        state = _State(self.report, self.threads, self._work,
-                       self.max_dynamic_ops, self._program)
+        state = self._make_state()
         regs = compiled.template[:]
         for slot, argument in zip(compiled.arg_slots, arguments):
             regs[slot] = self._wrap_argument(argument)
@@ -1148,3 +1234,15 @@ class CompiledEngine:
         if isinstance(argument, np.ndarray):
             return MemRefStorage.from_numpy(argument)
         return argument
+
+
+def _make_compiled(module, *, machine=XEON_8375C, threads=None,
+                   collect_cost=True, max_dynamic_ops=None, workers=None):
+    # ``workers`` is a multicore-engine knob; the compiled engine ignores it.
+    return CompiledEngine(module, machine=machine, threads=threads,
+                          collect_cost=collect_cost, max_dynamic_ops=max_dynamic_ops)
+
+
+register_engine(
+    "compiled", _make_compiled, order=0,
+    description="one-time translation of IR to specialized Python closures")

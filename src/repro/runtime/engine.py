@@ -1,16 +1,16 @@
-"""Execution-engine selection: interpreter, compiled closures, vectorized grids.
+"""Execution-engine selection: interpreter, compiled, vectorized, multicore.
 
 Every runtime entry point (harnesses, the Rodinia suite, the MocCUDA shim,
 benchmarks) goes through this layer and accepts an ``engine`` knob:
 
 * ``"compiled"`` — the default: one-time translation of each function to
-  specialized Python closures (:mod:`repro.runtime.compiler`), the same
-  transpile-don't-emulate move the paper applies to GPU constructs, applied
-  to our own execution hot path.
+  specialized Python closures (:mod:`repro.runtime.compiler`).
 * ``"vectorized"`` — the compiled engine plus whole-grid NumPy execution of
-  barrier-delimited phases (:mod:`repro.runtime.vectorizer`): SSA registers
-  become lane arrays, loads/stores become gathers/scatters, and phases the
-  analyzer cannot prove vectorizable fall back to the compiled closures.
+  barrier-delimited phases (:mod:`repro.runtime.vectorizer`).
+* ``"multicore"`` — the compiled/vectorized span runners sharded across a
+  worker-process pool with shared-memory buffers
+  (:mod:`repro.runtime.multicore`); the only engine that uses more than one
+  CPU core.  ``workers=`` (or ``REPRO_WORKERS``) picks the pool width.
 * ``"interp"`` — the reference tree-walking
   :class:`~repro.runtime.interpreter.Interpreter`, kept as the correctness
   and cost-accounting oracle.
@@ -18,34 +18,48 @@ benchmarks) goes through this layer and accepts an ``engine`` knob:
 All engines produce bit-identical outputs and :class:`CostReport`s (pinned
 by ``tests/runtime/test_engine_parity.py``); only wall-clock speed differs.
 The process-wide default can be overridden with the ``REPRO_ENGINE``
-environment variable (``compiled``/``vectorized``/``interp``).
+environment variable.
+
+Engines self-register in :mod:`repro.runtime.registry` at import time
+(name → factory); this module imports the engine modules for their
+registration side effect and derives the selection tables from the
+registry, so adding a fifth engine means adding one module with one
+``register_engine`` call — no tables to edit here.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Optional, Sequence, Union
+from typing import Optional, Sequence
 
 from .costmodel import CostReport, MachineModel, XEON_8375C
-from .compiler import CompiledEngine, invalidate_compiled
-from .interpreter import Interpreter, InterpreterError
-from .vectorizer import VectorizedEngine
+from .registry import engine_factory, engine_names
+
+# imported for their register_engine() side effect (and re-exported names).
+from .compiler import CompiledEngine, invalidate_compiled  # noqa: F401
+from .interpreter import Interpreter, InterpreterError  # noqa: F401
+from .vectorizer import VectorizedEngine  # noqa: F401
+from .multicore import MulticoreEngine  # noqa: F401
 
 ENGINE_COMPILED = "compiled"
 ENGINE_INTERP = "interp"
 ENGINE_VECTORIZED = "vectorized"
-ENGINES = (ENGINE_COMPILED, ENGINE_VECTORIZED, ENGINE_INTERP)
+ENGINE_MULTICORE = "multicore"
 
 #: environment variable overriding the process-wide default engine.
 ENGINE_ENV_VAR = "REPRO_ENGINE"
 
-Executor = Union[Interpreter, CompiledEngine, VectorizedEngine]
+Executor = object  # any registered engine: run(name, args) + .report
 
-_ENGINE_CLASSES = {
-    ENGINE_COMPILED: CompiledEngine,
-    ENGINE_VECTORIZED: VectorizedEngine,
-    ENGINE_INTERP: Interpreter,
-}
+
+def _engines() -> tuple:
+    return engine_names()
+
+
+#: all registered engine names (registry-ordered); kept as a module-level
+#: name for backwards compatibility — prefer :func:`repro.runtime.registry.
+#: engine_names` for code that runs before/after late registrations.
+ENGINES = engine_names()
 
 
 def default_engine() -> str:
@@ -56,8 +70,8 @@ def default_engine() -> str:
 def resolve_engine(engine: Optional[str] = None) -> str:
     """Normalize and validate an engine name (``None`` = process default)."""
     name = engine if engine is not None else default_engine()
-    if name not in ENGINES:
-        raise ValueError(f"unknown engine {name!r}; expected one of {ENGINES}")
+    if name not in _engines():
+        raise ValueError(f"unknown engine {name!r}; expected one of {_engines()}")
     return name
 
 
@@ -65,21 +79,27 @@ def make_executor(module, *, engine: Optional[str] = None,
                   machine: MachineModel = XEON_8375C,
                   threads: Optional[int] = None,
                   collect_cost: bool = True,
-                  max_dynamic_ops: Optional[int] = None) -> Executor:
-    """Build an executor (Interpreter, CompiledEngine or VectorizedEngine).
+                  max_dynamic_ops: Optional[int] = None,
+                  workers: Optional[int] = None) -> Executor:
+    """Build an executor through the registered engine factory.
 
-    All classes share the same API: ``run(function_name, arguments)`` plus a
+    All engines share the same API: ``run(function_name, arguments)`` plus a
     ``report`` attribute accumulating the simulated-cycle cost model.
+    ``workers`` is forwarded to the factory (only the multicore engine uses
+    it; the in-process engines ignore it).
     """
-    cls = _ENGINE_CLASSES[resolve_engine(engine)]
-    return cls(module, machine=machine, threads=threads,
-               collect_cost=collect_cost, max_dynamic_ops=max_dynamic_ops)
+    factory = engine_factory(resolve_engine(engine))
+    return factory(module, machine=machine, threads=threads,
+                   collect_cost=collect_cost, max_dynamic_ops=max_dynamic_ops,
+                   workers=workers)
 
 
 def execute(module, function_name: str, arguments: Sequence = (), *,
             engine: Optional[str] = None, machine: MachineModel = XEON_8375C,
-            threads: Optional[int] = None) -> CostReport:
+            threads: Optional[int] = None,
+            workers: Optional[int] = None) -> CostReport:
     """Run a function on the selected engine and return its cost report."""
-    executor = make_executor(module, engine=engine, machine=machine, threads=threads)
+    executor = make_executor(module, engine=engine, machine=machine,
+                             threads=threads, workers=workers)
     executor.run(function_name, arguments)
     return executor.report

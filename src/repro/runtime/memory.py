@@ -43,9 +43,20 @@ def dtype_for(element_type: Type) -> np.dtype:
 
 
 class MemRefStorage:
-    """A runtime buffer: numpy array + memory space + element type."""
+    """A runtime buffer: numpy array + memory space + element type.
 
-    __slots__ = ("array", "memory_space", "element_type", "freed")
+    A storage can be *promoted* to a ``multiprocessing.shared_memory``
+    backing (:func:`repro.runtime.sharedmem.promote`): ``array`` is swapped
+    in place for a view into the shared segment so every alias of the
+    storage — and every worker process that attaches the segment by name —
+    reads and writes the same bytes.  ``shm_name`` identifies the segment
+    (``None`` for ordinary process-local buffers) and ``shm_flags`` is a
+    one-byte view of the segment header used to propagate the freed flag
+    across processes.
+    """
+
+    __slots__ = ("array", "memory_space", "element_type", "freed",
+                 "shm_name", "shm_flags", "__weakref__")
 
     def __init__(self, array: np.ndarray, memory_space: str = MemorySpace.GLOBAL,
                  element_type: Optional[Type] = None) -> None:
@@ -53,6 +64,8 @@ class MemRefStorage:
         self.memory_space = memory_space
         self.element_type = element_type
         self.freed = False
+        self.shm_name = None
+        self.shm_flags = None
 
     # -- constructors --------------------------------------------------------
     @classmethod
@@ -82,9 +95,16 @@ class MemRefStorage:
         return self.array
 
     def free(self) -> None:
-        """Mark the buffer freed (double-free raises like any other access)."""
+        """Mark the buffer freed (double-free raises like any other access).
+
+        For shared-memory-promoted buffers the freed flag is also written
+        into the segment header, so a free in one process is observed by
+        every other process the next time it decodes the buffer.
+        """
         self.check_alive()
         self.freed = True
+        if self.shm_flags is not None:
+            self.shm_flags[0] = 1
 
     # -- element access --------------------------------------------------------
     def load(self, indices: Tuple[int, ...]):

@@ -1,0 +1,1151 @@
+"""Multicore execution engine: shard parallel regions across worker processes.
+
+The paper's deliverable is GPU kernels that *actually* run in parallel on
+CPU cores; until now every engine executed in one Python process and the
+``threads=`` knob only scaled the analytic cost model.  This engine makes
+thread scaling a measured quantity: a persistent ``multiprocessing`` worker
+pool (forked once per compiled program) receives contiguous sub-spans of
+each ``gpu.launch`` block grid and each outermost barrier-free parallel
+loop (``omp.wsloop`` / ``scf.parallel``), executes them with the same
+compiled-or-vectorized span runners the sequential engines use, and writes
+results in place through :mod:`repro.runtime.sharedmem`-backed
+:class:`~repro.runtime.memory.MemRefStorage` buffers (the workers' loads
+and stores go through the unchanged ``load``/``store_block`` API — only the
+ndarray's backing differs).
+
+Determinism and bit-identical parity with the interpreter rest on three
+invariants:
+
+* **write-write safety** — a compile-time store analysis (below) only
+  permits sharding when every store to a shared buffer lands at an index
+  *injective in the sharded dimensions* (e.g. ``C[bx*n + tx]`` with
+  ``tx ∈ [0, n)``), so no two workers ever write the same location;
+  anything unprovable falls back to in-process execution.  Cross-worker
+  read-write interleavings within a region are unobservable for the same
+  race-free programs the vectorized engine already reorders.
+* **deterministic reductions** — each worker accumulates its own simulated
+  work and cost counters; after the join the parent folds them in worker
+  (= thread) order.  On machines whose per-access charges are exact binary
+  fractions (the same dyadic gate the vectorized engine uses) float
+  accumulation is exact, so regrouping per worker equals the interpreter's
+  single sequential sum bit for bit.  Regions containing *nested* parallel
+  regions would contribute non-dyadic wall terms (division by the
+  ``effective_speedup``), so they are never sharded.
+* **barrier scoping** — ``gpu.launch`` barriers synchronize threads of one
+  block, and a block never straddles a shard boundary, so workers run
+  their blocks' barrier phases internally and join at the region boundary;
+  ``scf.parallel`` regions whose barriers span the whole grid run
+  in-process.
+
+Like the compiled engine's documented divergences, the ``max_dynamic_ops``
+budget is enforced per shard (each worker receives the remaining budget;
+the parent re-checks the exact summed counter after the join).
+
+Knobs: ``workers=`` / ``REPRO_WORKERS`` selects the pool width (default:
+the CPU affinity count), ``inner=`` / ``REPRO_MULTICORE_INNER`` selects the
+in-worker executor flavour (``"compiled"`` — the default — or
+``"vectorized"``).  With one worker, on machines without ``fork``/shared
+memory, or for regions the analysis rejects, the engine degrades to plain
+in-process execution and stays bit-identical.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import weakref
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..dialects import arith, func as func_d, gpu as gpu_d
+from ..dialects import memref as memref_d, omp as omp_d, scf
+from .compiler import (
+    CompiledEngine,
+    _CONTEXT_OPS,
+    _BARRIER_OPS,
+    _BarrierEscape,
+    _FunctionCompiler,
+    _Program,
+    _State,
+    _iteration_space,
+    _split_executed,
+)
+from .costmodel import CostReport, MachineModel, XEON_8375C
+from .errors import InterpreterError, UseAfterFreeError
+from .memory import MemRefStorage
+from .vectorizer import (
+    _VectorFunctionCompiler,
+    _VectorProgram,
+    machine_vectorizable,
+)
+from . import sharedmem
+from .registry import register_engine
+
+#: environment variable selecting the default worker count.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+#: environment variable selecting the in-worker executor flavour.
+INNER_ENV_VAR = "REPRO_MULTICORE_INNER"
+
+INNER_COMPILED = "compiled"
+INNER_VECTORIZED = "vectorized"
+INNERS = (INNER_COMPILED, INNER_VECTORIZED)
+
+#: minimum work units (iterations / blocks) per worker for a dispatch to be
+#: worth the IPC round trip; below this the region runs in-process.
+MIN_UNITS_PER_WORKER = 2
+
+_FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
+
+
+def available_cpus() -> int:
+    """The CPUs actually available to this process (affinity-aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def default_workers() -> int:
+    """The default pool width: ``REPRO_WORKERS`` or the CPU affinity count."""
+    env = os.environ.get(WORKERS_ENV_VAR)
+    if env:
+        return max(1, int(env))
+    return available_cpus()
+
+
+def multicore_available() -> bool:
+    """Whether worker-pool sharding can run here (fork + shared memory)."""
+    return _FORK_AVAILABLE and sharedmem.shared_memory_available()
+
+
+def resolve_inner(inner: Optional[str] = None) -> str:
+    """Normalize/validate the in-worker engine flavour (None = env/default)."""
+    name = inner if inner is not None else os.environ.get(INNER_ENV_VAR, INNER_COMPILED)
+    if name not in INNERS:
+        raise ValueError(f"unknown multicore inner engine {name!r}; "
+                         f"expected one of {INNERS}")
+    return name
+
+
+# ---------------------------------------------------------------------------
+# Write-write safety analysis
+# ---------------------------------------------------------------------------
+#
+# Value descriptors classify every integer SSA value of a region body by how
+# it depends on the sharded ("lane") dimensions:
+#
+#   ("u", bound)        uniform across lanes; if ``bound`` is an SSA value id
+#                       the value is known to lie in [0, bound).
+#   ("i", dims, bound)  injective over the lane dimensions in ``dims``: two
+#                       iterations differing in any dim of ``dims`` (all
+#                       other dims equal) produce different values.
+#   ("s", dims, factor) an injective lane value scaled by the uniform SSA
+#                       value ``factor`` — the intermediate of the
+#                       ``bx*width + tx`` global-index pattern.  When the
+#                       factor is a non-zero constant the scaled value is
+#                       injective on its own.
+#   ("d",)              lane-dependent with no injectivity guarantee.
+#
+# A store to a non-private buffer is shard-safe when the union of its
+# indices' injective dims covers every lane dimension — any two iterations
+# in different shards then hit different locations.  Dims left uncovered are
+# recorded as *required-singleton*: the region may still shard at runtime if
+# those dims have extent 1 (the common collapsed-loop case where only
+# ``bx``/``tx`` really vary).
+
+_UNSAFE_BODY_OPS = (memref_d.CopyOp, gpu_d.GPUMemcpyOp,
+                    memref_d.DeallocOp, gpu_d.GPUDeallocOp,
+                    gpu_d.GPUAllocOp)
+
+
+class _Unsafe(Exception):
+    """The region cannot be proven write-write safe across shards."""
+
+
+def _const_int(value) -> Optional[int]:
+    defining = value.defining_op()
+    if isinstance(defining, arith.ConstantOp) and isinstance(defining.value, int):
+        return defining.value
+    return None
+
+
+def _is_lane(desc) -> bool:
+    return desc[0] in ("i", "s", "d")
+
+
+_DIRTY = ("d",)
+_UNIFORM = ("u", None)
+
+
+class _StoreSafety:
+    """One region's store analysis; raises :class:`_Unsafe` on rejection."""
+
+    def __init__(self, program, num_dims: int) -> None:
+        self.program = program
+        self.num_dims = num_dims
+        self.all_dims = frozenset(range(num_dims))
+        self.desc: Dict[int, Tuple] = {}
+        self.private: set = set()       # id(memref value) allocated in-region
+        self.cell_stores: Dict[int, int] = {}  # rank-0 local cells: #stores
+        self.cell_desc: Dict[int, Tuple] = {}
+        self.required: set = set()      # dims that must be singleton at runtime
+
+    # -- seeding ---------------------------------------------------------------
+    def seed_lane(self, value, dim: int, bound_id: Optional[int]) -> None:
+        self.desc[id(value)] = ("i", frozenset((dim,)), bound_id)
+
+    def seed_bounded_uniform(self, value, bound_id: Optional[int]) -> None:
+        self.desc[id(value)] = ("u", bound_id)
+
+    # -- walk ------------------------------------------------------------------
+    def run(self, ops: Sequence) -> FrozenSet[int]:
+        for op in ops:
+            self._prescan(op)
+        self._eval_block(ops)
+        return frozenset(self.required)
+
+    def _prescan(self, op) -> None:
+        if isinstance(op, _CONTEXT_OPS):
+            raise _Unsafe(f"nested parallel context {op.name}")
+        if isinstance(op, memref_d.AllocOp):  # covers AllocaOp
+            self.private.add(id(op.result))
+            if not op.memref_type.shape and not op.operands:
+                self.cell_stores.setdefault(id(op.result), 0)
+        if isinstance(op, memref_d.StoreOp):
+            key = id(op.memref)
+            if key in self.cell_stores:
+                self.cell_stores[key] += 1
+        if isinstance(op, func_d.CallOp):
+            callee = self.program.module.lookup(op.callee)
+            if callee is None or callee.is_declaration:
+                raise _Unsafe(f"call to unknown function {op.callee!r}")
+            if not _callee_shard_safe(self.program, callee):
+                raise _Unsafe(f"call to store-unsafe function {op.callee!r}")
+        for region in op.regions:
+            for block in region.blocks:
+                for nested in block.operations:
+                    self._prescan(nested)
+
+    # -- descriptor transfer ---------------------------------------------------
+    def _get(self, value) -> Tuple:
+        return self.desc.get(id(value), _UNIFORM)
+
+    def _set(self, value, desc: Tuple) -> None:
+        self.desc[id(value)] = desc
+
+    def _default(self, op) -> None:
+        dirty = any(_is_lane(self._get(operand)) for operand in op.operands)
+        for result in op.results:
+            self._set(result, _DIRTY if dirty else _UNIFORM)
+
+    @staticmethod
+    def _join(a: Tuple, b: Tuple) -> Tuple:
+        if a == b:
+            return a
+        if not _is_lane(a) and not _is_lane(b):
+            return _UNIFORM
+        return _DIRTY
+
+    def _eval_block(self, ops: Sequence) -> None:
+        for op in ops:
+            self._eval_op(op)
+
+    def _eval_op(self, op) -> None:
+        if isinstance(op, _BARRIER_OPS) or isinstance(op, omp_d.OmpBarrierOp):
+            return
+        if isinstance(op, arith.ConstantOp):
+            self._set(op.result, _UNIFORM)
+            return
+        if isinstance(op, arith._CastOp):
+            self._set(op.result, self._get(op.input))
+            return
+        if isinstance(op, arith.AddIOp):
+            self._set(op.result, self._add(op.lhs, op.rhs))
+            return
+        if isinstance(op, arith.SubIOp):
+            self._set(op.result, self._sub(op.lhs, op.rhs))
+            return
+        if isinstance(op, arith.MulIOp):
+            self._set(op.result, self._mul(op.lhs, op.rhs))
+            return
+        if isinstance(op, memref_d.AllocOp):
+            return  # memref results carry no integer descriptor
+        if isinstance(op, memref_d.LoadOp):
+            self._eval_load(op)
+            return
+        if isinstance(op, memref_d.StoreOp):
+            self._eval_store(op)
+            return
+        if isinstance(op, _UNSAFE_BODY_OPS):
+            self._eval_unsafe_memory(op)
+            return
+        if isinstance(op, scf.ForOp):
+            self._eval_for(op)
+            return
+        if isinstance(op, scf.IfOp):
+            self._eval_if(op)
+            return
+        if isinstance(op, scf.WhileOp):
+            self._eval_while(op)
+            return
+        self._default(op)
+
+    @staticmethod
+    def _inj_alone(desc: Tuple) -> Optional[Tuple]:
+        """View ``desc`` as injective in isolation, if it provably is."""
+        if desc[0] == "i":
+            return desc
+        if desc[0] == "s":
+            constant = _const_int(desc[2])
+            if constant is not None and constant != 0:
+                return ("i", desc[1], None)
+        return None
+
+    def _add(self, lhs, rhs) -> Tuple:
+        a, b = self._get(lhs), self._get(rhs)
+        for x, y in ((a, b), (b, a)):
+            if x[0] == "s":
+                # bx*width + tx: the addend lies in [0, width), so distinct
+                # (bx, tx) pairs produce distinct sums.
+                if y[0] == "u" and y[1] == id(x[2]) and y[1] is not None:
+                    return ("i", x[1], None)
+                if y[0] == "i" and y[2] == id(x[2]) and y[2] is not None:
+                    return ("i", x[1] | y[1], None)
+            x_inj = self._inj_alone(x)
+            if x_inj is not None and y[0] == "u":
+                return ("i", x_inj[1], None)
+        if not _is_lane(a) and not _is_lane(b):
+            return _UNIFORM
+        return _DIRTY
+
+    def _sub(self, lhs, rhs) -> Tuple:
+        a, b = self._get(lhs), self._get(rhs)
+        a_inj, b_inj = self._inj_alone(a), self._inj_alone(b)
+        if a_inj is not None and b[0] == "u":
+            return ("i", a_inj[1], None)
+        if a[0] == "u" and b_inj is not None:
+            return ("i", b_inj[1], None)
+        if not _is_lane(a) and not _is_lane(b):
+            return _UNIFORM
+        return _DIRTY
+
+    def _mul(self, lhs, rhs) -> Tuple:
+        a, b = self._get(lhs), self._get(rhs)
+        for x, y, y_value in ((a, b, rhs), (b, a, lhs)):
+            if x[0] == "i" and y[0] == "u":
+                if _const_int(y_value) == 0:
+                    return _UNIFORM
+                # keep the factor *value*: a later addi can match it against
+                # an addend bounded by the same SSA value, and a non-zero
+                # constant factor makes the product injective on its own.
+                return ("s", x[1], y_value)
+        if not _is_lane(a) and not _is_lane(b):
+            return _UNIFORM
+        return _DIRTY
+
+    def _eval_load(self, op) -> None:
+        key = id(op.memref)
+        if key in self.cell_stores and self.cell_stores[key] == 1 and not op.indices:
+            self._set(op.result, self.cell_desc.get(key, _DIRTY))
+            return
+        self._default(op)
+
+    def _eval_store(self, op) -> None:
+        key = id(op.memref)
+        if key in self.private:
+            if key in self.cell_stores and self.cell_stores[key] == 1:
+                self.cell_desc[key] = self._get(op.value)
+            return
+        if _is_lane(self._get(op.memref)):
+            raise _Unsafe("store through a lane-selected memref")
+        covered = set()
+        for index in op.indices:
+            desc = self._inj_alone(self._get(index))
+            if desc is not None:
+                covered |= desc[1]
+        self.required |= self.all_dims - covered
+
+    def _eval_unsafe_memory(self, op) -> None:
+        # bulk copies / deallocations of shared buffers inside the region
+        # conflict across every iteration pair: only singleton spaces are
+        # safe, which the required-singleton mechanism expresses exactly.
+        for operand in op.operands:
+            if id(operand) not in self.private:
+                self.required |= self.all_dims
+                return
+
+    def _eval_for(self, op) -> None:
+        bound_descs = [self._get(op.lower_bound), self._get(op.upper_bound),
+                       self._get(op.step)]
+        if any(_is_lane(desc) for desc in bound_descs):
+            iv_desc = _DIRTY
+        else:
+            lower = _const_int(op.lower_bound)
+            step = _const_int(op.step)
+            if lower == 0 and step == 1:
+                iv_desc = ("u", id(op.upper_bound))
+            else:
+                iv_desc = _UNIFORM
+        self._set(op.induction_var, iv_desc)
+        body_ops, term = _split_executed(op.body)
+        yields = list(term.operands) if isinstance(term, scf.YieldOp) else []
+        for arg, init in zip(op.iter_args, op.iter_init):
+            self._set(arg, self._get(init))
+        for _ in range(4):
+            self._eval_block(body_ops)
+            changed = False
+            for arg, yielded in zip(op.iter_args, yields):
+                joined = self._join(self._get(arg), self._get(yielded))
+                if joined != self._get(arg):
+                    self._set(arg, joined)
+                    changed = True
+            if not changed:
+                break
+        else:
+            for arg in op.iter_args:
+                self._set(arg, _DIRTY)
+            self._eval_block(body_ops)
+        for result, arg in zip(op.results, op.iter_args):
+            self._set(result, self._get(arg))
+
+    def _eval_if(self, op) -> None:
+        then_ops, then_term = _split_executed(op.then_block)
+        self._eval_block(then_ops)
+        then_yields = (list(then_term.operands)
+                       if isinstance(then_term, scf.YieldOp) else [])
+        else_yields: List = []
+        if op.else_block is not None:
+            else_ops, else_term = _split_executed(op.else_block)
+            self._eval_block(else_ops)
+            else_yields = (list(else_term.operands)
+                           if isinstance(else_term, scf.YieldOp) else [])
+        for index, result in enumerate(op.results):
+            then_desc = (self._get(then_yields[index])
+                         if index < len(then_yields) else _DIRTY)
+            else_desc = (self._get(else_yields[index])
+                         if index < len(else_yields) else _DIRTY)
+            self._set(result, self._join(then_desc, else_desc))
+
+    def _eval_while(self, op) -> None:
+        # loop-carried values across an unstructured condition: classified
+        # dirty wholesale; body stores are still analyzed (with dirty args).
+        for block in (op.before_block, op.after_block):
+            for arg in block.arguments:
+                self._set(arg, _DIRTY)
+        before_ops, _ = _split_executed(op.before_block)
+        after_ops, _ = _split_executed(op.after_block)
+        self._eval_block(before_ops)
+        self._eval_block(after_ops)
+        for result in op.results:
+            self._set(result, _DIRTY)
+
+
+def _callee_shard_safe(program, fn, _stack: Optional[set] = None) -> bool:
+    """Whether a called function only stores into its own local allocas.
+
+    Such a callee cannot create cross-shard write conflicts no matter which
+    lane calls it; anything else (stores through argument memrefs, nested
+    parallelism, bulk copies) rejects the calling region.  Memoized on the
+    program; recursion is conservatively unsafe.
+    """
+    cache = getattr(program, "_shard_callee_safe", None)
+    if cache is None:
+        cache = program._shard_callee_safe = {}
+    key = id(fn)
+    if key in cache:
+        return cache[key]
+    stack = _stack if _stack is not None else set()
+    if key in stack:
+        return False
+    stack.add(key)
+
+    local_allocs = set()
+
+    def scan_allocs(op):
+        if isinstance(op, memref_d.AllocOp):
+            local_allocs.add(id(op.result))
+        for region in op.regions:
+            for block in region.blocks:
+                for nested in block.operations:
+                    scan_allocs(nested)
+
+    def safe(op) -> bool:
+        if isinstance(op, _CONTEXT_OPS) or isinstance(op, _UNSAFE_BODY_OPS):
+            return False
+        if isinstance(op, memref_d.StoreOp) and id(op.memref) not in local_allocs:
+            return False
+        if isinstance(op, func_d.CallOp):
+            callee = program.module.lookup(op.callee)
+            if callee is None or callee.is_declaration:
+                return False
+            if not _callee_shard_safe(program, callee, stack):
+                return False
+        for region in op.regions:
+            for block in region.blocks:
+                for nested in block.operations:
+                    if not safe(nested):
+                        return False
+        return True
+
+    for op in fn.body_block.operations:
+        scan_allocs(op)
+    result = all(safe(op) for op in fn.body_block.operations)
+    stack.discard(key)
+    cache[key] = result
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Worker pool
+# ---------------------------------------------------------------------------
+_LIVE_POOLS: "weakref.WeakSet" = weakref.WeakSet()
+_ERROR_TYPES = {
+    "InterpreterError": InterpreterError,
+    "UseAfterFreeError": UseAfterFreeError,
+    "IndexError": IndexError,
+    "ValueError": ValueError,
+    "OverflowError": OverflowError,
+    "ZeroDivisionError": ZeroDivisionError,
+}
+
+
+def _worker_main(conn, program, index: int) -> None:  # pragma: no cover - child
+    """Worker loop: decode → execute a shard → reply; exits on EOF/stop.
+
+    Runs in a forked child that inherits the parent's compiled program, so
+    region runners resolve by key without shipping any code; ``os._exit``
+    skips inherited atexit hooks (pool shutdown, segment unlink) that only
+    the parent may run.
+    """
+    sharedmem.mark_worker_process()
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if message[0] == "stop":
+                break
+            try:
+                result = _execute_shard(program, *message[1:])
+                conn.send(("ok", result))
+            except BaseException as exc:  # noqa: BLE001 - relayed to parent
+                conn.send(("err", type(exc).__name__, str(exc)))
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+        os._exit(0)
+
+
+def _execute_shard(program, key, live_ins, start: int, stop: int,
+                   threads: int, max_ops: Optional[int]) -> Dict:
+    """Run one contiguous shard of a registered region in this process."""
+    region = program.shard_regions.get(key)
+    if region is None:
+        fn = program.module.lookup(key[0])
+        if fn is None:
+            raise InterpreterError(f"worker cannot resolve function {key[0]!r}")
+        program.function(fn, key[1])  # deterministic recompile fills the registry
+        region = program.shard_regions.get(key)
+        if region is None:
+            raise InterpreterError(f"worker cannot resolve shard region {key!r}")
+    regs = region["template"][:]
+    segment_names = [payload[0] for tag, payload in live_ins.values() if tag == "m"]
+    sharedmem.retain_only(segment_names)  # evict segments of finished runs
+    for slot, (tag, payload) in live_ins.items():
+        regs[slot] = sharedmem.decode(payload) if tag == "m" else payload
+    report = CostReport(machine=program.machine, threads=threads)
+    state = _State(report, threads, [0.0], max_ops, program)
+    try:
+        if region["kind"] == "span":
+            ranges, _ = _iteration_space(regs, region["lb_slots"],
+                                         region["ub_slots"], region["st_slots"])
+            region["run"](state, regs, ranges, start, stop)
+        else:
+            grid = [int(regs[s]) for s in region["grid_slots"]]
+            block = [int(regs[s]) for s in region["block_slots"]]
+            region["run"](state, regs, grid, block, start, stop)
+    except _BarrierEscape:
+        raise InterpreterError(region["barrier_message"]) from None
+    return {
+        "work": state.work[0],
+        "dynamic_ops": report.dynamic_ops,
+        "parallel_regions": report.parallel_regions,
+        "nested_regions": report.nested_regions,
+        "workshared_loops": report.workshared_loops,
+        "barriers": report.barriers,
+        "simt_phases": report.simt_phases,
+        "global_bytes": report.global_bytes,
+    }
+
+
+class _WorkerPool:
+    """A fixed set of forked worker processes fed over pipes.
+
+    Forked lazily at the first dispatch of a program (so children inherit
+    the compiled region registry), reused for every later shard of that
+    program, shut down when the program is garbage collected or at
+    interpreter exit.
+    """
+
+    def __init__(self, program, num_workers: int) -> None:
+        context = multiprocessing.get_context("fork")
+        self.num_workers = num_workers
+        self.workers = []
+        self._closed = False
+        for index in range(num_workers):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_worker_main, args=(child_conn, program, index),
+                daemon=True, name=f"repro-shard-{index}")
+            process.start()
+            child_conn.close()
+            self.workers.append((process, parent_conn))
+        _LIVE_POOLS.add(self)
+
+    def alive(self) -> bool:
+        return not self._closed and all(p.is_alive() for p, _ in self.workers)
+
+    def run(self, tasks: Sequence) -> List[Dict]:
+        """Dispatch one task per worker; returns results in worker order.
+
+        All replies are drained before any error is raised, so a failing
+        shard cannot leave stale messages in a sibling's pipe.
+        """
+        pairs = list(zip(self.workers, tasks))
+        for (process, conn), task in pairs:
+            conn.send(task)
+        replies = []
+        for (process, conn), task in pairs:
+            try:
+                replies.append(conn.recv())
+            except (EOFError, OSError):
+                replies.append(("err", "InterpreterError",
+                                "multicore worker died during a shard"))
+        results = []
+        for reply in replies:
+            if reply[0] == "err":
+                error_cls = _ERROR_TYPES.get(reply[1])
+                if error_cls is None:
+                    raise InterpreterError(f"{reply[1]}: {reply[2]}")
+                raise error_cls(reply[2])
+            results.append(reply[1])
+        return results
+
+    def shutdown(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for process, conn in self.workers:
+            try:
+                conn.send(("stop",))
+            except (OSError, BrokenPipeError, ValueError):
+                pass
+        for process, conn in self.workers:
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+def _shutdown_pools(pools: Dict[int, _WorkerPool]) -> None:
+    for pool in list(pools.values()):
+        pool.shutdown()
+    pools.clear()
+
+
+@atexit.register
+def _shutdown_all_pools() -> None:  # pragma: no cover - exercised at shutdown
+    for pool in list(_LIVE_POOLS):
+        pool.shutdown()
+
+
+def shutdown_worker_pools() -> None:
+    """Terminate every live worker pool (tests / explicit teardown)."""
+    _shutdown_all_pools()
+
+
+# ---------------------------------------------------------------------------
+# Program flavours with a shard-region registry
+# ---------------------------------------------------------------------------
+class _ShardProgramMixin:
+    """Shared shard bookkeeping for the multicore program flavours."""
+
+    def _init_shard_state(self) -> None:
+        #: (function name, gen flag, ordinal) -> worker-side region record.
+        self.shard_regions: Dict[Tuple, Dict] = {}
+        self.shard_stats = {
+            "sharded_regions": 0,   # compile-time: regions proven shardable
+            "rejected_regions": 0,  # compile-time: analysis said no
+            "dispatches": 0,        # runtime: pool dispatches performed
+            "inline_runs": 0,       # runtime: shardable regions run in-process
+        }
+        # exact worker-order cost folding needs dyadic per-access charges —
+        # the same gate (and the same argument) as the vectorized engine.
+        self.shard_enabled = machine_vectorizable(self.machine)
+        self._pools: Dict[int, _WorkerPool] = {}
+        self._pools_finalizer = weakref.finalize(self, _shutdown_pools, self._pools)
+        self._pool_broken = False
+
+    def ensure_pool(self, num_workers: int) -> Optional[_WorkerPool]:
+        if self._pool_broken:
+            return None
+        pool = self._pools.get(num_workers)
+        if pool is not None and not pool.alive():
+            pool.shutdown()
+            pool = None
+            self._pools.pop(num_workers, None)
+        if pool is None:
+            try:
+                pool = _WorkerPool(self, num_workers)
+            except OSError:  # pragma: no cover - fork/pipe exhaustion
+                self._pool_broken = True
+                return None
+            self._pools[num_workers] = pool
+        return pool
+
+
+class _MulticoreProgram(_ShardProgramMixin, _Program):
+    """Compiled-flavour program whose regions can dispatch to workers."""
+
+    def __init__(self, module, machine: MachineModel) -> None:
+        super().__init__(module, machine)
+        self._init_shard_state()
+
+
+class _MulticoreVectorProgram(_ShardProgramMixin, _VectorProgram):
+    """Vectorized-flavour program whose regions can dispatch to workers."""
+
+    def __init__(self, module, machine: MachineModel) -> None:
+        super().__init__(module, machine)
+        self._init_shard_state()
+
+
+# ---------------------------------------------------------------------------
+# Shard-aware function compilation
+# ---------------------------------------------------------------------------
+class _ShardContext:
+    """Runtime dispatch context attached to the engine's execution state."""
+
+    __slots__ = ("program", "workers")
+
+    def __init__(self, program, workers: int) -> None:
+        self.program = program
+        self.workers = workers
+
+    def pool(self) -> Optional[_WorkerPool]:
+        return self.program.ensure_pool(self.workers)
+
+
+def _split_spans(total: int, num_workers: int) -> List[Tuple[int, int]]:
+    """Contiguous, balanced spans of ``[0, total)`` in worker order."""
+    base, remainder = divmod(total, num_workers)
+    spans = []
+    start = 0
+    for index in range(num_workers):
+        size = base + (1 if index < remainder else 0)
+        spans.append((start, start + size))
+        start += size
+    return spans
+
+
+class _ShardCompilerMixin:
+    """Overrides the parallel-region entry points with shard dispatchers.
+
+    Mixed into both the compiled and the vectorized function compiler: the
+    span/block *plans* come from the underlying flavour (``super()``), so
+    the code a worker runs is exactly the code the sequential fallback
+    runs — only the dispatch differs.
+    """
+
+    def _next_region_key(self) -> Tuple:
+        counter = getattr(self, "_shard_region_counter", 0)
+        self._shard_region_counter = counter + 1
+        return (self.fn.sym_name, self.gen_mode, counter)
+
+    def _region_live_in_slots(self, op) -> List[int]:
+        """Slots the region reads but does not define (shipped to workers)."""
+        defined = set()
+
+        def collect_defs(operation):
+            for result in operation.results:
+                defined.add(id(result))
+            for region in operation.regions:
+                for block in region.blocks:
+                    for argument in block.arguments:
+                        defined.add(id(argument))
+                    for nested in block.operations:
+                        collect_defs(nested)
+
+        collect_defs(op)
+        live = set()
+
+        def collect_uses(operation):
+            for operand in operation.operands:
+                if id(operand) not in defined:
+                    live.add(self.slot(operand))
+            for region in operation.regions:
+                for block in region.blocks:
+                    for nested in block.operations:
+                        collect_uses(nested)
+
+        collect_uses(op)
+        return sorted(live)
+
+    # -- analysis entry points -------------------------------------------------
+    def _analyze_span_region(self, op) -> Optional[FrozenSet[int]]:
+        """Required-singleton dims for an iteration-space region, or None."""
+        program = self.program
+        if not program.shard_enabled:
+            return None
+        num_dims = len(op.induction_vars)
+        analysis = _StoreSafety(program, num_dims)
+        for dim, induction_var in enumerate(op.induction_vars):
+            lower = _const_int(op.lower_bounds[dim])
+            step = _const_int(op.steps[dim])
+            bound = (id(op.upper_bounds[dim])
+                     if lower == 0 and step == 1 else None)
+            analysis.seed_lane(induction_var, dim, bound)
+        try:
+            required = analysis.run(_split_executed(op.body)[0])
+        except _Unsafe:
+            program.shard_stats["rejected_regions"] += 1
+            return None
+        program.shard_stats["sharded_regions"] += 1
+        return required
+
+    def _analyze_launch_region(self, op) -> Optional[FrozenSet[int]]:
+        """Required-singleton grid axes for a launch block grid, or None."""
+        program = self.program
+        if not program.shard_enabled:
+            return None
+        arguments = op.body.arguments
+        analysis = _StoreSafety(program, 3)
+        for axis in range(3):
+            analysis.seed_lane(arguments[axis], axis, id(op.grid_dims[axis]))
+            # threadIdx lies in [0, blockDim) of its axis — the addend of
+            # the canonical bx*blockDim + tx global-index pattern.
+            analysis.seed_bounded_uniform(arguments[3 + axis],
+                                          id(arguments[9 + axis]))
+        for nested in op.body.operations:
+            if (isinstance(nested, memref_d.AllocaOp)
+                    and memref_d.is_shared_memref(nested.result)):
+                # block-shared buffers are block-private: a block never
+                # straddles a shard boundary.
+                analysis.private.add(id(nested.result))
+        try:
+            required = analysis.run(_split_executed(op.body)[0])
+        except _Unsafe:
+            program.shard_stats["rejected_regions"] += 1
+            return None
+        program.shard_stats["sharded_regions"] += 1
+        return required
+
+    # -- dispatch helpers -------------------------------------------------------
+    def _dispatch_shards(self, state, pool, key, regs, live_in_slots,
+                         spans: Sequence[Tuple[int, int]]) -> List[Dict]:
+        program = self.program
+        remaining = None
+        if state.max_ops is not None:
+            remaining = max(0, state.max_ops - state.report.dynamic_ops)
+        live_ins = {}
+        shipped = []
+        for slot in live_in_slots:
+            value = regs[slot]
+            if isinstance(value, MemRefStorage):
+                live_ins[slot] = ("m", sharedmem.encode(value))
+                shipped.append(value)
+            else:
+                live_ins[slot] = ("v", value)
+        tasks = [("shard", key, live_ins, start, stop, state.threads, remaining)
+                 for start, stop in spans]
+        program.shard_stats["dispatches"] += 1
+        results = pool.run(tasks)
+        for storage in shipped:
+            sharedmem.refresh_freed(storage)
+        return results
+
+    @staticmethod
+    def _fold_results(state, results: Sequence[Dict]) -> float:
+        """Fold worker results in worker (= thread) order; returns the work."""
+        report = state.report
+        work = 0.0
+        for result in results:
+            work += result["work"]
+            report.dynamic_ops += result["dynamic_ops"]
+            report.parallel_regions += result["parallel_regions"]
+            report.nested_regions += result["nested_regions"]
+            report.workshared_loops += result["workshared_loops"]
+            report.barriers += result["barriers"]
+            report.simt_phases += result["simt_phases"]
+            report.global_bytes += result["global_bytes"]
+        if state.max_ops is not None and report.dynamic_ops > state.max_ops:
+            raise InterpreterError("dynamic operation budget exceeded")
+        return work
+
+    def _shard_width(self, state, total: int) -> int:
+        shard = state.shard
+        if shard is None or total < 2:
+            return 0
+        width = min(shard.workers, max(1, total // MIN_UNITS_PER_WORKER))
+        return width if width >= 2 else 0
+
+    @staticmethod
+    def _live_ins_unaliased(regs, live_in_slots) -> bool:
+        """Whether the shipped buffers are pairwise non-overlapping.
+
+        Two *distinct* storage objects viewing overlapping memory (the
+        caller passed the same ndarray as two arguments) would promote
+        into two independent shared segments, severing the aliasing the
+        in-process engines preserve — such runs stay in-process.  The same
+        storage object appearing in several slots is fine: promotion is
+        idempotent and encode/decode key by segment name.
+        """
+        storages = []
+        seen = set()
+        for slot in live_in_slots:
+            value = regs[slot]
+            if isinstance(value, MemRefStorage) and id(value) not in seen:
+                seen.add(id(value))
+                storages.append(value)
+        for index, first in enumerate(storages):
+            for second in storages[index + 1:]:
+                if np.shares_memory(first.array, second.array):
+                    return False
+        return True
+
+    # -- region overrides -------------------------------------------------------
+    def _c_omp_wsloop(self, op):
+        run_span = self._wsloop_span_plan(op)
+        base = self._wsloop_wrapper(op, run_span)
+        required = self._analyze_span_region(op)
+        if required is None:
+            return base
+        key = self._next_region_key()
+        self.program.shard_regions[key] = {
+            "kind": "span",
+            "run": run_span,
+            "template": self.template,
+            "lb_slots": self.slots(op.lower_bounds),
+            "ub_slots": self.slots(op.upper_bounds),
+            "st_slots": self.slots(op.steps),
+            "barrier_message": "GPU barrier inside a workshared loop",
+        }
+        lb_slots = self.slots(op.lower_bounds)
+        ub_slots = self.slots(op.upper_bounds)
+        st_slots = self.slots(op.steps)
+        live_in_slots = self._region_live_in_slots(op)
+        finish = self._wsloop_accounting(op)
+        required_dims = sorted(required)
+        stats = self.program.shard_stats
+
+        def run(state, regs):
+            ranges, total = _iteration_space(regs, lb_slots, ub_slots, st_slots)
+            width = self._runtime_width(state, regs, ranges, total,
+                                        required_dims, live_in_slots)
+            if width == 0:
+                stats["inline_runs"] += 1
+                return base(state, regs)
+            state.report.workshared_loops += 1
+            results = self._dispatch_shards(
+                state, state.shard.pool(), key, regs, live_in_slots,
+                _split_spans(total, width))
+            finish(state, total, self._fold_results(state, results))
+        return run
+
+    def _c_scf_parallel(self, op):
+        from ..analysis import contains_barrier
+
+        if contains_barrier(op, immediate_region_only=True):
+            # grid-wide barrier phases run in-process: a cross-worker phase
+            # join would be needed and blocks here are the whole space.
+            return super()._c_scf_parallel(op)
+        run_span = self._parallel_span_plan(op)
+        base = self._parallel_wrapper(op, run_span)
+        required = self._analyze_span_region(op)
+        if required is None:
+            return base
+        key = self._next_region_key()
+        self.program.shard_regions[key] = {
+            "kind": "span",
+            "run": run_span,
+            "template": self.template,
+            "lb_slots": self.slots(op.lower_bounds),
+            "ub_slots": self.slots(op.upper_bounds),
+            "st_slots": self.slots(op.steps),
+            "barrier_message": "unexpected barrier in barrier-free parallel loop",
+        }
+        lb_slots = self.slots(op.lower_bounds)
+        ub_slots = self.slots(op.upper_bounds)
+        st_slots = self.slots(op.steps)
+        live_in_slots = self._region_live_in_slots(op)
+        finish = self._parallel_accounting(op)
+        required_dims = sorted(required)
+        stats = self.program.shard_stats
+
+        def run(state, regs):
+            ranges, total = _iteration_space(regs, lb_slots, ub_slots, st_slots)
+            width = self._runtime_width(state, regs, ranges, total,
+                                        required_dims, live_in_slots)
+            if width == 0:
+                stats["inline_runs"] += 1
+                return base(state, regs)
+            state.report.parallel_regions += 1
+            results = self._dispatch_shards(
+                state, state.shard.pool(), key, regs, live_in_slots,
+                _split_spans(total, width))
+            finish(state, total, self._fold_results(state, results))
+        return run
+
+    def _runtime_width(self, state, regs, ranges, total, required_dims,
+                       live_in_slots) -> int:
+        width = self._shard_width(state, total)
+        if width == 0:
+            return 0
+        for dim in required_dims:
+            if len(ranges[dim]) != 1:
+                return 0
+        if not self._live_ins_unaliased(regs, live_in_slots):
+            return 0
+        if state.shard.pool() is None:
+            return 0
+        return width
+
+    def _c_gpu_launch(self, op):
+        run_blocks = self._launch_plan(op)
+        base = self._launch_wrapper(op, run_blocks)
+        required = self._analyze_launch_region(op)
+        if required is None:
+            return base
+        key = self._next_region_key()
+        grid_slots = self.slots(op.grid_dims)
+        block_slots = self.slots(op.block_dims)
+        self.program.shard_regions[key] = {
+            "kind": "launch",
+            "run": run_blocks,
+            "template": self.template,
+            "grid_slots": grid_slots,
+            "block_slots": block_slots,
+            "barrier_message": "barrier executed outside a parallel context",
+        }
+        live_in_slots = self._region_live_in_slots(op)
+        required_axes = sorted(required)
+        stats = self.program.shard_stats
+
+        def run(state, regs):
+            grid = [int(regs[s]) for s in grid_slots]
+            total_blocks = grid[0] * grid[1] * grid[2]
+            width = self._shard_width(state, total_blocks)
+            if (width and all(grid[axis] == 1 for axis in required_axes)
+                    and self._live_ins_unaliased(regs, live_in_slots)):
+                pool = state.shard.pool()
+                if pool is not None:
+                    results = self._dispatch_shards(
+                        state, pool, key, regs, live_in_slots,
+                        _split_spans(total_blocks, width))
+                    state.work[-1] += self._fold_results(state, results)
+                    return
+            stats["inline_runs"] += 1
+            return base(state, regs)
+        return run
+
+
+class _McCompiledFunctionCompiler(_ShardCompilerMixin, _FunctionCompiler):
+    """Compiled-flavour function compiler with shard dispatch."""
+
+
+class _McVectorFunctionCompiler(_ShardCompilerMixin, _VectorFunctionCompiler):
+    """Vectorized-flavour function compiler with shard dispatch."""
+
+
+_MulticoreProgram.COMPILER = _McCompiledFunctionCompiler
+_MulticoreVectorProgram.COMPILER = _McVectorFunctionCompiler
+
+
+# ---------------------------------------------------------------------------
+# Engine front end
+# ---------------------------------------------------------------------------
+class MulticoreEngine(CompiledEngine):
+    """Drop-in engine executing sharded regions on a worker-process pool.
+
+    Outputs and :class:`CostReport`s stay bit-identical to the interpreter
+    (pinned by ``tests/runtime/test_engine_parity.py``); only wall-clock
+    time changes with the worker count.  ``workers=1``, unavailable
+    fork/shared memory, non-dyadic machines and regions the store analysis
+    cannot prove safe all degrade to in-process execution of the inner
+    flavour (``inner="compiled"`` or ``"vectorized"``).
+    """
+
+    PROGRAM_CLS = _MulticoreProgram
+
+    def __init__(self, module, machine: MachineModel = XEON_8375C,
+                 threads: Optional[int] = None, collect_cost: bool = True,
+                 max_dynamic_ops: Optional[int] = None,
+                 workers: Optional[int] = None,
+                 inner: Optional[str] = None) -> None:
+        self.inner = resolve_inner(inner)
+        self.workers = workers if workers is not None else default_workers()
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        self._arg_sync: List[Tuple[np.ndarray, MemRefStorage]] = []
+        super().__init__(module, machine=machine, threads=threads,
+                         collect_cost=collect_cost, max_dynamic_ops=max_dynamic_ops)
+
+    def _program_cls(self) -> type:
+        return (_MulticoreVectorProgram if self.inner == INNER_VECTORIZED
+                else _MulticoreProgram)
+
+    def _make_state(self) -> _State:
+        state = super()._make_state()
+        if self.workers >= 2 and multicore_available():
+            state.shard = _ShardContext(self._program, self.workers)
+        return state
+
+    def _wrap_argument(self, argument):
+        if isinstance(argument, np.ndarray):
+            storage = MemRefStorage.from_numpy(argument)
+            if np.shares_memory(argument, storage.array):
+                # promotion to shared memory swaps the backing array out
+                # from under the caller's ndarray; remember the pair so the
+                # caller still observes every write after the run.
+                self._arg_sync.append((argument, storage))
+            return storage
+        return argument
+
+    def run(self, function_name: str, arguments: Sequence = ()) -> List:
+        self._arg_sync = []
+        try:
+            return super().run(function_name, arguments)
+        finally:
+            for original, storage in self._arg_sync:
+                if storage.shm_name is not None:
+                    np.copyto(original, storage.array)
+            self._arg_sync = []
+
+    @property
+    def shard_stats(self) -> Dict[str, int]:
+        """Compile-time + dispatch counters of the underlying program."""
+        return self._program.shard_stats
+
+    def shutdown(self) -> None:
+        """Tear down this program's worker pools (tests / explicit cleanup)."""
+        _shutdown_pools(self._program._pools)
+
+
+def _make_multicore(module, *, machine=XEON_8375C, threads=None,
+                    collect_cost=True, max_dynamic_ops=None, workers=None):
+    return MulticoreEngine(module, machine=machine, threads=threads,
+                           collect_cost=collect_cost,
+                           max_dynamic_ops=max_dynamic_ops, workers=workers)
+
+
+register_engine(
+    "multicore", _make_multicore, order=2,
+    description="worker-process pool sharding block grids over shared memory")

@@ -1,0 +1,56 @@
+"""Execution-engine registry: each engine module registers itself here.
+
+Adding an engine used to require editing three hand-maintained tables in
+:mod:`repro.runtime.engine`; now an engine module calls
+:func:`register_engine` at import time with its name and a factory, and the
+selection layer (``make_executor``, ``resolve_engine``, ``ENGINES``) derives
+everything from this registry.  The registry lives in its own leaf module so
+engine modules can import it without a cycle through the selection layer.
+
+A factory is a callable ``factory(module, *, machine, threads, collect_cost,
+max_dynamic_ops, workers) -> executor`` returning an object with the common
+engine API (``run(function_name, arguments)`` + a ``report`` attribute).
+Engines that have no notion of worker processes simply ignore ``workers``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+_FACTORIES: Dict[str, Callable] = {}
+_DESCRIPTIONS: Dict[str, str] = {}
+_ORDERS: Dict[str, int] = {}
+
+
+def register_engine(name: str, factory: Callable, *, description: str = "",
+                    order: int = 100) -> None:
+    """Register (or replace) an engine factory under ``name``.
+
+    ``order`` fixes the position in :func:`engine_names` (and therefore in
+    error messages and docs) independently of module import order.
+    """
+    _FACTORIES[name] = factory
+    _DESCRIPTIONS[name] = description
+    _ORDERS[name] = order
+
+
+def engine_names() -> Tuple[str, ...]:
+    """All registered engine names, ordered by registration ``order``."""
+    return tuple(sorted(_FACTORIES, key=lambda name: (_ORDERS[name], name)))
+
+
+def engine_factory(name: str) -> Callable:
+    """The factory registered under ``name`` (KeyError style: ValueError)."""
+    try:
+        return _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; expected one of {engine_names()}") from None
+
+
+def engine_description(name: str) -> str:
+    return _DESCRIPTIONS.get(name, "")
+
+
+__all__ = ["register_engine", "engine_names", "engine_factory",
+           "engine_description"]

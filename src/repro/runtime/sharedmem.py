@@ -1,0 +1,280 @@
+"""Shared-memory backing for :class:`~repro.runtime.memory.MemRefStorage`.
+
+The multicore engine (:mod:`repro.runtime.multicore`) shards parallel
+regions across worker *processes*; for the workers' loads and stores to
+land in the same buffers the parent observes, every memref that crosses a
+shard boundary must live in memory both sides can map.  This module
+provides that backing on top of :mod:`multiprocessing.shared_memory`:
+
+* :func:`promote` rebacks an existing storage **in place**: the numpy
+  array is copied into a fresh shared segment and ``storage.array`` is
+  swapped for a view of it, so every alias of the storage object (engine
+  register slots, interpreter environments, caller-held references)
+  transparently starts operating on shared bytes.  The existing
+  ``load``/``store``/``load_block``/``store_block`` accessors keep working
+  unchanged — they only see a differently-backed ndarray.
+* :func:`encode` / :func:`decode` turn a promoted storage into a small
+  picklable descriptor (segment name + dtype/shape/space) and back.  A
+  worker decoding a descriptor attaches the segment by name and maps the
+  same bytes; attachments are cached per process so repeated shards reuse
+  the mapping and buffer identity.
+* every segment carries a small header whose first byte is the **freed
+  flag**: :meth:`MemRefStorage.free` raises it, :func:`decode` and
+  :func:`refresh_freed` observe it, so a use-after-free is detected across
+  process boundaries (free in the parent → the worker's next decode raises
+  on access; free in a worker → the parent re-syncs after the shard join).
+
+Segments are created by the parent process, unlinked when the owning
+storage is garbage collected (``weakref.finalize``) and swept once more at
+interpreter exit.  Worker processes (forked children) only ever attach and
+close — the pid guard keeps an inherited atexit hook from unlinking
+segments the parent still uses.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import weakref
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .errors import UseAfterFreeError
+from .memory import MemRefStorage
+
+try:  # pragma: no cover - import guarded for exotic platforms
+    from multiprocessing import shared_memory as _shm_module
+    from multiprocessing import resource_tracker as _resource_tracker
+except ImportError:  # pragma: no cover
+    _shm_module = None
+    _resource_tracker = None
+
+#: bytes reserved at the start of every segment (byte 0 = freed flag); kept
+#: at 16 so the payload view stays aligned for any dtype we back.
+HEADER_BYTES = 16
+
+#: segments created by this process: name -> SharedMemory (owner handle).
+_OWNED: Dict[str, object] = {}
+#: segments attached by this process: name -> SharedMemory (borrower handle).
+_ATTACHED: Dict[str, object] = {}
+#: decoded storages of this process, so repeated shards keep buffer identity.
+_DECODED: Dict[str, MemRefStorage] = {}
+_OWNER_PID = os.getpid()
+_AVAILABLE: Optional[bool] = None
+
+
+if _shm_module is not None:
+    class _Segment(_shm_module.SharedMemory):
+        """A shared segment whose close tolerates live numpy views.
+
+        The payload views handed to :class:`MemRefStorage` keep the mmap's
+        buffer exported; ``mmap.close`` refuses to tear that down and
+        ``SharedMemory.__del__`` would print an "Exception ignored"
+        traceback for it.  The mapping is reclaimed by the OS when the
+        process exits (and the named segment by ``unlink``), so the
+        failed eager close is safely ignored.
+        """
+
+        def close(self) -> None:
+            try:
+                super().close()
+            except BufferError:
+                pass
+else:  # pragma: no cover
+    _Segment = None
+
+
+def _untracked_attach(name: str):
+    """Attach an existing segment without resource-tracker bookkeeping.
+
+    CPython < 3.13 registers *attaching* processes with the resource
+    tracker too (gh-82300), which makes the tracker spuriously unlink or
+    warn about segments the parent still owns when a worker exits.  The
+    parent is the single owner here, so attachments bypass the tracker.
+    """
+    original = _resource_tracker.register
+    _resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return _Segment(name=name, create=False)
+    finally:
+        _resource_tracker.register = original
+
+
+def shared_memory_available() -> bool:
+    """Whether shared-memory segments can actually be created here.
+
+    Probes once per process by creating (and immediately unlinking) a tiny
+    segment — containers without a usable ``/dev/shm`` fail the probe and
+    the multicore engine degrades to in-process execution.
+    """
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        if _shm_module is None:
+            _AVAILABLE = False
+        else:
+            try:
+                probe = _Segment(create=True, size=1)
+                probe.close()
+                probe.unlink()
+                _AVAILABLE = True
+            except (OSError, ValueError):
+                _AVAILABLE = False
+    return _AVAILABLE
+
+
+def mark_worker_process() -> None:
+    """Reset inherited ownership in a freshly forked worker.
+
+    A forked child inherits ``_OWNED`` and the atexit hook; it must never
+    unlink the parent's segments, so its inherited registry is dropped
+    (handles stay open in the parent) and its pid guard re-resolves.
+    """
+    global _OWNER_PID
+    _OWNER_PID = os.getpid()
+    _OWNED.clear()
+    _DECODED.clear()
+
+
+def _release_segment(name: str) -> None:
+    shm = _OWNED.pop(name, None)
+    if shm is None or os.getpid() != _OWNER_PID:
+        return
+    try:
+        shm.close()
+        shm.unlink()
+    except (OSError, ValueError):  # pragma: no cover - already gone
+        pass
+
+
+@atexit.register
+def _cleanup_at_exit() -> None:  # pragma: no cover - exercised at shutdown
+    for name in list(_OWNED):
+        _release_segment(name)
+
+
+def _segment_view(shm, dtype: np.dtype, shape: Tuple[int, ...]) -> np.ndarray:
+    count = 1
+    for extent in shape:
+        count *= extent
+    flat = np.frombuffer(shm.buf, dtype=dtype, count=count, offset=HEADER_BYTES)
+    return flat.reshape(shape)
+
+
+def _flags_view(shm) -> np.ndarray:
+    return np.frombuffer(shm.buf, dtype=np.uint8, count=1, offset=0)
+
+
+def promote(storage: MemRefStorage) -> MemRefStorage:
+    """Reback ``storage`` with a shared-memory segment, in place.
+
+    Idempotent: an already-promoted storage is returned unchanged.  The
+    original array contents are copied into the segment; from then on the
+    storage object (and all its aliases) reads and writes shared bytes.
+    A freed storage promotes to a segment whose freed flag is already set,
+    so decoding it elsewhere still raises on access.
+    """
+    if storage.shm_name is not None:
+        return storage
+    array = storage.array
+    nbytes = max(1, int(array.nbytes))
+    name = f"repro-{os.getpid()}-{secrets.token_hex(4)}"
+    shm = _Segment(name=name, create=True, size=HEADER_BYTES + nbytes)
+    _OWNED[name] = shm
+    view = _segment_view(shm, array.dtype, array.shape)
+    np.copyto(view, array)
+    storage.array = view
+    storage.shm_name = name
+    storage.shm_flags = _flags_view(shm)
+    if storage.freed:
+        storage.shm_flags[0] = 1
+    weakref.finalize(storage, _release_segment, name)
+    return storage
+
+
+def encode(storage: MemRefStorage) -> Tuple:
+    """A picklable descriptor of a promoted storage (promotes if needed)."""
+    promote(storage)
+    return (storage.shm_name, storage.array.dtype.str, storage.array.shape,
+            storage.memory_space, storage.element_type,
+            bool(storage.freed or storage.shm_flags[0]))
+
+
+def decode(descriptor: Tuple) -> MemRefStorage:
+    """Rebuild a storage from :func:`encode` output, attaching the segment.
+
+    Attachments and decoded storages are cached per process and per
+    segment name, so two shards (or two live-in slots) referring to the
+    same buffer resolve to the same ``MemRefStorage`` object and array.
+    The freed flag is re-read from the segment header on every decode.
+    """
+    name, dtype_str, shape, memory_space, element_type, freed = descriptor
+    storage = _DECODED.get(name)
+    if storage is None:
+        shm = _ATTACHED.get(name)
+        if shm is None:
+            if name in _OWNED:  # decoding in the owning process
+                shm = _OWNED[name]
+            else:
+                shm = _untracked_attach(name)
+                _ATTACHED[name] = shm
+        array = _segment_view(shm, np.dtype(dtype_str), tuple(shape))
+        storage = MemRefStorage(array, memory_space, element_type)
+        storage.shm_name = name
+        storage.shm_flags = _flags_view(shm)
+        _DECODED[name] = storage
+    storage.freed = bool(freed or storage.shm_flags[0])
+    return storage
+
+
+def refresh_freed(storage: MemRefStorage) -> None:
+    """Re-sync ``storage.freed`` from the segment header (post-shard join)."""
+    if storage.shm_flags is not None and storage.shm_flags[0]:
+        storage.freed = True
+
+
+def retain_only(names) -> None:
+    """Evict attachments/decoded storages for segments not in ``names``.
+
+    Workers call this after every shard: each engine run promotes fresh
+    segments, so without eviction a long-lived pool would pin every past
+    run's (parent-side already unlinked) segments in worker memory.  The
+    kept set is exactly the current task's live-ins, which preserves the
+    within-run cache hits across a run's multiple dispatches.
+    """
+    keep = set(names)
+    for name in list(_DECODED):
+        if name not in keep:
+            del _DECODED[name]
+    for name in list(_ATTACHED):
+        if name not in keep:
+            shm = _ATTACHED.pop(name)
+            shm.close()  # _Segment.close tolerates still-exported views
+
+
+def assert_alive_everywhere(storage: MemRefStorage) -> np.ndarray:
+    """Cross-process liveness check: local flag *or* segment header."""
+    if storage.shm_flags is not None and storage.shm_flags[0]:
+        storage.freed = True
+    return storage.check_alive()
+
+
+def owned_segment_count() -> int:
+    """Number of segments this process currently owns (for tests/stats)."""
+    return len(_OWNED)
+
+
+__all__ = [
+    "HEADER_BYTES",
+    "assert_alive_everywhere",
+    "decode",
+    "encode",
+    "mark_worker_process",
+    "owned_segment_count",
+    "promote",
+    "refresh_freed",
+    "retain_only",
+    "shared_memory_available",
+    "UseAfterFreeError",
+]

@@ -65,14 +65,16 @@ from .compiler import (
     _FunctionCompiler,
     _Program,
     _build_runner,
+    _iteration_space,
     _split_executed,
     bind_shared_allocas,
     build_launch_thread_regs,
     build_parallel_thread_regs,
 )
-from .costmodel import MachineModel, op_cost
+from .costmodel import MachineModel, XEON_8375C, op_cost
 from .errors import InterpreterError
 from .memory import MemRefStorage, dtype_for
+from .registry import register_engine
 
 _U = "u"  # uniform: one Python scalar (or storage) shared by all lanes
 _V = "v"  # varying: a full-width (num_lanes,) numpy array
@@ -203,16 +205,6 @@ def _v_map2(fn, lhs, rhs, mask, n):
 
 def _v_bcast(value, n, dtype):
     return np.broadcast_to(np.asarray(value, dtype=dtype), (n,))
-
-
-def _iteration_space(regs, lb_slots, ub_slots, st_slots) -> Tuple[List[range], int]:
-    """Read a region's (ranges, total points) from its bound slots."""
-    ranges = [range(int(regs[lb]), int(regs[ub]), int(regs[st]))
-              for lb, ub, st in zip(lb_slots, ub_slots, st_slots)]
-    total = 1
-    for axis in ranges:
-        total *= len(axis)
-    return ranges, total
 
 
 def _lane_arrays(ranges: Sequence[range]) -> List[np.ndarray]:
@@ -1222,9 +1214,9 @@ class _VectorFunctionCompiler(_FunctionCompiler):
                 for kind, plan in plans]
 
     # -- OpenMP workshared loops -------------------------------------------------
-    def _c_omp_wsloop(self, op):
+    def _wsloop_span_plan(self, op):
         if not self.program.vector_enabled:
-            return super()._c_omp_wsloop(op)
+            return super()._wsloop_span_plan(op)
         ops, term = _split_executed(op.body)
         nops = len(ops) + (1 if term is not None else 0)
         iv_slots = self.slots(op.induction_vars)
@@ -1236,44 +1228,50 @@ class _VectorFunctionCompiler(_FunctionCompiler):
             # on the fallback path only, accepted to keep the inherited
             # region bookkeeping in one place.
             stats["fallback_regions"] += 1
-            return super()._c_omp_wsloop(op)
+            return super()._wsloop_span_plan(op)
         stats["vectorized_regions"] += 1
-        phase = plans[0][1].run
-        lb_slots = self.slots(op.lower_bounds)
-        ub_slots = self.slots(op.upper_bounds)
-        st_slots = self.slots(op.steps)
-        has_parent, parent_nested, parent_threads = self._static_team(op)
-        nowait = op.nowait
-        sync_cost = self.program.machine.sync_cost
+        return self._vector_span_runner(iv_slots, plans[0][1].run)
 
-        def run(state, regs):
-            state.report.workshared_loops += 1
-            ranges, total = _iteration_space(regs, lb_slots, ub_slots, st_slots)
-            work_stack = state.work
-            work_stack.append(0.0)
-            if total:
-                for dst, grid in zip(iv_slots, _lane_arrays(ranges)):
-                    regs[dst] = grid
-                phase(state, regs, total, np.arange(total))
-            work = work_stack.pop()
-            if not has_parent or parent_nested:
-                team_size = 1
-            else:
-                team_size = parent_threads or state.threads
-            team = min(team_size, max(1, total))
-            wall = work / state.program.speedup(team)
-            if not nowait:
-                wall += sync_cost
-            work_stack[-1] += wall
+    @staticmethod
+    def _vector_span_runner(iv_slots, phase):
+        """A span runner executing ``[start, stop)`` lanes of one phase.
 
-        return run
+        Induction-variable grids are the row-major lane arrays sliced to
+        the span, so a sub-span sees exactly the lanes the sequential
+        engines would visit in that interval, in the same order.
+        """
+
+        def run_span(state, regs, ranges, start, stop):
+            total = 1
+            for axis in ranges:
+                total *= len(axis)
+            end = total if stop is None else stop
+            count = end - start
+            if count <= 0:
+                return
+            for dst, grid in zip(iv_slots, _lane_arrays(ranges)):
+                regs[dst] = grid[start:end]
+            phase(state, regs, count, np.arange(count))
+        return run_span
 
     # -- scf.parallel -------------------------------------------------------------
-    def _c_scf_parallel(self, op):
+    def _parallel_span_plan(self, op):
         if not self.program.vector_enabled:
-            return super()._c_scf_parallel(op)
-        from ..analysis import contains_barrier
+            return super()._parallel_span_plan(op)
+        stats = self.program.vector_stats
+        iv_slots = self.slots(op.induction_vars)
+        ops, term = _split_executed(op.body)
+        nops = len(ops) + (1 if term is not None else 0)
+        plans = self._vectorize_chunks([(ops, nops)], iv_slots)
+        if plans[0][0] != "vec":
+            stats["fallback_regions"] += 1
+            return super()._parallel_span_plan(op)
+        stats["vectorized_regions"] += 1
+        return self._vector_span_runner(iv_slots, plans[0][1].run)
 
+    def _c_scf_parallel_simt(self, op):
+        if not self.program.vector_enabled:
+            return super()._c_scf_parallel_simt(op)
         stats = self.program.vector_stats
         program = self.program
         machine = program.machine
@@ -1284,52 +1282,24 @@ class _VectorFunctionCompiler(_FunctionCompiler):
         st_slots = self.slots(op.steps)
         iv_slots = self.slots(op.induction_vars)
 
-        def read_space(state, regs):
-            return _iteration_space(regs, lb_slots, ub_slots, st_slots)
-
-        if not contains_barrier(op, immediate_region_only=True):
-            ops, term = _split_executed(op.body)
-            nops = len(ops) + (1 if term is not None else 0)
-            plans = self._vectorize_chunks([(ops, nops)], iv_slots)
-            if plans[0][0] != "vec":
-                stats["fallback_regions"] += 1
-                return super()._c_scf_parallel(op)
-            stats["vectorized_regions"] += 1
-            phase = plans[0][1].run
-
-            def run(state, regs):
-                ranges, total = read_space(state, regs)
-                state.report.parallel_regions += 1
-                work_stack = state.work
-                work_stack.append(0.0)
-                if total:
-                    for dst, grid in zip(iv_slots, _lane_arrays(ranges)):
-                        regs[dst] = grid
-                    phase(state, regs, total, np.arange(total))
-                work = work_stack.pop()
-                threads = min(state.threads, max(1, total))
-                work_stack[-1] += fork_cost + work / state.program.speedup(threads)
-
-            return run
-
         ops, _ = _split_executed(op.body)
         straight = all(isinstance(o, _BARRIER_OPS) or not program.op_may_yield(o)
                        for o in ops)
         if not straight:
             stats["fallback_regions"] += 1
-            return super()._c_scf_parallel(op)
+            return super()._c_scf_parallel_simt(op)
         plans = self._vectorize_chunks(_split_chunks(op.body), iv_slots)
         n_vec = sum(1 for kind, _ in plans if kind == "vec")
         num_phases = len(plans)
         if n_vec == 0:
             stats["fallback_regions"] += 1
-            return super()._c_scf_parallel(op)
+            return super()._c_scf_parallel_simt(op)
         if n_vec == num_phases:
             stats["vectorized_regions"] += 1
             phases = [plan.run for _, plan in plans]
 
             def run(state, regs):
-                ranges, total = read_space(state, regs)
+                ranges, total = _iteration_space(regs, lb_slots, ub_slots, st_slots)
                 state.report.parallel_regions += 1
                 work_stack = state.work
                 work_stack.append(0.0)
@@ -1353,7 +1323,7 @@ class _VectorFunctionCompiler(_FunctionCompiler):
         chunk_steps = self._chunk_steps(plans)
 
         def run(state, regs):
-            ranges, total = read_space(state, regs)
+            ranges, total = _iteration_space(regs, lb_slots, ub_slots, st_slots)
             state.report.parallel_regions += 1
             work_stack = state.work
             work_stack.append(0.0)
@@ -1377,18 +1347,16 @@ class _VectorFunctionCompiler(_FunctionCompiler):
         return run
 
     # -- gpu.launch ---------------------------------------------------------------
-    def _c_gpu_launch(self, op):
+    def _launch_plan(self, op):
         if not self.program.vector_enabled:
-            return super()._c_gpu_launch(op)
+            return super()._launch_plan(op)
         stats = self.program.vector_stats
         ops, _ = _split_executed(op.body)
         straight = all(isinstance(o, _BARRIER_OPS) or not self.program.op_may_yield(o)
                        for o in ops)
         if not straight:
             stats["fallback_regions"] += 1
-            return super()._c_gpu_launch(op)
-        grid_slots = self.slots(op.grid_dims)
-        block_slots = self.slots(op.block_dims)
+            return super()._launch_plan(op)
         a = self.slots(op.body.arguments)
         shared_allocas = []
         saved_prebound = self._prebound
@@ -1406,72 +1374,70 @@ class _VectorFunctionCompiler(_FunctionCompiler):
         num_phases = len(plans)
         if n_vec == 0:
             stats["fallback_regions"] += 1
-            return super()._c_gpu_launch(op)
+            return super()._launch_plan(op)
         allocate = MemRefStorage.allocate
         if n_vec == num_phases:
             stats["vectorized_regions"] += 1
             phases = [plan.run for _, plan in plans]
 
-            def run(state, regs):
-                grid = [int(regs[s]) for s in grid_slots]
-                block = [int(regs[s]) for s in block_slots]
+            def run_blocks(state, regs, grid, block, start, stop):
                 g0, g1, g2 = grid
                 b0, b1, b2 = block
                 report = state.report
                 nthreads = b0 * b1 * b2
-                if nthreads > 0:
-                    tz_grid, ty_grid, tx_grid = _lane_arrays(
-                        [range(b2), range(b1), range(b0)])
-                    lanes = np.arange(nthreads)
-                for bz in range(g2):
-                    for by in range(g1):
-                        for bx in range(g0):
-                            if nthreads <= 0:
-                                continue
-                            regs[a[0]] = bx
-                            regs[a[1]] = by
-                            regs[a[2]] = bz
-                            regs[a[3]] = tx_grid
-                            regs[a[4]] = ty_grid
-                            regs[a[5]] = tz_grid
-                            regs[a[6]] = g0
-                            regs[a[7]] = g1
-                            regs[a[8]] = g2
-                            regs[a[9]] = b0
-                            regs[a[10]] = b1
-                            regs[a[11]] = b2
-                            for dst, mtype in shared_allocas:
-                                regs[dst] = allocate(mtype, [])
-                            for phase in phases:
-                                phase(state, regs, nthreads, lanes)
-                            report.simt_phases += num_phases
+                if nthreads <= 0:
+                    return
+                tz_grid, ty_grid, tx_grid = _lane_arrays(
+                    [range(b2), range(b1), range(b0)])
+                lanes = np.arange(nthreads)
+                for linear in range(start, stop):
+                    bx = linear % g0
+                    by = (linear // g0) % g1
+                    bz = linear // (g0 * g1)
+                    regs[a[0]] = bx
+                    regs[a[1]] = by
+                    regs[a[2]] = bz
+                    regs[a[3]] = tx_grid
+                    regs[a[4]] = ty_grid
+                    regs[a[5]] = tz_grid
+                    regs[a[6]] = g0
+                    regs[a[7]] = g1
+                    regs[a[8]] = g2
+                    regs[a[9]] = b0
+                    regs[a[10]] = b1
+                    regs[a[11]] = b2
+                    for dst, mtype in shared_allocas:
+                        regs[dst] = allocate(mtype, [])
+                    for phase in phases:
+                        phase(state, regs, nthreads, lanes)
+                    report.simt_phases += num_phases
 
-            return run
+            return run_blocks
 
         stats["mixed_regions"] += 1
         chunk_steps = self._chunk_steps(plans)
 
-        def run(state, regs):
-            grid = [int(regs[s]) for s in grid_slots]
-            block = [int(regs[s]) for s in block_slots]
+        def run_blocks(state, regs, grid, block, start, stop):
+            g0, g1 = grid[0], grid[1]
             report = state.report
-            for bz in range(grid[2]):
-                for by in range(grid[1]):
-                    for bx in range(grid[0]):
-                        thread_regs = build_launch_thread_regs(
-                            regs, a, bx, by, bz, grid, block)
-                        bind_shared_allocas(shared_allocas, thread_regs)
-                        if not thread_regs:
-                            continue
-                        for kind, step in chunk_steps:
-                            if kind == "closure":
-                                for tregs in thread_regs:
-                                    step(state, tregs)
-                            else:
-                                step(state, thread_regs)
-                        report.simt_phases += num_phases
+            for linear in range(start, stop):
+                bx = linear % g0
+                by = (linear // g0) % g1
+                bz = linear // (g0 * g1)
+                thread_regs = build_launch_thread_regs(
+                    regs, a, bx, by, bz, grid, block)
+                bind_shared_allocas(shared_allocas, thread_regs)
+                if not thread_regs:
+                    continue
+                for kind, step in chunk_steps:
+                    if kind == "closure":
+                        for tregs in thread_regs:
+                            step(state, tregs)
+                    else:
+                        step(state, thread_regs)
+                report.simt_phases += num_phases
 
-        return run
+        return run_blocks
 
 
 class _VectorProgram(_Program):
@@ -1512,3 +1478,15 @@ class VectorizedEngine(CompiledEngine):
     def vector_stats(self) -> Dict[str, int]:
         """Compile-time vectorization counters of the underlying program."""
         return self._program.vector_stats
+
+
+def _make_vectorized(module, *, machine=XEON_8375C, threads=None,
+                     collect_cost=True, max_dynamic_ops=None, workers=None):
+    # ``workers`` is a multicore-engine knob; the vectorized engine ignores it.
+    return VectorizedEngine(module, machine=machine, threads=threads,
+                            collect_cost=collect_cost, max_dynamic_ops=max_dynamic_ops)
+
+
+register_engine(
+    "vectorized", _make_vectorized, order=1,
+    description="whole-grid NumPy execution of barrier-delimited phases")

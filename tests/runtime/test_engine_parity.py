@@ -1,13 +1,15 @@
-"""Differential tests: compiled and vectorized engines vs. the interpreter.
+"""Differential tests: compiled, vectorized and multicore vs. the interpreter.
 
 Every Rodinia suite kernel (cuda-lowered, OpenMP reference and un-lowered
-SIMT oracle variants) plus the quickstart example runs through **all three**
+SIMT oracle variants) plus the quickstart example runs through **all four**
 execution engines; outputs must be bit-identical and the simulated-cycle
 ``CostReport``s must match field for field (``cycles``, ``dynamic_ops``,
-phases, traffic, ...).  This is what allows the compiled/vectorized engines
-to run everywhere while the interpreter stays the semantic oracle — and
-what pins the vectorized engine's analytic cost accounting to the
-interpreter's sequential accumulation bit for bit.
+phases, traffic, ...).  This is what allows the fast engines to run
+everywhere while the interpreter stays the semantic oracle — it pins the
+vectorized engine's analytic cost accounting to the interpreter's
+sequential accumulation bit for bit, and the multicore engine's
+per-worker cost folding (and shared-memory in-place stores) to the same
+sequential result across two real worker processes.
 """
 
 import numpy as np
@@ -19,8 +21,10 @@ from repro.runtime import (
     A64FX_CMG,
     CompiledEngine,
     Interpreter,
+    MulticoreEngine,
     VectorizedEngine,
     XEON_8375C,
+    shutdown_worker_pools,
 )
 from repro.transforms import PipelineOptions
 
@@ -29,8 +33,24 @@ OMP_NAMES = sorted(n for n in BENCHMARKS if BENCHMARKS[n].omp_source is not None
 #: barrier-heavy kernels whose oracle runs exercise SIMT phase execution.
 ORACLE_NAMES = ["backprop layerforward", "hotspot", "lud", "nw", "particlefilter",
                 "pathfinder"]
+
+
+def _multicore_two_workers(module, **kwargs):
+    """Multicore engine pinned at two workers (degrades to in-process when
+    fork/shared memory are unavailable — the parity contract still holds)."""
+    return MulticoreEngine(module, workers=2, **kwargs)
+
+
+_multicore_two_workers.__name__ = "MulticoreEngine[workers=2]"
+
 #: the non-interpreter engines checked against the oracle.
-FAST_ENGINES = [CompiledEngine, VectorizedEngine]
+FAST_ENGINES = [CompiledEngine, VectorizedEngine, _multicore_two_workers]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _teardown_pools():
+    yield
+    shutdown_worker_pools()
 
 QUICKSTART_CUDA = """
 __device__ float sum(float* data, int n) {
@@ -67,17 +87,17 @@ def assert_engines_agree(module, entry, make_args, output_indices, *,
     interpreter = Interpreter(module, machine=machine, threads=threads)
     interpreter.run(entry, oracle_args)
 
-    for engine_cls in FAST_ENGINES:
+    for engine_factory in FAST_ENGINES:
         engine_args = make_args()
-        engine = engine_cls(module, machine=machine, threads=threads)
+        engine = engine_factory(module, machine=machine, threads=threads)
         engine.run(entry, engine_args)
         for index in output_indices:
             np.testing.assert_array_equal(
                 np.asarray(oracle_args[index]), np.asarray(engine_args[index]),
                 err_msg=f"output {index} diverged between the interpreter "
-                        f"and {engine_cls.__name__}")
+                        f"and {engine_factory.__name__}")
         assert report_fields(interpreter.report) == report_fields(engine.report), (
-            f"cost reports diverged for {engine_cls.__name__}:"
+            f"cost reports diverged for {engine_factory.__name__}:"
             f"\n  interp {report_fields(interpreter.report)}"
             f"\n  engine {report_fields(engine.report)}")
 

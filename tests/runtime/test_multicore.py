@@ -1,0 +1,275 @@
+"""Multicore engine unit tests: registry, shard analysis, knobs, budget.
+
+Output/cost parity with the interpreter over the full Rodinia matrix lives
+in ``test_engine_parity.py``; this file pins the engine-specific machinery:
+the registration-based engine registry, the write-write-safety analysis
+decisions (what shards, what must stay in-process), the worker/inner knobs
+and their environment variables, budget enforcement across shards, and the
+caller-visible output contract after shared-memory promotion.
+"""
+
+import numpy as np
+import pytest
+
+from repro.frontend import compile_cuda
+from repro.rodinia import BENCHMARKS
+from repro.runtime import (
+    A64FX_CMG,
+    Interpreter,
+    InterpreterError,
+    MulticoreEngine,
+    engine_names,
+    make_executor,
+    multicore_available,
+    register_engine,
+    resolve_engine,
+    shutdown_worker_pools,
+)
+from repro.runtime.multicore import (
+    INNER_COMPILED,
+    INNER_VECTORIZED,
+    WORKERS_ENV_VAR,
+    _split_spans,
+    default_workers,
+    resolve_inner,
+)
+from repro.transforms import PipelineOptions
+
+needs_pool = pytest.mark.skipif(not multicore_available(),
+                                reason="fork/shared memory unavailable")
+
+#: a kernel whose only global store races on one location: every thread
+#: writes ``out[0]``, so sequential thread order decides the winner and the
+#: engine must refuse to shard it.
+RACY_CUDA = """
+__global__ void racy(float* out, int n) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    out[0] = 1.0f * tid;
+}
+
+void launch(float* d_out, int n) {
+    racy<<<(n + 31) / 32, 32>>>(d_out, n);
+}
+"""
+
+#: the canonical shardable kernel: each thread owns out[tid].
+OWNED_CUDA = """
+__global__ void scale(float* out, float* in, int n) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < n) {
+        out[tid] = in[tid] * 3.0f;
+    }
+}
+
+void launch(float* d_out, float* d_in, int n) {
+    scale<<<(n + 31) / 32, 32>>>(d_out, d_in, n);
+}
+"""
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _teardown_pools():
+    yield
+    shutdown_worker_pools()
+
+
+class TestEngineRegistry:
+    def test_all_four_engines_registered(self):
+        names = engine_names()
+        assert names == ("compiled", "vectorized", "multicore", "interp")
+
+    def test_resolve_engine_accepts_multicore(self):
+        assert resolve_engine("multicore") == "multicore"
+
+    def test_resolve_engine_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_engine("cuda")
+
+    def test_make_executor_forwards_workers(self):
+        module = compile_cuda(OWNED_CUDA, cuda_lower=True,
+                              options=PipelineOptions.all_optimizations())
+        executor = make_executor(module, engine="multicore", workers=3)
+        assert isinstance(executor, MulticoreEngine)
+        assert executor.workers == 3
+
+    def test_self_registration_extends_the_registry(self):
+        sentinel = object()
+        register_engine("test-dummy", lambda module, **kwargs: sentinel,
+                        order=99, description="test")
+        try:
+            assert "test-dummy" in engine_names()
+            module = compile_cuda(OWNED_CUDA)
+            assert make_executor(module, engine="test-dummy") is sentinel
+        finally:
+            from repro.runtime.registry import _DESCRIPTIONS, _FACTORIES, _ORDERS
+            for table in (_FACTORIES, _DESCRIPTIONS, _ORDERS):
+                table.pop("test-dummy", None)
+
+
+class TestKnobs:
+    def test_workers_env_default(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "7")
+        assert default_workers() == 7
+        module = compile_cuda(OWNED_CUDA)
+        assert MulticoreEngine(module).workers == 7
+
+    def test_workers_must_be_positive(self):
+        module = compile_cuda(OWNED_CUDA)
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            MulticoreEngine(module, workers=0)
+
+    def test_inner_env_and_validation(self, monkeypatch):
+        assert resolve_inner(None) == INNER_COMPILED
+        monkeypatch.setenv("REPRO_MULTICORE_INNER", INNER_VECTORIZED)
+        assert resolve_inner(None) == INNER_VECTORIZED
+        with pytest.raises(ValueError, match="unknown multicore inner engine"):
+            resolve_inner("interp")
+
+    def test_inner_selects_program_flavour(self):
+        module = compile_cuda(OWNED_CUDA, cuda_lower=True,
+                              options=PipelineOptions.all_optimizations())
+        compiled_flavour = MulticoreEngine(module, workers=1, inner="compiled")
+        vector_flavour = MulticoreEngine(module, workers=1, inner="vectorized")
+        assert type(compiled_flavour._program) is not type(vector_flavour._program)
+
+    def test_split_spans_contiguous_and_balanced(self):
+        assert _split_spans(10, 3) == [(0, 4), (4, 7), (7, 10)]
+        assert _split_spans(4, 4) == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+
+class TestShardAnalysis:
+    def test_owned_store_pattern_is_shardable(self):
+        module = compile_cuda(OWNED_CUDA, cuda_lower=True,
+                              options=PipelineOptions.all_optimizations())
+        engine = MulticoreEngine(module, workers=2)
+        n = 256
+        engine.run("launch", [np.zeros(n, dtype=np.float32),
+                              np.ones(n, dtype=np.float32), n])
+        assert engine.shard_stats["sharded_regions"] >= 1
+        assert engine.shard_stats["rejected_regions"] == 0
+
+    def test_racy_store_never_dispatches(self):
+        module = compile_cuda(RACY_CUDA, cuda_lower=True,
+                              options=PipelineOptions.all_optimizations())
+        n = 256
+        reference = np.zeros(4, dtype=np.float32)
+        Interpreter(module).run("launch", [reference, n])
+        engine = MulticoreEngine(module, workers=2)
+        output = np.zeros(4, dtype=np.float32)
+        engine.run("launch", [output, n])
+        # the uniform-index store covers no lane dim: the region may compile
+        # as "shardable with every dim required singleton" but must never
+        # dispatch over a >1-wide space — sequential order decides out[0].
+        assert engine.shard_stats["dispatches"] == 0
+        np.testing.assert_array_equal(output, reference)
+
+    def test_non_dyadic_machine_disables_sharding(self):
+        bench = BENCHMARKS["matmul"]
+        module = bench.compile_cuda(PipelineOptions.all_optimizations())
+        engine = MulticoreEngine(module, machine=A64FX_CMG, workers=2)
+        engine.run(bench.entry, bench.make_inputs(1))
+        assert engine.shard_stats["sharded_regions"] == 0
+        assert engine.shard_stats["dispatches"] == 0
+
+    @needs_pool
+    def test_matmul_wsloop_dispatches(self):
+        bench = BENCHMARKS["matmul"]
+        module = bench.compile_cuda(PipelineOptions.all_optimizations())
+        engine = MulticoreEngine(module, workers=2)
+        engine.run(bench.entry, bench.make_inputs(1))
+        assert engine.shard_stats["dispatches"] == 1
+        assert engine.shard_stats["inline_runs"] == 0
+
+    @needs_pool
+    def test_oracle_launch_dispatches_with_barriers(self):
+        bench = BENCHMARKS["hotspot"]
+        module = bench.compile_cuda(cuda_lower=False)
+        engine = MulticoreEngine(module, workers=2)
+        engine.run(bench.entry, bench.make_inputs(4))
+        assert engine.shard_stats["dispatches"] == 1
+
+
+class TestExecution:
+    def test_workers_one_stays_in_process(self):
+        bench = BENCHMARKS["matmul"]
+        module = bench.compile_cuda(PipelineOptions.all_optimizations())
+        engine = MulticoreEngine(module, workers=1)
+        engine.run(bench.entry, bench.make_inputs(1))
+        assert engine.shard_stats["dispatches"] == 0
+
+    @needs_pool
+    def test_budget_enforced_across_shards(self):
+        bench = BENCHMARKS["matmul"]
+        module = bench.compile_cuda(PipelineOptions.all_optimizations())
+        engine = MulticoreEngine(module, workers=2, max_dynamic_ops=100)
+        with pytest.raises(InterpreterError, match="dynamic operation budget"):
+            engine.run(bench.entry, bench.make_inputs(1))
+
+    @needs_pool
+    def test_caller_sees_outputs_after_promotion(self):
+        module = compile_cuda(OWNED_CUDA, cuda_lower=True,
+                              options=PipelineOptions.all_optimizations())
+        n = 256
+        out = np.zeros(n, dtype=np.float32)
+        data = np.arange(n, dtype=np.float32)
+        engine = MulticoreEngine(module, workers=2)
+        engine.run("launch", [out, data, n])
+        assert engine.shard_stats["dispatches"] == 1
+        np.testing.assert_array_equal(out, data * 3.0)
+
+    @needs_pool
+    def test_pool_reused_across_runs(self):
+        bench = BENCHMARKS["matmul"]
+        module = bench.compile_cuda(PipelineOptions.all_optimizations())
+        engine = MulticoreEngine(module, workers=2)
+        engine.run(bench.entry, bench.make_inputs(1))
+        engine.run(bench.entry, bench.make_inputs(1))
+        assert engine.shard_stats["dispatches"] == 2
+        assert len(engine._program._pools) == 1
+
+    @needs_pool
+    def test_aliased_arguments_stay_in_process(self):
+        """The same ndarray passed as two arguments must keep aliasing:
+        promotion into two independent segments would sever it, so such
+        runs fall back in-process and match the compiled engine."""
+        module = compile_cuda(OWNED_CUDA, cuda_lower=True,
+                              options=PipelineOptions.all_optimizations())
+        n = 256
+        shared = np.arange(n, dtype=np.float32)
+        expected = shared.copy() * 3.0
+        engine = MulticoreEngine(module, workers=2)
+        engine.run("launch", [shared, shared, n])  # in-place out == in
+        assert engine.shard_stats["dispatches"] == 0
+        np.testing.assert_array_equal(shared, expected)
+
+    @needs_pool
+    def test_worker_segment_caches_evicted_between_runs(self):
+        """Each run promotes fresh segments; workers must not pin every
+        past run's mappings for the pool's lifetime."""
+        from repro.runtime import sharedmem
+        bench = BENCHMARKS["matmul"]
+        module = bench.compile_cuda(PipelineOptions.all_optimizations())
+        engine = MulticoreEngine(module, workers=2)
+        for _ in range(5):
+            engine.run(bench.entry, bench.make_inputs(1))
+        assert engine.shard_stats["dispatches"] == 5
+        # parent-side segments die with their storages (run arguments)
+        import gc
+        gc.collect()
+        assert sharedmem.owned_segment_count() == 0
+
+    @needs_pool
+    @pytest.mark.parametrize("inner", [INNER_COMPILED, INNER_VECTORIZED])
+    def test_inner_flavours_agree_with_interpreter(self, inner):
+        bench = BENCHMARKS["matmul"]
+        module = bench.compile_cuda(PipelineOptions.all_optimizations())
+        reference_args = bench.make_inputs(2)
+        interpreter = Interpreter(module)
+        interpreter.run(bench.entry, reference_args)
+        engine_args = bench.make_inputs(2)
+        engine = MulticoreEngine(module, workers=2, inner=inner)
+        engine.run(bench.entry, engine_args)
+        np.testing.assert_array_equal(np.asarray(reference_args[2]),
+                                      np.asarray(engine_args[2]))
+        assert engine.report.cycles == interpreter.report.cycles
+        assert engine.report.dynamic_ops == interpreter.report.dynamic_ops

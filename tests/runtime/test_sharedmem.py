@@ -1,0 +1,135 @@
+"""Shared-memory MemRefStorage backing: round trips across real processes.
+
+Covers the promises :mod:`repro.runtime.sharedmem` makes to the multicore
+engine: in-place promotion (aliases keep working, data preserved),
+encode/decode shipping (same bytes visible on both sides, writes land in
+place), decode caching (buffer identity within a process), the freed flag
+(free in either process is observed in the other), and segment lifecycle
+(unlink when the owning storage is garbage collected).
+"""
+
+import gc
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.runtime import MemRefStorage, UseAfterFreeError, sharedmem
+
+needs_shm = pytest.mark.skipif(
+    not sharedmem.shared_memory_available()
+    or "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork/shared memory unavailable on this platform")
+
+
+def _fork_call(target, *args):
+    """Run ``target(*args, queue)`` in a forked child; returns queued items."""
+    context = multiprocessing.get_context("fork")
+    queue = context.Queue()
+    process = context.Process(target=target, args=(*args, queue))
+    process.start()
+    process.join(timeout=30)
+    assert process.exitcode == 0
+    items = []
+    while not queue.empty():
+        items.append(queue.get())
+    return items
+
+
+class TestPromotion:
+    def test_promote_preserves_contents_and_aliases(self):
+        storage = MemRefStorage.from_numpy(np.arange(12, dtype=np.float32).reshape(3, 4))
+        alias = storage  # engine register slots alias the same object
+        sharedmem.promote(storage)
+        assert storage.shm_name is not None
+        np.testing.assert_array_equal(storage.array,
+                                      np.arange(12, dtype=np.float32).reshape(3, 4))
+        alias.store(99.0, (1, 2))
+        assert storage.load((1, 2)) == 99.0
+
+    def test_promote_is_idempotent(self):
+        storage = MemRefStorage.from_numpy(np.zeros(4, dtype=np.int64))
+        sharedmem.promote(storage)
+        name = storage.shm_name
+        sharedmem.promote(storage)
+        assert storage.shm_name == name
+
+    def test_bulk_accessors_work_on_promoted_buffers(self):
+        storage = MemRefStorage.from_numpy(np.zeros(8, dtype=np.float64))
+        sharedmem.promote(storage)
+        storage.store_block(np.arange(4, dtype=np.float64), (np.array([0, 2, 4, 6]),))
+        np.testing.assert_array_equal(
+            storage.load_block((np.array([0, 2, 4, 6]),)), np.arange(4.0))
+
+    def test_segment_released_when_storage_collected(self):
+        before = sharedmem.owned_segment_count()
+        storage = MemRefStorage.from_numpy(np.zeros(16, dtype=np.float32))
+        sharedmem.promote(storage)
+        assert sharedmem.owned_segment_count() == before + 1
+        del storage
+        gc.collect()
+        assert sharedmem.owned_segment_count() == before
+
+
+def _child_read_write(descriptor, queue):
+    sharedmem.mark_worker_process()
+    storage = sharedmem.decode(descriptor)
+    queue.put(float(storage.load((3,))))
+    storage.store(-5.0, (0,))
+    queue.put("done")
+
+
+def _child_identity(descriptor_a, descriptor_b, queue):
+    sharedmem.mark_worker_process()
+    storage_a = sharedmem.decode(descriptor_a)
+    storage_b = sharedmem.decode(descriptor_b)
+    queue.put(storage_a is storage_b)
+
+
+def _child_free(descriptor, queue):
+    sharedmem.mark_worker_process()
+    storage = sharedmem.decode(descriptor)
+    storage.free()
+    queue.put("freed")
+
+
+def _child_use_freed(descriptor, queue):
+    sharedmem.mark_worker_process()
+    storage = sharedmem.decode(descriptor)
+    try:
+        storage.load((0,))
+        queue.put("no-error")
+    except UseAfterFreeError:
+        queue.put("use-after-free")
+
+
+@needs_shm
+class TestCrossProcess:
+    def test_round_trip_and_in_place_write(self):
+        storage = MemRefStorage.from_numpy(np.arange(8, dtype=np.float32))
+        descriptor = sharedmem.encode(storage)
+        items = _fork_call(_child_read_write, descriptor)
+        assert items[0] == 3.0  # child saw the parent's bytes
+        assert storage.array[0] == -5.0  # parent sees the child's store
+
+    def test_decode_caches_buffer_identity(self):
+        storage = MemRefStorage.from_numpy(np.zeros(4, dtype=np.int64))
+        descriptor = sharedmem.encode(storage)
+        (same,) = _fork_call(_child_identity, descriptor, sharedmem.encode(storage))
+        assert same  # two live-in slots aliasing one buffer stay one object
+
+    def test_free_in_worker_observed_by_parent(self):
+        storage = MemRefStorage.from_numpy(np.zeros(4, dtype=np.float32))
+        descriptor = sharedmem.encode(storage)
+        _fork_call(_child_free, descriptor)
+        sharedmem.refresh_freed(storage)
+        with pytest.raises(UseAfterFreeError):
+            storage.load((0,))
+
+    def test_free_in_parent_observed_by_worker(self):
+        storage = MemRefStorage.from_numpy(np.zeros(4, dtype=np.float32))
+        sharedmem.promote(storage)
+        storage.free()
+        descriptor = sharedmem.encode(storage)
+        (result,) = _fork_call(_child_use_freed, descriptor)
+        assert result == "use-after-free"

@@ -191,6 +191,7 @@ class _StoreSafety:
         self.cell_stores: Dict[int, int] = {}  # rank-0 local cells: #stores
         self.cell_desc: Dict[int, Tuple] = {}
         self.required: set = set()      # dims that must be singleton at runtime
+        self.depth = 0                  # nesting depth below the region body
 
     # -- seeding ---------------------------------------------------------------
     def seed_lane(self, value, dim: int, bound_id: Optional[int]) -> None:
@@ -251,6 +252,13 @@ class _StoreSafety:
     def _eval_block(self, ops: Sequence) -> None:
         for op in ops:
             self._eval_op(op)
+
+    def _eval_nested_block(self, ops: Sequence) -> None:
+        self.depth += 1
+        try:
+            self._eval_block(ops)
+        finally:
+            self.depth -= 1
 
     def _eval_op(self, op) -> None:
         if isinstance(op, _BARRIER_OPS) or isinstance(op, omp_d.OmpBarrierOp):
@@ -347,15 +355,33 @@ class _StoreSafety:
 
     def _eval_load(self, op) -> None:
         key = id(op.memref)
-        if key in self.cell_stores and self.cell_stores[key] == 1 and not op.indices:
+        if key in self.cell_stores:
+            # a cell load is only as good as its unique dominating store
+            # (recorded below); everything else — multiple static stores,
+            # a control-dependent store, a load before the store — may
+            # observe a different (e.g. zero-initialized) value in some
+            # iterations, so it must not pretend to be uniform.
             self._set(op.result, self.cell_desc.get(key, _DIRTY))
+            return
+        if key in self.private:
+            # private rank>0 scratch: contents may mix lane-dependent
+            # values across program points, and _default would misread the
+            # descriptor-less memref operand as uniform.
+            self._set(op.result, _DIRTY)
             return
         self._default(op)
 
     def _eval_store(self, op) -> None:
         key = id(op.memref)
         if key in self.private:
-            if key in self.cell_stores and self.cell_stores[key] == 1:
+            if (key in self.cell_stores and self.cell_stores[key] == 1
+                    and self.depth == 0):
+                # the cell's only static store, top-level in the region
+                # body: it unconditionally dominates every later load, so
+                # the loaded value is exactly this one.  Stores inside
+                # scf.if/scf.for never qualify — a not-taken branch or
+                # zero-trip loop would leave later loads reading the
+                # zero-initialized cell instead.
                 self.cell_desc[key] = self._get(op.value)
             return
         if _is_lane(self._get(op.memref)):
@@ -394,7 +420,7 @@ class _StoreSafety:
         for arg, init in zip(op.iter_args, op.iter_init):
             self._set(arg, self._get(init))
         for _ in range(4):
-            self._eval_block(body_ops)
+            self._eval_nested_block(body_ops)
             changed = False
             for arg, yielded in zip(op.iter_args, yields):
                 joined = self._join(self._get(arg), self._get(yielded))
@@ -406,19 +432,19 @@ class _StoreSafety:
         else:
             for arg in op.iter_args:
                 self._set(arg, _DIRTY)
-            self._eval_block(body_ops)
+            self._eval_nested_block(body_ops)
         for result, arg in zip(op.results, op.iter_args):
             self._set(result, self._get(arg))
 
     def _eval_if(self, op) -> None:
         then_ops, then_term = _split_executed(op.then_block)
-        self._eval_block(then_ops)
+        self._eval_nested_block(then_ops)
         then_yields = (list(then_term.operands)
                        if isinstance(then_term, scf.YieldOp) else [])
         else_yields: List = []
         if op.else_block is not None:
             else_ops, else_term = _split_executed(op.else_block)
-            self._eval_block(else_ops)
+            self._eval_nested_block(else_ops)
             else_yields = (list(else_term.operands)
                            if isinstance(else_term, scf.YieldOp) else [])
         for index, result in enumerate(op.results):
@@ -436,8 +462,8 @@ class _StoreSafety:
                 self._set(arg, _DIRTY)
         before_ops, _ = _split_executed(op.before_block)
         after_ops, _ = _split_executed(op.after_block)
-        self._eval_block(before_ops)
-        self._eval_block(after_ops)
+        self._eval_nested_block(before_ops)
+        self._eval_nested_block(after_ops)
         for result in op.results:
             self._set(result, _DIRTY)
 
@@ -732,15 +758,31 @@ class _MulticoreVectorProgram(_ShardProgramMixin, _VectorProgram):
 # Shard-aware function compilation
 # ---------------------------------------------------------------------------
 class _ShardContext:
-    """Runtime dispatch context attached to the engine's execution state."""
+    """Runtime dispatch context attached to the engine's execution state.
 
-    __slots__ = ("program", "workers")
+    ``pool()`` gates every dispatch on the run-level aliasing verdict: two
+    *distinct* storage objects viewing overlapping memory (the caller
+    passed the same/overlapping ndarray as two arguments) would promote
+    into two independent shared segments, permanently severing the
+    aliasing the in-process engines preserve — for every later region of
+    the run, not just the one being dispatched.  Such runs therefore never
+    shard at all.  The verdict is computed lazily on the first dispatch
+    attempt (all arguments are wrapped by then) and cached for the run.
+    """
 
-    def __init__(self, program, workers: int) -> None:
+    __slots__ = ("program", "workers", "engine", "_aliased")
+
+    def __init__(self, program, workers: int, engine) -> None:
         self.program = program
         self.workers = workers
+        self.engine = engine
+        self._aliased: Optional[bool] = None
 
     def pool(self) -> Optional[_WorkerPool]:
+        if self._aliased is None:
+            self._aliased = self.engine._arguments_alias()
+        if self._aliased:
+            return None
         return self.program.ensure_pool(self.workers)
 
 
@@ -850,20 +892,38 @@ class _ShardCompilerMixin:
 
     # -- dispatch helpers -------------------------------------------------------
     def _dispatch_shards(self, state, pool, key, regs, live_in_slots,
-                         spans: Sequence[Tuple[int, int]]) -> List[Dict]:
+                         spans: Sequence[Tuple[int, int]]) -> Optional[List[Dict]]:
+        """Ship the live-ins and run one span per worker; ``None`` = degrade.
+
+        Shared-memory promotion can fail mid-run (``/dev/shm`` filling up
+        under large buffers) long after the 1-byte availability probe
+        passed; that must demote the run to in-process execution — which
+        is always correct — rather than abort it, so a failed promotion
+        marks the program's promotion machinery broken (no later region
+        retries) and returns ``None`` for the caller to run its base plan.
+        """
+        if pool is None:
+            # the pool died between the width check and the dispatch and
+            # could not be re-forked: degrade rather than crash.
+            return None
         program = self.program
         remaining = None
         if state.max_ops is not None:
             remaining = max(0, state.max_ops - state.report.dynamic_ops)
         live_ins = {}
         shipped = []
-        for slot in live_in_slots:
-            value = regs[slot]
-            if isinstance(value, MemRefStorage):
-                live_ins[slot] = ("m", sharedmem.encode(value))
-                shipped.append(value)
-            else:
-                live_ins[slot] = ("v", value)
+        try:
+            for slot in live_in_slots:
+                value = regs[slot]
+                if isinstance(value, MemRefStorage):
+                    live_ins[slot] = ("m", sharedmem.encode(value))
+                    shipped.append(value)
+                else:
+                    live_ins[slot] = ("v", value)
+        except OSError:
+            program._pool_broken = True
+            _shutdown_pools(program._pools)  # no dispatch will ever retry
+            return None
         tasks = [("shard", key, live_ins, start, stop, state.threads, remaining)
                  for start, stop in spans]
         program.shard_stats["dispatches"] += 1
@@ -897,30 +957,6 @@ class _ShardCompilerMixin:
         width = min(shard.workers, max(1, total // MIN_UNITS_PER_WORKER))
         return width if width >= 2 else 0
 
-    @staticmethod
-    def _live_ins_unaliased(regs, live_in_slots) -> bool:
-        """Whether the shipped buffers are pairwise non-overlapping.
-
-        Two *distinct* storage objects viewing overlapping memory (the
-        caller passed the same ndarray as two arguments) would promote
-        into two independent shared segments, severing the aliasing the
-        in-process engines preserve — such runs stay in-process.  The same
-        storage object appearing in several slots is fine: promotion is
-        idempotent and encode/decode key by segment name.
-        """
-        storages = []
-        seen = set()
-        for slot in live_in_slots:
-            value = regs[slot]
-            if isinstance(value, MemRefStorage) and id(value) not in seen:
-                seen.add(id(value))
-                storages.append(value)
-        for index, first in enumerate(storages):
-            for second in storages[index + 1:]:
-                if np.shares_memory(first.array, second.array):
-                    return False
-        return True
-
     # -- region overrides -------------------------------------------------------
     def _c_omp_wsloop(self, op):
         run_span = self._wsloop_span_plan(op)
@@ -929,18 +965,18 @@ class _ShardCompilerMixin:
         if required is None:
             return base
         key = self._next_region_key()
+        lb_slots = self.slots(op.lower_bounds)
+        ub_slots = self.slots(op.upper_bounds)
+        st_slots = self.slots(op.steps)
         self.program.shard_regions[key] = {
             "kind": "span",
             "run": run_span,
             "template": self.template,
-            "lb_slots": self.slots(op.lower_bounds),
-            "ub_slots": self.slots(op.upper_bounds),
-            "st_slots": self.slots(op.steps),
+            "lb_slots": lb_slots,
+            "ub_slots": ub_slots,
+            "st_slots": st_slots,
             "barrier_message": "GPU barrier inside a workshared loop",
         }
-        lb_slots = self.slots(op.lower_bounds)
-        ub_slots = self.slots(op.upper_bounds)
-        st_slots = self.slots(op.steps)
         live_in_slots = self._region_live_in_slots(op)
         finish = self._wsloop_accounting(op)
         required_dims = sorted(required)
@@ -948,15 +984,16 @@ class _ShardCompilerMixin:
 
         def run(state, regs):
             ranges, total = _iteration_space(regs, lb_slots, ub_slots, st_slots)
-            width = self._runtime_width(state, regs, ranges, total,
-                                        required_dims, live_in_slots)
-            if width == 0:
+            width = self._runtime_width(state, ranges, total, required_dims)
+            results = None
+            if width:
+                results = self._dispatch_shards(
+                    state, state.shard.pool(), key, regs, live_in_slots,
+                    _split_spans(total, width))
+            if results is None:
                 stats["inline_runs"] += 1
                 return base(state, regs)
             state.report.workshared_loops += 1
-            results = self._dispatch_shards(
-                state, state.shard.pool(), key, regs, live_in_slots,
-                _split_spans(total, width))
             finish(state, total, self._fold_results(state, results))
         return run
 
@@ -973,18 +1010,18 @@ class _ShardCompilerMixin:
         if required is None:
             return base
         key = self._next_region_key()
+        lb_slots = self.slots(op.lower_bounds)
+        ub_slots = self.slots(op.upper_bounds)
+        st_slots = self.slots(op.steps)
         self.program.shard_regions[key] = {
             "kind": "span",
             "run": run_span,
             "template": self.template,
-            "lb_slots": self.slots(op.lower_bounds),
-            "ub_slots": self.slots(op.upper_bounds),
-            "st_slots": self.slots(op.steps),
+            "lb_slots": lb_slots,
+            "ub_slots": ub_slots,
+            "st_slots": st_slots,
             "barrier_message": "unexpected barrier in barrier-free parallel loop",
         }
-        lb_slots = self.slots(op.lower_bounds)
-        ub_slots = self.slots(op.upper_bounds)
-        st_slots = self.slots(op.steps)
         live_in_slots = self._region_live_in_slots(op)
         finish = self._parallel_accounting(op)
         required_dims = sorted(required)
@@ -992,28 +1029,26 @@ class _ShardCompilerMixin:
 
         def run(state, regs):
             ranges, total = _iteration_space(regs, lb_slots, ub_slots, st_slots)
-            width = self._runtime_width(state, regs, ranges, total,
-                                        required_dims, live_in_slots)
-            if width == 0:
+            width = self._runtime_width(state, ranges, total, required_dims)
+            results = None
+            if width:
+                results = self._dispatch_shards(
+                    state, state.shard.pool(), key, regs, live_in_slots,
+                    _split_spans(total, width))
+            if results is None:
                 stats["inline_runs"] += 1
                 return base(state, regs)
             state.report.parallel_regions += 1
-            results = self._dispatch_shards(
-                state, state.shard.pool(), key, regs, live_in_slots,
-                _split_spans(total, width))
             finish(state, total, self._fold_results(state, results))
         return run
 
-    def _runtime_width(self, state, regs, ranges, total, required_dims,
-                       live_in_slots) -> int:
+    def _runtime_width(self, state, ranges, total, required_dims) -> int:
         width = self._shard_width(state, total)
         if width == 0:
             return 0
         for dim in required_dims:
             if len(ranges[dim]) != 1:
                 return 0
-        if not self._live_ins_unaliased(regs, live_in_slots):
-            return 0
         if state.shard.pool() is None:
             return 0
         return width
@@ -1043,15 +1078,15 @@ class _ShardCompilerMixin:
             grid = [int(regs[s]) for s in grid_slots]
             total_blocks = grid[0] * grid[1] * grid[2]
             width = self._shard_width(state, total_blocks)
-            if (width and all(grid[axis] == 1 for axis in required_axes)
-                    and self._live_ins_unaliased(regs, live_in_slots)):
+            if width and all(grid[axis] == 1 for axis in required_axes):
                 pool = state.shard.pool()
                 if pool is not None:
                     results = self._dispatch_shards(
                         state, pool, key, regs, live_in_slots,
                         _split_spans(total_blocks, width))
-                    state.work[-1] += self._fold_results(state, results)
-                    return
+                    if results is not None:
+                        state.work[-1] += self._fold_results(state, results)
+                        return
             stats["inline_runs"] += 1
             return base(state, regs)
         return run
@@ -1095,6 +1130,7 @@ class MulticoreEngine(CompiledEngine):
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         self._arg_sync: List[Tuple[np.ndarray, MemRefStorage]] = []
+        self._run_storages: List[MemRefStorage] = []
         super().__init__(module, machine=machine, threads=threads,
                          collect_cost=collect_cost, max_dynamic_ops=max_dynamic_ops)
 
@@ -1105,12 +1141,13 @@ class MulticoreEngine(CompiledEngine):
     def _make_state(self) -> _State:
         state = super()._make_state()
         if self.workers >= 2 and multicore_available():
-            state.shard = _ShardContext(self._program, self.workers)
+            state.shard = _ShardContext(self._program, self.workers, self)
         return state
 
     def _wrap_argument(self, argument):
         if isinstance(argument, np.ndarray):
             storage = MemRefStorage.from_numpy(argument)
+            self._run_storages.append(storage)
             if np.shares_memory(argument, storage.array):
                 # promotion to shared memory swaps the backing array out
                 # from under the caller's ndarray; remember the pair so the
@@ -1119,15 +1156,35 @@ class MulticoreEngine(CompiledEngine):
             return storage
         return argument
 
+    def _arguments_alias(self) -> bool:
+        """Whether any two of this run's wrapped arguments share memory.
+
+        Checked once per run, over *all* arguments and before any
+        promotion: promoting even one of two aliased storages severs the
+        aliasing for the rest of the run, so a hit disables sharding for
+        the whole run (see :class:`_ShardContext`), not just for regions
+        that happen to ship both buffers.
+        """
+        storages = self._run_storages
+        for index, first in enumerate(storages):
+            for second in storages[index + 1:]:
+                if np.shares_memory(first.array, second.array):
+                    return True
+        return False
+
     def run(self, function_name: str, arguments: Sequence = ()) -> List:
         self._arg_sync = []
+        self._run_storages = []
         try:
             return super().run(function_name, arguments)
         finally:
             for original, storage in self._arg_sync:
-                if storage.shm_name is not None:
+                # a read-only input cannot have been mutated in a
+                # parity-preserving run, and copying back into it raises.
+                if storage.shm_name is not None and original.flags.writeable:
                     np.copyto(original, storage.array)
             self._arg_sync = []
+            self._run_storages = []
 
     @property
     def shard_stats(self) -> Dict[str, int]:

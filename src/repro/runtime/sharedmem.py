@@ -34,6 +34,7 @@ segments the parent still uses.
 from __future__ import annotations
 
 import atexit
+import errno
 import os
 import secrets
 import weakref
@@ -63,6 +64,28 @@ _ATTACHED: Dict[str, object] = {}
 _DECODED: Dict[str, MemRefStorage] = {}
 _OWNER_PID = os.getpid()
 _AVAILABLE: Optional[bool] = None
+#: where Linux backs shared segments; used for the free-space preflight.
+_SHM_DIR = "/dev/shm"
+
+
+def _check_shm_space(nbytes: int) -> None:
+    """Raise ENOSPC up front when the tmpfs cannot hold ``nbytes``.
+
+    ``SharedMemory(create=True)`` only ftruncates, and tmpfs extends the
+    file sparsely — actual exhaustion would otherwise surface as a SIGBUS
+    when the first copy touches unbackable pages, killing the process
+    instead of reaching the engine's demote-to-in-process OSError path.
+    Best-effort: platforms without a statvfs-able segment directory skip
+    the check and rely on segment creation failing.
+    """
+    try:
+        stats = os.statvfs(_SHM_DIR)
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return
+    if stats.f_bavail * stats.f_frsize < nbytes:
+        raise OSError(errno.ENOSPC,
+                      f"shared-memory segment of {nbytes} bytes exceeds the "
+                      f"free space in {_SHM_DIR}")
 
 
 if _shm_module is not None:
@@ -179,11 +202,16 @@ def promote(storage: MemRefStorage) -> MemRefStorage:
         return storage
     array = storage.array
     nbytes = max(1, int(array.nbytes))
+    _check_shm_space(HEADER_BYTES + nbytes)
     name = f"repro-{os.getpid()}-{secrets.token_hex(4)}"
     shm = _Segment(name=name, create=True, size=HEADER_BYTES + nbytes)
     _OWNED[name] = shm
     view = _segment_view(shm, array.dtype, array.shape)
     np.copyto(view, array)
+    # a read-only input stays read-only after promotion (and in every
+    # worker that decodes it — see encode/decode), so a kernel storing
+    # into it raises the same ValueError the in-process engines raise.
+    view.flags.writeable = bool(array.flags.writeable)
     storage.array = view
     storage.shm_name = name
     storage.shm_flags = _flags_view(shm)
@@ -198,7 +226,8 @@ def encode(storage: MemRefStorage) -> Tuple:
     promote(storage)
     return (storage.shm_name, storage.array.dtype.str, storage.array.shape,
             storage.memory_space, storage.element_type,
-            bool(storage.freed or storage.shm_flags[0]))
+            bool(storage.freed or storage.shm_flags[0]),
+            bool(storage.array.flags.writeable))
 
 
 def decode(descriptor: Tuple) -> MemRefStorage:
@@ -209,7 +238,8 @@ def decode(descriptor: Tuple) -> MemRefStorage:
     same buffer resolve to the same ``MemRefStorage`` object and array.
     The freed flag is re-read from the segment header on every decode.
     """
-    name, dtype_str, shape, memory_space, element_type, freed = descriptor
+    (name, dtype_str, shape, memory_space, element_type, freed,
+     writeable) = descriptor
     storage = _DECODED.get(name)
     if storage is None:
         shm = _ATTACHED.get(name)
@@ -220,6 +250,7 @@ def decode(descriptor: Tuple) -> MemRefStorage:
                 shm = _untracked_attach(name)
                 _ATTACHED[name] = shm
         array = _segment_view(shm, np.dtype(dtype_str), tuple(shape))
+        array.flags.writeable = writeable
         storage = MemRefStorage(array, memory_space, element_type)
         storage.shm_name = name
         storage.shm_flags = _flags_view(shm)

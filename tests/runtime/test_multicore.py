@@ -66,6 +66,59 @@ void launch(float* d_out, float* d_in, int n) {
 }
 """
 
+#: a racy kernel hiding behind a *two-store* stack cell: the branch is
+#: always taken, so j == n - tid and every thread writes out[tid + j]
+#: == out[n].  A load of a multi-store cell must classify lane-dirty —
+#: treating it as uniform would make tid + j look injective.
+TWO_STORE_CELL_CUDA = """
+__global__ void twostore(float* out, int n) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    int j = 0;
+    if (tid >= 0) { j = n - tid; }
+    out[tid + j] = 1.0f * tid;
+}
+
+void launch(float* d_out, int n) {
+    twostore<<<(n + 31) / 32, 32>>>(d_out, n);
+}
+"""
+
+#: a racy kernel hiding behind a *control-dependent* single store: threads
+#: with tid < n never take the branch, load the zero-initialized cell and
+#: collide on out[0].  Only a store that unconditionally dominates the
+#: load may hand its descriptor to the load.
+COND_STORE_CELL_CUDA = """
+__global__ void condstore(float* out, int n) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    int j;
+    if (tid >= n) { j = tid; }
+    out[j] = 1.0f * tid;
+}
+
+void launch(float* d_out, int n) {
+    condstore<<<(n + 31) / 32, 32>>>(d_out, n);
+}
+"""
+
+#: two regions where only the second ships both potentially-aliased
+#: buffers: sharding region one alone would already sever the aliasing.
+PARTIAL_ALIAS_CUDA = """
+__global__ void bump(float* a, int n) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < n) { a[tid] = a[tid] + 1.0f; }
+}
+
+__global__ void combine(float* a, float* b, int n) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < n) { a[tid] = a[tid] + b[tid]; }
+}
+
+void launch(float* x, float* y, int n) {
+    bump<<<(n + 31) / 32, 32>>>(x, n);
+    combine<<<(n + 31) / 32, 32>>>(x, y, n);
+}
+"""
+
 
 @pytest.fixture(scope="module", autouse=True)
 def _teardown_pools():
@@ -163,6 +216,25 @@ class TestShardAnalysis:
         assert engine.shard_stats["dispatches"] == 0
         np.testing.assert_array_equal(output, reference)
 
+    @pytest.mark.parametrize("source", [TWO_STORE_CELL_CUDA,
+                                        COND_STORE_CELL_CUDA],
+                             ids=["two-store-cell", "cond-store-cell"])
+    def test_racy_stack_cell_patterns_never_dispatch(self, source):
+        """Cell loads whose value is not pinned by a single dominating
+        top-level store must classify lane-dirty: both kernels collide on
+        one output element, so dispatching them would race."""
+        module = compile_cuda(source, cuda_lower=True,
+                              options=PipelineOptions.all_optimizations())
+        n = 256
+        size = n + 32
+        reference = np.zeros(size, dtype=np.float32)
+        Interpreter(module).run("launch", [reference, n])
+        engine = MulticoreEngine(module, workers=2)
+        output = np.zeros(size, dtype=np.float32)
+        engine.run("launch", [output, n])
+        assert engine.shard_stats["dispatches"] == 0
+        np.testing.assert_array_equal(output, reference)
+
     def test_non_dyadic_machine_disables_sharding(self):
         bench = BENCHMARKS["matmul"]
         module = bench.compile_cuda(PipelineOptions.all_optimizations())
@@ -241,6 +313,79 @@ class TestExecution:
         engine.run("launch", [shared, shared, n])  # in-place out == in
         assert engine.shard_stats["dispatches"] == 0
         np.testing.assert_array_equal(shared, expected)
+
+    @needs_pool
+    def test_partial_aliasing_across_regions_stays_in_process(self):
+        """Aliasing is a *run*-level property: the first region ships only
+        one of the two aliased buffers, so a per-dispatch check would let
+        its promotion sever the aliasing for every later region."""
+        module = compile_cuda(PARTIAL_ALIAS_CUDA, cuda_lower=True,
+                              options=PipelineOptions.all_optimizations())
+        n = 256
+        reference = np.arange(n, dtype=np.float32)
+        Interpreter(module).run("launch", [reference, reference, n])
+        shared = np.arange(n, dtype=np.float32)
+        engine = MulticoreEngine(module, workers=2)
+        engine.run("launch", [shared, shared, n])
+        assert engine.shard_stats["dispatches"] == 0
+        np.testing.assert_array_equal(shared, reference)
+
+    @needs_pool
+    def test_promotion_failure_degrades_to_in_process(self, monkeypatch):
+        """/dev/shm filling up mid-run (promote raising OSError) must
+        demote the run to in-process execution, not abort it."""
+        from repro.runtime import sharedmem
+
+        def full_shm(storage):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(sharedmem, "promote", full_shm)
+        module = compile_cuda(OWNED_CUDA, cuda_lower=True,
+                              options=PipelineOptions.all_optimizations())
+        n = 256
+        out = np.zeros(n, dtype=np.float32)
+        data = np.arange(n, dtype=np.float32)
+        engine = MulticoreEngine(module, workers=2)
+        engine.run("launch", [out, data, n])
+        assert engine.shard_stats["dispatches"] == 0
+        assert engine.shard_stats["inline_runs"] >= 1
+        assert engine._program._pool_broken
+        assert not engine._program._pools  # idle workers released, not leaked
+        np.testing.assert_array_equal(out, data * 3.0)
+
+    @needs_pool
+    def test_read_only_input_survives_promotion(self):
+        """A read-only input that ships to workers is promoted; the
+        end-of-run copy-back must skip it instead of raising."""
+        module = compile_cuda(OWNED_CUDA, cuda_lower=True,
+                              options=PipelineOptions.all_optimizations())
+        n = 256
+        out = np.zeros(n, dtype=np.float32)
+        data = np.arange(n, dtype=np.float32)
+        data.setflags(write=False)
+        engine = MulticoreEngine(module, workers=2)
+        engine.run("launch", [out, data, n])
+        assert engine.shard_stats["dispatches"] == 1
+        np.testing.assert_array_equal(out, np.arange(n, dtype=np.float32) * 3.0)
+        assert not data.flags.writeable
+
+    @needs_pool
+    def test_write_to_read_only_buffer_raises_like_other_engines(self):
+        """A kernel storing into a read-only buffer raises ValueError on
+        every in-process engine; sharded workers see a read-only view of
+        the promoted segment, so multicore raises too instead of silently
+        writing (and then discarding) a shared copy."""
+        from repro.runtime import CompiledEngine
+        module = compile_cuda(OWNED_CUDA, cuda_lower=True,
+                              options=PipelineOptions.all_optimizations())
+        n = 256
+        data = np.arange(n, dtype=np.float32)
+        for make in (lambda: CompiledEngine(module),
+                     lambda: MulticoreEngine(module, workers=2)):
+            out = np.zeros(n, dtype=np.float32)
+            out.setflags(write=False)
+            with pytest.raises(ValueError):
+                make().run("launch", [out, data, n])
 
     @needs_pool
     def test_worker_segment_caches_evicted_between_runs(self):

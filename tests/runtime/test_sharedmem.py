@@ -70,6 +70,23 @@ class TestPromotion:
         gc.collect()
         assert sharedmem.owned_segment_count() == before
 
+    def test_space_preflight_raises_before_segment_creation(self):
+        """tmpfs exhaustion must surface as a catchable OSError up front
+        (segment creation only ftruncates sparsely — without the preflight
+        a full /dev/shm shows up as SIGBUS on the first copy)."""
+        with pytest.raises(OSError):
+            sharedmem._check_shm_space(1 << 62)
+        sharedmem._check_shm_space(1)  # plenty of room for one byte
+
+    def test_promote_preserves_read_only_flag(self):
+        data = np.arange(6, dtype=np.float32)
+        data.setflags(write=False)
+        storage = MemRefStorage.from_numpy(data)
+        sharedmem.promote(storage)
+        assert not storage.array.flags.writeable
+        decoded = sharedmem.decode(sharedmem.encode(storage))
+        assert not decoded.array.flags.writeable
+
 
 def _child_read_write(descriptor, queue):
     sharedmem.mark_worker_process()

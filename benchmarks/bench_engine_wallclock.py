@@ -24,6 +24,13 @@ worker and >= 2x over the compiled engine on the barrier-free matmul — are
 actually exposes >= 4 CPUs (single-core CI boxes record the numbers with
 ``floors_enforced: false`` instead of failing on physics).
 
+A second section measures the **kernel compile cache**
+(:mod:`repro.runtime.cache`): cold ``compile_cuda`` (parse + full pass
+pipeline, cache bypassed) vs. warm (memory-tier hit returning a private
+copy) and warm-shared (canonical cached object) on Rodinia kernels.  The
+warm path must be >= 10x faster than cold; results land in the
+``compile_cache`` entry of ``BENCH_engine.json``.
+
 Run directly (``python benchmarks/bench_engine_wallclock.py``) or via pytest
 (``pytest benchmarks/bench_engine_wallclock.py``).
 """
@@ -38,6 +45,7 @@ from repro.runtime import (
     Interpreter,
     MulticoreEngine,
     VectorizedEngine,
+    clear_global_cache,
     multicore_available,
     shutdown_worker_pools,
 )
@@ -45,6 +53,13 @@ from repro.runtime.multicore import available_cpus
 from repro.transforms import PipelineOptions
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: warm-over-cold compile floor enforced on every measured kernel.
+COMPILE_CACHE_FLOOR = 10.0
+
+#: Rodinia kernels timed through the compile cache (barrier-free and
+#: barrier-heavy pipelines have very different pass workloads).
+COMPILE_CACHE_KERNELS = ("matmul", "hotspot", "backprop layerforward")
 
 MULTICORE_WORKER_COUNTS = (1, 2, 4)
 
@@ -152,6 +167,36 @@ def run_case(label, bench_name, compile_kwargs, scale, with_multicore,
     }
 
 
+def _best_of(callable_, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_compile_cache_case(repeats=5):
+    """Cold vs. warm ``compile_cuda`` wall clock through the kernel cache."""
+    results = {}
+    for name in COMPILE_CACHE_KERNELS:
+        bench = BENCHMARKS[name]
+        clear_global_cache()
+        cold = _best_of(lambda: bench.compile_cuda(cache=False), repeats)
+        bench.compile_cuda()  # populate the cache once
+        warm = _best_of(lambda: bench.compile_cuda(), repeats)
+        warm_shared = _best_of(lambda: bench.compile_cuda(cache="shared"), repeats)
+        results[name] = {
+            "cold_seconds": cold,
+            "warm_seconds": warm,
+            "warm_shared_seconds": warm_shared,
+            "warm_speedup": cold / warm,
+            "warm_shared_speedup": cold / warm_shared,
+            "required_warm_speedup": COMPILE_CACHE_FLOOR,
+        }
+    return results
+
+
 def run_all(write=True):
     results = {}
     for label, bench_name, compile_kwargs, scale, with_mc, floors, pfloors in CASES:
@@ -169,6 +214,15 @@ def run_all(write=True):
                 f"have {entry['parallel_cpus']}")
             print(f"  {key}: {entry['speedups'][key]:.2f}x "
                   f"(floor {spec['floor']:.0f}x, {state})")
+    cache_entry = run_compile_cache_case()
+    results["compile_cache"] = cache_entry
+    for name, row in cache_entry.items():
+        print(f"compile_cache {name}: cold {row['cold_seconds'] * 1e3:.1f} ms  "
+              f"warm {row['warm_seconds'] * 1e3:.2f} ms "
+              f"({row['warm_speedup']:.0f}x, floor "
+              f"{row['required_warm_speedup']:.0f}x)  warm-shared "
+              f"{row['warm_shared_seconds'] * 1e6:.0f} us "
+              f"({row['warm_shared_speedup']:.0f}x)")
     if write:
         RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
         print(f"wrote {RESULT_PATH}")
@@ -178,7 +232,14 @@ def run_all(write=True):
 
 def test_engine_wallclock_speedup():
     results = run_all(write=True)
+    for name, row in results["compile_cache"].items():
+        assert row["warm_speedup"] >= row["required_warm_speedup"], (
+            f"compile_cache {name}: warm hit only {row['warm_speedup']:.1f}x "
+            f"over cold, needs >= {row['required_warm_speedup']:.0f}x")
+        assert row["warm_shared_speedup"] >= row["required_warm_speedup"]
     for label, entry in results.items():
+        if label == "compile_cache":
+            continue
         for key, floor in entry["required_speedups"].items():
             assert entry["speedups"][key] >= floor, (
                 f"{label}: {key} only {entry['speedups'][key]:.2f}x, "

@@ -4,6 +4,12 @@
 drop-in replacement for the CUDA compiler, with two extra flags —
 ``-cuda-lower`` to request GPU-to-CPU translation and ``-cpuify=<opts>`` to
 select the lowering method / optimization set.
+
+Every call goes through the content-addressed kernel cache
+(:mod:`repro.runtime.cache`): the first compile of a (source, options,
+pipeline) combination pays parse + pipeline, repeats are a cache lookup —
+in-process always, across processes when ``REPRO_CACHE=1`` enables the
+disk tier.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from typing import Optional
 
 from ..dialects.func import ModuleOp
 from ..ir import verify
+from ..runtime.cache import global_cache, kernel_key
 from ..transforms import PipelineOptions, cpuify
 from .parser import parse
 from .codegen import generate_module
@@ -31,7 +38,8 @@ def compile_cuda(source: str, filename: str = "<cuda>", *,
                  cpuify_options: Optional[str] = None,
                  options: Optional[PipelineOptions] = None,
                  noalias: bool = True,
-                 run_verifier: bool = True) -> ModuleOp:
+                 run_verifier: bool = True,
+                 cache: object = True) -> ModuleOp:
     """Compile CUDA-C source text into an IR module.
 
     Parameters
@@ -46,15 +54,32 @@ def compile_cuda(source: str, filename: str = "<cuda>", *,
     noalias:
         treat distinct pointer arguments as non-aliasing (the calling contexts
         of the bundled benchmarks guarantee this, matching §IV-A).
+    cache:
+        ``True`` (default) consults the process-wide kernel cache and returns
+        a private module copy on a hit; ``"shared"`` returns the retained
+        canonical module object (fastest warm path — executor construction is
+        amortized too — but the module must not be mutated); ``False``
+        bypasses the cache entirely (e.g. to time the real pipeline).
     """
-    program = parse(source, filename)
-    module = generate_module(program, noalias=noalias)
-    if run_verifier:
-        verify(module)
+    pipeline_options: Optional[PipelineOptions] = None
     if cuda_lower:
         pipeline_options = options
         if pipeline_options is None:
             pipeline_options = (PipelineOptions.from_flags(cpuify_options)
                                 if cpuify_options else PipelineOptions.all_optimizations())
+    key = None
+    if cache:
+        key = kernel_key(source, cuda_lower=cuda_lower,
+                         options=pipeline_options, noalias=noalias)
+        cached = global_cache().lookup(key, shared=(cache == "shared"))
+        if cached is not None:
+            return cached
+    program = parse(source, filename)
+    module = generate_module(program, noalias=noalias)
+    if run_verifier:
+        verify(module)
+    if cuda_lower:
         cpuify(module, pipeline_options)
+    if key is not None:
+        global_cache().insert(key, module, shared=(cache == "shared"))
     return module

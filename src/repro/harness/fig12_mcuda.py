@@ -48,7 +48,9 @@ def run(threads: Sequence[int] = DEFAULT_THREADS,
     bench = BENCHMARKS["matmul"]
     results: Dict[str, Dict[tuple, float]] = {name: {} for name in CONFIGURATIONS}
     for name, options in CONFIGURATIONS.items():
-        module = bench.compile_cuda(options)
+        # shared cache mode: re-running the harness in one process (or with
+        # REPRO_CACHE=1 across processes) skips the compile entirely.
+        module = bench.compile_cuda(options, cache="shared")
         for scale in scales:
             size = 16 * scale
             for thread_count in threads:

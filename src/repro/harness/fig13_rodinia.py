@@ -132,8 +132,10 @@ def run_pass_stats(benchmarks: Optional[Sequence[str]] = None,
     sections: List[str] = []
     for name in names:
         bench = BENCHMARKS[name]
+        # bypass the kernel cache: this path exists to *time* the pipeline,
+        # and it mutates the un-lowered module in place.
         module = compile_cuda(bench.cuda_source, filename=f"{bench.name}.cu",
-                              cuda_lower=False)
+                              cuda_lower=False, cache=False)
         if verbose:
             print(f"{name}:")
         pipeline = build_pipeline(options, verbose=verbose)

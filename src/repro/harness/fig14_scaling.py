@@ -54,7 +54,7 @@ def run(benchmarks: Optional[Sequence[str]] = None, *,
     for name in names:
         bench = BENCHMARKS[name]
         results[name] = {"CUDA-OpenMP": {}}
-        cuda_module = bench.compile_cuda(options)
+        cuda_module = bench.compile_cuda(options, cache="shared")
         for thread_count in threads:
             report = run_module(cuda_module, bench.entry, bench.make_inputs(scale),
                                 machine=machine, threads=thread_count, engine=engine)
@@ -122,7 +122,7 @@ def run_wallclock(benchmarks: Optional[Sequence[str]] = None, *,
     results: Dict[str, Dict[int, float]] = {}
     for name in names:
         bench = BENCHMARKS[name]
-        module = bench.compile_cuda(options)
+        module = bench.compile_cuda(options, cache="shared")
         results[name] = {}
         for worker_count in workers:
             executor = make_executor(module, engine=engine, workers=worker_count)

@@ -28,7 +28,15 @@ from .resnet import (
     throughput_images_per_second,
     training_step_cycles,
 )
-from .shim import DeviceProperties, MocCUDASession, NLL_LOSS_CUDA, Stream
+from .shim import (
+    CompiledKernel,
+    CudaEvent,
+    DeviceProperties,
+    MocCUDASession,
+    NLL_LOSS_CUDA,
+    Stream,
+    async_streams_default,
+)
 
 __all__ = [
     "Tensor", "avg_pool2d", "batch_norm", "conv2d_direct", "conv2d_im2col",
@@ -36,5 +44,6 @@ __all__ = [
     "BACKENDS", "BackendProfile", "ConvShape", "conv2d", "conv_layer_cycles",
     "RESNET50_LAYERS", "LayerSpec", "relative_throughput",
     "throughput_images_per_second", "training_step_cycles",
-    "DeviceProperties", "MocCUDASession", "NLL_LOSS_CUDA", "Stream",
+    "CompiledKernel", "CudaEvent", "DeviceProperties", "MocCUDASession",
+    "NLL_LOSS_CUDA", "Stream", "async_streams_default",
 ]

@@ -8,22 +8,54 @@ CPU BLAS, and PyTorch's *custom* CUDA kernels (NLL loss — which uses
 ``__syncthreads`` — softmax, element-wise ops) are transpiled by Polygeist.
 
 This module reproduces that structure: an interception table, an emulated
-device, an asynchronous stream queue, and the NLL-loss CUDA kernel compiled
+device, *asynchronous* stream queues, and the NLL-loss CUDA kernel compiled
 through :func:`repro.frontend.compile_cuda` and executed on the simulated
 CPU.
+
+Streams are truly asynchronous (GCD-style): each :class:`Stream` owns a
+single worker thread, so enqueued tasks and kernel launches run in FIFO
+order *concurrently with the host thread* and with other streams.
+:class:`CudaEvent` objects (``record`` / ``query`` / ``synchronize`` plus
+``Stream.wait_event``) provide cross-stream ordering, exactly like
+``cudaEventRecord`` / ``cudaStreamWaitEvent``.  Back-to-back launches of the
+same compiled kernel on one stream are *coalesced*: while a dispatch is
+still queued, further launches of the same :class:`CompiledKernel` append
+to it and the whole batch executes as one executor dispatch.
+
+Kernels compile once per session through the content-addressed kernel cache
+(:mod:`repro.runtime.cache`, shared mode), so the warm launch path is a
+cache lookup + dispatch rather than parse + pass pipeline + engine
+construction.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..frontend import compile_cuda
-from ..runtime import A64FX_CMG, make_executor, resolve_engine
+from ..runtime import A64FX_CMG, MachineModel, make_executor, resolve_engine
 from ..transforms import PipelineOptions
+
+#: environment knob: set to ``0`` to fall back to synchronous (drain-on-
+#: synchronize) stream semantics.
+ASYNC_ENV_VAR = "REPRO_ASYNC_STREAMS"
+
+#: ceiling on any single blocking wait inside the shim; a cross-stream
+#: dependency cycle then raises instead of deadlocking the test suite.
+DEFAULT_WAIT_TIMEOUT = 60.0
+
+
+def async_streams_default() -> bool:
+    """Process default for stream asynchrony (``REPRO_ASYNC_STREAMS``)."""
+    return os.environ.get(ASYNC_ENV_VAR, "1").strip().lower() not in (
+        "0", "false", "no", "off")
 
 
 # ---------------------------------------------------------------------------
@@ -41,23 +73,265 @@ class DeviceProperties:
     compute_capability: tuple = (7, 5)
 
 
+# ---------------------------------------------------------------------------
+# Events (cudaEvent_t analogue)
+# ---------------------------------------------------------------------------
+class CudaEvent:
+    """A CUDA event: a completion marker recorded into a stream.
+
+    Mirrors CUDART semantics: an event that has never been recorded counts
+    as complete; ``record`` resets it until the recording stream's queue
+    reaches the marker.  ``query`` never blocks; ``synchronize`` blocks the
+    host; ``Stream.wait_event`` blocks a *stream* (not the host) until the
+    event fires, giving cross-stream ordering.
+    """
+
+    def __init__(self, event_id: int = 0) -> None:
+        self.event_id = event_id
+        self._fired = threading.Event()
+        self._fired.set()  # never recorded == complete (CUDART behavior)
+        self._lock = threading.Lock()
+        self._generation = 0
+
+    def _reset(self) -> int:
+        """Start a new recording; only the marker of the *latest* record may
+        fire the event (CUDART: re-recording supersedes the old record)."""
+        with self._lock:
+            self._generation += 1
+            self._fired.clear()
+            return self._generation
+
+    def _fire(self, generation: Optional[int] = None) -> None:
+        with self._lock:
+            if generation is not None and generation != self._generation:
+                return  # a stale marker from a superseded record
+            self._fired.set()
+
+    def query(self) -> bool:
+        """True when every task enqueued before the last ``record`` ran."""
+        return self._fired.is_set()
+
+    def synchronize(self, timeout: Optional[float] = DEFAULT_WAIT_TIMEOUT) -> None:
+        """Block the host until the event fires."""
+        if not self._fired.wait(timeout):
+            raise RuntimeError(
+                f"timed out after {timeout}s waiting for event {self.event_id}")
+
+    def record(self, stream: "Stream") -> "CudaEvent":
+        """Record this event into ``stream`` (convenience mirror of
+        :meth:`Stream.record_event`)."""
+        stream.record_event(self)
+        return self
+
+
+# ---------------------------------------------------------------------------
+# Streams (GCD-style task queues with a real worker thread)
+# ---------------------------------------------------------------------------
+class _LaunchBatch:
+    """A pending dispatch: one kernel, one or more coalesced launches."""
+
+    __slots__ = ("kernel", "arg_lists", "started")
+
+    def __init__(self, kernel: "CompiledKernel", args: Sequence) -> None:
+        self.kernel = kernel
+        self.arg_lists: List[Sequence] = [args]
+        self.started = False
+
+
 class Stream:
-    """A CUDA stream emulated as an in-order task queue (GCD-style)."""
+    """A CUDA stream emulated as an in-order asynchronous task queue.
 
-    def __init__(self, stream_id: int) -> None:
+    ``asynchronous=True`` (the default) backs the stream with a dedicated
+    worker thread: tasks start executing as soon as they are enqueued, in
+    FIFO order, overlapping with the host and with other streams —
+    ``synchronize`` only *waits*.  ``asynchronous=False`` restores the
+    legacy semantics where the queue drains inside ``synchronize``.
+
+    ``synchronize`` returns the number of queue tasks completed since the
+    previous synchronize (a coalesced launch batch counts as a single
+    task); per-kind counters live in :attr:`stats`.
+    """
+
+    def __init__(self, stream_id: int, asynchronous: Optional[bool] = None) -> None:
         self.stream_id = stream_id
-        self._queue: Deque[Callable[[], None]] = deque()
+        self.asynchronous = (async_streams_default()
+                             if asynchronous is None else asynchronous)
+        self._lock = threading.Lock()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._pending: List[Future] = []
+        self._sync_queue: Deque[Callable[[], None]] = deque()
+        self._completed_since_sync = 0
+        self._tail_batch: Optional[_LaunchBatch] = None
+        self.stats: Dict[str, int] = {
+            "tasks": 0, "launches": 0, "dispatches": 0, "coalesced": 0}
 
+    # -- submission machinery ---------------------------------------------------
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix=f"moccuda-stream{self.stream_id}")
+        return self._executor
+
+    def _submit(self, work: Callable[[], None]) -> None:
+        """Queue one unit of work, counted once on completion."""
+        def run() -> None:
+            try:
+                work()
+            finally:
+                with self._lock:
+                    self._completed_since_sync += 1
+
+        if self.asynchronous:
+            with self._lock:
+                executor = self._ensure_executor()
+                self._pending.append(executor.submit(run))
+        else:
+            self._sync_queue.append(run)
+
+    # -- public queue API --------------------------------------------------------
     def enqueue(self, task: Callable[[], None]) -> None:
-        self._queue.append(task)
+        """Enqueue an arbitrary host task (runs on the stream, FIFO)."""
+        with self._lock:
+            self._tail_batch = None  # an interleaved task ends the coalescing window
+            self.stats["tasks"] += 1
+        self._submit(task)
+
+    def launch(self, kernel: "CompiledKernel", args: Sequence) -> None:
+        """Enqueue a kernel launch, coalescing with a still-queued dispatch
+        of the same kernel."""
+        with self._lock:
+            self.stats["launches"] += 1
+            tail = self._tail_batch
+            if tail is not None and tail.kernel is kernel and not tail.started:
+                tail.arg_lists.append(args)
+                self.stats["coalesced"] += 1
+                return
+            batch = _LaunchBatch(kernel, args)
+            self._tail_batch = batch
+            self.stats["dispatches"] += 1
+
+        def run_batch() -> None:
+            with self._lock:
+                batch.started = True
+                if self._tail_batch is batch:
+                    self._tail_batch = None
+                arg_lists = list(batch.arg_lists)
+            kernel._dispatch(arg_lists)
+
+        self._submit(run_batch)
+
+    def record_event(self, event: CudaEvent) -> CudaEvent:
+        """Record ``event``: it fires when the queue reaches this point."""
+        generation = event._reset()
+        with self._lock:
+            self._tail_batch = None
+            self.stats["tasks"] += 1
+        self._submit(lambda: event._fire(generation))
+        return event
+
+    def wait_event(self, event: CudaEvent,
+                   timeout: Optional[float] = DEFAULT_WAIT_TIMEOUT) -> None:
+        """Make all *subsequent* work on this stream wait for ``event``
+        (blocks the stream's worker, never the host)."""
+        with self._lock:
+            self._tail_batch = None
+            self.stats["tasks"] += 1
+
+        def wait() -> None:
+            if not self.asynchronous:
+                # the drain runs on the host thread, so blocking here could
+                # never be satisfied by another stream making progress:
+                # fail fast instead of stalling out the timeout.
+                if not event._fired.is_set():
+                    raise RuntimeError(
+                        f"stream {self.stream_id}: cross-stream wait_event on "
+                        f"an unfired event requires asynchronous streams "
+                        f"(REPRO_ASYNC_STREAMS=0 drains on the host thread)")
+                return
+            if not event._fired.wait(timeout):
+                raise RuntimeError(
+                    f"stream {self.stream_id} timed out after {timeout}s "
+                    f"waiting for event {event.event_id}")
+
+        self._submit(wait)
 
     def synchronize(self) -> int:
-        """Drain the queue; returns the number of tasks executed."""
-        executed = 0
-        while self._queue:
-            self._queue.popleft()()
-            executed += 1
+        """Wait until the queue is empty; returns tasks completed since the
+        last synchronize.  The first exception raised by queued work
+        re-raises here (like ``cudaStreamSynchronize`` surfacing async
+        launch errors) — but only after the whole queue has drained, so a
+        caught error leaves the stream idle, not still executing."""
+        first_error: Optional[BaseException] = None
+        if self.asynchronous:
+            while True:
+                with self._lock:
+                    pending, self._pending = self._pending, []
+                if not pending:
+                    break
+                for future in pending:
+                    try:
+                        # no timeout: sync means *wait* — long kernels and
+                        # coalesced batches are legitimate.  Deadlock guards
+                        # live inside event waits, which time out on the
+                        # worker and surface here as task errors.
+                        future.result()
+                    except BaseException as error:  # noqa: BLE001
+                        if first_error is None:
+                            first_error = error
+        else:
+            while self._sync_queue:
+                try:
+                    self._sync_queue.popleft()()
+                except BaseException as error:  # noqa: BLE001
+                    if first_error is None:
+                        first_error = error
+        with self._lock:
+            executed = self._completed_since_sync
+            self._completed_since_sync = 0
+        if first_error is not None:
+            raise first_error
         return executed
+
+    def close(self) -> None:
+        """Drain the queue and release the worker thread."""
+        self.synchronize()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+# ---------------------------------------------------------------------------
+# Compiled kernel handles
+# ---------------------------------------------------------------------------
+class CompiledKernel:
+    """A kernel compiled once (through the kernel cache) and replayed.
+
+    Holds the canonical *shared* cached module, so repeated dispatches reuse
+    the per-module compiled-program caches of the execution engines; the
+    module is never mutated.  A batch of coalesced launches runs through one
+    executor, back to back.
+    """
+
+    def __init__(self, source: str, entry: str, *,
+                 filename: str = "<moccuda-kernel>",
+                 options: Optional[PipelineOptions] = None,
+                 engine: Optional[str] = None,
+                 machine: MachineModel = A64FX_CMG,
+                 workers: Optional[int] = None) -> None:
+        self.entry = entry
+        self.engine = engine
+        self.machine = machine
+        self.workers = workers
+        self.module = compile_cuda(source, filename=filename, cuda_lower=True,
+                                   options=options or PipelineOptions.all_optimizations(),
+                                   cache="shared")
+
+    def _dispatch(self, arg_lists: Sequence[Sequence]) -> None:
+        """Run one coalesced batch of launches through a single executor."""
+        executor = make_executor(self.module, engine=self.engine,
+                                 machine=self.machine, workers=self.workers)
+        for args in arg_lists:
+            executor.run(self.entry, args)
 
 
 # ---------------------------------------------------------------------------
@@ -104,20 +378,29 @@ class MocCUDASession:
     the multicore engine the transpiled NLL-loss launch is sharded across
     real CPU cores, which is the closest this reproduction gets to
     MocCUDA's actual many-core A64FX execution.
+
+    ``async_streams`` turns the thread-backed stream executors on or off
+    (``None`` = the ``REPRO_ASYNC_STREAMS`` process default, which is on).
     """
 
     def __init__(self, options: Optional[PipelineOptions] = None,
                  engine: Optional[str] = None,
-                 workers: Optional[int] = None) -> None:
+                 workers: Optional[int] = None,
+                 async_streams: Optional[bool] = None,
+                 machine: MachineModel = A64FX_CMG) -> None:
         self.device = DeviceProperties()
-        self.streams: Dict[int, Stream] = {0: Stream(0)}
+        self.async_streams = (async_streams_default()
+                              if async_streams is None else async_streams)
+        self.streams: Dict[int, Stream] = {0: Stream(0, self.async_streams)}
+        self.events: List[CudaEvent] = []
         self.call_log: List[str] = []
         self.options = options or PipelineOptions.all_optimizations()
         if engine is not None:
             resolve_engine(engine)  # fail fast on a bad engine name
         self.engine = engine
         self.workers = workers
-        self._nll_module = None
+        self.machine = machine
+        self._kernels: Dict[tuple, CompiledKernel] = {}
 
     # -- CUDART surface -------------------------------------------------------
     def cuda_get_device_properties(self) -> DeviceProperties:
@@ -125,7 +408,7 @@ class MocCUDASession:
         return self.device
 
     def cuda_stream_create(self) -> Stream:
-        stream = Stream(len(self.streams))
+        stream = Stream(len(self.streams), self.async_streams)
         self.streams[stream.stream_id] = stream
         self.call_log.append("cudaStreamCreate")
         return stream
@@ -133,6 +416,33 @@ class MocCUDASession:
     def cuda_stream_synchronize(self, stream_id: int = 0) -> int:
         self.call_log.append("cudaStreamSynchronize")
         return self.streams[stream_id].synchronize()
+
+    def cuda_device_synchronize(self) -> int:
+        """Synchronize every stream; returns total tasks drained."""
+        self.call_log.append("cudaDeviceSynchronize")
+        return sum(stream.synchronize() for stream in self.streams.values())
+
+    def cuda_event_create(self) -> CudaEvent:
+        event = CudaEvent(len(self.events))
+        self.events.append(event)
+        self.call_log.append("cudaEventCreate")
+        return event
+
+    def cuda_event_record(self, event: CudaEvent, stream_id: int = 0) -> CudaEvent:
+        self.call_log.append("cudaEventRecord")
+        return self.streams[stream_id].record_event(event)
+
+    def cuda_event_query(self, event: CudaEvent) -> bool:
+        self.call_log.append("cudaEventQuery")
+        return event.query()
+
+    def cuda_event_synchronize(self, event: CudaEvent) -> None:
+        self.call_log.append("cudaEventSynchronize")
+        event.synchronize()
+
+    def cuda_stream_wait_event(self, stream_id: int, event: CudaEvent) -> None:
+        self.call_log.append("cudaStreamWaitEvent")
+        self.streams[stream_id].wait_event(event)
 
     def cuda_malloc(self, num_bytes: int) -> np.ndarray:
         self.call_log.append("cudaMalloc")
@@ -149,22 +459,62 @@ class MocCUDASession:
         return a @ b
 
     # -- transpiled custom kernels --------------------------------------------------
-    def _nll_loss_module(self):
-        if self._nll_module is None:
-            self._nll_module = compile_cuda(NLL_LOSS_CUDA, filename="nll_loss.cu",
-                                            cuda_lower=True, options=self.options)
-        return self._nll_module
+    def compile_kernel(self, source: str, entry: str, *,
+                       filename: str = "<moccuda-kernel>") -> CompiledKernel:
+        """Compile (or fetch from the kernel cache) a custom CUDA kernel.
+
+        Handles are memoized per session by (source, entry) — two kernels
+        sharing an entry-point name stay distinct — and the underlying
+        module is content-addressed process-wide, so repeated sessions pay
+        the pass pipeline once.
+        """
+        memo_key = (entry, source)
+        handle = self._kernels.get(memo_key)
+        if handle is None:
+            handle = CompiledKernel(source, entry, filename=filename,
+                                    options=self.options, engine=self.engine,
+                                    machine=self.machine, workers=self.workers)
+            self._kernels[memo_key] = handle
+        return handle
+
+    def launch_kernel(self, kernel: CompiledKernel, args: Sequence, *,
+                      stream_id: int = 0) -> None:
+        """Asynchronously launch a compiled kernel on a stream (coalesces
+        with a still-queued launch of the same kernel)."""
+        self.call_log.append("cudaLaunchKernel")
+        self.streams[stream_id].launch(kernel, args)
+
+    def _nll_loss_kernel(self) -> CompiledKernel:
+        return self.compile_kernel(NLL_LOSS_CUDA, "nll_loss",
+                                   filename="nll_loss.cu")
 
     def nll_loss(self, log_probs: np.ndarray, targets: np.ndarray) -> float:
-        """Run the Polygeist-transpiled ClassNLLCriterion kernel on the CPU."""
+        """Run the Polygeist-transpiled ClassNLLCriterion kernel on the CPU.
+
+        The launch goes through the default stream's asynchronous queue and
+        is synchronized before the scalar loss is read back — the same
+        launch / sync shape PyTorch produces through CUDART.
+        """
         self.call_log.append("ClassNLLCriterion_updateOutput")
         batch, classes = log_probs.shape
         if batch > 32:
             raise ValueError("the transpiled kernel handles one warp (<=32 samples) per launch")
         losses = np.zeros(32, dtype=np.float32)
         total = np.zeros(1, dtype=np.float32)
-        executor = make_executor(self._nll_loss_module(), engine=self.engine,
-                                 machine=A64FX_CMG, workers=self.workers)
-        executor.run("nll_loss", [np.ascontiguousarray(log_probs.reshape(-1)),
-                                  targets.astype(np.int64), losses, total, batch, classes])
+        self.launch_kernel(self._nll_loss_kernel(),
+                           [np.ascontiguousarray(log_probs.reshape(-1)),
+                            targets.astype(np.int64), losses, total, batch, classes])
+        self.cuda_stream_synchronize(0)
         return float(total[0])
+
+    # -- lifecycle ------------------------------------------------------------
+    def close(self) -> None:
+        """Drain and release every stream's worker thread."""
+        for stream in self.streams.values():
+            stream.close()
+
+    def __enter__(self) -> "MocCUDASession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -34,6 +34,9 @@ sizes the multicore pool).  Engines self-register in
   and the per-operation/memory cost tables.
 * :class:`~repro.runtime.memory.MemRefStorage` is the numpy-backed buffer
   type shared by all execution modes.
+* :mod:`~repro.runtime.cache` is the content-addressed kernel compile
+  cache behind :func:`repro.frontend.compile_cuda` (in-process LRU always;
+  on-disk tier with ``REPRO_CACHE=1`` / ``REPRO_CACHE_DIR``).
 """
 
 from .errors import InterpreterError, UseAfterFreeError
@@ -46,6 +49,13 @@ from .costmodel import (
     XEON_8375C,
     memory_access_cost,
     op_cost,
+)
+from .cache import (
+    KernelCache,
+    clear_global_cache,
+    global_cache,
+    kernel_key,
+    pipeline_fingerprint,
 )
 from .registry import engine_names, register_engine
 from .interpreter import Interpreter
@@ -80,6 +90,8 @@ __all__ = [
     "VectorizedEngine", "machine_vectorizable",
     "MulticoreEngine", "default_workers", "multicore_available",
     "shutdown_worker_pools",
+    "KernelCache", "clear_global_cache", "global_cache", "kernel_key",
+    "pipeline_fingerprint",
     "engine_names", "register_engine",
     "ENGINE_COMPILED", "ENGINE_ENV_VAR", "ENGINE_INTERP", "ENGINE_MULTICORE",
     "ENGINE_VECTORIZED", "ENGINES", "default_engine", "execute",

@@ -1,0 +1,347 @@
+"""Content-addressed kernel compile cache: memory LRU + optional disk tier.
+
+The paper's MocCUDA layer (§V-B) compiles each intercepted CUDA kernel once
+and replays the compiled artifact on every subsequent launch; this module
+gives the reproduction the same amortization for *every* entry point that
+goes through :func:`repro.frontend.compile_cuda` (the Rodinia suite, the
+figure harnesses, the MocCUDA shim, user code).
+
+A cache entry is keyed by the *content* of the compilation request:
+
+* the SHA-256 of the CUDA-C source text,
+* whether the GPU-to-CPU pipeline runs (``cuda_lower``),
+* the full :class:`~repro.transforms.PipelineOptions` configuration,
+* a fingerprint of the pass pipeline those options assemble (pass names and
+  their constructor state, in order), so editing the pipeline invalidates
+  old entries, and
+* the frontend ``noalias`` assumption.
+
+Two tiers:
+
+* an in-process LRU holding the **pickled** module bytes.  A hit is
+  deserialized into a private module copy by default (callers may mutate it
+  freely, ~100x faster than a cold compile), or returned as the retained
+  *shared* canonical object with ``shared=True`` — the mode the MocCUDA
+  stream executor uses so the per-module compiled-program caches
+  (:mod:`repro.runtime.compiler`) amortize executor construction too.
+  Shared modules must not be mutated (same contract as
+  :func:`repro.runtime.invalidate_compiled`).
+* an optional on-disk pickle tier, enabled with ``REPRO_CACHE=1`` and
+  located at ``REPRO_CACHE_DIR`` (default ``~/.cache/repro-kernel-cache``),
+  surviving process restarts.  Corrupt, truncated or stale entries (format
+  or key mismatch after a pipeline change) silently fall back to a fresh
+  compile and are rewritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional
+
+from ..transforms import PipelineOptions
+
+#: bump when the pickle payload layout (not the IR) changes.
+CACHE_FORMAT = 1
+
+#: environment knobs.
+DISK_ENV_VAR = "REPRO_CACHE"
+DISK_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+CAPACITY_ENV_VAR = "REPRO_CACHE_CAPACITY"
+
+_DEFAULT_CAPACITY = 256
+
+
+# ---------------------------------------------------------------------------
+# Key computation
+# ---------------------------------------------------------------------------
+_FINGERPRINTS: Dict[PipelineOptions, str] = {}
+_FINGERPRINT_LOCK = threading.Lock()
+
+
+def _pass_state(pass_) -> str:
+    """A stable rendering of a pass's constructor state (simple attrs only)."""
+    items = []
+    for name in sorted(vars(pass_)):
+        value = getattr(pass_, name)
+        if isinstance(value, (bool, int, float, str, type(None))):
+            items.append(f"{name}={value!r}")
+    return ",".join(items)
+
+
+def pipeline_fingerprint(options: PipelineOptions) -> str:
+    """Fingerprint of the pass pipeline ``options`` assembles.
+
+    Covers the ordered pass names and each pass's simple constructor state,
+    so a change to :func:`repro.transforms.cpuify.build_pipeline` (or to a
+    pass default) keys differently and old cache entries become stale.
+    """
+    with _FINGERPRINT_LOCK:
+        cached = _FINGERPRINTS.get(options)
+    if cached is not None:
+        return cached
+    from ..transforms.cpuify import build_pipeline
+
+    pm = build_pipeline(options)
+    text = ";".join(f"{p.NAME}({_pass_state(p)})" for p in pm.passes)
+    digest = hashlib.sha256(text.encode()).hexdigest()[:16]
+    with _FINGERPRINT_LOCK:
+        _FINGERPRINTS[options] = digest
+    return digest
+
+
+def kernel_key(source: str, *, cuda_lower: bool = False,
+               options: Optional[PipelineOptions] = None,
+               noalias: bool = True) -> str:
+    """The content-addressed cache key for one ``compile_cuda`` request."""
+    parts = [f"format:{CACHE_FORMAT}", f"noalias:{noalias}",
+             f"cuda_lower:{cuda_lower}"]
+    if cuda_lower:
+        resolved = options or PipelineOptions.all_optimizations()
+        parts.append(f"options:{resolved!r}")
+        parts.append(f"pipeline:{pipeline_fingerprint(resolved)}")
+    hasher = hashlib.sha256("\n".join(parts).encode("utf-8"))
+    hasher.update(b"\x00")
+    hasher.update(source.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# The cache
+# ---------------------------------------------------------------------------
+@dataclass
+class CacheStats:
+    """Counters for the cache's behavior (reset with ``reset_stats``)."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    disk_stores: int = 0
+    disk_errors: int = 0
+    uncacheable: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+
+@dataclass
+class _Entry:
+    blob: bytes
+    #: the retained canonical module, materialized on first shared lookup.
+    shared_module: object = field(default=None, repr=False)
+
+
+class KernelCache:
+    """Two-tier (memory LRU + optional disk) cache of compiled modules.
+
+    ``disk_dir=None`` (the default for the process-global cache) consults
+    the ``REPRO_CACHE`` / ``REPRO_CACHE_DIR`` environment on every
+    operation, so tests and services can toggle the disk tier at runtime;
+    pass an explicit path to pin it, or ``disk_dir=False`` to disable.
+    """
+
+    def __init__(self, capacity: Optional[int] = None,
+                 disk_dir: object = None) -> None:
+        if capacity is None:
+            capacity = int(os.environ.get(CAPACITY_ENV_VAR, _DEFAULT_CAPACITY))
+        self.capacity = max(1, capacity)
+        self._disk_dir = disk_dir
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    # -- disk-tier configuration ------------------------------------------------
+    def disk_path(self) -> Optional[Path]:
+        """The active disk-tier directory, or ``None`` when disabled."""
+        if self._disk_dir is False:
+            return None
+        if self._disk_dir is not None:
+            return Path(self._disk_dir)
+        if os.environ.get(DISK_ENV_VAR, "").strip().lower() in ("1", "true", "yes", "on"):
+            configured = os.environ.get(DISK_DIR_ENV_VAR)
+            if configured:
+                return Path(configured)
+            return Path.home() / ".cache" / "repro-kernel-cache"
+        return None
+
+    def _entry_path(self, key: str) -> Optional[Path]:
+        directory = self.disk_path()
+        return None if directory is None else directory / f"{key}.pkl"
+
+    # -- lookup / insert -----------------------------------------------------
+    def lookup(self, key: str, *, shared: bool = False):
+        """Return a module for ``key`` or ``None``.
+
+        ``shared=False`` deserializes a private copy the caller owns;
+        ``shared=True`` returns the retained canonical object (do not
+        mutate it).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.memory_hits += 1
+        disk_module = None
+        if entry is None:
+            loaded = self._load_from_disk(key)
+            if loaded is None:
+                with self._lock:
+                    self.stats.misses += 1
+                return None
+            # the disk load already deserialized (and verified) one module:
+            # hand that very object out instead of unpickling again.
+            entry, disk_module = loaded
+            with self._lock:
+                self.stats.disk_hits += 1
+                self._entries[key] = entry
+                self._evict_locked()
+        if not shared:
+            return disk_module if disk_module is not None else pickle.loads(entry.blob)
+        with self._lock:
+            if entry.shared_module is None:
+                entry.shared_module = (disk_module if disk_module is not None
+                                       else pickle.loads(entry.blob))
+            return entry.shared_module
+
+    def insert(self, key: str, module, *, shared: bool = False) -> None:
+        """Store a freshly compiled module under ``key`` (both tiers).
+
+        ``shared=True`` additionally retains ``module`` as the canonical
+        shared object, so the very caller that compiled it keeps receiving
+        the same object from later ``shared`` lookups.  Copy-mode inserts
+        leave it out: the compiling caller owns (and may mutate) its
+        module, while the pristine pickled blob serves every later hit.
+        """
+        try:
+            blob = pickle.dumps(module, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            with self._lock:
+                self.stats.uncacheable += 1
+            return
+        with self._lock:
+            self._entries[key] = _Entry(blob, module if shared else None)
+            self._entries.move_to_end(key)
+            self._evict_locked()
+            self.stats.stores += 1
+        self._store_to_disk(key, blob)
+
+    def _evict_locked(self) -> None:
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    # -- disk tier ------------------------------------------------------------
+    def _load_from_disk(self, key: str) -> Optional[tuple]:
+        """Returns ``(entry, verified_module)`` or None; the module is the
+        one deserialization the caller should hand out."""
+        path = self._entry_path(key)
+        if path is None:
+            return None
+        try:
+            payload = pickle.loads(path.read_bytes())
+            if (not isinstance(payload, dict)
+                    or payload.get("format") != CACHE_FORMAT
+                    or payload.get("key") != key):
+                raise ValueError("stale or foreign cache entry")
+            blob = payload["blob"]
+            # materialize + verify so a corrupt entry can never hand out a
+            # structurally broken module.
+            from ..ir import verify
+            module = pickle.loads(blob)
+            verify(module)
+            return _Entry(blob), module
+        except FileNotFoundError:
+            return None
+        except Exception:
+            with self._lock:
+                self.stats.disk_errors += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def _store_to_disk(self, key: str, blob: bytes) -> None:
+        path = self._entry_path(key)
+        if path is None:
+            return
+        payload = {"format": CACHE_FORMAT, "key": key, "blob": blob}
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, temp_name = tempfile.mkstemp(dir=str(path.parent),
+                                             prefix=".tmp-", suffix=".pkl")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(payload, handle,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(temp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+            with self._lock:
+                self.stats.disk_stores += 1
+        except OSError:
+            with self._lock:
+                self.stats.disk_errors += 1
+
+    # -- maintenance ----------------------------------------------------------
+    def clear(self, disk: bool = False) -> None:
+        """Drop the memory tier (and, with ``disk=True``, the disk tier)."""
+        with self._lock:
+            self._entries.clear()
+        if disk:
+            directory = self.disk_path()
+            if directory is not None and directory.is_dir():
+                for path in directory.glob("*.pkl"):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+# ---------------------------------------------------------------------------
+# Process-global cache
+# ---------------------------------------------------------------------------
+_GLOBAL_CACHE: Optional[KernelCache] = None
+_GLOBAL_LOCK = threading.Lock()
+
+
+def global_cache() -> KernelCache:
+    """The process-wide kernel cache used by ``compile_cuda``."""
+    global _GLOBAL_CACHE
+    with _GLOBAL_LOCK:
+        if _GLOBAL_CACHE is None:
+            _GLOBAL_CACHE = KernelCache()
+        return _GLOBAL_CACHE
+
+
+def clear_global_cache(disk: bool = False) -> None:
+    """Drop the process-wide cache (used by tests and benchmarks)."""
+    cache = global_cache()
+    cache.clear(disk=disk)
+    cache.reset_stats()
+
+
+__all__ = [
+    "CACHE_FORMAT", "CAPACITY_ENV_VAR", "DISK_DIR_ENV_VAR", "DISK_ENV_VAR",
+    "CacheStats", "KernelCache", "clear_global_cache", "global_cache",
+    "kernel_key", "pipeline_fingerprint",
+]

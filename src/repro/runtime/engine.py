@@ -33,7 +33,7 @@ import os
 from typing import Optional, Sequence
 
 from .costmodel import CostReport, MachineModel, XEON_8375C
-from .registry import engine_factory, engine_names
+from .registry import ENGINES_VIEW, engine_factory, engine_names
 
 # imported for their register_engine() side effect (and re-exported names).
 from .compiler import CompiledEngine, invalidate_compiled  # noqa: F401
@@ -56,10 +56,11 @@ def _engines() -> tuple:
     return engine_names()
 
 
-#: all registered engine names (registry-ordered); kept as a module-level
-#: name for backwards compatibility — prefer :func:`repro.runtime.registry.
-#: engine_names` for code that runs before/after late registrations.
-ENGINES = engine_names()
+#: all registered engine names, registry-ordered.  A *live* sequence view
+#: (:class:`repro.runtime.registry.EngineNamesView`), not a snapshot: it
+#: re-reads the registry on every access, so engines registered after this
+#: module is imported show up in existing references too.
+ENGINES = ENGINES_VIEW
 
 
 def default_engine() -> str:

@@ -39,6 +39,45 @@ def engine_names() -> Tuple[str, ...]:
     return tuple(sorted(_FACTORIES, key=lambda name: (_ORDERS[name], name)))
 
 
+class EngineNamesView:
+    """A live, read-only sequence view over :func:`engine_names`.
+
+    ``repro.runtime.ENGINES`` used to be a tuple snapshot taken at import
+    time, which silently went stale when an engine registered late.  This
+    view re-reads the registry on every access, so even references bound
+    with ``from repro.runtime import ENGINES`` stay current.
+    """
+
+    __slots__ = ()
+
+    def __iter__(self):
+        return iter(engine_names())
+
+    def __len__(self) -> int:
+        return len(engine_names())
+
+    def __getitem__(self, index):
+        return engine_names()[index]
+
+    def __contains__(self, name) -> bool:
+        return name in engine_names()
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, EngineNamesView):
+            return True
+        return tuple(self) == tuple(other) if isinstance(other, (tuple, list)) else NotImplemented
+
+    def __hash__(self):
+        return hash(engine_names())
+
+    def __repr__(self) -> str:
+        return repr(engine_names())
+
+
+#: the live view exported as ``repro.runtime.ENGINES``.
+ENGINES_VIEW = EngineNamesView()
+
+
 def engine_factory(name: str) -> Callable:
     """The factory registered under ``name`` (KeyError style: ValueError)."""
     try:
@@ -53,4 +92,4 @@ def engine_description(name: str) -> str:
 
 
 __all__ = ["register_engine", "engine_names", "engine_factory",
-           "engine_description"]
+           "engine_description", "EngineNamesView", "ENGINES_VIEW"]

@@ -1,0 +1,255 @@
+"""Kernel compile-cache conformance: keying, tiers, corruption, parity.
+
+Covers the contract of :mod:`repro.runtime.cache`:
+
+* hit/miss keying — changing the source, the pipeline options, the lowering
+  mode or the noalias assumption must miss; an identical request must hit;
+* the disk tier round-trips a module whose execution is bit-identical to a
+  fresh compile, across a simulated process restart (memory tier cleared);
+* corrupt, truncated, foreign and stale disk entries silently fall back to
+  a recompile (and are replaced);
+* the Rodinia parity matrix holds with the cache on, including through the
+  disk tier (``REPRO_CACHE=1``).
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.frontend import compile_cuda
+from repro.rodinia import BENCHMARKS
+from repro.runtime import shutdown_worker_pools
+from repro.runtime.cache import (
+    CACHE_FORMAT,
+    KernelCache,
+    clear_global_cache,
+    global_cache,
+    kernel_key,
+    pipeline_fingerprint,
+)
+from repro.transforms import PipelineOptions
+from tests.helpers import run_engine_matrix
+
+SOURCE = BENCHMARKS["matmul"].cuda_source
+ALT_SOURCE = BENCHMARKS["bfs"].cuda_source
+
+
+@pytest.fixture(autouse=True)
+def _fresh_global_cache(monkeypatch):
+    """Isolate each test from cache state accumulated by other suites — and
+    from an ambient ``REPRO_CACHE=1`` (the CI disk-tier matrix sets it
+    process-wide); tests that want the disk tier use ``disk_cache``."""
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    clear_global_cache()
+    yield
+    clear_global_cache()
+
+
+@pytest.fixture()
+def disk_cache(tmp_path, monkeypatch):
+    """A global cache with the disk tier active in a temp directory."""
+    monkeypatch.setenv("REPRO_CACHE", "1")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    clear_global_cache()
+    yield tmp_path
+    clear_global_cache()
+
+
+class TestKeying:
+    def test_identical_request_hits(self):
+        module1 = compile_cuda(SOURCE, cuda_lower=True)
+        module2 = compile_cuda(SOURCE, cuda_lower=True)
+        stats = global_cache().stats
+        assert stats.memory_hits == 1 and stats.misses == 1
+        assert module1 is not module2  # default mode hands out private copies
+
+    def test_shared_mode_returns_canonical_object(self):
+        module1 = compile_cuda(SOURCE, cuda_lower=True, cache="shared")
+        module2 = compile_cuda(SOURCE, cuda_lower=True, cache="shared")
+        assert module1 is module2
+
+    def test_source_change_misses(self):
+        compile_cuda(SOURCE, cuda_lower=True)
+        compile_cuda(ALT_SOURCE, cuda_lower=True)
+        assert global_cache().stats.misses == 2
+
+    def test_options_change_misses(self):
+        compile_cuda(SOURCE, cuda_lower=True,
+                     options=PipelineOptions.all_optimizations())
+        compile_cuda(SOURCE, cuda_lower=True,
+                     options=PipelineOptions.opt_disabled())
+        assert global_cache().stats.misses == 2
+
+    def test_lowering_mode_misses(self):
+        compile_cuda(SOURCE, cuda_lower=True)
+        compile_cuda(SOURCE, cuda_lower=False)
+        assert global_cache().stats.misses == 2
+
+    def test_key_ignores_filename(self):
+        assert (kernel_key(SOURCE, cuda_lower=True)
+                == kernel_key(SOURCE, cuda_lower=True))
+        compile_cuda(SOURCE, filename="one.cu", cuda_lower=True)
+        compile_cuda(SOURCE, filename="two.cu", cuda_lower=True)
+        assert global_cache().stats.memory_hits == 1
+
+    def test_key_covers_noalias(self):
+        assert (kernel_key(SOURCE, cuda_lower=True, noalias=True)
+                != kernel_key(SOURCE, cuda_lower=True, noalias=False))
+
+    def test_flag_string_and_options_key_identically(self):
+        flags = "mincut,openmpopt"
+        compile_cuda(SOURCE, cuda_lower=True, cpuify_options=flags)
+        compile_cuda(SOURCE, cuda_lower=True,
+                     options=PipelineOptions.from_flags(flags))
+        stats = global_cache().stats
+        assert stats.memory_hits == 1 and stats.misses == 1
+
+    def test_pipeline_fingerprint_distinguishes_options(self):
+        assert (pipeline_fingerprint(PipelineOptions.all_optimizations())
+                != pipeline_fingerprint(PipelineOptions.opt_disabled()))
+
+    def test_cache_false_bypasses(self):
+        compile_cuda(SOURCE, cuda_lower=True, cache=False)
+        compile_cuda(SOURCE, cuda_lower=True, cache=False)
+        stats = global_cache().stats
+        assert stats.hits == 0 and stats.stores == 0
+
+    def test_copy_hits_are_independent_modules(self):
+        """Mutating a cache-copy must not leak into later hits."""
+        bench = BENCHMARKS["matmul"]
+        module1 = compile_cuda(SOURCE, cuda_lower=True)
+        function_count = len(list(module1.functions))
+        module1.functions.clear()  # caller-side mutation of the private copy
+        module2 = compile_cuda(SOURCE, cuda_lower=True)
+        assert len(list(module2.functions)) == function_count
+        args = bench.make_inputs(1)
+        from repro.runtime import make_executor
+        make_executor(module2).run(bench.entry, args)  # still executable
+
+
+class TestLRU:
+    def test_capacity_evicts_oldest(self):
+        cache = KernelCache(capacity=2, disk_dir=False)
+        for index, payload in enumerate(["one", "two", "three"]):
+            cache.insert(f"key{index}", payload)
+        assert len(cache) == 2
+        assert cache.lookup("key0") is None
+        assert cache.lookup("key2") == "three"
+
+    def test_lookup_refreshes_recency(self):
+        cache = KernelCache(capacity=2, disk_dir=False)
+        cache.insert("key0", "one")
+        cache.insert("key1", "two")
+        assert cache.lookup("key0") == "one"  # key0 becomes most recent
+        cache.insert("key2", "three")
+        assert cache.lookup("key1") is None
+        assert cache.lookup("key0") == "one"
+
+
+class TestDiskTier:
+    def test_round_trip_bit_identical(self, disk_cache):
+        bench = BENCHMARKS["hotspot"]
+        fresh = bench.compile_cuda(cache=False)
+        bench.compile_cuda()  # populates both tiers
+        assert global_cache().stats.disk_stores == 1
+        assert list(disk_cache.glob("*.pkl"))
+
+        # simulate a new process: memory tier gone, disk tier remains.
+        global_cache().clear(disk=False)
+        global_cache().reset_stats()
+        restored = bench.compile_cuda()
+        assert global_cache().stats.disk_hits == 1
+
+        fresh_args = bench.make_inputs(1)
+        restored_args = bench.make_inputs(1)
+        from repro.runtime import make_executor
+        fresh_engine = make_executor(fresh)
+        restored_engine = make_executor(restored)
+        fresh_engine.run(bench.entry, fresh_args)
+        restored_engine.run(bench.entry, restored_args)
+        for index in bench.output_indices:
+            np.testing.assert_array_equal(np.asarray(fresh_args[index]),
+                                          np.asarray(restored_args[index]))
+        assert fresh_engine.report.cycles == restored_engine.report.cycles
+
+    def test_corrupt_entry_falls_back_to_recompile(self, disk_cache):
+        bench = BENCHMARKS["lud"]
+        bench.compile_cuda()
+        entry_path = next(disk_cache.glob("*.pkl"))
+        entry_path.write_bytes(b"\x00garbage that is not a pickle")
+        global_cache().clear(disk=False)
+        global_cache().reset_stats()
+        module = bench.compile_cuda()
+        stats = global_cache().stats
+        assert stats.disk_errors >= 1 and stats.misses == 1 and stats.stores == 1
+        args = bench.make_inputs(1)
+        from repro.runtime import make_executor
+        make_executor(module).run(bench.entry, args)  # recompile is sound
+
+    def test_stale_format_entry_falls_back(self, disk_cache):
+        bench = BENCHMARKS["lud"]
+        bench.compile_cuda()
+        entry_path = next(disk_cache.glob("*.pkl"))
+        payload = pickle.loads(entry_path.read_bytes())
+        payload["format"] = CACHE_FORMAT + 1  # written by a "newer" build
+        entry_path.write_bytes(pickle.dumps(payload))
+        global_cache().clear(disk=False)
+        global_cache().reset_stats()
+        bench.compile_cuda()
+        stats = global_cache().stats
+        assert stats.disk_hits == 0 and stats.disk_errors >= 1
+        # the stale file was replaced with a fresh entry.
+        assert global_cache().stats.disk_stores == 1
+
+    def test_foreign_key_entry_rejected(self, disk_cache):
+        """An entry renamed onto another key (hash mismatch) is stale."""
+        bench = BENCHMARKS["lud"]
+        bench.compile_cuda()
+        entry_path = next(disk_cache.glob("*.pkl"))
+        other_key = kernel_key(ALT_SOURCE, cuda_lower=True)
+        entry_path.rename(disk_cache / f"{other_key}.pkl")
+        global_cache().clear(disk=False)
+        global_cache().reset_stats()
+        compile_cuda(ALT_SOURCE, cuda_lower=True)
+        assert global_cache().stats.disk_hits == 0
+
+    def test_disk_disabled_without_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_global_cache()
+        BENCHMARKS["lud"].compile_cuda()
+        assert not list(tmp_path.glob("*.pkl"))
+
+
+class TestCachedParity:
+    """The engine-parity contract must survive both cache tiers."""
+
+    NAMES = ["matmul", "backprop layerforward", "bfs", "nw"]
+
+    def teardown_class(cls):
+        shutdown_worker_pools()
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_rodinia_parity_through_disk_tier(self, name, disk_cache):
+        bench = BENCHMARKS[name]
+        bench.compile_cuda()  # populate both tiers
+        global_cache().clear(disk=False)  # force the next hit through disk
+        module = bench.compile_cuda()
+        assert global_cache().stats.disk_hits >= 1
+        run_engine_matrix(module, bench.entry, lambda: bench.make_inputs(1),
+                          bench.output_indices, workers=2,
+                          label=f"{name} via disk cache")
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_rodinia_parity_memory_hit_vs_fresh(self, name):
+        bench = BENCHMARKS[name]
+        bench.compile_cuda()
+        hit = bench.compile_cuda()
+        assert global_cache().stats.memory_hits >= 1
+        fresh = bench.compile_cuda(cache=False)
+        for module, label in ((hit, "cache hit"), (fresh, "fresh")):
+            run_engine_matrix(module, bench.entry, lambda: bench.make_inputs(1),
+                              bench.output_indices, workers=2,
+                              label=f"{name} {label}")

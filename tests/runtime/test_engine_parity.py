@@ -27,6 +27,7 @@ from repro.runtime import (
     shutdown_worker_pools,
 )
 from repro.transforms import PipelineOptions
+from tests.helpers import report_fields
 
 ALL_NAMES = sorted(BENCHMARKS)
 OMP_NAMES = sorted(n for n in BENCHMARKS if BENCHMARKS[n].omp_source is not None)
@@ -73,12 +74,6 @@ void launch(float* d_out, float* d_in, int n) {
     normalize<<<(n + 31) / 32, 32>>>(d_out, d_in, n);
 }
 """
-
-
-def report_fields(report):
-    return (report.cycles, report.dynamic_ops, report.parallel_regions,
-            report.nested_regions, report.workshared_loops, report.barriers,
-            report.simt_phases, report.global_bytes)
 
 
 def assert_engines_agree(module, entry, make_args, output_indices, *,

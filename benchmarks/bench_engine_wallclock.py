@@ -1,4 +1,4 @@
-"""Wall-clock microbenchmark: interpreter vs. compiled/vectorized/multicore.
+"""Wall-clock microbenchmark and perf-regression gate for the engine matrix.
 
 Unlike the figure benchmarks (which report *simulated cycles* and are
 engine-independent by construction), this benchmark measures real wall-clock
@@ -11,18 +11,23 @@ time of the execution engines on the same modules:
   engine, the wholesale fallback to compiled generator scheduling).
 
 The multicore engine is measured at 1, 2 and 4 workers on the barrier-free
-matmul (the region its store analysis shards).  Results (times, the engine
-speedup matrix, and the matching cost reports) are written to
-``BENCH_engine.json`` at the repository root.
+matmul (the region its store analysis shards), and the **native** engine —
+the wsloop emitted as C and dispatched through ctypes — is measured warm
+(the one-time ``cc`` compile amortized away) whenever a working
+``cc -fopenmp`` toolchain is present.  Results (times, the engine speedup
+matrix, and the matching cost reports) are written to ``BENCH_engine.json``
+at the repository root.
 
 Speedup floors: the compiled engine must beat the interpreter by >= 5x on
 the barrier-free kernel and >= 3x on the barrier-heavy one; the vectorized
 engine must additionally beat the *compiled* engine by >= 5x on the
-barrier-free matmul.  The multicore floors — >= 2x for 4 workers over 1
-worker and >= 2x over the compiled engine on the barrier-free matmul — are
-*measured CPU parallelism* and therefore only enforced when the machine
-actually exposes >= 4 CPUs (single-core CI boxes record the numbers with
-``floors_enforced: false`` instead of failing on physics).
+barrier-free matmul; the native engine must beat the *vectorized* engine on
+the barrier-free matmul.  The multicore floors — >= 2x for 4 workers over 1
+worker and >= 2x over the compiled engine — are *measured CPU parallelism*
+and therefore only enforced when the machine actually exposes >= 4 CPUs;
+the native floor is likewise only enforced where the toolchain exists
+(runners without one record ``floors_enforced: false`` instead of failing
+on physics).
 
 A second section measures the **kernel compile cache**
 (:mod:`repro.runtime.cache`): cold ``compile_cuda`` (parse + full pass
@@ -31,11 +36,18 @@ copy) and warm-shared (canonical cached object) on Rodinia kernels.  The
 warm path must be >= 10x faster than cold; results land in the
 ``compile_cache`` entry of ``BENCH_engine.json``.
 
-Run directly (``python benchmarks/bench_engine_wallclock.py``) or via pytest
-(``pytest benchmarks/bench_engine_wallclock.py``).
+Run directly (``python benchmarks/bench_engine_wallclock.py``), via pytest
+(``pytest benchmarks/bench_engine_wallclock.py``), or as the **CI perf
+gate** (``python benchmarks/bench_engine_wallclock.py --check``): the gate
+re-measures everything, enforces the *committed* ``BENCH_engine.json``
+floors against the fresh numbers — a code change that regresses
+compile-cache warm hits below 10x or CPU-gated multicore scaling below 2x
+fails the build — and rewrites the JSON for upload as a build artifact.
 """
 
+import argparse
 import json
+import sys
 import time
 from pathlib import Path
 
@@ -44,9 +56,11 @@ from repro.runtime import (
     CompiledEngine,
     Interpreter,
     MulticoreEngine,
+    NativeEngine,
     VectorizedEngine,
     clear_global_cache,
     multicore_available,
+    native_available,
     shutdown_worker_pools,
 )
 from repro.runtime.multicore import available_cpus
@@ -78,11 +92,13 @@ ENGINES = [
 ]
 MULTICORE_ENGINES = [(f"multicore_w{w}", _multicore_factory(w))
                      for w in MULTICORE_WORKER_COUNTS]
+NATIVE_ENGINES = [("native", NativeEngine)]
 
 
 #: (label, benchmark, compile kwargs, input scale, include multicore,
 #:  {(faster, baseline): required speedup},
-#:  {(faster, baseline): (required speedup, min CPUs to enforce)})
+#:  {(faster, baseline): (required speedup, min CPUs to enforce)},
+#:  {(faster, baseline): required speedup, toolchain-gated})
 CASES = [
     ("barrier_free_matmul",
      "matmul", {"options": PipelineOptions.all_optimizations()}, 3, True,
@@ -90,11 +106,14 @@ CASES = [
       ("vectorized", "interpreter"): 5.0,
       ("vectorized", "compiled"): 5.0},
      {("multicore_w4", "multicore_w1"): (2.0, 4),
-      ("multicore_w4", "compiled"): (2.0, 4)}),
+      ("multicore_w4", "compiled"): (2.0, 4)},
+     {("native", "vectorized"): 1.0,
+      ("native", "compiled"): 5.0}),
     ("barrier_heavy_backprop_oracle",
      "backprop layerforward", {"cuda_lower": False}, 8, False,
      {("compiled", "interpreter"): 3.0,
       ("vectorized", "interpreter"): 3.0},
+     {},
      {}),
 ]
 
@@ -113,16 +132,21 @@ def _best_time(executor_factory, module, entry, make_args, repeats=3):
 
 
 def run_case(label, bench_name, compile_kwargs, scale, with_multicore,
-             floors, parallel_floors):
+             floors, parallel_floors, native_floors):
     bench = BENCHMARKS[bench_name]
     module = bench.compile_cuda(**compile_kwargs)
-    make_args = lambda: bench.make_inputs(scale)
+    def make_args():
+        return bench.make_inputs(scale)
     engines = list(ENGINES)
     if with_multicore and multicore_available():
         engines += MULTICORE_ENGINES
+    has_native = native_available()
+    if native_floors and has_native:
+        engines += NATIVE_ENGINES
 
-    # warm-up: triggers (and then amortizes) the one-time IR translations
-    # and, for the multicore engines, the worker-pool forks.
+    # warm-up: triggers (and then amortizes) the one-time IR translations,
+    # the multicore engines' worker-pool forks and the native engine's
+    # one-time C compile (warm dispatch is what the floor measures).
     for name, executor_factory in engines:
         if name != "interpreter":
             executor_factory(module).run(bench.entry, make_args())
@@ -153,6 +177,11 @@ def run_case(label, bench_name, compile_kwargs, scale, with_multicore,
                 "min_cpus": min_cpus,
                 "enforced": cpus >= min_cpus,
             }
+    native_required = {}
+    for (fast, base), floor in native_floors.items():
+        key = f"{fast}_over_{base}"
+        if fast in seconds and base in seconds:
+            native_required[key] = {"floor": floor, "enforced": has_native}
     return {
         "benchmark": bench_name,
         "scale": scale,
@@ -160,8 +189,10 @@ def run_case(label, bench_name, compile_kwargs, scale, with_multicore,
         "speedups": speedups,
         "required_speedups": required,
         "parallel_required_speedups": parallel_required,
+        "native_required_speedups": native_required,
         "parallel_cpus": cpus,
         "multicore_available": multicore_available(),
+        "native_available": has_native,
         "dynamic_ops": reference.dynamic_ops,
         "simulated_cycles": reference.cycles,
     }
@@ -199,9 +230,10 @@ def run_compile_cache_case(repeats=5):
 
 def run_all(write=True):
     results = {}
-    for label, bench_name, compile_kwargs, scale, with_mc, floors, pfloors in CASES:
+    for (label, bench_name, compile_kwargs, scale, with_mc, floors, pfloors,
+         nfloors) in CASES:
         entry = run_case(label, bench_name, compile_kwargs, scale, with_mc,
-                         floors, pfloors)
+                         floors, pfloors, nfloors)
         results[label] = entry
         times = "  ".join(f"{name} {seconds * 1e3:.1f} ms"
                           for name, seconds in entry["seconds"].items())
@@ -214,6 +246,10 @@ def run_all(write=True):
                 f"have {entry['parallel_cpus']}")
             print(f"  {key}: {entry['speedups'][key]:.2f}x "
                   f"(floor {spec['floor']:.0f}x, {state})")
+        for key, spec in entry["native_required_speedups"].items():
+            state = "enforced" if spec["enforced"] else "no cc -fopenmp, recorded only"
+            print(f"  {key}: {entry['speedups'][key]:.2f}x "
+                  f"(floor {spec['floor']:.1f}x, {state})")
     cache_entry = run_compile_cache_case()
     results["compile_cache"] = cache_entry
     for name, row in cache_entry.items():
@@ -228,6 +264,75 @@ def run_all(write=True):
         print(f"wrote {RESULT_PATH}")
     shutdown_worker_pools()
     return results
+
+
+# ---------------------------------------------------------------------------
+# Perf-regression gate (CI)
+# ---------------------------------------------------------------------------
+def _floor_violations(results, baseline) -> list:
+    """Fresh measurements vs. the *committed* floors; returns violations.
+
+    The gate enforces the floors recorded in the committed baseline (so a
+    commit cannot silently lower its own bar) against freshly measured
+    speedups, honoring the baseline's CPU/toolchain gating on this runner.
+    """
+    violations = []
+    cpus = available_cpus()
+    for label, committed in baseline.items():
+        fresh = results.get(label)
+        if fresh is None:
+            violations.append(f"{label}: benchmark disappeared from the run")
+            continue
+        if label == "compile_cache":
+            for name, row in committed.items():
+                fresh_row = fresh.get(name)
+                if fresh_row is None:
+                    violations.append(f"compile_cache {name}: kernel missing")
+                    continue
+                floor = row["required_warm_speedup"]
+                for field in ("warm_speedup", "warm_shared_speedup"):
+                    if fresh_row[field] < floor:
+                        violations.append(
+                            f"compile_cache {name}: {field} "
+                            f"{fresh_row[field]:.1f}x < floor {floor:.0f}x")
+            continue
+        for key, floor in committed.get("required_speedups", {}).items():
+            measured = fresh["speedups"].get(key, 0.0)
+            if measured < floor:
+                violations.append(
+                    f"{label}: {key} {measured:.2f}x < floor {floor:.0f}x")
+        for key, spec in committed.get("parallel_required_speedups", {}).items():
+            if cpus < spec["min_cpus"]:
+                continue  # physics gating on *this* runner
+            if not fresh.get("multicore_available"):
+                continue  # no fork / shared memory on *this* runner
+            measured = fresh["speedups"].get(key, 0.0)
+            if measured < spec["floor"]:
+                violations.append(
+                    f"{label}: {key} {measured:.2f}x < CPU-gated floor "
+                    f"{spec['floor']:.0f}x ({cpus} CPUs)")
+        for key, spec in committed.get("native_required_speedups", {}).items():
+            if not native_available():
+                continue  # toolchain gating on *this* runner
+            measured = fresh["speedups"].get(key, 0.0)
+            if measured < spec["floor"]:
+                violations.append(
+                    f"{label}: {key} {measured:.2f}x < native floor "
+                    f"{spec['floor']:.1f}x")
+    return violations
+
+
+def run_check(baseline_path: Path) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    results = run_all(write=True)
+    violations = _floor_violations(results, baseline)
+    if violations:
+        print("\nPERF GATE FAILED:", file=sys.stderr)
+        for violation in violations:
+            print(f"  - {violation}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed: all committed floors hold")
+    return 0
 
 
 def test_engine_wallclock_speedup():
@@ -250,7 +355,27 @@ def test_engine_wallclock_speedup():
                     f"{label}: {key} only {entry['speedups'][key]:.2f}x, "
                     f"needs >= {spec['floor']:.0f}x on "
                     f"{entry['parallel_cpus']} CPUs")
+        for key, spec in entry["native_required_speedups"].items():
+            if spec["enforced"]:
+                assert entry["speedups"][key] >= spec["floor"], (
+                    f"{label}: {key} only {entry['speedups'][key]:.2f}x, "
+                    f"needs >= {spec['floor']:.1f}x")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", nargs="?", const=str(RESULT_PATH), default=None,
+        metavar="BASELINE",
+        help="perf-gate mode: enforce the committed BENCH_engine.json floors "
+             "(or an explicit baseline file) against fresh measurements; "
+             "exits non-zero on regression")
+    arguments = parser.parse_args(argv)
+    if arguments.check is not None:
+        return run_check(Path(arguments.check))
+    run_all(write=True)
+    return 0
 
 
 if __name__ == "__main__":
-    run_all(write=True)
+    raise SystemExit(main())

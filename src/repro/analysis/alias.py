@@ -22,7 +22,7 @@ from __future__ import annotations
 from enum import Enum
 from typing import Optional
 
-from ..ir import BlockArgument, MemRefType, OpResult, Value
+from ..ir import BlockArgument, MemRefType, Value
 from ..dialects import func as func_d, gpu as gpu_d, memref as memref_d
 
 

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..ir import EffectKind, Operation, Value
-from ..dialects import func as func_d, memref as memref_d, polygeist, scf
+from ..dialects import func as func_d, memref as memref_d, polygeist
 from .affine import AffineExpr, access_equivalent, access_is_injective_in, extract_access
 from .alias import may_alias
 

@@ -10,7 +10,7 @@ top-level op containing them.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import List, Sequence, Set, Tuple
 
 from ..ir import Block, Operation, Value
 

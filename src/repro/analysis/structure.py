@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Set, Type as PyType
+from typing import Iterator, List, Optional, Set
 
-from ..ir import Block, Operation, Value
+from ..ir import Operation, Value
 from ..dialects import func as func_d, polygeist, scf
 
 

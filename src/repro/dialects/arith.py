@@ -7,9 +7,8 @@ recompute-vs-cache decision in parallel loop splitting.
 
 from __future__ import annotations
 
-from typing import Optional
 
-from ..ir import F32, F64, I1, INDEX, FloatType, IndexType, IntegerType, Operation, Type, Value
+from ..ir import F32, I1, INDEX, FloatType, IndexType, IntegerType, Operation, Type, Value
 
 
 class ConstantOp(Operation):

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..ir import (
     Block,
@@ -10,7 +10,6 @@ from ..ir import (
     FunctionType,
     MemoryEffect,
     Operation,
-    Region,
     Type,
     Value,
     single_block_region,

@@ -11,7 +11,7 @@ host/device representation the paper relies on (§II-B, §III).  The
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 from ..ir import (
     Block,
@@ -20,7 +20,6 @@ from ..ir import (
     MemoryEffect,
     MemRefType,
     Operation,
-    Type,
     Value,
     single_block_region,
 )

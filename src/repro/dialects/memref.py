@@ -12,7 +12,7 @@ modelled with memory spaces on :class:`~repro.ir.MemRefType`:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 from ..ir import (
     DYNAMIC,
@@ -22,7 +22,6 @@ from ..ir import (
     MemorySpace,
     MemRefType,
     Operation,
-    Type,
     Value,
 )
 

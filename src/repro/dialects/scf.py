@@ -15,14 +15,13 @@ terminators) is what makes the barrier-lowering interchange patterns of
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..ir import (
     Block,
     I1,
     INDEX,
     Operation,
-    Region,
     Type,
     Value,
     single_block_region,

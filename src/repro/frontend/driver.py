@@ -9,7 +9,10 @@ Every call goes through the content-addressed kernel cache
 (:mod:`repro.runtime.cache`): the first compile of a (source, options,
 pipeline) combination pays parse + pipeline, repeats are a cache lookup —
 in-process always, across processes when ``REPRO_CACHE=1`` enables the
-disk tier.
+disk tier.  Downstream, the native engine applies the same discipline one
+level lower: the parallel regions of a compiled module are emitted as C
+and the resulting shared objects are content-addressed in the cache's
+``.so`` artifact tier, so a warm process never runs the C compiler either.
 """
 
 from __future__ import annotations

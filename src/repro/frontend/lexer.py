@@ -11,7 +11,7 @@ reference codes can be compiled through the same frontend).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import List
 
 
 KEYWORDS = {

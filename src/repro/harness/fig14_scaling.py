@@ -13,7 +13,10 @@ Two modes:
   engine (real processes, shared-memory buffers), reported as T1/Tn
   speedups next to the simulated table.  This is the first path where
   Fig. 14 is a measurement rather than a model; on a machine with fewer
-  cores than workers the speedups simply saturate.
+  cores than workers the speedups simply saturate.  ``--wallclock
+  --engine native`` (or any other registered engine) measures that engine
+  instead — on the native engine the OpenMP runtime, not the worker pool,
+  provides the parallelism, so the worker column only varies the label.
 
 CLI::
 

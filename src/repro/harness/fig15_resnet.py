@@ -14,7 +14,7 @@ ones.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from ..moccuda import relative_throughput, throughput_images_per_second
 from ..runtime import A64FX_CMG

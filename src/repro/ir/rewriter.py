@@ -9,7 +9,7 @@ mirroring MLIR's greedy pattern driver.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Sequence
 
 from .core import Operation, Value
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Optional, Set
 
-from .core import Block, Operation, Value
+from .core import Block, Operation
 
 
 class VerificationError(Exception):

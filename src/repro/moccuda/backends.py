@@ -21,7 +21,7 @@ system (cache-friendly blocking vs. HBM streaming).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

@@ -11,10 +11,10 @@ table below is the standard ResNet-50 convolution inventory (conv1 + the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List
 
 from ..runtime.costmodel import A64FX_CMG, MachineModel
-from .backends import BACKENDS, ConvShape, conv_layer_cycles
+from .backends import ConvShape, conv_layer_cycles
 
 
 @dataclass(frozen=True)

@@ -372,12 +372,13 @@ class MocCUDASession:
     """The interception layer: call registry + device + streams + kernels.
 
     ``engine`` selects the execution engine for transpiled kernels
-    (``"compiled"``/``"vectorized"``/``"multicore"``/``"interp"``; ``None``
-    = process default) and ``workers`` sizes the multicore engine's pool
-    when that engine is selected (ignored by the in-process engines) — on
-    the multicore engine the transpiled NLL-loss launch is sharded across
-    real CPU cores, which is the closest this reproduction gets to
-    MocCUDA's actual many-core A64FX execution.
+    (``"compiled"``/``"vectorized"``/``"multicore"``/``"native"``/
+    ``"interp"``; ``None`` = process default) and ``workers`` sizes the
+    multicore engine's pool when that engine is selected (ignored by the
+    other engines) — on the multicore engine the transpiled NLL-loss
+    launch is sharded across real CPU cores, and on the native engine it
+    runs as compiled OpenMP C, which is the closest this reproduction gets
+    to MocCUDA's actual many-core A64FX execution.
 
     ``async_streams`` turns the thread-backed stream executors on or off
     (``None`` = the ``REPRO_ASYNC_STREAMS`` process default, which is on).

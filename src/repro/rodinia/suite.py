@@ -195,9 +195,9 @@ def run_module(module, entry: str, arguments: Sequence, *,
     """Execute a compiled benchmark once and return its cost report.
 
     ``engine`` selects the execution engine ("compiled"/"vectorized"/
-    "multicore"/"interp"; None = process default) — results and cost
-    reports are engine-independent.  ``workers`` sizes the multicore
-    engine's worker pool (ignored by the in-process engines).
+    "multicore"/"native"/"interp"; None = process default) — results and
+    cost reports are engine-independent.  ``workers`` sizes the multicore
+    engine's worker pool (ignored by the other engines).
     """
     executor = make_executor(module, engine=engine, machine=machine,
                              threads=threads, workers=workers)

@@ -1,6 +1,6 @@
 """repro.runtime — execution engines and the analytic performance model.
 
-Four execution engines share one API (``run(name, args)`` + ``report``):
+Five execution engines share one API (``run(name, args)`` + ``report``):
 
 * :class:`~repro.runtime.interpreter.Interpreter` — the tree-walking
   reference engine: un-lowered modules run with SIMT (GPU oracle) semantics,
@@ -14,20 +14,30 @@ Four execution engines share one API (``run(name, args)`` + ``report``):
   plus whole-grid NumPy execution of barrier-delimited phases: SSA registers
   become lane arrays, loads/stores become gathers/scatters; phases the
   analyzer cannot vectorize fall back to compiled closures per phase.
-* :class:`~repro.runtime.multicore.MulticoreEngine` — the only engine that
-  uses more than one CPU core: ``gpu.launch`` block grids and outermost
-  barrier-free parallel loops are sharded across a persistent worker-process
-  pool, with memrefs promoted to ``multiprocessing.shared_memory`` views
-  (:mod:`repro.runtime.sharedmem`) so workers scatter/gather in place, and
-  per-worker costs folded in thread order for bit-identical reports.
+* :class:`~repro.runtime.multicore.MulticoreEngine` — ``gpu.launch`` block
+  grids and outermost barrier-free parallel loops sharded across a
+  persistent worker-process pool, with memrefs promoted to
+  ``multiprocessing.shared_memory`` views (:mod:`repro.runtime.sharedmem`)
+  so workers scatter/gather in place, and per-worker costs folded in thread
+  order for bit-identical reports.
+* :class:`~repro.runtime.native.NativeEngine` — parallel regions transpiled
+  to C (:mod:`repro.runtime.codegen_c`), compiled once with the system
+  toolchain (``cc -O3 -fopenmp``; ``REPRO_CC``) into content-addressed
+  shared objects and dispatched zero-copy through ctypes — the paper's
+  "GPU kernels as native OpenMP CPU code" artifact.  Degrades per region
+  (and wholesale, without a toolchain) to the compiled engine.
 
 Select with :func:`~repro.runtime.engine.make_executor` /
 :func:`~repro.runtime.engine.execute`
-(``engine="compiled"|"vectorized"|"multicore"|"interp"``, or the
+(``engine="compiled"|"vectorized"|"multicore"|"native"|"interp"``, or the
 ``REPRO_ENGINE`` environment variable; ``workers=`` / ``REPRO_WORKERS``
 sizes the multicore pool).  Engines self-register in
-:mod:`repro.runtime.registry` — adding one is a single module with a
-``register_engine`` call.
+:mod:`repro.runtime.registry`, and the registry resolves built-in engine
+modules **lazily on lookup** — ``"native" in ENGINES`` holds before any
+engine module is imported, so env-selected engines cannot race
+registration.  This package mirrors that: engine classes and the selection
+layer are exported lazily (PEP 562), only the leaf modules (errors, memory,
+cost model, cache, registry) load eagerly.
 
 * :mod:`~repro.runtime.costmodel` defines the machine descriptions
   (``XEON_8375C`` for the Rodinia/MCUDA study, ``A64FX_CMG`` for MocCUDA)
@@ -36,8 +46,11 @@ sizes the multicore pool).  Engines self-register in
   type shared by all execution modes.
 * :mod:`~repro.runtime.cache` is the content-addressed kernel compile
   cache behind :func:`repro.frontend.compile_cuda` (in-process LRU always;
-  on-disk tier with ``REPRO_CACHE=1`` / ``REPRO_CACHE_DIR``).
+  on-disk tier with ``REPRO_CACHE=1`` / ``REPRO_CACHE_DIR``) plus the
+  native engine's ``.so`` artifact tier.
 """
+
+from importlib import import_module
 
 from .errors import InterpreterError, UseAfterFreeError
 from .memory import MemRefStorage, dtype_for
@@ -52,34 +65,59 @@ from .costmodel import (
 )
 from .cache import (
     KernelCache,
+    NativeArtifactCache,
     clear_global_cache,
     global_cache,
+    global_native_cache,
     kernel_key,
     pipeline_fingerprint,
 )
-from .registry import engine_names, register_engine
-from .interpreter import Interpreter
-from .compiler import CompiledEngine, invalidate_compiled
-from .vectorizer import VectorizedEngine, machine_vectorizable
-from .multicore import (
-    MulticoreEngine,
-    default_workers,
-    multicore_available,
-    shutdown_worker_pools,
-)
-from . import sharedmem
-from .engine import (
-    ENGINE_COMPILED,
-    ENGINE_ENV_VAR,
-    ENGINE_INTERP,
-    ENGINE_MULTICORE,
-    ENGINE_VECTORIZED,
-    ENGINES,
-    default_engine,
-    execute,
-    make_executor,
-    resolve_engine,
-)
+from .registry import ENGINES_VIEW as ENGINES, engine_names, register_engine
+
+#: engine-name constants (kept importable without loading any engine module).
+ENGINE_COMPILED = "compiled"
+ENGINE_INTERP = "interp"
+ENGINE_VECTORIZED = "vectorized"
+ENGINE_MULTICORE = "multicore"
+ENGINE_NATIVE = "native"
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+#: lazily exported attribute -> defining submodule (PEP 562).  Touching one
+#: of these imports its module (and, through registration side effects,
+#: registers the engine); everything above stays a leaf import.
+_LAZY_EXPORTS = {
+    "Interpreter": "interpreter",
+    "CompiledEngine": "compiler",
+    "invalidate_compiled": "compiler",
+    "VectorizedEngine": "vectorizer",
+    "machine_vectorizable": "vectorizer",
+    "MulticoreEngine": "multicore",
+    "default_workers": "multicore",
+    "multicore_available": "multicore",
+    "shutdown_worker_pools": "multicore",
+    "NativeEngine": "native",
+    "native_available": "native",
+    "sharedmem": "sharedmem",
+    "default_engine": "engine",
+    "execute": "engine",
+    "make_executor": "engine",
+    "resolve_engine": "engine",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module = import_module(f".{module_name}", __name__)
+    value = module if name == "sharedmem" else getattr(module, name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))
+
 
 __all__ = [
     "MemRefStorage", "dtype_for", "sharedmem",
@@ -90,10 +128,12 @@ __all__ = [
     "VectorizedEngine", "machine_vectorizable",
     "MulticoreEngine", "default_workers", "multicore_available",
     "shutdown_worker_pools",
-    "KernelCache", "clear_global_cache", "global_cache", "kernel_key",
+    "NativeEngine", "native_available",
+    "KernelCache", "NativeArtifactCache", "clear_global_cache",
+    "global_cache", "global_native_cache", "kernel_key",
     "pipeline_fingerprint",
     "engine_names", "register_engine",
     "ENGINE_COMPILED", "ENGINE_ENV_VAR", "ENGINE_INTERP", "ENGINE_MULTICORE",
-    "ENGINE_VECTORIZED", "ENGINES", "default_engine", "execute",
-    "make_executor", "resolve_engine",
+    "ENGINE_NATIVE", "ENGINE_VECTORIZED", "ENGINES", "default_engine",
+    "execute", "make_executor", "resolve_engine",
 ]

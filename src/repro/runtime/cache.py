@@ -318,6 +318,136 @@ class KernelCache:
 
 
 # ---------------------------------------------------------------------------
+# Native artifact tier (compiled .so files for the native engine)
+# ---------------------------------------------------------------------------
+class NativeArtifactCache:
+    """Content-addressed shared objects for :mod:`repro.runtime.native`.
+
+    The native engine hashes each generated C translation unit (plus the
+    compiler command and flags) and keys the compiled ``.so`` here, so warm
+    launches skip the C compiler entirely:
+
+    * without the disk tier, artifacts live in a per-process temporary
+      directory (in-process reuse; cleaned up with the process);
+    * with ``REPRO_CACHE=1`` they live in a ``native/`` subdirectory of the
+      kernel cache (``REPRO_CACHE_DIR``) and survive process restarts.
+
+    Eviction keeps at most ``capacity`` artifacts by access time (a lookup
+    refreshes the file's mtime); artifacts the current process has dlopened
+    are pinned via :meth:`pin` and never evicted out from under a loaded
+    handle.  A corrupt artifact (truncated write, foreign file) surfaces as
+    a dlopen failure in the engine, which calls :meth:`invalidate` and
+    recompiles — never a crash.
+    """
+
+    def __init__(self, capacity: Optional[int] = None,
+                 directory: object = None) -> None:
+        if capacity is None:
+            capacity = int(os.environ.get(CAPACITY_ENV_VAR, _DEFAULT_CAPACITY))
+        self.capacity = max(1, capacity)
+        self._directory = directory
+        self._temp_dir: Optional[str] = None
+        self._pinned: set = set()
+        self._lock = threading.Lock()
+
+    def directory(self) -> Path:
+        """The active artifact directory (created on demand)."""
+        if self._directory is not None:
+            path = Path(self._directory)
+        elif os.environ.get(DISK_ENV_VAR, "").strip().lower() in ("1", "true", "yes", "on"):
+            configured = os.environ.get(DISK_DIR_ENV_VAR)
+            base = Path(configured) if configured else Path.home() / ".cache" / "repro-kernel-cache"
+            path = base / "native"
+        else:
+            with self._lock:
+                if self._temp_dir is None:
+                    self._temp_dir = tempfile.mkdtemp(prefix="repro-native-")
+            path = Path(self._temp_dir)
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def path_for(self, key: str) -> Path:
+        return self.directory() / f"{key}.so"
+
+    def lookup(self, key: str) -> Optional[Path]:
+        """The artifact path for ``key`` if present (refreshes its LRU age)."""
+        path = self.path_for(key)
+        if not path.is_file():
+            return None
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        return path
+
+    def store(self, key: str, build) -> Optional[Path]:
+        """Build an artifact via ``build(temp_path)`` and publish atomically.
+
+        ``build`` must create the shared object at the temporary path it is
+        given; a failed build (exception) propagates after cleanup.
+        """
+        path = self.path_for(key)
+        fd, temp_name = tempfile.mkstemp(dir=str(path.parent),
+                                         prefix=".tmp-", suffix=".so")
+        os.close(fd)
+        try:
+            build(Path(temp_name))
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self.evict()
+        return path
+
+    def pin(self, key: str) -> None:
+        """Protect a dlopened artifact from eviction for this process."""
+        with self._lock:
+            self._pinned.add(key)
+
+    def invalidate(self, key: str) -> None:
+        """Drop a corrupt artifact so the next request recompiles."""
+        try:
+            self.path_for(key).unlink()
+        except OSError:
+            pass
+
+    def evict(self) -> None:
+        """Trim the directory to ``capacity`` artifacts, oldest-access first.
+
+        Pinned (dlopened) artifacts neither count against the capacity nor
+        get removed — evicting them would strand the next process on a
+        recompile while this one still maps the file.
+        """
+        with self._lock:
+            pinned = set(self._pinned)
+        try:
+            entries = sorted((path for path in self.directory().glob("*.so")
+                              if path.stem not in pinned),
+                             key=lambda path: path.stat().st_mtime)
+        except OSError:
+            return
+        excess = len(entries) - self.capacity
+        for path in entries:
+            if excess <= 0:
+                break
+            try:
+                path.unlink()
+                excess -= 1
+            except OSError:
+                pass
+
+    def clear(self) -> None:
+        for path in self.directory().glob("*.so"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+
+# ---------------------------------------------------------------------------
 # Process-global cache
 # ---------------------------------------------------------------------------
 _GLOBAL_CACHE: Optional[KernelCache] = None
@@ -340,8 +470,21 @@ def clear_global_cache(disk: bool = False) -> None:
     cache.reset_stats()
 
 
+_GLOBAL_NATIVE_CACHE: Optional[NativeArtifactCache] = None
+
+
+def global_native_cache() -> NativeArtifactCache:
+    """The process-wide native artifact cache used by the native engine."""
+    global _GLOBAL_NATIVE_CACHE
+    with _GLOBAL_LOCK:
+        if _GLOBAL_NATIVE_CACHE is None:
+            _GLOBAL_NATIVE_CACHE = NativeArtifactCache()
+        return _GLOBAL_NATIVE_CACHE
+
+
 __all__ = [
     "CACHE_FORMAT", "CAPACITY_ENV_VAR", "DISK_DIR_ENV_VAR", "DISK_ENV_VAR",
-    "CacheStats", "KernelCache", "clear_global_cache", "global_cache",
-    "kernel_key", "pipeline_fingerprint",
+    "CacheStats", "KernelCache", "NativeArtifactCache", "clear_global_cache",
+    "global_cache", "global_native_cache", "kernel_key",
+    "pipeline_fingerprint",
 ]

@@ -24,8 +24,8 @@ computed from the structure of the executed program:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict
 
 
 @dataclass(frozen=True)

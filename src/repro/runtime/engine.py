@@ -1,4 +1,4 @@
-"""Execution-engine selection: interpreter, compiled, vectorized, multicore.
+"""Execution-engine selection: interpreter, compiled, vectorized, multicore, native.
 
 Every runtime entry point (harnesses, the Rodinia suite, the MocCUDA shim,
 benchmarks) goes through this layer and accepts an ``engine`` knob:
@@ -9,8 +9,12 @@ benchmarks) goes through this layer and accepts an ``engine`` knob:
   barrier-delimited phases (:mod:`repro.runtime.vectorizer`).
 * ``"multicore"`` — the compiled/vectorized span runners sharded across a
   worker-process pool with shared-memory buffers
-  (:mod:`repro.runtime.multicore`); the only engine that uses more than one
-  CPU core.  ``workers=`` (or ``REPRO_WORKERS``) picks the pool width.
+  (:mod:`repro.runtime.multicore`).  ``workers=`` (or ``REPRO_WORKERS``)
+  picks the pool width.
+* ``"native"`` — parallel regions transpiled to C, compiled with the system
+  toolchain (``cc -O3 -fopenmp``, ``REPRO_CC`` override) and executed as
+  OpenMP shared objects through ctypes (:mod:`repro.runtime.native`);
+  degrades to compiled execution without a working toolchain.
 * ``"interp"`` — the reference tree-walking
   :class:`~repro.runtime.interpreter.Interpreter`, kept as the correctness
   and cost-accounting oracle.
@@ -35,19 +39,26 @@ from typing import Optional, Sequence
 from .costmodel import CostReport, MachineModel, XEON_8375C
 from .registry import ENGINES_VIEW, engine_factory, engine_names
 
-# imported for their register_engine() side effect (and re-exported names).
+# imported for their register_engine() side effect (and re-exported names);
+# the registry also resolves these lazily on lookup, so env-selected engines
+# validate even before this module is imported.
 from .compiler import CompiledEngine, invalidate_compiled  # noqa: F401
 from .interpreter import Interpreter, InterpreterError  # noqa: F401
 from .vectorizer import VectorizedEngine  # noqa: F401
 from .multicore import MulticoreEngine  # noqa: F401
+from .native import NativeEngine  # noqa: F401
 
-ENGINE_COMPILED = "compiled"
-ENGINE_INTERP = "interp"
-ENGINE_VECTORIZED = "vectorized"
-ENGINE_MULTICORE = "multicore"
-
-#: environment variable overriding the process-wide default engine.
-ENGINE_ENV_VAR = "REPRO_ENGINE"
+# engine-name constants (incl. ENGINE_ENV_VAR, the REPRO_ENGINE override)
+# have one definition in the package __init__, importable without loading
+# any engine module; re-exported here for the traditional import path.
+from . import (  # noqa: F401
+    ENGINE_COMPILED,
+    ENGINE_ENV_VAR,
+    ENGINE_INTERP,
+    ENGINE_MULTICORE,
+    ENGINE_NATIVE,
+    ENGINE_VECTORIZED,
+)
 
 Executor = object  # any registered engine: run(name, args) + .report
 

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..ir import MemRefType, Operation, Value
+from ..ir import Operation, Value
 from ..dialects import arith, func as func_d, gpu as gpu_d, math as math_d, memref as memref_d
 from ..dialects import omp as omp_d, polygeist, scf
 from .costmodel import (
@@ -33,7 +33,7 @@ from .costmodel import (
     memory_access_cost,
     op_cost,
 )
-from .errors import InterpreterError, UseAfterFreeError
+from .errors import InterpreterError
 from .memory import MemRefStorage
 from .registry import register_engine
 

@@ -523,6 +523,47 @@ def _callee_shard_safe(program, fn, _stack: Optional[set] = None) -> bool:
     return result
 
 
+# The seeding below is soundness-critical — it decides when real parallel
+# execution (worker shards here, OpenMP teams in the native engine) is
+# unobservable — so both engines share this single implementation.
+def span_required_dims(program, op) -> Optional[FrozenSet[int]]:
+    """Required-singleton dims of an iteration-space region, or ``None``
+    when the store analysis cannot prove write-write safety at all."""
+    analysis = _StoreSafety(program, len(op.induction_vars))
+    for dim, induction_var in enumerate(op.induction_vars):
+        lower = _const_int(op.lower_bounds[dim])
+        step = _const_int(op.steps[dim])
+        bound = (id(op.upper_bounds[dim])
+                 if lower == 0 and step == 1 else None)
+        analysis.seed_lane(induction_var, dim, bound)
+    try:
+        return analysis.run(_split_executed(op.body)[0])
+    except _Unsafe:
+        return None
+
+
+def launch_required_axes(program, op) -> Optional[FrozenSet[int]]:
+    """Required-singleton grid axes of a launch block grid, or ``None``."""
+    arguments = op.body.arguments
+    analysis = _StoreSafety(program, 3)
+    for axis in range(3):
+        analysis.seed_lane(arguments[axis], axis, id(op.grid_dims[axis]))
+        # threadIdx lies in [0, blockDim) of its axis — the addend of
+        # the canonical bx*blockDim + tx global-index pattern.
+        analysis.seed_bounded_uniform(arguments[3 + axis],
+                                      id(arguments[9 + axis]))
+    for nested in op.body.operations:
+        if (isinstance(nested, memref_d.AllocaOp)
+                and memref_d.is_shared_memref(nested.result)):
+            # block-shared buffers are block-private: a block never
+            # straddles a shard boundary.
+            analysis.private.add(id(nested.result))
+    try:
+        return analysis.run(_split_executed(op.body)[0])
+    except _Unsafe:
+        return None
+
+
 # ---------------------------------------------------------------------------
 # Worker pool
 # ---------------------------------------------------------------------------
@@ -847,20 +888,9 @@ class _ShardCompilerMixin:
         program = self.program
         if not program.shard_enabled:
             return None
-        num_dims = len(op.induction_vars)
-        analysis = _StoreSafety(program, num_dims)
-        for dim, induction_var in enumerate(op.induction_vars):
-            lower = _const_int(op.lower_bounds[dim])
-            step = _const_int(op.steps[dim])
-            bound = (id(op.upper_bounds[dim])
-                     if lower == 0 and step == 1 else None)
-            analysis.seed_lane(induction_var, dim, bound)
-        try:
-            required = analysis.run(_split_executed(op.body)[0])
-        except _Unsafe:
-            program.shard_stats["rejected_regions"] += 1
-            return None
-        program.shard_stats["sharded_regions"] += 1
+        required = span_required_dims(program, op)
+        key = "rejected_regions" if required is None else "sharded_regions"
+        program.shard_stats[key] += 1
         return required
 
     def _analyze_launch_region(self, op) -> Optional[FrozenSet[int]]:
@@ -868,26 +898,9 @@ class _ShardCompilerMixin:
         program = self.program
         if not program.shard_enabled:
             return None
-        arguments = op.body.arguments
-        analysis = _StoreSafety(program, 3)
-        for axis in range(3):
-            analysis.seed_lane(arguments[axis], axis, id(op.grid_dims[axis]))
-            # threadIdx lies in [0, blockDim) of its axis — the addend of
-            # the canonical bx*blockDim + tx global-index pattern.
-            analysis.seed_bounded_uniform(arguments[3 + axis],
-                                          id(arguments[9 + axis]))
-        for nested in op.body.operations:
-            if (isinstance(nested, memref_d.AllocaOp)
-                    and memref_d.is_shared_memref(nested.result)):
-                # block-shared buffers are block-private: a block never
-                # straddles a shard boundary.
-                analysis.private.add(id(nested.result))
-        try:
-            required = analysis.run(_split_executed(op.body)[0])
-        except _Unsafe:
-            program.shard_stats["rejected_regions"] += 1
-            return None
-        program.shard_stats["sharded_regions"] += 1
+        required = launch_required_axes(program, op)
+        key = "rejected_regions" if required is None else "sharded_regions"
+        program.shard_stats[key] += 1
         return required
 
     # -- dispatch helpers -------------------------------------------------------

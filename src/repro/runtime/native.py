@@ -1,0 +1,590 @@
+"""Native OpenMP C backend: ``engine="native"`` / ``REPRO_ENGINE=native``.
+
+This is the reproduction's answer to the paper's headline artifact — the
+transpiled CUDA kernel running as compiled OpenMP CPU code.  The engine is
+the compiled engine with the parallel-region entry points replaced by
+*native dispatchers*:
+
+* at translation time each ``omp.wsloop`` / barrier-free ``scf.parallel`` /
+  ``gpu.launch`` region is handed to :mod:`repro.runtime.codegen_c`; all
+  regions of a function are assembled into one C translation unit;
+* the unit is compiled once with the system C compiler (``cc -O3 -fopenmp``;
+  override with ``REPRO_CC``) into a shared object keyed by the SHA-256 of
+  the generated source in the content-addressed artifact cache
+  (:class:`repro.runtime.cache.NativeArtifactCache`) — warm launches skip
+  the C compiler entirely, and with ``REPRO_CACHE=1`` warm *processes* do
+  too;
+* at run time the dispatcher marshals the region's live-in scalars and
+  ``MemRefStorage`` buffers zero-copy through ctypes (data pointers +
+  shapes), calls the compiled function, and folds the counters it returns
+  (work cycles, dynamic ops, global traffic, SIMT phases) through the same
+  accounting epilogues the compiled engine uses — so outputs *and*
+  :class:`~repro.runtime.costmodel.CostReport`\\ s stay bit-identical to the
+  interpreter (pinned by the five-engine parity matrix and the differential
+  fuzz suite);
+* real parallelism (``#pragma omp parallel for`` across iterations/blocks)
+  is enabled per region only when the multicore engine's write-write
+  store-safety analysis proves shards independent (required-singleton dims
+  are re-checked per dispatch, as is runtime buffer aliasing); unproven
+  regions still run as *sequential* C.
+
+Anything the emitter cannot translate — nested parallel constructs,
+``scf.while``, barriers under control flow, dynamic private allocas — falls
+back **per region** to the compiled closures; a missing or broken C
+toolchain degrades the whole engine to compiled execution (same graceful
+contract as the multicore engine on hosts without ``fork``).  An active
+``max_dynamic_ops`` budget also routes regions to the compiled plans, whose
+per-block budget checks are part of the documented engine semantics.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from .cache import global_native_cache
+from .codegen_c import (
+    ERR_BAD_STEP,
+    ERR_OOM,
+    RegionCodegen,
+    UnsupportedRegion,
+    assemble_unit,
+)
+from .compiler import (
+    CompiledEngine,
+    _FunctionCompiler,
+    _Program,
+    _iteration_space,
+)
+from .costmodel import MachineModel, XEON_8375C
+from .errors import InterpreterError
+from .memory import MemRefStorage
+from .multicore import launch_required_axes, span_required_dims
+from .registry import register_engine
+from .vectorizer import machine_vectorizable
+
+#: environment knobs.
+CC_ENV_VAR = "REPRO_CC"
+NATIVE_ENV_VAR = "REPRO_NATIVE"
+
+#: bump when the generated-code contract (ABI, counters) changes; part of
+#: the artifact cache key so stale shared objects can never be dlopened.
+NATIVE_FORMAT = 2
+
+#: minimum iterations/blocks before a region is worth an OpenMP team.
+_MIN_PARALLEL_UNITS = 64
+
+
+def compiler_command() -> List[str]:
+    """The C compiler argv prefix (``REPRO_CC`` may hold a full command)."""
+    return os.environ.get(CC_ENV_VAR, "cc").split()
+
+
+def compiler_flags() -> List[str]:
+    """Flags for building region shared objects.
+
+    ``-ffp-contract=off`` matters for bit-identical outputs: GCC contracts
+    ``a*b+c`` into fused multiply-adds by default at ``-O3``, which rounds
+    differently from the Python engines' separate multiply and add.
+    """
+    return ["-O3", "-fPIC", "-shared", "-fopenmp", "-ffp-contract=off"]
+
+
+def native_enabled_env() -> bool:
+    return os.environ.get(NATIVE_ENV_VAR, "").strip().lower() not in ("0", "false", "off")
+
+
+_PROBE_LOCK = threading.Lock()
+_PROBE_RESULTS: Dict[Tuple[str, ...], bool] = {}
+
+_PROBE_SOURCE = """
+#include <omp.h>
+int repro_probe(void) {
+    int n = 0;
+    #pragma omp parallel for reduction(+:n)
+    for (int i = 0; i < 4; ++i) n += 1;
+    return n;
+}
+"""
+
+
+def native_available() -> bool:
+    """Whether a working ``cc -fopenmp`` toolchain exists (probed once)."""
+    command = tuple(compiler_command())
+    with _PROBE_LOCK:
+        cached = _PROBE_RESULTS.get(command)
+        if cached is not None:
+            return cached
+        result = _probe_toolchain(list(command))
+        _PROBE_RESULTS[command] = result
+        return result
+
+
+def _probe_toolchain(command: List[str]) -> bool:
+    if not command or shutil.which(command[0]) is None:
+        return False
+    with tempfile.TemporaryDirectory(prefix="repro-cc-probe-") as temp:
+        source = os.path.join(temp, "probe.c")
+        output = os.path.join(temp, "probe.so")
+        with open(source, "w") as handle:
+            handle.write(_PROBE_SOURCE)
+        try:
+            completed = subprocess.run(
+                [*command, *compiler_flags(), source, "-o", output],
+                capture_output=True, timeout=60)
+        except (OSError, subprocess.SubprocessError):
+            return False
+        if completed.returncode != 0:
+            return False
+        try:
+            library = ctypes.CDLL(output)
+            return int(library.repro_probe()) == 4
+        except OSError:
+            return False
+
+
+def unit_key(source: str) -> str:
+    """Content-addressed key of one translation unit (source x toolchain)."""
+    hasher = hashlib.sha256()
+    hasher.update(f"native-format:{NATIVE_FORMAT}\n".encode())
+    hasher.update(" ".join(compiler_command() + compiler_flags()).encode())
+    hasher.update(b"\x00")
+    hasher.update(source.encode())
+    return hasher.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Translation units
+# ---------------------------------------------------------------------------
+class NativeUnit:
+    """All native regions of one compiled function, built as one ``.so``.
+
+    Regions are added during function translation; the first dispatch seals
+    the unit: the C source is assembled, compiled (or fetched warm from the
+    artifact cache) and dlopened.  A corrupt cached artifact fails the
+    dlopen, is invalidated and recompiled once; a failed compile disables
+    the unit (every region runs its compiled-engine base plan).
+    """
+
+    def __init__(self, program: "_NativeProgram") -> None:
+        self.program = program
+        self.sources: List[str] = []
+        self.symbols: List[str] = []
+        self.status = "open"          # open -> ready | failed
+        self.library = None
+        self.functions: Dict[str, object] = {}
+        self.key: Optional[str] = None
+        self._lock = threading.Lock()
+
+    def add(self, source: str, symbol: str) -> None:
+        self.sources.append(source)
+        self.symbols.append(symbol)
+
+    def ready(self) -> bool:
+        if self.status == "ready":
+            return True
+        if self.status == "failed":
+            return False
+        with self._lock:
+            if self.status == "open":
+                self._seal()
+        return self.status == "ready"
+
+    def function(self, symbol: str):
+        return self.functions[symbol]
+
+    # -- sealing ---------------------------------------------------------------
+    def _seal(self) -> None:
+        stats = self.program.native_stats
+        if not self.sources or not native_available():
+            self.status = "failed"
+            return
+        source = assemble_unit(self.sources)
+        self.key = unit_key(source)
+        cache = global_native_cache()
+        path = cache.lookup(self.key)
+        if path is None:
+            path = self._compile(cache, source)
+            if path is None:
+                self.status = "failed"
+                stats["compile_errors"] += 1
+                return
+        else:
+            stats["artifact_hits"] += 1
+        library = self._load(path)
+        if library is None:
+            # corrupt artifact: drop it and rebuild once before giving up.
+            cache.invalidate(self.key)
+            stats["corrupt_artifacts"] += 1
+            path = self._compile(cache, source)
+            library = self._load(path) if path is not None else None
+            if library is None:
+                self.status = "failed"
+                return
+        try:
+            for symbol in self.symbols:
+                function = getattr(library, symbol)
+                function.restype = None
+                self.functions[symbol] = function
+        except AttributeError:
+            cache.invalidate(self.key)
+            self.status = "failed"
+            return
+        cache.pin(self.key)
+        self.library = library
+        self.status = "ready"
+        stats["units_ready"] += 1
+
+    def _compile(self, cache, source: str) -> Optional[object]:
+        def build(path):
+            with tempfile.NamedTemporaryFile(
+                    "w", suffix=".c", prefix="repro-native-",
+                    delete=False) as handle:
+                handle.write(source)
+                source_path = handle.name
+            try:
+                completed = subprocess.run(
+                    [*compiler_command(), *compiler_flags(), source_path,
+                     "-o", str(path)],
+                    capture_output=True, timeout=300)
+                if completed.returncode != 0:
+                    raise RuntimeError(
+                        f"native compile failed:\n"
+                        f"{completed.stderr.decode(errors='replace')[:2000]}")
+            finally:
+                try:
+                    os.unlink(source_path)
+                except OSError:
+                    pass
+
+        try:
+            return cache.store(self.key, build)
+        except (RuntimeError, OSError, subprocess.SubprocessError):
+            return None
+
+    @staticmethod
+    def _load(path):
+        try:
+            return ctypes.CDLL(str(path))
+        except OSError:
+            return None
+
+
+# ---------------------------------------------------------------------------
+# Region dispatchers
+# ---------------------------------------------------------------------------
+_I64_3 = ctypes.c_int64 * 3
+_F64_2 = ctypes.c_double * 2
+
+
+def _region_error(code: int) -> InterpreterError:
+    """The engine error for a nonzero native error code.
+
+    Codes combine across OpenMP threads with a ``max`` reduction, so they
+    stay semantic (mixed step/OOM errors surface the OOM classification).
+    """
+    if code == ERR_BAD_STEP:
+        return InterpreterError("scf.for requires a positive step")
+    if code == ERR_OOM:
+        return InterpreterError("native region scratch allocation failed")
+    return InterpreterError(f"native region failed (code {code})")
+
+
+class _RegionHandle:
+    """Marshals one region's live-ins and calls its compiled function."""
+
+    def __init__(self, unit: NativeUnit, spec, required_dims) -> None:
+        self.unit = unit
+        self.spec = spec
+        #: dims that must have extent 1 for parallel execution, or ``None``
+        #: when the store analysis rejected parallelism outright.
+        self.required_dims = required_dims
+
+    def ready(self) -> bool:
+        return self.unit.ready()
+
+    def marshal(self, regs):
+        """(li, lf, lp, ls, storages, par_precondition) or ``None``.
+
+        ``None`` means a live-in violated the contract the C code was
+        specialized against (dtype, rank, space, writability, liveness) —
+        the caller runs its compiled base plan instead, which either
+        executes correctly or raises the exact engine error.
+        """
+        spec = self.spec
+        try:
+            li = [int(regs[slot]) for slot in spec.int_slots]
+            lf = [float(regs[slot]) for slot in spec.float_slots]
+        except (TypeError, ValueError):
+            return None
+        pointers: List[int] = []
+        shapes: List[int] = []
+        arrays = []
+        intervals: List[Tuple[int, int, bool]] = []
+        for buf in spec.buffers:
+            storage = regs[buf.slot]
+            if not isinstance(storage, MemRefStorage) or storage.freed:
+                return None
+            array = storage.array
+            if (array.dtype.name != buf.dtype or array.ndim != buf.rank
+                    or not array.flags["C_CONTIGUOUS"]
+                    or storage.memory_space != buf.space):
+                return None
+            if buf.stored and not array.flags["WRITEABLE"]:
+                return None
+            address = array.ctypes.data
+            pointers.append(address)
+            shapes.extend(int(extent) for extent in array.shape)
+            arrays.append(array)
+            intervals.append((address, address + array.nbytes, buf.stored))
+        par_ok = not self._overlapping(intervals)
+        return li, lf, pointers, shapes, arrays, par_ok
+
+    @staticmethod
+    def _overlapping(intervals) -> bool:
+        """True if any written buffer overlaps another live-in buffer.
+
+        The store-safety analysis proves injectivity per buffer; two
+        *aliasing* live-ins would let a store through one race a load
+        through the other across OpenMP threads, so aliasing runs force
+        the sequential path (which is exact for any aliasing).
+        """
+        for index in range(len(intervals)):
+            start, stop, stored = intervals[index]
+            if start == stop:
+                continue
+            for other in range(index + 1, len(intervals)):
+                other_start, other_stop, other_stored = intervals[other]
+                if not stored and not other_stored:
+                    continue
+                if start < other_stop and other_start < stop:
+                    return True
+        return False
+
+    @staticmethod
+    def _pack(li, lf, pointers, shapes):
+        pack_i = (ctypes.c_int64 * max(1, len(li)))(*li)
+        pack_f = (ctypes.c_double * max(1, len(lf)))(*lf)
+        pack_p = (ctypes.c_void_p * max(1, len(pointers)))(*pointers)
+        pack_s = (ctypes.c_int64 * max(1, len(shapes)))(*shapes)
+        return pack_i, pack_f, pack_p, pack_s
+
+    def call_span(self, marshalled, ranges, total: int):
+        li, lf, pointers, shapes, arrays, no_alias = marshalled
+        par_ok = (no_alias and total >= _MIN_PARALLEL_UNITS
+                  and self.required_dims is not None
+                  and all(len(ranges[dim]) == 1 for dim in self.required_dims))
+        pack_i, pack_f, pack_p, pack_s = self._pack(li, lf, pointers, shapes)
+        ndim = len(ranges)
+        lbs = (ctypes.c_int64 * max(1, ndim))(*[r.start for r in ranges])
+        steps = (ctypes.c_int64 * max(1, ndim))(*[r.step for r in ranges])
+        lens = (ctypes.c_int64 * max(1, ndim))(*[len(r) for r in ranges])
+        outf = _F64_2()
+        outi = _I64_3()
+        self.unit.function(self.spec.symbol)(
+            pack_i, pack_f, pack_p, pack_s, lbs, steps, lens,
+            ctypes.c_int64(total), ctypes.c_int64(1 if par_ok else 0),
+            outf, outi)
+        del arrays  # keep buffers alive across the call
+        return outf[0], outf[1], outi[0], outi[1], outi[2]
+
+    def call_launch(self, marshalled, grid, block):
+        li, lf, pointers, shapes, arrays, no_alias = marshalled
+        total_blocks = grid[0] * grid[1] * grid[2]
+        par_ok = (no_alias and total_blocks >= 2
+                  and total_blocks * block[0] * block[1] * block[2] >= _MIN_PARALLEL_UNITS
+                  and self.required_dims is not None
+                  and all(grid[axis] == 1 for axis in self.required_dims))
+        pack_i, pack_f, pack_p, pack_s = self._pack(li, lf, pointers, shapes)
+        grid_pack = (ctypes.c_int64 * 3)(*grid)
+        block_pack = (ctypes.c_int64 * 3)(*block)
+        outf = _F64_2()
+        outi = _I64_3()
+        self.unit.function(self.spec.symbol)(
+            pack_i, pack_f, pack_p, pack_s, grid_pack, block_pack,
+            ctypes.c_int64(1 if par_ok else 0), outf, outi)
+        del arrays
+        return outf[0], outf[1], outi[0], outi[1], outi[2]
+
+
+# ---------------------------------------------------------------------------
+# Program / compiler flavour
+# ---------------------------------------------------------------------------
+class _NativeProgram(_Program):
+    """Compiled program flavour that owns the native translation units."""
+
+    def __init__(self, module, machine: MachineModel) -> None:
+        super().__init__(module, machine)
+        self.native_enabled = (native_enabled_env()
+                               and machine_vectorizable(machine))
+        self.native_stats: Dict[str, int] = {
+            "native_regions": 0, "fallback_regions": 0, "native_dispatches": 0,
+            "bailouts": 0, "units_ready": 0, "artifact_hits": 0,
+            "compile_errors": 0, "corrupt_artifacts": 0,
+        }
+
+
+class _NativeFunctionCompiler(_FunctionCompiler):
+    """Compiled-flavour function compiler with native region dispatchers."""
+
+    def __init__(self, program, fn, gen: bool) -> None:
+        super().__init__(program, fn, gen)
+        self.unit = NativeUnit(program)
+        self._region_counter = 0
+
+    def _symbol(self) -> str:
+        sanitized = "".join(ch if ch.isalnum() else "_" for ch in self.fn.sym_name)
+        self._region_counter += 1
+        mode = "g" if self.gen_mode else "p"
+        return f"repro_{sanitized}_{mode}{self._region_counter}"
+
+    # -- store-safety analysis (one implementation, shared with multicore) -----
+    def _span_required_dims(self, op) -> Optional[Tuple[int, ...]]:
+        required = span_required_dims(self.program, op)
+        return None if required is None else tuple(sorted(required))
+
+    def _launch_required_axes(self, op) -> Optional[Tuple[int, ...]]:
+        required = launch_required_axes(self.program, op)
+        return None if required is None else tuple(sorted(required))
+
+    # -- region codegen --------------------------------------------------------
+    def _emit_region(self, op, emit) -> Optional[Tuple[str, object]]:
+        program = self.program
+        if not program.native_enabled:
+            return None
+        symbol = self._symbol()
+        try:
+            codegen = RegionCodegen(program, op, symbol, self.slot)
+            source, spec = emit(codegen)
+        except UnsupportedRegion:
+            program.native_stats["fallback_regions"] += 1
+            return None
+        program.native_stats["native_regions"] += 1
+        self.unit.add(source, symbol)
+        return source, spec
+
+    def _span_runner(self, op, base, accounting_hook, finish):
+        emitted = self._emit_region(op, lambda cg: cg.emit_span())
+        if emitted is None:
+            return base
+        _, spec = emitted
+        handle = _RegionHandle(self.unit, spec, self._span_required_dims(op))
+        lb_slots = self.slots(op.lower_bounds)
+        ub_slots = self.slots(op.upper_bounds)
+        st_slots = self.slots(op.steps)
+        stats = self.program.native_stats
+
+        def run(state, regs):
+            if state.max_ops is not None or not handle.ready():
+                stats["bailouts"] += 1
+                return base(state, regs)
+            ranges, total = _iteration_space(regs, lb_slots, ub_slots, st_slots)
+            marshalled = handle.marshal(regs)
+            if marshalled is None:
+                stats["bailouts"] += 1
+                return base(state, regs)
+            accounting_hook(state)
+            work, global_bytes, ops, _, error = handle.call_span(
+                marshalled, ranges, total)
+            if error:
+                raise _region_error(error)
+            stats["native_dispatches"] += 1
+            state.report.dynamic_ops += int(ops)
+            state.report.global_bytes += global_bytes
+            finish(state, total, work)
+        return run
+
+    def _c_omp_wsloop(self, op):
+        base = super()._c_omp_wsloop(op)
+
+        def count(state):
+            state.report.workshared_loops += 1
+        return self._span_runner(op, base, count, self._wsloop_accounting(op))
+
+    def _c_scf_parallel(self, op):
+        from ..analysis import contains_barrier
+
+        base = super()._c_scf_parallel(op)
+        if contains_barrier(op, immediate_region_only=True):
+            # grid-wide barrier phases stay on the compiled SIMT scheduler.
+            return base
+
+        def count(state):
+            state.report.parallel_regions += 1
+        return self._span_runner(op, base, count, self._parallel_accounting(op))
+
+    def _c_gpu_launch(self, op):
+        base = super()._c_gpu_launch(op)
+        emitted = self._emit_region(op, lambda cg: cg.emit_launch())
+        if emitted is None:
+            return base
+        _, spec = emitted
+        handle = _RegionHandle(self.unit, spec, self._launch_required_axes(op))
+        grid_slots = self.slots(op.grid_dims)
+        block_slots = self.slots(op.block_dims)
+        stats = self.program.native_stats
+
+        def run(state, regs):
+            if state.max_ops is not None or not handle.ready():
+                stats["bailouts"] += 1
+                return base(state, regs)
+            grid = [int(regs[slot]) for slot in grid_slots]
+            block = [int(regs[slot]) for slot in block_slots]
+            marshalled = handle.marshal(regs)
+            if marshalled is None:
+                stats["bailouts"] += 1
+                return base(state, regs)
+            work, global_bytes, ops, phases, error = handle.call_launch(
+                marshalled, grid, block)
+            if error:
+                raise _region_error(error)
+            stats["native_dispatches"] += 1
+            report = state.report
+            report.dynamic_ops += int(ops)
+            report.global_bytes += global_bytes
+            report.simt_phases += int(phases)
+            state.work[-1] += work
+        return run
+
+
+_NativeProgram.COMPILER = _NativeFunctionCompiler
+
+
+# ---------------------------------------------------------------------------
+# Engine front end
+# ---------------------------------------------------------------------------
+class NativeEngine(CompiledEngine):
+    """The compiled engine with parallel regions emitted as OpenMP C.
+
+    Construction is cheap; the C compiler runs once per function at the
+    first dispatch (warm runs come from the content-addressed artifact
+    cache).  On hosts without a working ``cc -fopenmp`` — or under
+    ``REPRO_NATIVE=0`` — every region transparently runs its compiled-engine
+    base plan, so behaviour degrades but never breaks.
+    """
+
+    PROGRAM_CLS = _NativeProgram
+
+    @property
+    def native_stats(self) -> Dict[str, int]:
+        """Region-level telemetry: native vs. fallback regions, dispatches,
+        artifact-cache hits, compile failures."""
+        return dict(self._program.native_stats)
+
+
+def _make_native(module, *, machine=XEON_8375C, threads=None,
+                 collect_cost=True, max_dynamic_ops=None, workers=None):
+    # ``workers`` is a multicore-engine knob; OpenMP sizes the native teams.
+    return NativeEngine(module, machine=machine, threads=threads,
+                        collect_cost=collect_cost, max_dynamic_ops=max_dynamic_ops)
+
+
+register_engine(
+    "native", _make_native, order=2,  # ties with multicore; name breaks the tie
+    description="parallel regions transpiled to C and run as OpenMP shared objects")

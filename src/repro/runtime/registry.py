@@ -7,6 +7,16 @@ selection layer (``make_executor``, ``resolve_engine``, ``ENGINES``) derives
 everything from this registry.  The registry lives in its own leaf module so
 engine modules can import it without a cycle through the selection layer.
 
+Engine-module imports are **lazy on lookup**: the registry knows the module
+path of every built-in engine (:data:`_LAZY_MODULES`) and imports a module
+the first time its name is looked up — through :func:`engine_factory`,
+:func:`engine_names` or an ``in ENGINES`` membership test.  This closes the
+registration race where an env-selected engine (``REPRO_ENGINE=native``)
+was validated against the registry *before* anything had imported the
+module that registers it: ``"native" in ENGINES`` is now true from the
+first import of :mod:`repro.runtime.registry` onward, whichever module gets
+imported first.
+
 A factory is a callable ``factory(module, *, machine, threads, collect_cost,
 max_dynamic_ops, workers) -> executor`` returning an object with the common
 engine API (``run(function_name, arguments)`` + a ``report`` attribute).
@@ -15,11 +25,28 @@ Engines that have no notion of worker processes simply ignore ``workers``.
 
 from __future__ import annotations
 
+import importlib
+import threading
 from typing import Callable, Dict, Tuple
 
 _FACTORIES: Dict[str, Callable] = {}
 _DESCRIPTIONS: Dict[str, str] = {}
 _ORDERS: Dict[str, int] = {}
+
+#: built-in engines resolved lazily: name -> module that registers it.
+#: Importing one of these modules must call :func:`register_engine` for the
+#: name (enforced by ``tests/runtime/test_native.py``); availability probing
+#: (compilers, fork, shared memory) stays a *runtime* concern inside the
+#: engine so the import itself never fails.
+_LAZY_MODULES: Dict[str, str] = {
+    "compiled": "repro.runtime.compiler",
+    "interp": "repro.runtime.interpreter",
+    "vectorized": "repro.runtime.vectorizer",
+    "multicore": "repro.runtime.multicore",
+    "native": "repro.runtime.native",
+}
+
+_IMPORT_LOCK = threading.RLock()
 
 
 def register_engine(name: str, factory: Callable, *, description: str = "",
@@ -34,8 +61,29 @@ def register_engine(name: str, factory: Callable, *, description: str = "",
     _ORDERS[name] = order
 
 
+def register_lazy_engine(name: str, module: str) -> None:
+    """Declare ``name`` as registered by importing ``module`` on lookup."""
+    _LAZY_MODULES[name] = module
+
+
+def _resolve_lazy(name: str) -> None:
+    """Import the module that registers ``name``, if it is a known lazy one."""
+    module = _LAZY_MODULES.get(name)
+    if module is None or name in _FACTORIES:
+        return
+    with _IMPORT_LOCK:
+        if name not in _FACTORIES:
+            importlib.import_module(module)
+
+
+def _resolve_all_lazy() -> None:
+    for name in tuple(_LAZY_MODULES):
+        _resolve_lazy(name)
+
+
 def engine_names() -> Tuple[str, ...]:
     """All registered engine names, ordered by registration ``order``."""
+    _resolve_all_lazy()
     return tuple(sorted(_FACTORIES, key=lambda name: (_ORDERS[name], name)))
 
 
@@ -45,7 +93,10 @@ class EngineNamesView:
     ``repro.runtime.ENGINES`` used to be a tuple snapshot taken at import
     time, which silently went stale when an engine registered late.  This
     view re-reads the registry on every access, so even references bound
-    with ``from repro.runtime import ENGINES`` stay current.
+    with ``from repro.runtime import ENGINES`` stay current.  Membership
+    tests resolve lazy engines first (one targeted module import), so
+    ``"native" in ENGINES`` holds before anything imported the engine
+    module.
     """
 
     __slots__ = ()
@@ -60,7 +111,9 @@ class EngineNamesView:
         return engine_names()[index]
 
     def __contains__(self, name) -> bool:
-        return name in engine_names()
+        if isinstance(name, str):
+            _resolve_lazy(name)
+        return name in _FACTORIES
 
     def __eq__(self, other) -> bool:
         if isinstance(other, EngineNamesView):
@@ -80,6 +133,7 @@ ENGINES_VIEW = EngineNamesView()
 
 def engine_factory(name: str) -> Callable:
     """The factory registered under ``name`` (KeyError style: ValueError)."""
+    _resolve_lazy(name)
     try:
         return _FACTORIES[name]
     except KeyError:
@@ -88,8 +142,10 @@ def engine_factory(name: str) -> Callable:
 
 
 def engine_description(name: str) -> str:
+    _resolve_lazy(name)
     return _DESCRIPTIONS.get(name, "")
 
 
-__all__ = ["register_engine", "engine_names", "engine_factory",
-           "engine_description", "EngineNamesView", "ENGINES_VIEW"]
+__all__ = ["register_engine", "register_lazy_engine", "engine_names",
+           "engine_factory", "engine_description", "EngineNamesView",
+           "ENGINES_VIEW"]

@@ -117,8 +117,11 @@ def _untracked_attach(name: str):
     warn about segments the parent still owns when a worker exits.  The
     parent is the single owner here, so attachments bypass the tracker.
     """
+    def _ignore_registration(*args, **kwargs):
+        return None
+
     original = _resource_tracker.register
-    _resource_tracker.register = lambda *args, **kwargs: None
+    _resource_tracker.register = _ignore_registration
     try:
         return _Segment(name=name, create=False)
     finally:

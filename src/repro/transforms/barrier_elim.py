@@ -16,7 +16,6 @@ are the first op of a parallel body (where they order nothing before them).
 from __future__ import annotations
 
 from ..ir import Operation
-from ..dialects import polygeist
 from ..dialects.func import ModuleOp
 from ..analysis import barrier_is_redundant, barriers_in
 from .pass_manager import Pass

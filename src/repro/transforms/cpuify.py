@@ -17,10 +17,10 @@ from the unified host/device module produced by the frontend it
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
-from ..ir import Operation, verify
-from ..dialects import polygeist, scf
+from ..ir import verify
+from ..dialects import scf
 from ..dialects.func import FuncOp, ModuleOp
 from ..analysis import barriers_in, contains_barrier
 from .pass_manager import Pass, PassManager, PipelineOptions

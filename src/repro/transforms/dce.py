@@ -9,7 +9,7 @@ are used; allocations whose result is never used are also removed.
 from __future__ import annotations
 
 from ..ir import EffectKind, Operation
-from ..dialects import func as func_d, memref as memref_d, scf
+from ..dialects import func as func_d, memref as memref_d
 from ..dialects.func import ModuleOp
 from .pass_manager import Pass
 

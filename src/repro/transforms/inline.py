@@ -8,9 +8,9 @@ end up unreferenced and private are removed afterwards by symbol DCE.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
-from ..ir import Operation, Value
+from ..ir import Value
 from ..dialects import func as func_d
 from ..dialects.func import ModuleOp
 from .pass_manager import Pass

@@ -25,7 +25,6 @@ from ..analysis import (
     collect_accesses,
     function_is_read_only,
     is_defined_inside,
-    op_is_speculatable,
 )
 from .pass_manager import Pass
 

@@ -20,12 +20,11 @@ that loop splitting isolates it into its own parallel loop.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 from ..ir import Builder, I1, Operation, Value, memref as memref_type
 from ..dialects import arith, memref as memref_d, polygeist, scf
 from ..analysis import contains_barrier, is_defined_inside
-from .loop_split import SplitError
 
 
 class InterchangeError(RuntimeError):

@@ -20,9 +20,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..ir import Builder, DYNAMIC, MemorySpace, MemRefType, Operation, Value, memref as memref_type
 from ..dialects import arith, memref as memref_d, polygeist, scf
-from ..dialects.func import ModuleOp
 from ..analysis import crossing_values, def_use_edges_among, minimum_value_cut
-from .pass_manager import Pass
 
 
 class SplitError(RuntimeError):

@@ -16,9 +16,9 @@ which is also what makes hoisting code out of kernels legal (§II-A).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
-from ..ir import Builder, Operation, Value
+from ..ir import Builder, Value
 from ..dialects import gpu as gpu_d, memref as memref_d, polygeist, scf
 from ..dialects.func import ModuleOp
 from .pass_manager import Pass

@@ -17,7 +17,7 @@ into a plain register use, exactly as described in the paper.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional
 
 from ..ir import Block, Operation, Value
 from ..dialects import memref as memref_d, polygeist
@@ -30,7 +30,6 @@ from ..analysis import (
     collect_accesses,
     enclosing_parallel,
     extract_access,
-    may_alias,
     uniform_symbols_for,
 )
 from ..analysis.effects import MemoryAccess

@@ -15,8 +15,8 @@ from __future__ import annotations
 
 from typing import List
 
-from ..ir import Builder, Operation, Value
-from ..dialects import memref as memref_d, scf
+from ..ir import Builder, Operation
+from ..dialects import scf
 from ..dialects.func import ModuleOp
 from ..analysis import contains_barrier
 from .pass_manager import Pass

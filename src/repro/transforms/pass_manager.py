@@ -9,8 +9,8 @@ so the experiment harness can sweep them.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
 
 from ..dialects.func import ModuleOp
 

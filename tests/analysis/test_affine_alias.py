@@ -1,6 +1,5 @@
 """Tests for affine access extraction and alias analysis."""
 
-import pytest
 
 from repro.ir import Block, Builder, F32, I32, INDEX, memref
 from repro.dialects import arith, memref as memref_d
@@ -14,7 +13,7 @@ from repro.analysis import (
     may_alias,
 )
 
-from tests.helpers import build_function, build_parallel
+from tests.helpers import build_function
 
 
 class TestAffineExtraction:

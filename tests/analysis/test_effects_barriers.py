@@ -1,12 +1,10 @@
 """Tests for memory-effect collection, conflicts, and barrier semantics."""
 
-import pytest
 
-from repro.ir import Builder, EffectKind, F32, FunctionType, I32, INDEX, memref
-from repro.dialects import arith, func, memref as memref_d, polygeist, scf
+from repro.ir import Builder, EffectKind, F32, FunctionType, INDEX, memref
+from repro.dialects import arith, func, memref as memref_d
 from repro.analysis import (
     accesses_conflict,
-    any_conflict,
     barrier_is_redundant,
     barrier_memory_effects,
     collect_accesses,

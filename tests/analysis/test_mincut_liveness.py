@@ -1,10 +1,9 @@
 """Tests for the min-cut cache selection and liveness utilities."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.ir import Builder, F32, INDEX, memref
-from repro.dialects import arith, memref as memref_d, scf
+from repro.ir import F32, memref
+from repro.dialects import arith, memref as memref_d
 from repro.analysis import (
     FlowNetwork,
     crossing_values,

@@ -74,7 +74,8 @@ def report_fields(report) -> Tuple:
 def run_engine_matrix(module, entry: str, make_args: Callable[[], List],
                       output_indices: Sequence[int], *,
                       engines: Sequence[str] = ("interp", "compiled",
-                                                "vectorized", "multicore"),
+                                                "vectorized", "multicore",
+                                                "native"),
                       machine=None, threads: Optional[int] = None,
                       workers: Optional[int] = None,
                       label: str = "") -> None:
@@ -278,9 +279,9 @@ def generate_fuzz_kernel(seed: int) -> FuzzKernel:
         else:
             body.append(f"    acc = acc + buf[(tx + 1) % {block_size}] * 0.25f;")
 
-    store = f"out[gid] = acc;"
+    store = "out[gid] = acc;"
     if guarded:
-        body.append(f"    if (gid < n) {{")
+        body.append("    if (gid < n) {")
         body.append(f"        {store}")
         body.append("    }")
     else:

@@ -13,8 +13,6 @@ from repro.ir import (
     IntegerType,
     MemorySpace,
     MemRefType,
-    Operation,
-    Region,
     VerificationError,
     memref,
     print_op,

@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro import moccuda as mc
-from repro.runtime import A64FX_CMG, XEON_8375C
+from repro.runtime import A64FX_CMG
 
 
 class TestTensorPrimitives:

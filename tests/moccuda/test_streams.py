@@ -13,7 +13,7 @@ import numpy as np
 import pytest
 
 from repro import moccuda as mc
-from repro.moccuda import CudaEvent, MocCUDASession, Stream
+from repro.moccuda import CudaEvent, MocCUDASession
 
 
 @pytest.fixture()

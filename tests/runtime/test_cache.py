@@ -253,3 +253,43 @@ class TestCachedParity:
             run_engine_matrix(module, bench.entry, lambda: bench.make_inputs(1),
                               bench.output_indices, workers=2,
                               label=f"{name} {label}")
+
+
+class TestNativeArtifactTier:
+    """The native engine's ``.so`` tier shares the cache's disk placement,
+    capacity knob and eviction discipline (engine-level corruption fallback
+    and warm-hit behaviour live in ``tests/runtime/test_native.py``)."""
+
+    def test_artifacts_live_under_the_disk_tier(self, disk_cache):
+        from repro.runtime.cache import NativeArtifactCache
+
+        cache = NativeArtifactCache()
+        assert cache.directory() == disk_cache / "native"
+
+    def test_temp_directory_without_disk_tier(self):
+        from repro.runtime.cache import NativeArtifactCache
+
+        cache = NativeArtifactCache()
+        directory = cache.directory()
+        assert directory.is_dir()
+        assert "repro-native-" in directory.name
+
+    def test_capacity_env_knob(self, monkeypatch):
+        from repro.runtime.cache import CAPACITY_ENV_VAR, NativeArtifactCache
+
+        monkeypatch.setenv(CAPACITY_ENV_VAR, "3")
+        assert NativeArtifactCache().capacity == 3
+
+    def test_store_publishes_atomically_and_evicts(self, tmp_path):
+        import os
+
+        from repro.runtime.cache import NativeArtifactCache
+
+        cache = NativeArtifactCache(capacity=2, directory=tmp_path)
+        for index, key in enumerate(["k1", "k2", "k3"]):
+            path = cache.store(key, lambda temp: temp.write_bytes(b"so"))
+            os.utime(path, (1000 + index, 1000 + index))
+        cache.evict()
+        remaining = sorted(entry.stem for entry in tmp_path.glob("*.so"))
+        assert remaining == ["k2", "k3"]
+        assert not list(tmp_path.glob(".tmp-*"))  # no torn temp files

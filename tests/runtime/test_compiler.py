@@ -7,12 +7,11 @@ behaviour — correct execution of every construct family, the
 invalidation, and error reporting.
 """
 
-from itertools import product
 
 import numpy as np
 import pytest
 
-from repro.ir import Builder, F32, FunctionType, I1, I32, INDEX, memref, verify
+from repro.ir import Builder, F32, FunctionType, I32, INDEX, memref, verify
 from repro.dialects import arith, func, gpu as gpu_d, memref as memref_d, scf
 from repro.runtime import (
     CompiledEngine,
@@ -24,7 +23,6 @@ from repro.runtime import (
     resolve_engine,
 )
 from repro.runtime.compiler import _FunctionCompiler, program_for
-from repro.transforms import PipelineOptions
 
 from tests.helpers import (
     build_function,

@@ -1,15 +1,17 @@
-"""Differential tests: compiled, vectorized and multicore vs. the interpreter.
+"""Differential tests: compiled/vectorized/multicore/native vs. the interpreter.
 
 Every Rodinia suite kernel (cuda-lowered, OpenMP reference and un-lowered
-SIMT oracle variants) plus the quickstart example runs through **all four**
+SIMT oracle variants) plus the quickstart example runs through **all five**
 execution engines; outputs must be bit-identical and the simulated-cycle
 ``CostReport``s must match field for field (``cycles``, ``dynamic_ops``,
 phases, traffic, ...).  This is what allows the fast engines to run
 everywhere while the interpreter stays the semantic oracle — it pins the
 vectorized engine's analytic cost accounting to the interpreter's
-sequential accumulation bit for bit, and the multicore engine's
-per-worker cost folding (and shared-memory in-place stores) to the same
-sequential result across two real worker processes.
+sequential accumulation bit for bit, the multicore engine's per-worker
+cost folding (and shared-memory in-place stores) to the same sequential
+result across two real worker processes, and the native engine's
+C-accumulated counters (OpenMP ``reduction(+)`` partial sums) to the same
+totals through a real compiled shared object.
 """
 
 import numpy as np
@@ -22,6 +24,7 @@ from repro.runtime import (
     CompiledEngine,
     Interpreter,
     MulticoreEngine,
+    NativeEngine,
     VectorizedEngine,
     XEON_8375C,
     shutdown_worker_pools,
@@ -44,8 +47,11 @@ def _multicore_two_workers(module, **kwargs):
 
 _multicore_two_workers.__name__ = "MulticoreEngine[workers=2]"
 
-#: the non-interpreter engines checked against the oracle.
-FAST_ENGINES = [CompiledEngine, VectorizedEngine, _multicore_two_workers]
+#: the non-interpreter engines checked against the oracle.  The native
+#: engine degrades to compiled plans on hosts without ``cc -fopenmp`` —
+#: the parity contract holds either way.
+FAST_ENGINES = [CompiledEngine, VectorizedEngine, _multicore_two_workers,
+                NativeEngine]
 
 
 @pytest.fixture(scope="module", autouse=True)

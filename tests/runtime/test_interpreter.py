@@ -6,7 +6,7 @@ import pytest
 
 from repro.ir import Builder, F32, FunctionType, I32, INDEX, memref, verify
 from repro.dialects import arith, func, gpu as gpu_d, math as math_d, memref as memref_d, scf
-from repro.runtime import A64FX_CMG, Interpreter, InterpreterError, MemRefStorage, XEON_8375C, execute
+from repro.runtime import A64FX_CMG, Interpreter, InterpreterError, XEON_8375C, execute
 from repro.transforms import PipelineOptions, cpuify
 
 from tests.helpers import (

@@ -127,9 +127,9 @@ def _teardown_pools():
 
 
 class TestEngineRegistry:
-    def test_all_four_engines_registered(self):
+    def test_builtin_engines_registered(self):
         names = engine_names()
-        assert names == ("compiled", "vectorized", "multicore", "interp")
+        assert names == ("compiled", "vectorized", "multicore", "native", "interp")
 
     def test_resolve_engine_accepts_multicore(self):
         assert resolve_engine("multicore") == "multicore"

@@ -1,0 +1,378 @@
+"""Native OpenMP engine: codegen coverage, fallback, cache and registry.
+
+The five-engine parity matrix (``test_engine_parity.py``) and the
+differential fuzz suite already pin the native engine's outputs and
+CostReports bit for bit; this file covers the machinery around them:
+
+* region coverage — the kernels that must compile natively do, the
+  constructs the emitter rejects (``scf.while``, nested ``omp.parallel``)
+  fall back per region, and at least one Rodinia kernel exercises the
+  fallback path;
+* the content-addressed artifact cache — warm units skip the C compiler,
+  corrupt ``.so`` files recompile instead of crashing the dlopen, and the
+  disk tier evicts by access age without touching pinned artifacts;
+* dispatch bail-outs — budget runs, read-only outputs and missing
+  toolchains degrade to the compiled base plans with identical semantics;
+* the registry's lazy-on-lookup engine imports — ``"native" in ENGINES``
+  holds before anything imported an engine module, so env-selected engines
+  cannot race registration.
+"""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.frontend import compile_cuda
+from repro.rodinia import BENCHMARKS
+from repro.runtime import (
+    Interpreter,
+    InterpreterError,
+    NativeEngine,
+    XEON_8375C,
+    native_available,
+)
+from repro.runtime.cache import NativeArtifactCache
+from repro.runtime.native import NATIVE_ENV_VAR, CC_ENV_VAR, unit_key
+from repro.transforms import PipelineOptions
+from tests.helpers import generate_fuzz_kernel, report_fields
+
+HAVE_CC = native_available()
+needs_cc = pytest.mark.skipif(not HAVE_CC, reason="no working cc -fopenmp")
+
+MATMUL = BENCHMARKS["matmul"]
+
+QUICK_CUDA = """
+__global__ void scale(float* out, float* in, int n) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid < n) {
+        out[gid] = in[gid] * 2.0f + 1.0f;
+    }
+}
+void launch(float* out, float* in, int n) {
+    scale<<<(n + 31) / 32, 32>>>(out, in, n);
+}
+"""
+
+
+def _quick_args(n=256):
+    rng = np.random.default_rng(7)
+    data = rng.random(n).astype(np.float32)
+    return [np.zeros(n, dtype=np.float32), data, n]
+
+
+def _lowered(source):
+    return compile_cuda(source, cuda_lower=True,
+                        options=PipelineOptions.all_optimizations())
+
+
+def _assert_native_matches_interp(module, entry, make_args, out_index):
+    interp_args = make_args()
+    interp = Interpreter(module)
+    interp.run(entry, interp_args)
+    native_args = make_args()
+    engine = NativeEngine(module)
+    engine.run(entry, native_args)
+    np.testing.assert_array_equal(interp_args[out_index], native_args[out_index])
+    assert report_fields(interp.report) == report_fields(engine.report)
+    return engine
+
+
+class TestRegionCoverage:
+    @needs_cc
+    def test_matmul_compiles_natively(self):
+        module = MATMUL.compile_cuda(PipelineOptions.all_optimizations())
+        engine = _assert_native_matches_interp(
+            module, MATMUL.entry, lambda: MATMUL.make_inputs(1),
+            MATMUL.output_indices[0])
+        stats = engine.native_stats
+        assert stats["native_regions"] >= 1
+        assert stats["native_dispatches"] >= 1
+        assert stats["compile_errors"] == 0
+
+    @needs_cc
+    def test_launch_simt_compiles_natively(self):
+        """A straight-line __syncthreads oracle runs through native chunked
+        phase execution (the gpu.launch path), bit-identically."""
+        for seed in range(60):
+            kernel = generate_fuzz_kernel(seed)
+            if kernel.has_barrier and "reduce=False" in kernel.description:
+                break
+        else:
+            pytest.skip("no straight-line barrier kernel in the seed window")
+        module = kernel.compile(cuda_lower=False)
+        engine = _assert_native_matches_interp(
+            module, kernel.entry, kernel.make_args, 2)
+        assert engine.native_stats["native_dispatches"] >= 1
+        assert engine.report.simt_phases > 0
+
+    @needs_cc
+    def test_inlined_device_call_compiles_natively(self):
+        """A region containing an un-inlined __device__ call with a result
+        must emit valid C: call results are declared outside the inlined
+        scope (regression: they used to be assigned after the closing
+        brace, failing the whole unit's compile)."""
+        source = """
+        __device__ float total(float* data, int n) {
+            float acc = 0.0f;
+            for (int i = 0; i < n; i++) { acc += data[i]; }
+            return acc;
+        }
+        __global__ void scale(float* out, float* in, int n) {
+            int gid = blockIdx.x * blockDim.x + threadIdx.x;
+            float t = total(in, n);
+            if (gid < n) { out[gid] = in[gid] / t; }
+        }
+        void launch(float* out, float* in, int n) {
+            scale<<<(n + 31) / 32, 32>>>(out, in, n);
+        }
+        """
+        module = compile_cuda(source)  # un-lowered: gpu.launch + func.call
+        engine = _assert_native_matches_interp(module, "launch", _quick_args, 0)
+        stats = engine.native_stats
+        assert stats["compile_errors"] == 0
+        assert stats["native_dispatches"] >= 1
+
+    @needs_cc
+    def test_rodinia_exercises_per_region_fallback(self):
+        """At least one Rodinia kernel must keep the fallback path alive."""
+        fallbacks = 0
+        for name in ("backprop layerforward", "particlefilter"):
+            bench = BENCHMARKS[name]
+            module = bench.compile_cuda(PipelineOptions.all_optimizations())
+            engine = _assert_native_matches_interp(
+                module, bench.entry, lambda: bench.make_inputs(1),
+                bench.output_indices[0])
+            fallbacks += engine.native_stats["fallback_regions"]
+        assert fallbacks >= 1
+
+    def test_env_disable_degrades_to_compiled(self, monkeypatch):
+        monkeypatch.setenv(NATIVE_ENV_VAR, "0")
+        module = _lowered(QUICK_CUDA)
+        engine = _assert_native_matches_interp(module, "launch", _quick_args, 0)
+        stats = engine.native_stats
+        assert stats["native_regions"] == 0
+        assert stats["native_dispatches"] == 0
+
+    def test_missing_toolchain_degrades_to_compiled(self, monkeypatch):
+        monkeypatch.setenv(CC_ENV_VAR, "/nonexistent/repro-cc")
+        assert not native_available()
+        module = _lowered(QUICK_CUDA)
+        engine = _assert_native_matches_interp(module, "launch", _quick_args, 0)
+        assert engine.native_stats["units_ready"] == 0
+
+
+class TestDispatchBailouts:
+    @needs_cc
+    def test_budget_routes_to_compiled_plans(self):
+        """An active max_dynamic_ops budget uses the compiled per-block
+        budget check, raising the exact engine error."""
+        module = _lowered(QUICK_CUDA)
+        engine = NativeEngine(module, max_dynamic_ops=10)
+        with pytest.raises(InterpreterError, match="budget"):
+            engine.run("launch", _quick_args())
+        assert engine.native_stats["bailouts"] >= 1
+
+    @needs_cc
+    def test_read_only_output_raises_like_other_engines(self):
+        module = _lowered(QUICK_CUDA)
+        arguments = _quick_args()
+        arguments[0].setflags(write=False)
+        engine = NativeEngine(module)
+        with pytest.raises(ValueError):
+            engine.run("launch", arguments)
+        assert engine.native_stats["bailouts"] >= 1
+
+    @needs_cc
+    def test_aliased_buffers_stay_exact(self):
+        """out aliasing in forces the sequential path; results still match
+        the interpreter bit for bit."""
+        module = _lowered(QUICK_CUDA)
+        n = 256
+        rng = np.random.default_rng(3)
+        shared_interp = rng.random(n).astype(np.float32)
+        shared_native = shared_interp.copy()
+        interp = Interpreter(module)
+        interp.run("launch", [shared_interp, shared_interp, n])
+        engine = NativeEngine(module)
+        engine.run("launch", [shared_native, shared_native, n])
+        np.testing.assert_array_equal(shared_interp, shared_native)
+        assert report_fields(interp.report) == report_fields(engine.report)
+
+
+class TestArtifactCache:
+    @needs_cc
+    def test_warm_unit_skips_the_compiler(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        first = NativeEngine(_lowered(QUICK_CUDA))
+        first.run("launch", _quick_args())
+        assert first.native_stats["units_ready"] == 1
+        assert list((tmp_path / "native").glob("*.so"))
+        second = NativeEngine(_lowered(QUICK_CUDA))
+        second.run("launch", _quick_args())
+        stats = second.native_stats
+        assert stats["units_ready"] == 1
+        assert stats["artifact_hits"] == 1
+
+    @needs_cc
+    def test_corrupt_so_recompiles_instead_of_crashing(self, tmp_path, monkeypatch):
+        """A corrupted cached artifact (e.g. a partial write from another
+        process) must fail the dlopen, be invalidated and recompiled — never
+        crash.  The warm artifact is produced by a *separate* process: the
+        same process would get its own already-mapped library back from the
+        dlopen cache and never touch the corrupt bytes."""
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        warm = (
+            "from repro.frontend import compile_cuda\n"
+            "from repro.transforms import PipelineOptions\n"
+            "from repro.runtime import NativeEngine\n"
+            "import numpy as np\n"
+            f"module = compile_cuda({QUICK_CUDA!r}, cuda_lower=True,\n"
+            "    options=PipelineOptions.all_optimizations())\n"
+            "engine = NativeEngine(module)\n"
+            "engine.run('launch', [np.zeros(8, dtype=np.float32),\n"
+            "    np.ones(8, dtype=np.float32), 8])\n"
+            "assert engine.native_stats['units_ready'] == 1\n"
+        )
+        environment = dict(os.environ)
+        environment["PYTHONPATH"] = os.path.join(os.getcwd(), "src")
+        environment["REPRO_CACHE"] = "1"
+        environment["REPRO_CACHE_DIR"] = str(tmp_path)
+        completed = subprocess.run([sys.executable, "-c", warm],
+                                   capture_output=True, env=environment,
+                                   timeout=300)
+        assert completed.returncode == 0, completed.stderr.decode()
+        artifacts = list((tmp_path / "native").glob("*.so"))
+        assert artifacts
+        for path in artifacts:
+            path.write_bytes(b"\x7fELF this is not a shared object")
+        module = _lowered(QUICK_CUDA)
+        engine = _assert_native_matches_interp(module, "launch", _quick_args, 0)
+        stats = engine.native_stats
+        assert stats["corrupt_artifacts"] == 1
+        assert stats["units_ready"] == 1
+        assert stats["native_dispatches"] >= 1
+
+    def test_unit_key_covers_source_and_toolchain(self, monkeypatch):
+        key = unit_key("int x;")
+        assert unit_key("int x;") == key
+        assert unit_key("int y;") != key
+        monkeypatch.setenv(CC_ENV_VAR, "cc -O2")
+        assert unit_key("int x;") != key
+
+    def test_deterministic_source_across_programs(self):
+        """Two programs over identical modules must generate identical C —
+        the content-addressed key depends on it."""
+        from repro.dialects import omp as omp_d
+        from repro.runtime.codegen_c import RegionCodegen
+        from repro.runtime.native import _NativeFunctionCompiler, _NativeProgram
+
+        def region_source():
+            module = _lowered(QUICK_CUDA)
+            program = _NativeProgram(module, XEON_8375C)
+            fn = module.lookup("launch")
+            compiler = _NativeFunctionCompiler(program, fn, False)
+
+            def find(block):
+                for op in block.operations:
+                    if isinstance(op, omp_d.OmpWsLoopOp):
+                        return op
+                    for region in op.regions:
+                        for inner in region.blocks:
+                            found = find(inner)
+                            if found is not None:
+                                return found
+                return None
+
+            wsloop = find(fn.body_block)
+            codegen = RegionCodegen(program, wsloop, "r", compiler.slot)
+            return codegen.emit_span()[0]
+
+        assert region_source() == region_source()
+
+
+class TestArtifactEviction:
+    def _store_dummy(self, cache, key, age):
+        path = cache.store(key, lambda temp: temp.write_bytes(b"dummy"))
+        os.utime(path, (age, age))
+        return path
+
+    def test_evicts_oldest_beyond_capacity(self, tmp_path):
+        cache = NativeArtifactCache(capacity=2, directory=tmp_path)
+        old = self._store_dummy(cache, "a" * 8, 1_000)
+        mid = self._store_dummy(cache, "b" * 8, 2_000)
+        new = self._store_dummy(cache, "c" * 8, 3_000)
+        cache.evict()
+        assert not old.exists()
+        assert mid.exists() and new.exists()
+
+    def test_lookup_refreshes_age(self, tmp_path):
+        cache = NativeArtifactCache(capacity=2, directory=tmp_path)
+        kept = self._store_dummy(cache, "a" * 8, 1_000)
+        self._store_dummy(cache, "b" * 8, 2_000)
+        assert cache.lookup("a" * 8) is not None  # refreshes mtime
+        self._store_dummy(cache, "c" * 8, 3_000)
+        cache.evict()
+        assert kept.exists()
+        assert not cache.path_for("b" * 8).exists()
+
+    def test_pinned_artifacts_survive_eviction(self, tmp_path):
+        cache = NativeArtifactCache(capacity=1, directory=tmp_path)
+        pinned = self._store_dummy(cache, "a" * 8, 1_000)
+        cache.pin("a" * 8)
+        self._store_dummy(cache, "b" * 8, 2_000)
+        self._store_dummy(cache, "c" * 8, 3_000)
+        cache.evict()
+        assert pinned.exists()
+
+    def test_invalidate_drops_artifact(self, tmp_path):
+        cache = NativeArtifactCache(capacity=4, directory=tmp_path)
+        path = self._store_dummy(cache, "a" * 8, 1_000)
+        cache.invalidate("a" * 8)
+        assert not path.exists()
+
+
+class TestLazyRegistry:
+    def _run(self, code, **env):
+        environment = dict(os.environ)
+        environment["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.getcwd(), "src"),
+             environment.get("PYTHONPATH", "")]).rstrip(os.pathsep)
+        environment.update(env)
+        return subprocess.run([sys.executable, "-c", code],
+                              capture_output=True, env=environment, timeout=120)
+
+    def test_membership_before_engine_import(self):
+        """`"native" in ENGINES` must hold before any engine module loads:
+        the membership test itself triggers one targeted lazy import."""
+        code = (
+            "import sys\n"
+            "import repro.runtime as rt\n"
+            "assert 'repro.runtime.native' not in sys.modules\n"
+            "assert 'repro.runtime.engine' not in sys.modules\n"
+            "assert 'native' in rt.ENGINES\n"
+            "assert 'repro.runtime.native' in sys.modules\n"
+            "assert 'repro.runtime.engine' not in sys.modules\n"
+            "assert 'no-such-engine' not in rt.ENGINES\n"
+        )
+        completed = self._run(code)
+        assert completed.returncode == 0, completed.stderr.decode()
+
+    def test_env_selected_engine_resolves_before_registration(self):
+        """REPRO_ENGINE=native validates through the factory lookup even
+        when the registry is consulted before any engine import."""
+        code = (
+            "from repro.runtime import registry\n"
+            "factory = registry.engine_factory('native')\n"
+            "assert callable(factory)\n"
+            "assert registry.engine_names()[:3] == "
+            "('compiled', 'vectorized', 'multicore')\n"
+            "import repro.runtime as rt\n"
+            "assert rt.resolve_engine() == 'native'\n"
+        )
+        completed = self._run(code, REPRO_ENGINE="native")
+        assert completed.returncode == 0, completed.stderr.decode()

@@ -3,16 +3,12 @@ and the full cpuify pipeline (structural properties)."""
 
 import pytest
 
-from repro.ir import Builder, F32, FunctionType, I1, I32, INDEX, memref, print_op, verify
+from repro.ir import Builder, F32, FunctionType, I32, INDEX, memref, verify
 from repro.dialects import arith, func, gpu as gpu_d, memref as memref_d, omp as omp_d, polygeist, scf
-from repro.analysis import barriers_in, contains_barrier
+from repro.analysis import barriers_in
 from repro.transforms import (
-    BarrierEliminationPass,
-    BarrierLoweringPass,
     InterchangeError,
     LowerGPUPass,
-    LowerToOpenMPPass,
-    OpenMPOptPass,
     PipelineOptions,
     collapse_parallel_loops,
     cpuify,

@@ -1,17 +1,12 @@
 """Tests for canonicalize / CSE / DCE / LICM / mem2reg / inline / unroll."""
 
-import pytest
 
-from repro.ir import Builder, F32, FunctionType, I1, I32, INDEX, memref, print_op, verify
-from repro.dialects import arith, func, math as math_d, memref as memref_d, polygeist, scf
+from repro.ir import Builder, F32, FunctionType, I1, I32, INDEX, memref, verify
+from repro.dialects import arith, func, math as math_d, memref as memref_d, scf
 from repro.transforms import (
-    CanonicalizePass,
     CSEPass,
-    LICMPass,
-    Mem2RegPass,
     ParallelLICMPass,
     canonicalize,
-    eliminate_common_subexpressions,
     eliminate_dead_code,
     fully_unroll,
     hoist_loop_invariant_code,

@@ -41,6 +41,8 @@ import numpy as np
 
 from ..frontend import compile_cuda
 from ..runtime import A64FX_CMG, MachineModel, make_executor, resolve_engine
+from ..runtime import resilience
+from ..runtime.errors import StreamPoisonedError
 from ..transforms import PipelineOptions
 
 #: environment knob: set to ``0`` to fall back to synchronous (drain-on-
@@ -150,6 +152,16 @@ class Stream:
     ``synchronize`` returns the number of queue tasks completed since the
     previous synchronize (a coalesced launch batch counts as a single
     task); per-kind counters live in :attr:`stats`.
+
+    **Poisoned-stream semantics**: when a queued *kernel launch batch*
+    fails, the stream is *poisoned* — the failure fails the whole
+    coalesced window with the original worker-thread traceback, and every
+    later ``launch``/``enqueue`` raises :class:`StreamPoisonedError`
+    chained (``from``) to the original failure — until ``synchronize()``
+    re-raises the original error and clears the poison, exactly like a
+    sticky CUDA error cleared at the next ``cudaStreamSynchronize``.
+    Plain host tasks keep the legacy contract (their error surfaces at the
+    next synchronize without rejecting queued work in between).
     """
 
     def __init__(self, stream_id: int, asynchronous: Optional[bool] = None) -> None:
@@ -162,8 +174,24 @@ class Stream:
         self._sync_queue: Deque[Callable[[], None]] = deque()
         self._completed_since_sync = 0
         self._tail_batch: Optional[_LaunchBatch] = None
+        self._poisoned: Optional[BaseException] = None
         self.stats: Dict[str, int] = {
             "tasks": 0, "launches": 0, "dispatches": 0, "coalesced": 0}
+
+    @property
+    def poisoned(self) -> Optional[BaseException]:
+        """The failure currently poisoning the stream (``None`` = healthy)."""
+        with self._lock:
+            return self._poisoned
+
+    def _check_poisoned(self) -> None:
+        with self._lock:
+            poison = self._poisoned
+        if poison is not None:
+            raise StreamPoisonedError(
+                f"stream {self.stream_id} is poisoned by an earlier "
+                f"asynchronous failure ({type(poison).__name__}); call "
+                f"synchronize() to surface and clear it") from poison
 
     # -- submission machinery ---------------------------------------------------
     def _ensure_executor(self) -> ThreadPoolExecutor:
@@ -171,6 +199,17 @@ class Stream:
             self._executor = ThreadPoolExecutor(
                 max_workers=1, thread_name_prefix=f"moccuda-stream{self.stream_id}")
         return self._executor
+
+    def _poison(self, error: BaseException) -> None:
+        """Mark the stream poisoned by ``error`` (first failure wins)."""
+        with self._lock:
+            fresh = self._poisoned is None
+            if fresh:
+                self._poisoned = error
+        if fresh:
+            resilience.record_event(
+                "shim.launch", "degrade", type(error).__name__,
+                f"stream {self.stream_id} poisoned: {error}")
 
     def _submit(self, work: Callable[[], None]) -> None:
         """Queue one unit of work, counted once on completion."""
@@ -191,6 +230,7 @@ class Stream:
     # -- public queue API --------------------------------------------------------
     def enqueue(self, task: Callable[[], None]) -> None:
         """Enqueue an arbitrary host task (runs on the stream, FIFO)."""
+        self._check_poisoned()
         with self._lock:
             self._tail_batch = None  # an interleaved task ends the coalescing window
             self.stats["tasks"] += 1
@@ -199,6 +239,7 @@ class Stream:
     def launch(self, kernel: "CompiledKernel", args: Sequence) -> None:
         """Enqueue a kernel launch, coalescing with a still-queued dispatch
         of the same kernel."""
+        self._check_poisoned()
         with self._lock:
             self.stats["launches"] += 1
             tail = self._tail_batch
@@ -216,7 +257,16 @@ class Stream:
                 if self._tail_batch is batch:
                     self._tail_batch = None
                 arg_lists = list(batch.arg_lists)
-            kernel._dispatch(arg_lists)
+            # an injected (or real) failure here fails the whole coalesced
+            # window before any launch of it runs, poisoning the stream:
+            # later launch/enqueue calls are rejected until the next
+            # synchronize() surfaces the original traceback and clears it.
+            try:
+                resilience.inject("shim.launch")
+                kernel._dispatch(arg_lists)
+            except BaseException as error:  # noqa: BLE001 - poisons the stream
+                self._poison(error)
+                raise
 
         self._submit(run_batch)
 
@@ -288,7 +338,15 @@ class Stream:
         with self._lock:
             executed = self._completed_since_sync
             self._completed_since_sync = 0
+            poison, self._poisoned = self._poisoned, None
+        if poison is not None:
+            resilience.record_event(
+                "shim.launch", "recover", type(poison).__name__,
+                f"stream {self.stream_id} poison cleared at synchronize")
+            if first_error is None:
+                first_error = poison
         if first_error is not None:
+            # the original task exception, worker-thread traceback intact.
             raise first_error
         return executed
 

@@ -52,8 +52,32 @@ cost model, cache, registry) load eagerly.
 
 from importlib import import_module
 
-from .errors import InterpreterError, UseAfterFreeError
+from .errors import (
+    CacheCorruptionError,
+    DispatchTimeoutError,
+    InterpreterError,
+    ResilienceError,
+    ShmExhaustedError,
+    StreamPoisonedError,
+    ToolchainError,
+    UseAfterFreeError,
+    WorkerCrashError,
+    is_transient,
+)
 from .memory import MemRefStorage, dtype_for
+from . import resilience
+from .resilience import (
+    FALLBACK_CHAIN,
+    FaultPlan,
+    ResilienceEvent,
+    ResilienceLog,
+    ResilientExecutor,
+    RetryPolicy,
+    call_with_retry,
+    fallback_engines,
+    global_log as global_resilience_log,
+    reset_faults,
+)
 from .costmodel import (
     A64FX_CMG,
     CostReport,
@@ -124,6 +148,13 @@ __all__ = [
     "A64FX_CMG", "CostReport", "MachineModel", "OP_COSTS", "XEON_8375C",
     "memory_access_cost", "op_cost",
     "Interpreter", "InterpreterError", "UseAfterFreeError",
+    "CacheCorruptionError", "DispatchTimeoutError", "ResilienceError",
+    "ShmExhaustedError", "StreamPoisonedError", "ToolchainError",
+    "WorkerCrashError", "is_transient",
+    "FALLBACK_CHAIN", "FaultPlan", "ResilienceEvent", "ResilienceLog",
+    "ResilientExecutor", "RetryPolicy", "call_with_retry",
+    "fallback_engines", "global_resilience_log", "reset_faults",
+    "resilience",
     "CompiledEngine", "invalidate_compiled",
     "VectorizedEngine", "machine_vectorizable",
     "MulticoreEngine", "default_workers", "multicore_available",

@@ -46,6 +46,7 @@ from pathlib import Path
 from typing import Dict, Optional
 
 from ..transforms import PipelineOptions
+from . import resilience
 
 #: bump when the pickle payload layout (not the IR) changes.
 CACHE_FORMAT = 1
@@ -245,6 +246,7 @@ class KernelCache:
         if path is None:
             return None
         try:
+            resilience.inject("cache.read")
             payload = pickle.loads(path.read_bytes())
             if (not isinstance(payload, dict)
                     or payload.get("format") != CACHE_FORMAT
@@ -259,9 +261,14 @@ class KernelCache:
             return _Entry(blob), module
         except FileNotFoundError:
             return None
-        except Exception:
+        except Exception as exc:
+            # corrupt/stale/unreadable entry: drop it and recompile — the
+            # rewrite repairs the disk tier on the very next insert.
             with self._lock:
                 self.stats.disk_errors += 1
+            resilience.record_event("cache.read", "fallback",
+                                    type(exc).__name__,
+                                    f"{path.name}: dropping entry, recompiling")
             try:
                 path.unlink()
             except OSError:
@@ -274,13 +281,20 @@ class KernelCache:
             return
         payload = {"format": CACHE_FORMAT, "key": key, "blob": blob}
         try:
+            resilience.inject("cache.write")
             path.parent.mkdir(parents=True, exist_ok=True)
+            # crash-safe publish: write + fsync a tempfile in the cache
+            # directory, then atomically rename over the final name — a
+            # killed process can never leave a torn entry, and concurrent
+            # writers of the same key converge on one valid file.
             fd, temp_name = tempfile.mkstemp(dir=str(path.parent),
                                              prefix=".tmp-", suffix=".pkl")
             try:
                 with os.fdopen(fd, "wb") as handle:
                     pickle.dump(payload, handle,
                                 protocol=pickle.HIGHEST_PROTOCOL)
+                    handle.flush()
+                    os.fsync(handle.fileno())
                 os.replace(temp_name, path)
             except BaseException:
                 try:
@@ -290,9 +304,12 @@ class KernelCache:
                 raise
             with self._lock:
                 self.stats.disk_stores += 1
-        except OSError:
+        except OSError as exc:
             with self._lock:
                 self.stats.disk_errors += 1
+            resilience.record_event("cache.write", "fallback",
+                                    type(exc).__name__,
+                                    "disk store skipped; memory tier serves")
 
     # -- maintenance ----------------------------------------------------------
     def clear(self, disk: bool = False) -> None:
@@ -386,12 +403,21 @@ class NativeArtifactCache:
         ``build`` must create the shared object at the temporary path it is
         given; a failed build (exception) propagates after cleanup.
         """
+        resilience.inject("cache.write")
         path = self.path_for(key)
         fd, temp_name = tempfile.mkstemp(dir=str(path.parent),
                                          prefix=".tmp-", suffix=".so")
         os.close(fd)
         try:
             build(Path(temp_name))
+            # crash-safe publish, same contract as the pickle tier: fsync
+            # the built artifact before the atomic rename so a torn .so
+            # can never become visible under the content key.
+            sync_fd = os.open(temp_name, os.O_RDONLY)
+            try:
+                os.fsync(sync_fd)
+            finally:
+                os.close(sync_fd)
             os.replace(temp_name, path)
         except BaseException:
             try:

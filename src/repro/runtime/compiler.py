@@ -76,19 +76,28 @@ class _State:
     worker count); it is ``None`` for the compiled/vectorized engines and
     inside worker processes, which makes every shard-capable region runner
     fall through to plain in-process execution.
+
+    ``strict`` is set by the resilience layer
+    (:class:`~repro.runtime.resilience.ResilientExecutor`): strict runs
+    raise their taxonomy error instead of silently degrading, so the
+    fallback chain owns the degradation decision.  It lives here rather
+    than on the program because programs are cached on the module and
+    shared across engine instances.
     """
 
-    __slots__ = ("report", "threads", "work", "max_ops", "program", "shard")
+    __slots__ = ("report", "threads", "work", "max_ops", "program", "shard",
+                 "strict")
 
     def __init__(self, report: CostReport, threads: int, work: List[float],
                  max_ops: Optional[int], program: "_Program",
-                 shard=None) -> None:
+                 shard=None, strict: bool = False) -> None:
         self.report = report
         self.threads = threads
         self.work = work
         self.max_ops = max_ops
         self.program = program
         self.shard = shard
+        self.strict = strict
 
 
 class _CompiledFunction:
@@ -1204,7 +1213,8 @@ class CompiledEngine:
         """Per-run execution state hook (the multicore engine attaches its
         shard-dispatch context here)."""
         return _State(self.report, self.threads, self._work,
-                      self.max_dynamic_ops, self._program)
+                      self.max_dynamic_ops, self._program,
+                      strict=getattr(self, "_resilience_strict", False))
 
     def run(self, function_name: str, arguments: Sequence = ()) -> List:
         """Execute ``function_name`` with the given arguments (Interpreter API)."""

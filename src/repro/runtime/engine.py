@@ -38,6 +38,7 @@ from typing import Optional, Sequence
 
 from .costmodel import CostReport, MachineModel, XEON_8375C
 from .registry import ENGINES_VIEW, engine_factory, engine_names
+from .resilience import maybe_resilient
 
 # imported for their register_engine() side effect (and re-exported names);
 # the registry also resolves these lazily on lookup, so env-selected engines
@@ -99,11 +100,22 @@ def make_executor(module, *, engine: Optional[str] = None,
     ``report`` attribute accumulating the simulated-cycle cost model.
     ``workers`` is forwarded to the factory (only the multicore engine uses
     it; the in-process engines ignore it).
+
+    Unless ``REPRO_RESILIENCE=0``, the executor is wrapped in the
+    resilience layer (:mod:`repro.runtime.resilience`): taxonomy failures
+    that escape a run rebuild the executor on the next engine of the
+    fallback chain (``native → multicore → vectorized → compiled →
+    interp``) and re-run with bit-identical outputs and CostReports.
     """
-    factory = engine_factory(resolve_engine(engine))
-    return factory(module, machine=machine, threads=threads,
-                   collect_cost=collect_cost, max_dynamic_ops=max_dynamic_ops,
-                   workers=workers)
+    name = resolve_engine(engine)
+
+    def build(engine_name: str):
+        return engine_factory(engine_name)(
+            module, machine=machine, threads=threads,
+            collect_cost=collect_cost, max_dynamic_ops=max_dynamic_ops,
+            workers=workers)
+
+    return maybe_resilient(build(name), name, build)
 
 
 def execute(module, function_name: str, arguments: Sequence = (), *,

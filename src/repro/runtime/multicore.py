@@ -54,6 +54,7 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import time
 import weakref
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
@@ -73,8 +74,10 @@ from .compiler import (
     _split_executed,
 )
 from .costmodel import CostReport, MachineModel, XEON_8375C
-from .errors import InterpreterError, UseAfterFreeError
+from .errors import (DispatchTimeoutError, InterpreterError, UseAfterFreeError,
+                     WorkerCrashError)
 from .memory import MemRefStorage
+from . import resilience
 from .vectorizer import (
     _VectorFunctionCompiler,
     _VectorProgram,
@@ -571,6 +574,8 @@ _LIVE_POOLS: "weakref.WeakSet" = weakref.WeakSet()
 _ERROR_TYPES = {
     "InterpreterError": InterpreterError,
     "UseAfterFreeError": UseAfterFreeError,
+    "WorkerCrashError": WorkerCrashError,
+    "DispatchTimeoutError": DispatchTimeoutError,
     "IndexError": IndexError,
     "ValueError": ValueError,
     "OverflowError": OverflowError,
@@ -595,6 +600,14 @@ def _worker_main(conn, program, index: int) -> None:  # pragma: no cover - child
                 break
             if message[0] == "stop":
                 break
+            if message[0] == "exit":
+                # injected worker crash (REPRO_FAULTS multicore.worker_exit)
+                os._exit(23)
+            if message[0] == "hang":
+                # injected worker hang (REPRO_FAULTS multicore.hang); the
+                # parent's watchdog kills the pool long before this wakes.
+                time.sleep(float(message[1]))
+                continue
             try:
                 result = _execute_shard(program, *message[1:])
                 conn.send(("ok", result))
@@ -677,31 +690,90 @@ class _WorkerPool:
     def alive(self) -> bool:
         return not self._closed and all(p.is_alive() for p, _ in self.workers)
 
-    def run(self, tasks: Sequence) -> List[Dict]:
+    def run(self, tasks: Sequence,
+            timeout_s: Optional[float] = None) -> List[Dict]:
         """Dispatch one task per worker; returns results in worker order.
 
         All replies are drained before any error is raised, so a failing
-        shard cannot leave stale messages in a sibling's pipe.
+        shard cannot leave stale messages in a sibling's pipe.  With
+        ``timeout_s`` a watchdog bounds the whole dispatch: a worker that
+        does not reply by the deadline raises :class:`DispatchTimeoutError`
+        and the pool is killed (hung workers cannot be reused).  Worker
+        death surfaces as :class:`WorkerCrashError`; deterministic program
+        errors relayed from a worker take precedence over both, since
+        retrying those is pointless.
         """
         pairs = list(zip(self.workers, tasks))
-        for (process, conn), task in pairs:
-            conn.send(task)
-        replies = []
+        sent = []
         for (process, conn), task in pairs:
             try:
+                conn.send(task)
+                sent.append(True)
+            except (OSError, ValueError):
+                sent.append(False)
+        deadline = (None if timeout_s is None
+                    else time.monotonic() + timeout_s)
+        replies = []
+        hung = False
+        for ((process, conn), task), was_sent in zip(pairs, sent):
+            if not was_sent:
+                replies.append(("err", "WorkerCrashError",
+                                "multicore worker pipe closed before dispatch"))
+                continue
+            try:
+                if deadline is not None:
+                    budget = deadline - time.monotonic()
+                    if budget <= 0 or not conn.poll(budget):
+                        hung = True
+                        replies.append((
+                            "err", "DispatchTimeoutError",
+                            f"multicore worker did not reply within "
+                            f"{timeout_s:g}s"))
+                        continue
                 replies.append(conn.recv())
             except (EOFError, OSError):
-                replies.append(("err", "InterpreterError",
+                replies.append(("err", "WorkerCrashError",
                                 "multicore worker died during a shard"))
+        if hung:
+            self.kill()
         results = []
+        infrastructure_error = None
         for reply in replies:
             if reply[0] == "err":
                 error_cls = _ERROR_TYPES.get(reply[1])
                 if error_cls is None:
                     raise InterpreterError(f"{reply[1]}: {reply[2]}")
+                if issubclass(error_cls, (WorkerCrashError,
+                                          DispatchTimeoutError)):
+                    if infrastructure_error is None:
+                        infrastructure_error = error_cls(reply[2])
+                    continue
                 raise error_cls(reply[2])
             results.append(reply[1])
+        if infrastructure_error is not None:
+            raise infrastructure_error
         return results
+
+    def kill(self) -> None:
+        """Terminate the pool immediately (watchdog/crash path).
+
+        Unlike :meth:`shutdown` this never talks to the workers — they may
+        be hung or dead — it terminates, joins and closes.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for process, conn in self.workers:
+            if process.is_alive():
+                process.terminate()
+        for process, conn in self.workers:
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - unkillable worker
+                process.kill()
+            try:
+                conn.close()
+            except OSError:
+                pass
 
     def shutdown(self) -> None:
         if self._closed:
@@ -765,10 +837,12 @@ class _ShardProgramMixin:
         if self._pool_broken:
             return None
         pool = self._pools.get(num_workers)
+        refork = False
         if pool is not None and not pool.alive():
             pool.shutdown()
             pool = None
             self._pools.pop(num_workers, None)
+            refork = True
         if pool is None:
             try:
                 pool = _WorkerPool(self, num_workers)
@@ -776,6 +850,11 @@ class _ShardProgramMixin:
                 self._pool_broken = True
                 return None
             self._pools[num_workers] = pool
+            if refork:
+                resilience.record_event(
+                    "multicore.pool", "recover",
+                    detail=f"re-forked dead {num_workers}-worker pool",
+                    engine="multicore")
         return pool
 
 
@@ -825,6 +904,30 @@ class _ShardContext:
         if self._aliased:
             return None
         return self.program.ensure_pool(self.workers)
+
+
+def _inject_pool_faults(pool: _WorkerPool) -> None:
+    """Parent-side fault injection: crash or hang a worker pre-dispatch.
+
+    ``REPRO_FAULTS`` counters live in (and decrement in) the parent, so a
+    count-mode fault fires exactly once no matter how many times the pool
+    is re-forked — the retry after the re-fork runs clean.  The poisoned
+    worker processes the control message before its shard task: ``exit``
+    kills it mid-dispatch (EOF → :class:`WorkerCrashError`), ``hang``
+    stalls it into the watchdog (:class:`DispatchTimeoutError`).
+    """
+    if not resilience.faults_configured():
+        return
+    if resilience.fault_fires("multicore.worker_exit"):
+        try:
+            pool.workers[0][1].send(("exit",))
+        except (OSError, ValueError):
+            pass
+    if resilience.fault_fires("multicore.hang"):
+        try:
+            pool.workers[0][1].send(("hang", 3600.0))
+        except (OSError, ValueError):
+            pass
 
 
 def _split_spans(total: int, num_workers: int) -> List[Tuple[int, int]]:
@@ -914,6 +1017,12 @@ class _ShardCompilerMixin:
         is always correct — rather than abort it, so a failed promotion
         marks the program's promotion machinery broken (no later region
         retries) and returns ``None`` for the caller to run its base plan.
+
+        Worker crashes and watchdog timeouts are *transient*: sharded
+        stores are injective, so killing the pool, re-forking and
+        re-dispatching the same shards is idempotent.  The dispatch
+        retries up to ``REPRO_RETRIES`` times under the watchdog
+        (``REPRO_TIMEOUT_S``) before degrading in-process.
         """
         if pool is None:
             # the pool died between the width check and the dispatch and
@@ -933,14 +1042,44 @@ class _ShardCompilerMixin:
                     shipped.append(value)
                 else:
                     live_ins[slot] = ("v", value)
-        except OSError:
+        except OSError as exc:
             program._pool_broken = True
             _shutdown_pools(program._pools)  # no dispatch will ever retry
+            resilience.record_event("sharedmem.promote", "degrade",
+                                    type(exc).__name__, str(exc),
+                                    engine="multicore")
             return None
         tasks = [("shard", key, live_ins, start, stop, state.threads, remaining)
                  for start, stop in spans]
-        program.shard_stats["dispatches"] += 1
-        results = pool.run(tasks)
+        policy = resilience.retry_policy()
+        attempt = 0
+        while True:
+            _inject_pool_faults(pool)
+            program.shard_stats["dispatches"] += 1
+            try:
+                results = pool.run(tasks, timeout_s=policy.watchdog_timeout)
+                break
+            except (WorkerCrashError, DispatchTimeoutError) as exc:
+                pool.kill()
+                if attempt >= policy.retries:
+                    resilience.record_event(
+                        "multicore.dispatch", "degrade", type(exc).__name__,
+                        f"{exc}; running region in-process",
+                        engine="multicore")
+                    return None
+                resilience.record_event("multicore.dispatch", "retry",
+                                        type(exc).__name__, str(exc),
+                                        attempt + 1, "multicore")
+                policy.sleep("multicore.dispatch", attempt)
+                attempt += 1
+                pool = (state.shard.pool()
+                        if state.shard is not None else None)
+                if pool is None:
+                    resilience.record_event(
+                        "multicore.dispatch", "degrade", type(exc).__name__,
+                        "pool re-fork unavailable; running region in-process",
+                        engine="multicore")
+                    return None
         for storage in shipped:
             sharedmem.refresh_freed(storage)
         return results

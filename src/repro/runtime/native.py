@@ -63,8 +63,9 @@ from .compiler import (
     _iteration_space,
 )
 from .costmodel import MachineModel, XEON_8375C
-from .errors import InterpreterError
+from .errors import InterpreterError, ToolchainError
 from .memory import MemRefStorage
+from . import resilience
 from .multicore import launch_required_axes, span_required_dims
 from .registry import register_engine
 from .vectorizer import machine_vectorizable
@@ -101,7 +102,10 @@ def native_enabled_env() -> bool:
 
 
 _PROBE_LOCK = threading.Lock()
-_PROBE_RESULTS: Dict[Tuple[str, ...], bool] = {}
+#: command -> (ok, failure detail).  The *negative* result is cached with
+#: the probe's actual stderr, so every later ``engine="native"`` strict run
+#: raises one clear :class:`ToolchainError` instead of re-probing.
+_PROBE_RESULTS: Dict[Tuple[str, ...], Tuple[bool, str]] = {}
 
 _PROBE_SOURCE = """
 #include <omp.h>
@@ -116,19 +120,44 @@ int repro_probe(void) {
 
 def native_available() -> bool:
     """Whether a working ``cc -fopenmp`` toolchain exists (probed once)."""
+    return _probe_cached()[0]
+
+
+def _probe_cached() -> Tuple[bool, str]:
     command = tuple(compiler_command())
     with _PROBE_LOCK:
         cached = _PROBE_RESULTS.get(command)
-        if cached is not None:
-            return cached
-        result = _probe_toolchain(list(command))
-        _PROBE_RESULTS[command] = result
-        return result
+        if cached is None:
+            cached = _probe_toolchain(list(command))
+            _PROBE_RESULTS[command] = cached
+        return cached
 
 
-def _probe_toolchain(command: List[str]) -> bool:
+def probe_detail() -> str:
+    """Why the toolchain probe failed (empty string when it passed)."""
+    return _probe_cached()[1]
+
+
+def toolchain_error() -> ToolchainError:
+    """A :class:`ToolchainError` carrying the cached probe diagnostics."""
+    command = " ".join(compiler_command())
+    detail = probe_detail()
+    message = f"native toolchain unavailable ({command!r})"
+    if detail:
+        message = f"{message}: {detail}"
+    return ToolchainError(message, detail=detail)
+
+
+def require_toolchain() -> None:
+    """Raise the cached :class:`ToolchainError` when the probe failed."""
+    if not native_available():
+        raise toolchain_error()
+
+
+def _probe_toolchain(command: List[str]) -> Tuple[bool, str]:
     if not command or shutil.which(command[0]) is None:
-        return False
+        name = command[0] if command else "<empty>"
+        return False, f"C compiler {name!r} not found on PATH"
     with tempfile.TemporaryDirectory(prefix="repro-cc-probe-") as temp:
         source = os.path.join(temp, "probe.c")
         output = os.path.join(temp, "probe.so")
@@ -138,15 +167,19 @@ def _probe_toolchain(command: List[str]) -> bool:
             completed = subprocess.run(
                 [*command, *compiler_flags(), source, "-o", output],
                 capture_output=True, timeout=60)
-        except (OSError, subprocess.SubprocessError):
-            return False
+        except (OSError, subprocess.SubprocessError) as exc:
+            return False, f"probe invocation failed: {exc}"
         if completed.returncode != 0:
-            return False
+            stderr = completed.stderr.decode(errors="replace").strip()
+            return False, (f"probe compile exited {completed.returncode}: "
+                           f"{stderr[:2000]}")
         try:
             library = ctypes.CDLL(output)
-            return int(library.repro_probe()) == 4
-        except OSError:
-            return False
+        except OSError as exc:
+            return False, f"probe dlopen failed: {exc}"
+        if int(library.repro_probe()) != 4:
+            return False, "probe ran but returned an unexpected result"
+        return True, ""
 
 
 def unit_key(source: str) -> str:
@@ -180,6 +213,9 @@ class NativeUnit:
         self.library = None
         self.functions: Dict[str, object] = {}
         self.key: Optional[str] = None
+        #: why the unit failed (strict resilience runs raise this instead
+        #: of silently running the compiled base plans).
+        self.failure: Optional[ToolchainError] = None
         self._lock = threading.Lock()
 
     def add(self, source: str, symbol: str) -> None:
@@ -202,18 +238,23 @@ class NativeUnit:
     # -- sealing ---------------------------------------------------------------
     def _seal(self) -> None:
         stats = self.program.native_stats
-        if not self.sources or not native_available():
+        if not self.sources:
             self.status = "failed"
+            return
+        if not native_available():
+            self.status = "failed"
+            self.failure = toolchain_error()
+            resilience.record_event("native.cc", "degrade", "ToolchainError",
+                                    str(self.failure)[:500], engine="native")
             return
         source = assemble_unit(self.sources)
         self.key = unit_key(source)
         cache = global_native_cache()
         path = cache.lookup(self.key)
         if path is None:
-            path = self._compile(cache, source)
+            path, failure = self._compile(cache, source)
             if path is None:
-                self.status = "failed"
-                stats["compile_errors"] += 1
+                self._fail(failure, stats, "compile_errors")
                 return
         else:
             stats["artifact_hits"] += 1
@@ -222,26 +263,52 @@ class NativeUnit:
             # corrupt artifact: drop it and rebuild once before giving up.
             cache.invalidate(self.key)
             stats["corrupt_artifacts"] += 1
-            path = self._compile(cache, source)
+            resilience.record_event(
+                "cache.read", "fallback", "CacheCorruptionError",
+                f"corrupt native artifact {self.key[:12]}…; recompiling",
+                engine="native")
+            path, failure = self._compile(cache, source)
             library = self._load(path) if path is not None else None
             if library is None:
-                self.status = "failed"
+                self._fail(failure or ToolchainError(
+                    "recompiled native artifact failed to load"), stats)
                 return
         try:
             for symbol in self.symbols:
                 function = getattr(library, symbol)
                 function.restype = None
                 self.functions[symbol] = function
-        except AttributeError:
+        except AttributeError as exc:
             cache.invalidate(self.key)
-            self.status = "failed"
+            self._fail(ToolchainError(
+                f"native artifact is missing symbol: {exc}"), stats)
             return
         cache.pin(self.key)
         self.library = library
         self.status = "ready"
         stats["units_ready"] += 1
 
-    def _compile(self, cache, source: str) -> Optional[object]:
+    def _fail(self, failure: Optional[ToolchainError], stats,
+              counter: Optional[str] = None) -> None:
+        self.status = "failed"
+        self.failure = failure or ToolchainError("native unit compile failed")
+        if counter is not None:
+            stats[counter] += 1
+        resilience.record_event("native.cc", "degrade",
+                                type(self.failure).__name__,
+                                str(self.failure)[:500], engine="native")
+
+    def _compile(self, cache, source: str):
+        """``(path, None)`` on success, ``(None, ToolchainError)`` on failure.
+
+        The ``cc`` invocation is a ``native.cc`` fault-injection site and
+        runs under the retry policy: injected/spawn-level transient
+        failures retry with backoff, a real non-zero compiler exit is
+        permanent and carries the stderr.  When the artifact cache cannot
+        publish (disk full, injected ``cache.write`` fault) the unit is
+        built into an unpublished per-process temp ``.so`` instead — the
+        engine still runs native, only warm starts lose the artifact.
+        """
         def build(path):
             with tempfile.NamedTemporaryFile(
                     "w", suffix=".c", prefix="repro-native-",
@@ -249,14 +316,21 @@ class NativeUnit:
                 handle.write(source)
                 source_path = handle.name
             try:
-                completed = subprocess.run(
-                    [*compiler_command(), *compiler_flags(), source_path,
-                     "-o", str(path)],
-                    capture_output=True, timeout=300)
-                if completed.returncode != 0:
-                    raise RuntimeError(
-                        f"native compile failed:\n"
-                        f"{completed.stderr.decode(errors='replace')[:2000]}")
+                def invoke():
+                    resilience.inject("native.cc")
+                    completed = subprocess.run(
+                        [*compiler_command(), *compiler_flags(), source_path,
+                         "-o", str(path)],
+                        capture_output=True, timeout=300)
+                    if completed.returncode != 0:
+                        stderr = completed.stderr.decode(
+                            errors="replace")[:2000]
+                        raise ToolchainError(
+                            f"native compile failed:\n{stderr}",
+                            detail=stderr, transient=False)
+
+                resilience.call_with_retry("native.cc", invoke,
+                                           engine="native")
             finally:
                 try:
                     os.unlink(source_path)
@@ -264,9 +338,28 @@ class NativeUnit:
                     pass
 
         try:
-            return cache.store(self.key, build)
-        except (RuntimeError, OSError, subprocess.SubprocessError):
-            return None
+            return cache.store(self.key, build), None
+        except ToolchainError as exc:
+            return None, exc
+        except subprocess.SubprocessError as exc:
+            return None, ToolchainError(f"native compile failed: {exc}",
+                                        detail=str(exc))
+        except OSError as exc:
+            resilience.record_event(
+                "cache.write", "fallback", type(exc).__name__,
+                "native artifact unpublished; building temp .so",
+                engine="native")
+            fd, temp_so = tempfile.mkstemp(prefix="repro-native-",
+                                           suffix=".so")
+            os.close(fd)
+            try:
+                build(temp_so)
+                return temp_so, None
+            except ToolchainError as exc2:
+                return None, exc2
+            except (OSError, subprocess.SubprocessError) as exc2:
+                return None, ToolchainError(
+                    f"native compile failed: {exc2}", detail=str(exc2))
 
     @staticmethod
     def _load(path):
@@ -481,7 +574,13 @@ class _NativeFunctionCompiler(_FunctionCompiler):
         stats = self.program.native_stats
 
         def run(state, regs):
-            if state.max_ops is not None or not handle.ready():
+            if state.max_ops is not None:
+                stats["bailouts"] += 1
+                return base(state, regs)
+            if not handle.ready():
+                failure = handle.unit.failure
+                if failure is not None and state.strict:
+                    raise failure
                 stats["bailouts"] += 1
                 return base(state, regs)
             ranges, total = _iteration_space(regs, lb_slots, ub_slots, st_slots)
@@ -531,7 +630,13 @@ class _NativeFunctionCompiler(_FunctionCompiler):
         stats = self.program.native_stats
 
         def run(state, regs):
-            if state.max_ops is not None or not handle.ready():
+            if state.max_ops is not None:
+                stats["bailouts"] += 1
+                return base(state, regs)
+            if not handle.ready():
+                failure = handle.unit.failure
+                if failure is not None and state.strict:
+                    raise failure
                 stats["bailouts"] += 1
                 return base(state, regs)
             grid = [int(regs[slot]) for slot in grid_slots]
@@ -570,6 +675,19 @@ class NativeEngine(CompiledEngine):
     """
 
     PROGRAM_CLS = _NativeProgram
+
+    def run(self, function_name: str, arguments=()):
+        # Strict (resilience-wrapped) runs surface the *cached* toolchain
+        # failure as one clear ToolchainError up front — before any
+        # argument is written — so the fallback chain can rebuild on the
+        # next engine.  Direct construction keeps the historical graceful
+        # degrade (every region runs its compiled base plan).  Explicitly
+        # disabled native (REPRO_NATIVE=0 / non-dyadic machine) is a
+        # configuration, not a failure, and never raises.
+        if (getattr(self, "_resilience_strict", False)
+                and self._program.native_enabled):
+            require_toolchain()
+        return super().run(function_name, arguments)
 
     @property
     def native_stats(self) -> Dict[str, int]:

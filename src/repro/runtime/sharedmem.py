@@ -34,7 +34,6 @@ segments the parent still uses.
 from __future__ import annotations
 
 import atexit
-import errno
 import os
 import secrets
 import weakref
@@ -42,8 +41,9 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from .errors import UseAfterFreeError
+from .errors import ShmExhaustedError, UseAfterFreeError
 from .memory import MemRefStorage
+from . import resilience
 
 try:  # pragma: no cover - import guarded for exotic platforms
     from multiprocessing import shared_memory as _shm_module
@@ -83,9 +83,9 @@ def _check_shm_space(nbytes: int) -> None:
     except (AttributeError, OSError):  # pragma: no cover - non-Linux
         return
     if stats.f_bavail * stats.f_frsize < nbytes:
-        raise OSError(errno.ENOSPC,
-                      f"shared-memory segment of {nbytes} bytes exceeds the "
-                      f"free space in {_SHM_DIR}")
+        raise ShmExhaustedError(
+            f"shared-memory segment of {nbytes} bytes exceeds the "
+            f"free space in {_SHM_DIR}")
 
 
 if _shm_module is not None:
@@ -203,6 +203,7 @@ def promote(storage: MemRefStorage) -> MemRefStorage:
     """
     if storage.shm_name is not None:
         return storage
+    resilience.inject("sharedmem.promote")
     array = storage.array
     nbytes = max(1, int(array.nbytes))
     _check_shm_space(HEADER_BYTES + nbytes)

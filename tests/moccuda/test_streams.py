@@ -14,6 +14,8 @@ import pytest
 
 from repro import moccuda as mc
 from repro.moccuda import CudaEvent, MocCUDASession
+from repro.runtime import StreamPoisonedError, WorkerCrashError, resilience
+from repro.runtime.resilience import reset_faults
 
 
 @pytest.fixture()
@@ -320,6 +322,112 @@ class TestLaunchBatching:
         actual = session.nll_loss(log_probs, targets)
         assert actual == pytest.approx(expected, rel=1e-4)
         assert "cudaLaunchKernel" in session.call_log
+
+
+class TestPoisonedStream:
+    """Sticky-error semantics: a failed kernel launch batch poisons the
+    stream — later work is rejected with the original cause chained —
+    until ``synchronize()`` surfaces the original error and clears it,
+    like a sticky CUDA error cleared at ``cudaStreamSynchronize``."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_resilience(self):
+        reset_faults()
+        resilience.global_log().clear()
+        yield
+        reset_faults()
+        resilience.global_log().clear()
+
+    def _poison(self, session, stream, monkeypatch, *, seed=21):
+        """Drive the stream into the poisoned state via one injected
+        launch-batch failure; returns the (healthy again) kernel handle."""
+        kernel = session.compile_kernel(mc.NLL_LOSS_CUDA, "nll_loss")
+        monkeypatch.setenv("REPRO_FAULTS", "shim.launch:1")
+        reset_faults()
+        args, _ = _launch_args(*_nll_inputs(seed=seed), 8, 10)
+        session.launch_kernel(kernel, args, stream_id=stream.stream_id)
+        deadline = time.monotonic() + 5
+        while stream.poisoned is None and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert stream.poisoned is not None, "injected batch failure never landed"
+        return kernel
+
+    def test_failed_batch_fails_its_whole_coalesced_window(
+            self, session, monkeypatch):
+        """The injected failure precedes every launch of the batch: none of
+        the coalesced windows' outputs may be written."""
+        kernel = session.compile_kernel(mc.NLL_LOSS_CUDA, "nll_loss")
+        stream = session.cuda_stream_create()
+        release = threading.Event()
+        stream.enqueue(lambda: release.wait(5))
+        monkeypatch.setenv("REPRO_FAULTS", "shim.launch:1")
+        reset_faults()
+        totals = []
+        for _ in range(3):
+            args, total = _launch_args(*_nll_inputs(seed=20), 8, 10)
+            session.launch_kernel(kernel, args, stream_id=stream.stream_id)
+            totals.append(total)
+        release.set()
+        with pytest.raises(WorkerCrashError, match="injected fault"):
+            stream.synchronize()
+        assert stream.stats["dispatches"] == 1
+        assert stream.stats["coalesced"] == 2
+        for total in totals:
+            np.testing.assert_array_equal(total, np.zeros(1, dtype=np.float32))
+
+    def test_poisoned_stream_rejects_work_with_cause_chained(
+            self, session, monkeypatch):
+        stream = session.cuda_stream_create()
+        kernel = self._poison(session, stream, monkeypatch)
+        original = stream.poisoned
+        args, _ = _launch_args(*_nll_inputs(seed=22), 8, 10)
+        with pytest.raises(StreamPoisonedError, match="poisoned") as excinfo:
+            session.launch_kernel(kernel, args, stream_id=stream.stream_id)
+        assert excinfo.value.__cause__ is original  # worker traceback intact
+        with pytest.raises(StreamPoisonedError) as excinfo:
+            stream.enqueue(lambda: None)
+        assert excinfo.value.__cause__ is original
+        assert stream.poisoned is not None  # still poisoned until synchronize
+        with pytest.raises(WorkerCrashError):
+            stream.synchronize()
+
+    def test_synchronize_raises_original_and_clears_poison(
+            self, session, monkeypatch):
+        stream = session.cuda_stream_create()
+        kernel = self._poison(session, stream, monkeypatch)
+        original = stream.poisoned
+        with pytest.raises(WorkerCrashError) as excinfo:
+            stream.synchronize()
+        assert excinfo.value is original   # the original error object
+        assert stream.poisoned is None     # ...and the poison is cleared
+        log = resilience.global_log()
+        assert log.events(op="shim.launch", action="degrade")
+        assert log.events(op="shim.launch", action="recover")
+        # the stream is healthy again: the same kernel launches and the
+        # result matches the library oracle.
+        log_probs, targets = _nll_inputs(seed=23)
+        args, total = _launch_args(log_probs, targets, 8, 10)
+        session.launch_kernel(kernel, args, stream_id=stream.stream_id)
+        stream.synchronize()
+        expected = mc.nll_loss(log_probs, targets)
+        assert total[0] == pytest.approx(expected, rel=1e-4)
+
+    def test_plain_task_failure_does_not_poison(self, session):
+        """Legacy contract pinned: host-task errors surface at synchronize
+        but never reject queued work in between."""
+        stream = session.cuda_stream_create()
+
+        def boom():
+            raise ValueError("host task failure")
+
+        stream.enqueue(boom)
+        with pytest.raises(ValueError, match="host task failure"):
+            stream.synchronize()
+        assert stream.poisoned is None
+        ran = []
+        stream.enqueue(lambda: ran.append(1))  # not rejected
+        assert stream.synchronize() == 1
+        assert ran == [1]
 
 
 class TestSessionLifecycle:

@@ -255,6 +255,97 @@ class TestCachedParity:
                               label=f"{name} {label}")
 
 
+class TestConcurrentColdCompiles:
+    """Crash-safe publishing under racing writers (tempfile + os.replace):
+    two processes cold-compiling the same key must converge on exactly one
+    valid disk entry with no torn ``.tmp-`` files left behind."""
+
+    def test_two_processes_race_to_one_valid_entry(self, disk_cache):
+        import os
+        import subprocess
+        import sys
+        import time
+
+        child = (
+            "import os, sys, time\n"
+            "ready = sys.argv[1]\n"
+            "go = sys.argv[2]\n"
+            "open(ready, 'w').close()\n"
+            "deadline = time.monotonic() + 30\n"
+            "while not os.path.exists(go):\n"
+            "    if time.monotonic() > deadline:\n"
+            "        sys.exit(2)\n"
+            "    time.sleep(0.001)\n"
+            "from repro.rodinia import BENCHMARKS\n"
+            "from repro.runtime import global_cache\n"
+            "BENCHMARKS['lud'].compile_cuda()\n"
+            "assert global_cache().stats.disk_stores == 1\n"
+        )
+        environment = dict(os.environ)
+        environment["PYTHONPATH"] = os.path.join(os.getcwd(), "src")
+        environment["REPRO_CACHE"] = "1"
+        environment["REPRO_CACHE_DIR"] = str(disk_cache)
+        go = disk_cache / "go"
+        processes = []
+        for index in range(2):
+            ready = disk_cache / f"ready-{index}"
+            processes.append((ready, subprocess.Popen(
+                [sys.executable, "-c", child, str(ready), str(go)],
+                env=environment, stderr=subprocess.PIPE)))
+        deadline = time.monotonic() + 60
+        while not all(ready.exists() for ready, _ in processes):
+            assert time.monotonic() < deadline, "children never became ready"
+            time.sleep(0.01)
+        go.touch()  # release both compiles at once
+        for _, process in processes:
+            _, stderr = process.communicate(timeout=300)
+            assert process.returncode == 0, stderr.decode()
+
+        entries = list(disk_cache.glob("*.pkl"))
+        assert len(entries) == 1
+        payload = pickle.loads(entries[0].read_bytes())
+        assert payload["format"] == CACHE_FORMAT
+        assert payload["key"] == entries[0].stem
+        assert not list(disk_cache.glob(".tmp-*"))  # no torn temp files
+        # the surviving entry is actually loadable through the disk tier.
+        clear_global_cache()
+        global_cache().reset_stats()
+        BENCHMARKS["lud"].compile_cuda()
+        assert global_cache().stats.disk_hits == 1
+
+    def test_threads_race_native_artifact_store(self, tmp_path):
+        import threading
+
+        from repro.runtime.cache import NativeArtifactCache
+
+        cache = NativeArtifactCache(capacity=8, directory=tmp_path)
+        barrier = threading.Barrier(2)
+        payloads = [b"artifact-A" * 64, b"artifact-B" * 64]
+        errors = []
+
+        def store(payload):
+            def build(temp):
+                barrier.wait(timeout=10)  # collide the publishes
+                temp.write_bytes(payload)
+
+            try:
+                cache.store("samekey", build)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=store, args=(payload,))
+                   for payload in payloads]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        artifacts = list(tmp_path.glob("*.so"))
+        assert len(artifacts) == 1
+        assert artifacts[0].read_bytes() in payloads  # one winner, untorn
+        assert not list(tmp_path.glob(".tmp-*"))
+
+
 class TestNativeArtifactTier:
     """The native engine's ``.so`` tier shares the cache's disk placement,
     capacity knob and eviction discipline (engine-level corruption fallback

@@ -164,6 +164,73 @@ class TestRegionCoverage:
         assert engine.native_stats["units_ready"] == 0
 
 
+class TestNegativeProbe:
+    """A failed toolchain probe caches its diagnostics: every later strict
+    run raises one clear ToolchainError carrying the probe's actual stderr
+    instead of re-probing (or failing with a bare 'unavailable')."""
+
+    def test_missing_compiler_detail_names_the_binary(self, monkeypatch):
+        from repro.runtime.errors import ToolchainError
+        from repro.runtime.native import probe_detail, require_toolchain
+
+        monkeypatch.setenv(CC_ENV_VAR, "/nonexistent/repro-probe-cc")
+        assert not native_available()
+        assert "not found on PATH" in probe_detail()
+        with pytest.raises(ToolchainError, match="nonexistent/repro-probe-cc"):
+            require_toolchain()
+
+    def test_failing_compiler_stderr_reaches_the_error(self, tmp_path,
+                                                       monkeypatch):
+        from repro.runtime.errors import ToolchainError
+        from repro.runtime.native import probe_detail, require_toolchain
+
+        fake_cc = tmp_path / "fake-cc"
+        fake_cc.write_text("#!/bin/sh\n"
+                           "echo 'fake-cc: catastrophic internal error' >&2\n"
+                           "exit 1\n")
+        fake_cc.chmod(0o755)
+        monkeypatch.setenv(CC_ENV_VAR, str(fake_cc))
+        assert not native_available()
+        assert "catastrophic internal error" in probe_detail()
+        with pytest.raises(ToolchainError,
+                           match="catastrophic internal error") as excinfo:
+            require_toolchain()
+        assert excinfo.value.detail  # the stderr rides on the error object
+
+    def test_negative_result_is_cached_not_reprobed(self, tmp_path,
+                                                    monkeypatch):
+        """The probe runs once per command: a flaky wrapper that would pass
+        on the second invocation must still report the first failure."""
+        from repro.runtime.native import probe_detail
+
+        marker = tmp_path / "invocations"
+        flaky = tmp_path / "flaky-cc"
+        flaky.write_text("#!/bin/sh\n"
+                         f"echo x >> {marker}\n"
+                         "echo 'fails only the first time' >&2\n"
+                         "exit 1\n")
+        flaky.chmod(0o755)
+        monkeypatch.setenv(CC_ENV_VAR, str(flaky))
+        assert not native_available()
+        assert not native_available()
+        assert "fails only the first time" in probe_detail()
+        assert marker.read_text().count("x") == 1
+
+    @needs_cc
+    def test_strict_run_raises_the_cached_error(self, monkeypatch):
+        """Under the resilience wrapper a missing toolchain is a taxonomy
+        failure, not a silent degrade: the strict engine raises and the
+        wrapper owns the fallback (pinned end-to-end in test_chaos.py)."""
+        from repro.runtime.errors import ToolchainError
+
+        module = _lowered(QUICK_CUDA)
+        engine = NativeEngine(module)
+        engine._resilience_strict = True
+        monkeypatch.setenv(CC_ENV_VAR, "/nonexistent/repro-strict-cc")
+        with pytest.raises(ToolchainError, match="not found on PATH"):
+            engine.run("launch", _quick_args())
+
+
 class TestDispatchBailouts:
     @needs_cc
     def test_budget_routes_to_compiled_plans(self):

@@ -1021,8 +1021,11 @@ class _ShardCompilerMixin:
         Worker crashes and watchdog timeouts are *transient*: sharded
         stores are injective, so killing the pool, re-forking and
         re-dispatching the same shards is idempotent.  The dispatch
-        retries up to ``REPRO_RETRIES`` times under the watchdog
-        (``REPRO_TIMEOUT_S``) before degrading in-process.
+        retries up to ``REPRO_RETRIES`` times before degrading
+        in-process.  Setting ``REPRO_TIMEOUT_S`` arms a watchdog that
+        bounds each dispatch; it is off by default so a legitimately
+        long dispatch (large shards, loaded machine) is never killed —
+        arm it explicitly when injecting ``multicore.hang``.
         """
         if pool is None:
             # the pool died between the width check and the dispatch and

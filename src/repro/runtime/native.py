@@ -39,6 +39,7 @@ per-block budget checks are part of the documented engine semantics.
 
 from __future__ import annotations
 
+import atexit
 import ctypes
 import hashlib
 import os
@@ -180,6 +181,34 @@ def _probe_toolchain(command: List[str]) -> Tuple[bool, str]:
         if int(library.repro_probe()) != 4:
             return False, "probe ran but returned an unexpected result"
         return True, ""
+
+
+_TEMP_ARTIFACT_LOCK = threading.Lock()
+#: unpublished per-process ``.so`` files (cache-publish failure path);
+#: nothing else references them, so they are unlinked at process exit.
+_TEMP_ARTIFACTS: List[str] = []
+
+
+def _register_temp_artifact(path: str) -> None:
+    with _TEMP_ARTIFACT_LOCK:
+        _TEMP_ARTIFACTS.append(path)
+
+
+def _discard_temp_artifacts() -> None:
+    with _TEMP_ARTIFACT_LOCK:
+        paths, _TEMP_ARTIFACTS[:] = list(_TEMP_ARTIFACTS), []
+    for path in paths:
+        _unlink_quietly(path)
+
+
+def _unlink_quietly(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+atexit.register(_discard_temp_artifacts)
 
 
 def unit_key(source: str) -> str:
@@ -354,12 +383,15 @@ class NativeUnit:
             os.close(fd)
             try:
                 build(temp_so)
-                return temp_so, None
             except ToolchainError as exc2:
+                _unlink_quietly(temp_so)
                 return None, exc2
             except (OSError, subprocess.SubprocessError) as exc2:
+                _unlink_quietly(temp_so)
                 return None, ToolchainError(
                     f"native compile failed: {exc2}", detail=str(exc2))
+            _register_temp_artifact(temp_so)
+            return temp_so, None
 
     @staticmethod
     def _load(path):

@@ -65,7 +65,6 @@ BACKOFF_ENV_VAR = "REPRO_BACKOFF_S"
 RESILIENCE_ENV_VAR = "REPRO_RESILIENCE"
 
 DEFAULT_RETRIES = 2
-DEFAULT_TIMEOUT_S = 60.0
 DEFAULT_BACKOFF_S = 0.05
 
 #: engine fallback order, strongest first; a permanent failure on one
@@ -99,10 +98,17 @@ def fallback_engines(engine: str) -> Tuple[str, ...]:
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
 class RetryPolicy:
-    """How often and how patiently to retry a transient operation."""
+    """How often and how patiently to retry a transient operation.
+
+    ``timeout_s`` is the opt-in dispatch watchdog deadline: ``None``
+    (the default, i.e. ``REPRO_TIMEOUT_S`` unset) disables it.  No fixed
+    wall-clock cap is both safe for a legitimately long dispatch (large
+    shards, loaded machine) and tight enough to matter for a hung
+    worker, so hang detection is armed explicitly, not by default.
+    """
 
     retries: int = DEFAULT_RETRIES
-    timeout_s: float = DEFAULT_TIMEOUT_S
+    timeout_s: Optional[float] = None
     backoff_s: float = DEFAULT_BACKOFF_S
 
     @classmethod
@@ -117,13 +123,15 @@ class RetryPolicy:
                 return default
 
         return cls(retries=max(0, read(RETRIES_ENV_VAR, DEFAULT_RETRIES, int)),
-                   timeout_s=read(TIMEOUT_ENV_VAR, DEFAULT_TIMEOUT_S, float),
+                   timeout_s=read(TIMEOUT_ENV_VAR, None, float),
                    backoff_s=read(BACKOFF_ENV_VAR, DEFAULT_BACKOFF_S, float))
 
     @property
     def watchdog_timeout(self) -> Optional[float]:
         """The dispatch watchdog deadline in seconds (``None`` = disabled)."""
-        return self.timeout_s if self.timeout_s > 0 else None
+        if self.timeout_s is None or self.timeout_s <= 0:
+            return None
+        return self.timeout_s
 
     def backoff_delay(self, op: str, attempt: int) -> float:
         """Jittered exponential backoff before retry ``attempt`` of ``op``.
@@ -391,7 +399,9 @@ def call_with_retry(op: str, fn: Callable, *, policy: Optional[RetryPolicy] = No
 
     Retries up to ``policy.retries`` times when the failure is eligible:
     by default any taxonomy error tagged transient (:func:`is_transient`);
-    pass ``retryable`` (an exception-class tuple) to widen or narrow.
+    ``retryable`` (an exception-class tuple) *replaces* that test — a
+    matching instance retries even without a transient tag (widening to
+    e.g. plain ``OSError``), a non-matching transient does not (narrowing).
     Every retry sleeps the deterministic jittered backoff and records a
     ``"retry"`` event.  The last failure propagates unchanged.
     """
@@ -404,7 +414,7 @@ def call_with_retry(op: str, fn: Callable, *, policy: Optional[RetryPolicy] = No
             return fn()
         except Exception as exc:
             if retryable is not None:
-                eligible = isinstance(exc, retryable) and is_transient(exc)
+                eligible = isinstance(exc, retryable)
             else:
                 eligible = is_transient(exc)
             if not eligible or attempt >= policy.retries:
@@ -424,11 +434,10 @@ class ResilientExecutor:
     Runs on the requested engine; when a :mod:`~repro.runtime.errors`
     taxonomy error escapes ``run()``, rebuilds the executor on the next
     engine in :data:`FALLBACK_CHAIN`, restores any writable ``ndarray``
-    arguments from pre-run snapshots (armed only while ``REPRO_FAULTS``
-    is configured — the clean path pays no copies), and re-runs.  The
-    wrapped engines run *strict* (``_resilience_strict``): instead of
-    silently degrading they raise their taxonomy error so the wrapper
-    owns — and logs — every degradation decision.
+    arguments from pre-run snapshots, and re-runs.  The wrapped engines
+    run *strict* (``_resilience_strict``): instead of silently degrading
+    they raise their taxonomy error so the wrapper owns — and logs —
+    every degradation decision.
 
     Everything else (``report``, ``shutdown``, engine-specific stats)
     delegates to the innermost live executor.
@@ -494,8 +503,15 @@ class ResilientExecutor:
 
     @staticmethod
     def _snapshot(arguments):
-        if not faults_configured():
-            return None
+        """Pre-run copies of every writable ``ndarray`` argument.
+
+        Always armed, not only under ``REPRO_FAULTS``: a *real* taxonomy
+        failure can strike mid-run (e.g. the first native region's ``cc``
+        compile failing after earlier regions already stored into
+        writable buffers), and the fallback engine must re-run on
+        pristine inputs to keep outputs bit-identical.  The clean-path
+        cost is one copy per writable array per wrapped run.
+        """
         return [(index, argument.copy())
                 for index, argument in enumerate(arguments)
                 if isinstance(argument, np.ndarray) and argument.flags.writeable]
@@ -530,7 +546,7 @@ def maybe_resilient(executor, engine: str, rebuild: Callable[[str], object]):
 
 __all__ = [
     "BACKOFF_ENV_VAR", "DEFAULT_BACKOFF_S", "DEFAULT_RETRIES",
-    "DEFAULT_TIMEOUT_S", "FALLBACK_CHAIN", "FAULTS_ENV_VAR", "FaultPlan",
+    "FALLBACK_CHAIN", "FAULTS_ENV_VAR", "FaultPlan",
     "RESILIENCE_ENV_VAR", "RETRIES_ENV_VAR", "ResilienceEvent",
     "ResilienceLog", "ResilientExecutor", "RetryPolicy", "TIMEOUT_ENV_VAR",
     "call_with_retry", "fallback_engines", "fault_fires", "faults_configured",

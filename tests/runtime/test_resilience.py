@@ -193,6 +193,15 @@ class TestRetryPolicy:
         monkeypatch.setenv("REPRO_RETRIES", "-3")
         assert RetryPolicy.from_env().retries == 0
 
+    def test_watchdog_disabled_by_default(self, monkeypatch):
+        """No REPRO_TIMEOUT_S means no dispatch deadline: a legitimate
+        long dispatch must never be killed by a default wall-clock cap."""
+        monkeypatch.delenv("REPRO_TIMEOUT_S", raising=False)
+        assert RetryPolicy().watchdog_timeout is None
+        assert RetryPolicy.from_env().watchdog_timeout is None
+        monkeypatch.setenv("REPRO_TIMEOUT_S", "2.5")
+        assert RetryPolicy.from_env().watchdog_timeout == 2.5
+
     def test_watchdog_disabled_by_nonpositive_timeout(self):
         assert RetryPolicy(timeout_s=0).watchdog_timeout is None
         assert RetryPolicy(timeout_s=-1).watchdog_timeout is None
@@ -257,6 +266,15 @@ class TestCallWithRetry:
                             retryable=(CacheCorruptionError,),
                             log=ResilienceLog())
         assert calls["count"] == 1
+
+    def test_retryable_widens_past_the_taxonomy(self):
+        """``retryable`` replaces the transient test: a plain OSError
+        (no transient tag) retries when its class is listed."""
+        fn, calls = self._flaky(1, OSError(errno.EIO, "flaky disk"))
+        assert call_with_retry(
+            "op", fn, policy=RetryPolicy(retries=2, backoff_s=0),
+            retryable=(OSError,), log=ResilienceLog()) == "ok"
+        assert calls["count"] == 2
 
 
 class TestResilienceLog:
@@ -364,11 +382,11 @@ class TestResilientExecutor:
             executor.run("main", [])
         assert built == []  # no fallback for deterministic program errors
 
-    def test_snapshot_restores_inputs_between_attempts(self, monkeypatch):
+    def test_snapshot_restores_inputs_between_attempts(self):
         """A failed attempt's partial stores must not leak into the retry:
-        writable ndarrays snapshot before the run (armed while REPRO_FAULTS
-        is set) and restore before the fallback engine reruns."""
-        monkeypatch.setenv("REPRO_FAULTS", "nosite:0")
+        writable ndarrays snapshot before every wrapped run — with *no*
+        fault injection configured, exactly like a real mid-run failure —
+        and restore before the fallback engine reruns."""
         observed = {}
 
         class _Checker(_StubEngine):
@@ -386,9 +404,11 @@ class TestResilientExecutor:
         np.testing.assert_array_equal(observed["value"],
                                       np.arange(4, dtype=np.float32))
 
-    def test_no_snapshot_copies_on_the_clean_path(self, monkeypatch):
-        monkeypatch.delenv("REPRO_FAULTS", raising=False)
-        assert ResilientExecutor._snapshot([np.zeros(4)]) is None
+    def test_snapshot_copies_only_writable_ndarrays(self):
+        frozen = np.zeros(3, dtype=np.float32)
+        frozen.flags.writeable = False
+        snapshot = ResilientExecutor._snapshot([np.zeros(4), frozen, 7])
+        assert [index for index, _ in snapshot] == [0]
 
     def test_wrapper_is_transparent(self):
         stub = _StubEngine("native")

@@ -12,10 +12,12 @@ closures); pass REPRO_ENGINE=vectorized to execute whole thread grids as
 NumPy array operations, REPRO_ENGINE=multicore (with REPRO_WORKERS=N) to
 shard parallel regions across N real worker processes over shared memory,
 REPRO_ENGINE=native to emit the parallel regions as OpenMP C and run the
-compiled shared object, or REPRO_ENGINE=interp to run on the tree-walking
-reference interpreter — outputs and simulated cycles are identical in all
-five engines.  Steps 3 and 4 demonstrate the multicore and native engines
-explicitly.
+compiled shared object, REPRO_ENGINE=interp to run on the tree-walking
+reference interpreter, or REPRO_ENGINE=auto to let the autotuner measure
+the engine matrix once per kernel and dispatch to the fastest — outputs
+and simulated cycles are identical in every engine.  The registered set
+is printed live via ``engine_names()``.  Steps 3–5 demonstrate the
+multicore, native, and auto engines explicitly.
 
 Run with:  python examples/quickstart.py
 """
@@ -27,6 +29,7 @@ import numpy as np
 from repro.frontend import compile_cuda
 from repro.runtime import (
     default_engine,
+    engine_names,
     make_executor,
     multicore_available,
     native_available,
@@ -77,7 +80,8 @@ def main() -> None:
         assert np.allclose(output, reference, rtol=1e-4), "CPU result diverged from the oracle"
         results[label] = executor.report
 
-    print(f"normalize kernel, n = {n} (engine: {default_engine()})")
+    print(f"normalize kernel, n = {n} (engine: {default_engine()}; "
+          f"registered: {', '.join(engine_names())})")
     print("  reference sum-normalized output verified against the SIMT oracle")
     for label, report in results.items():
         print(f"  {label:>13}: {report.dynamic_ops:8d} dynamic ops, "
@@ -135,6 +139,24 @@ def main() -> None:
                   f"(toolchain failure); outputs verified identical")
     else:
         print("  native engine skipped (no cc -fopenmp toolchain here)")
+
+    # 5. the auto engine: the first run measures every viable engine on the
+    #    real arguments and caches the fastest bit-identical config in the
+    #    tuning cache; a fresh executor on the same module + argument shapes
+    #    then dispatches straight to the winner with zero measurements.
+    module = compile_cuda(CUDA_SOURCE, cuda_lower=True,
+                          options=PipelineOptions.all_optimizations())
+    cold = make_executor(module, engine="auto", threads=32)
+    output = np.zeros(n, dtype=np.float32)
+    cold.run("launch", [output, data.copy(), n])
+    assert np.allclose(output, reference, rtol=1e-4)
+    assert cold.report.cycles == results["optimized"].cycles
+    warm = make_executor(module, engine="auto", threads=32)
+    warm.run("launch", [np.zeros(n, dtype=np.float32), data.copy(), n])
+    print(f"  auto engine: tuned over {len(cold.auto_stats['measurements'])} "
+          f"candidate(s), winner '{cold.auto_stats['winner']}'; "
+          f"warm executor re-dispatched with "
+          f"{len(warm.auto_stats['measurements'])} measurement(s)")
 
 
 if __name__ == "__main__":

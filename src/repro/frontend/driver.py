@@ -70,12 +70,14 @@ def compile_cuda(source: str, filename: str = "<cuda>", *,
         if pipeline_options is None:
             pipeline_options = (PipelineOptions.from_flags(cpuify_options)
                                 if cpuify_options else PipelineOptions.all_optimizations())
-    key = None
+    # the content address doubles as the module identity downstream (the
+    # autotuner's TuningCache key), so it is computed even with cache=False.
+    key = kernel_key(source, cuda_lower=cuda_lower,
+                     options=pipeline_options, noalias=noalias)
     if cache:
-        key = kernel_key(source, cuda_lower=cuda_lower,
-                         options=pipeline_options, noalias=noalias)
         cached = global_cache().lookup(key, shared=(cache == "shared"))
         if cached is not None:
+            cached._content_key = key
             return cached
     program = parse(source, filename)
     module = generate_module(program, noalias=noalias)
@@ -83,6 +85,7 @@ def compile_cuda(source: str, filename: str = "<cuda>", *,
         verify(module)
     if cuda_lower:
         cpuify(module, pipeline_options)
-    if key is not None:
+    module._content_key = key
+    if cache:
         global_cache().insert(key, module, shared=(cache == "shared"))
     return module

@@ -32,7 +32,7 @@ import time
 from typing import Dict, Optional, Sequence
 
 from ..rodinia import BENCHMARKS, FIGURE13_SET, run_module
-from ..runtime import XEON_8375C, make_executor
+from ..runtime import XEON_8375C, engine_names, make_executor
 from ..transforms import PipelineOptions
 from .tables import format_table, geomean
 
@@ -164,8 +164,9 @@ def main(argv: Optional[Sequence[str]] = None) -> str:
     parser = argparse.ArgumentParser(
         description="Fig. 14 thread-scaling experiment")
     parser.add_argument("--engine", default=None,
-                        help="execution engine (compiled/vectorized/multicore/"
-                             "interp; default: process default)")
+                        help="execution engine (any registered name: "
+                             f"{'/'.join(engine_names())}; "
+                             "default: process default)")
     parser.add_argument("--wallclock", action="store_true",
                         help="additionally measure real seconds per worker "
                              "count on the multicore engine")

@@ -429,10 +429,11 @@ void nll_loss(float* log_probs, int* targets, float* losses, float* total,
 class MocCUDASession:
     """The interception layer: call registry + device + streams + kernels.
 
-    ``engine`` selects the execution engine for transpiled kernels
-    (``"compiled"``/``"vectorized"``/``"multicore"``/``"native"``/
-    ``"interp"``; ``None`` = process default) and ``workers`` sizes the
-    multicore engine's pool when that engine is selected (ignored by the
+    ``engine`` selects the execution engine for transpiled kernels (any
+    name in :func:`repro.runtime.engine_names`, including ``"auto"`` for
+    per-kernel autotuned dispatch; ``None`` = process default) and
+    ``workers`` sizes the multicore engine's pool when that engine is
+    selected (and pins the autotuner's worker-count search; ignored by the
     other engines) — on the multicore engine the transpiled NLL-loss
     launch is sharded across real CPU cores, and on the native engine it
     runs as compiled OpenMP C, which is the closest this reproduction gets

@@ -194,10 +194,11 @@ def run_module(module, entry: str, arguments: Sequence, *,
                workers: Optional[int] = None) -> CostReport:
     """Execute a compiled benchmark once and return its cost report.
 
-    ``engine`` selects the execution engine ("compiled"/"vectorized"/
-    "multicore"/"native"/"interp"; None = process default) — results and
-    cost reports are engine-independent.  ``workers`` sizes the multicore
-    engine's worker pool (ignored by the other engines).
+    ``engine`` selects the execution engine (any name in
+    :func:`repro.runtime.engine_names`, e.g. "compiled", "auto";
+    None = process default) — results and cost reports are
+    engine-independent.  ``workers`` sizes the multicore engine's worker
+    pool and pins the autotuner's worker-count search (ignored elsewhere).
     """
     executor = make_executor(module, engine=engine, machine=machine,
                              threads=threads, workers=workers)

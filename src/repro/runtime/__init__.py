@@ -1,6 +1,7 @@
 """repro.runtime — execution engines and the analytic performance model.
 
-Five execution engines share one API (``run(name, args)`` + ``report``):
+Five execution engines share one API (``run(name, args)`` + ``report``),
+plus a sixth selection that picks among them per kernel:
 
 * :class:`~repro.runtime.interpreter.Interpreter` — the tree-walking
   reference engine: un-lowered modules run with SIMT (GPU oracle) semantics,
@@ -26,12 +27,20 @@ Five execution engines share one API (``run(name, args)`` + ``report``):
   shared objects and dispatched zero-copy through ctypes — the paper's
   "GPU kernels as native OpenMP CPU code" artifact.  Degrades per region
   (and wholesale, without a toolchain) to the compiled engine.
+* :class:`~repro.runtime.autotune.AutoEngine` (``engine="auto"``) — the
+  measurement-driven autotuner: the first run of a given
+  module/function/argument-shape measures every viable engine configuration
+  on the real arguments (warmup + min-of-k, snapshot/restore of writable
+  buffers) and caches the fastest config whose outputs and CostReports are
+  bit-identical to the interpreter reference in the
+  :class:`~repro.runtime.cache.TuningCache` tier; warm runs dispatch
+  straight to the cached winner with zero measurements.
 
 Select with :func:`~repro.runtime.engine.make_executor` /
 :func:`~repro.runtime.engine.execute`
-(``engine="compiled"|"vectorized"|"multicore"|"native"|"interp"``, or the
-``REPRO_ENGINE`` environment variable; ``workers=`` / ``REPRO_WORKERS``
-sizes the multicore pool).  Engines self-register in
+(``engine="compiled"|"vectorized"|"multicore"|"native"|"interp"|"auto"``,
+or the ``REPRO_ENGINE`` environment variable; ``workers=`` /
+``REPRO_WORKERS`` sizes the multicore pool).  Engines self-register in
 :mod:`repro.runtime.registry`, and the registry resolves built-in engine
 modules **lazily on lookup** — ``"native" in ENGINES`` holds before any
 engine module is imported, so env-selected engines cannot race
@@ -90,11 +99,16 @@ from .costmodel import (
 from .cache import (
     KernelCache,
     NativeArtifactCache,
+    TuningCache,
+    TuningCacheStats,
     clear_global_cache,
+    clear_global_tuning_cache,
     global_cache,
     global_native_cache,
+    global_tuning_cache,
     kernel_key,
     pipeline_fingerprint,
+    tuning_cache_enabled,
 )
 from .registry import ENGINES_VIEW as ENGINES, engine_names, register_engine
 
@@ -104,6 +118,7 @@ ENGINE_INTERP = "interp"
 ENGINE_VECTORIZED = "vectorized"
 ENGINE_MULTICORE = "multicore"
 ENGINE_NATIVE = "native"
+ENGINE_AUTO = "auto"
 ENGINE_ENV_VAR = "REPRO_ENGINE"
 
 #: lazily exported attribute -> defining submodule (PEP 562).  Touching one
@@ -121,6 +136,8 @@ _LAZY_EXPORTS = {
     "shutdown_worker_pools": "multicore",
     "NativeEngine": "native",
     "native_available": "native",
+    "AutoEngine": "autotune",
+    "tune_module": "autotune",
     "sharedmem": "sharedmem",
     "default_engine": "engine",
     "execute": "engine",
@@ -160,11 +177,13 @@ __all__ = [
     "MulticoreEngine", "default_workers", "multicore_available",
     "shutdown_worker_pools",
     "NativeEngine", "native_available",
-    "KernelCache", "NativeArtifactCache", "clear_global_cache",
-    "global_cache", "global_native_cache", "kernel_key",
-    "pipeline_fingerprint",
+    "AutoEngine", "tune_module",
+    "KernelCache", "NativeArtifactCache", "TuningCache", "TuningCacheStats",
+    "clear_global_cache", "clear_global_tuning_cache",
+    "global_cache", "global_native_cache", "global_tuning_cache",
+    "kernel_key", "pipeline_fingerprint", "tuning_cache_enabled",
     "engine_names", "register_engine",
-    "ENGINE_COMPILED", "ENGINE_ENV_VAR", "ENGINE_INTERP", "ENGINE_MULTICORE",
-    "ENGINE_NATIVE", "ENGINE_VECTORIZED", "ENGINES", "default_engine",
-    "execute", "make_executor", "resolve_engine",
+    "ENGINE_AUTO", "ENGINE_COMPILED", "ENGINE_ENV_VAR", "ENGINE_INTERP",
+    "ENGINE_MULTICORE", "ENGINE_NATIVE", "ENGINE_VECTORIZED", "ENGINES",
+    "default_engine", "execute", "make_executor", "resolve_engine",
 ]

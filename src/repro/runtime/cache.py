@@ -36,6 +36,7 @@ Two tiers:
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import pickle
 import tempfile
@@ -51,10 +52,14 @@ from . import resilience
 #: bump when the pickle payload layout (not the IR) changes.
 CACHE_FORMAT = 1
 
+#: bump when the tuning-record layout changes (old records become stale).
+TUNING_FORMAT = 1
+
 #: environment knobs.
 DISK_ENV_VAR = "REPRO_CACHE"
 DISK_DIR_ENV_VAR = "REPRO_CACHE_DIR"
 CAPACITY_ENV_VAR = "REPRO_CACHE_CAPACITY"
+TUNE_CACHE_ENV_VAR = "REPRO_TUNE_CACHE"
 
 _DEFAULT_CAPACITY = 256
 
@@ -474,6 +479,221 @@ class NativeArtifactCache:
 
 
 # ---------------------------------------------------------------------------
+# Tuning cache (persisted autotuner winners for engine="auto")
+# ---------------------------------------------------------------------------
+@dataclass
+class TuningCacheStats:
+    """Counters for the tuning cache (reset with ``reset_stats``)."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    disk_stores: int = 0
+    disk_errors: int = 0
+    invalidations: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+
+def tuning_cache_enabled() -> bool:
+    """Whether tuned winners are remembered at all (``REPRO_TUNE_CACHE``).
+
+    Off (``REPRO_TUNE_CACHE=0``) means every ``engine="auto"`` executor
+    re-tunes — useful for measuring the tuner itself; the default keeps
+    winners in memory always and on disk when the kernel cache's disk tier
+    is enabled (``REPRO_CACHE=1``).
+    """
+    return os.environ.get(TUNE_CACHE_ENV_VAR, "1").strip().lower() not in (
+        "0", "false", "no", "off")
+
+
+class TuningCache:
+    """Persisted autotuner winners, the third cache tier.
+
+    One record per (module content-address x function x argument-shape/dtype
+    signature x execution parameters) key — the key is computed by
+    :func:`repro.runtime.autotune.tuning_key`; this class only stores and
+    retrieves.  A record is a small JSON-able dict::
+
+        {"config": {"engine": "native", "workers": None},
+         "host": {"cpus": 4, "toolchain": true, ...},
+         "seconds": 0.00045, "measurements": {...}}
+
+    The ``host`` fingerprint is stored *inside* the record and checked by
+    the autotuner on lookup: a record tuned on a different host (CPU count,
+    toolchain, numpy version) is treated as a miss and re-tuned, which also
+    overwrites the stale record in place.
+
+    Tiers mirror :class:`KernelCache`: an in-process dict always (unless
+    ``REPRO_TUNE_CACHE=0`` disables the cache entirely), plus a crash-safe
+    on-disk JSON tier under ``<cache-dir>/tuning/`` when ``REPRO_CACHE=1``
+    — write + fsync a tempfile, then ``os.replace``, so a killed process
+    never publishes a torn record.  Corrupt, truncated or stale disk
+    records fall back to a re-tune and are rewritten.
+    """
+
+    def __init__(self, disk_dir: object = None) -> None:
+        self._disk_dir = disk_dir
+        self._records: Dict[str, dict] = {}
+        self._lock = threading.Lock()
+        self.stats = TuningCacheStats()
+        #: bumped on every mutation (insert/invalidate/clear); lets callers
+        #: stamp derived state (the autotuner's resolved-config memo) and
+        #: drop it the moment the underlying records change.
+        self.generation = 0
+
+    # -- disk-tier configuration ----------------------------------------------
+    def disk_path(self) -> Optional[Path]:
+        """The active disk-tier directory, or ``None`` when disabled."""
+        if self._disk_dir is False:
+            return None
+        if self._disk_dir is not None:
+            return Path(self._disk_dir)
+        if os.environ.get(DISK_ENV_VAR, "").strip().lower() in ("1", "true", "yes", "on"):
+            configured = os.environ.get(DISK_DIR_ENV_VAR)
+            base = Path(configured) if configured else Path.home() / ".cache" / "repro-kernel-cache"
+            return base / "tuning"
+        return None
+
+    def _record_path(self, key: str) -> Optional[Path]:
+        directory = self.disk_path()
+        return None if directory is None else directory / f"{key}.json"
+
+    # -- lookup / insert -------------------------------------------------------
+    def lookup(self, key: str) -> Optional[dict]:
+        """The stored record for ``key``, or ``None`` (a private copy)."""
+        if not tuning_cache_enabled():
+            return None
+        with self._lock:
+            record = self._records.get(key)
+            if record is not None:
+                self.stats.memory_hits += 1
+                return dict(record)
+        record = self._load_from_disk(key)
+        if record is None:
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        with self._lock:
+            self.stats.disk_hits += 1
+            self._records[key] = record
+        return dict(record)
+
+    def insert(self, key: str, record: dict) -> None:
+        """Store (and crash-safely publish) a freshly tuned record."""
+        if not tuning_cache_enabled():
+            return
+        with self._lock:
+            self._records[key] = dict(record)
+            self.stats.stores += 1
+            self.generation += 1
+        self._store_to_disk(key, record)
+
+    def invalidate(self, key: str) -> None:
+        """Drop a record whose winner degraded; the next run re-tunes."""
+        with self._lock:
+            existed = self._records.pop(key, None) is not None
+            self.generation += 1
+        path = self._record_path(key)
+        if path is not None:
+            try:
+                path.unlink()
+                existed = True
+            except OSError:
+                pass
+        if existed:
+            with self._lock:
+                self.stats.invalidations += 1
+
+    # -- disk tier -------------------------------------------------------------
+    def _load_from_disk(self, key: str) -> Optional[dict]:
+        path = self._record_path(key)
+        if path is None:
+            return None
+        try:
+            resilience.inject("cache.read")
+            payload = json.loads(path.read_text())
+            if (not isinstance(payload, dict)
+                    or payload.get("format") != TUNING_FORMAT
+                    or payload.get("key") != key
+                    or not isinstance(payload.get("record"), dict)):
+                raise ValueError("stale or foreign tuning record")
+            return payload["record"]
+        except FileNotFoundError:
+            return None
+        except Exception as exc:
+            # corrupt/stale/unreadable record: drop it and re-tune — the
+            # rewrite repairs the disk tier on the very next insert.
+            with self._lock:
+                self.stats.disk_errors += 1
+            resilience.record_event("cache.read", "fallback",
+                                    type(exc).__name__,
+                                    f"{path.name}: dropping tuning record, re-tuning")
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def _store_to_disk(self, key: str, record: dict) -> None:
+        path = self._record_path(key)
+        if path is None:
+            return
+        payload = {"format": TUNING_FORMAT, "key": key, "record": record}
+        try:
+            resilience.inject("cache.write")
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, temp_name = tempfile.mkstemp(dir=str(path.parent),
+                                             prefix=".tmp-", suffix=".json")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(payload, handle)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(temp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+            with self._lock:
+                self.stats.disk_stores += 1
+        except (OSError, TypeError, ValueError) as exc:
+            with self._lock:
+                self.stats.disk_errors += 1
+            resilience.record_event("cache.write", "fallback",
+                                    type(exc).__name__,
+                                    "tuning record disk store skipped; memory tier serves")
+
+    # -- maintenance -----------------------------------------------------------
+    def clear(self, disk: bool = False) -> None:
+        """Drop the memory tier (and, with ``disk=True``, the disk tier)."""
+        with self._lock:
+            self._records.clear()
+            self.generation += 1
+        if disk:
+            directory = self.disk_path()
+            if directory is not None and directory.is_dir():
+                for path in directory.glob("*.json"):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self.stats = TuningCacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+# ---------------------------------------------------------------------------
 # Process-global cache
 # ---------------------------------------------------------------------------
 _GLOBAL_CACHE: Optional[KernelCache] = None
@@ -508,9 +728,30 @@ def global_native_cache() -> NativeArtifactCache:
         return _GLOBAL_NATIVE_CACHE
 
 
+_GLOBAL_TUNING_CACHE: Optional[TuningCache] = None
+
+
+def global_tuning_cache() -> TuningCache:
+    """The process-wide tuning cache used by ``engine="auto"``."""
+    global _GLOBAL_TUNING_CACHE
+    with _GLOBAL_LOCK:
+        if _GLOBAL_TUNING_CACHE is None:
+            _GLOBAL_TUNING_CACHE = TuningCache()
+        return _GLOBAL_TUNING_CACHE
+
+
+def clear_global_tuning_cache(disk: bool = False) -> None:
+    """Drop the process-wide tuning cache (used by tests and benchmarks)."""
+    cache = global_tuning_cache()
+    cache.clear(disk=disk)
+    cache.reset_stats()
+
+
 __all__ = [
     "CACHE_FORMAT", "CAPACITY_ENV_VAR", "DISK_DIR_ENV_VAR", "DISK_ENV_VAR",
-    "CacheStats", "KernelCache", "NativeArtifactCache", "clear_global_cache",
-    "global_cache", "global_native_cache", "kernel_key",
-    "pipeline_fingerprint",
+    "TUNE_CACHE_ENV_VAR", "TUNING_FORMAT",
+    "CacheStats", "KernelCache", "NativeArtifactCache", "TuningCache",
+    "TuningCacheStats", "clear_global_cache", "clear_global_tuning_cache",
+    "global_cache", "global_native_cache", "global_tuning_cache",
+    "kernel_key", "pipeline_fingerprint", "tuning_cache_enabled",
 ]

@@ -1,4 +1,4 @@
-"""Execution-engine selection: interpreter, compiled, vectorized, multicore, native.
+"""Execution-engine selection: interp, compiled, vectorized, multicore, native, auto.
 
 Every runtime entry point (harnesses, the Rodinia suite, the MocCUDA shim,
 benchmarks) goes through this layer and accepts an ``engine`` knob:
@@ -18,6 +18,12 @@ benchmarks) goes through this layer and accepts an ``engine`` knob:
 * ``"interp"`` — the reference tree-walking
   :class:`~repro.runtime.interpreter.Interpreter`, kept as the correctness
   and cost-accounting oracle.
+* ``"auto"`` — measurement-driven per-kernel dispatch
+  (:mod:`repro.runtime.autotune`): on the first run of a given
+  module/function/argument-shape the tuner measures every viable engine
+  configuration on the real arguments and caches the fastest bit-identical
+  winner (the :class:`~repro.runtime.cache.TuningCache` tier); warm runs
+  dispatch straight to it with zero measurements.
 
 All engines produce bit-identical outputs and :class:`CostReport`s (pinned
 by ``tests/runtime/test_engine_parity.py``); only wall-clock speed differs.
@@ -48,11 +54,13 @@ from .interpreter import Interpreter, InterpreterError  # noqa: F401
 from .vectorizer import VectorizedEngine  # noqa: F401
 from .multicore import MulticoreEngine  # noqa: F401
 from .native import NativeEngine  # noqa: F401
+from .autotune import AutoEngine  # noqa: F401
 
 # engine-name constants (incl. ENGINE_ENV_VAR, the REPRO_ENGINE override)
 # have one definition in the package __init__, importable without loading
 # any engine module; re-exported here for the traditional import path.
 from . import (  # noqa: F401
+    ENGINE_AUTO,
     ENGINE_COMPILED,
     ENGINE_ENV_VAR,
     ENGINE_INTERP,

@@ -44,6 +44,7 @@ _LAZY_MODULES: Dict[str, str] = {
     "vectorized": "repro.runtime.vectorizer",
     "multicore": "repro.runtime.multicore",
     "native": "repro.runtime.native",
+    "auto": "repro.runtime.autotune",
 }
 
 _IMPORT_LOCK = threading.RLock()

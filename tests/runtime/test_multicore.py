@@ -129,7 +129,8 @@ def _teardown_pools():
 class TestEngineRegistry:
     def test_builtin_engines_registered(self):
         names = engine_names()
-        assert names == ("compiled", "vectorized", "multicore", "native", "interp")
+        assert names == ("compiled", "vectorized", "multicore", "native",
+                         "interp", "auto")
 
     def test_resolve_engine_accepts_multicore(self):
         assert resolve_engine("multicore") == "multicore"

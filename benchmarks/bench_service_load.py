@@ -1,0 +1,366 @@
+"""Load-test harness and perf gate for the kernel service (``repro serve``).
+
+Simulates hundreds of concurrent clients hammering one daemon with a mixed
+workload — Rodinia kernels (matmul, hotspot) and fuzz-grammar kernels
+across the compiled and vectorized engines — through real sockets, one
+connection + one server-side tenant stream per client.  Every response is
+differentially verified against a precomputed in-process reference
+(output bytes *and* CostReport fields, bit for bit); any divergence
+counts as **corruption** and fails the gate outright.
+
+Phases:
+
+1. **warm-up** — one request per workload item populates the shared
+   compile cache and the per-engine program caches;
+2. **measured** — ``clients`` threads (default 200, the acceptance floor)
+   each issue ``requests_per_client`` requests; server-side metrics are
+   reset at the phase boundary so the published numbers cover only the
+   measured phase.
+
+Results land in ``BENCH_service.json``: latency percentiles (p50/p99),
+throughput, warm-hit rate, error/rejection/corruption counts, the
+recording host, and the floors the perf gate enforces:
+
+* ``corruption == 0`` and ``errors == 0`` — always enforced;
+* ``warm_hit_rate`` — every measured request must hit the shared cache
+  (the warm-up compiled everything), floor 0.95;
+* ``rejected == 0`` — the admission queue is sized for the offered load,
+  so shedding would mean a queue accounting bug;
+* ``p99_ceiling_s`` / ``min_throughput_rps`` — calibrated from the
+  recording run with wide margins (x8 headroom) since CI runners are
+  slower than dev hosts; the committed values are enforced by
+  ``--check`` against a fresh run, so a change that tanks service
+  latency or throughput fails the build.
+
+Knobs: ``REPRO_SERVICE_BENCH_CLIENTS`` / ``REPRO_SERVICE_BENCH_REQUESTS``
+override the defaults (CI smoke may reduce them; the committed baseline
+records what it ran with).
+
+Run directly (``python benchmarks/bench_service_load.py``) or as the CI
+perf gate (``python benchmarks/bench_service_load.py --check``).
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))  # for tests.helpers
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.frontend import compile_cuda  # noqa: E402
+from repro.rodinia import BENCHMARKS  # noqa: E402
+from repro.runtime import make_executor, shutdown_worker_pools  # noqa: E402
+from repro.runtime.autotune import host_fingerprint  # noqa: E402
+from repro.service import KernelServer, ServiceClient  # noqa: E402
+from tests.helpers import generate_fuzz_kernel, report_fields  # noqa: E402
+
+RESULT_PATH = REPO_ROOT / "BENCH_service.json"
+
+DEFAULT_CLIENTS = max(1, int(os.environ.get(
+    "REPRO_SERVICE_BENCH_CLIENTS", "200")))
+DEFAULT_REQUESTS = max(1, int(os.environ.get(
+    "REPRO_SERVICE_BENCH_REQUESTS", "2")))
+
+#: always-enforced exact floors; the calibrated latency/throughput floors
+#: are computed from the recording run (with headroom) and committed.
+WARM_HIT_FLOOR = 0.95
+CALIBRATION_HEADROOM = 8.0
+
+ENGINES = ("compiled", "vectorized")
+RODINIA = (("matmul", 1), ("hotspot", 1))
+FUZZ_SEEDS = (0, 3, 7)
+
+
+def build_workload():
+    """The mixed workload: (label, source, entry, make_args, out_indices,
+    options) per item."""
+    items = []
+    for name, scale in RODINIA:
+        bench = BENCHMARKS[name]
+        items.append({
+            "label": f"rodinia:{name}",
+            "source": bench.cuda_source,
+            "entry": bench.entry,
+            "make_args": (lambda bench=bench, scale=scale:
+                          bench.make_inputs(scale)),
+            "out_indices": tuple(bench.output_indices),
+            "options": None,
+        })
+    for seed in FUZZ_SEEDS:
+        kernel = generate_fuzz_kernel(seed)
+        items.append({
+            "label": f"fuzz:{seed}",
+            "source": kernel.source,
+            "entry": kernel.entry,
+            "make_args": kernel.make_args,
+            "out_indices": (2,),
+            "options": kernel.options,
+        })
+    return items
+
+
+def build_references(workload):
+    """In-process reference (output bytes per index, report tuple) for
+    every (item, engine) pair."""
+    references = {}
+    for item in workload:
+        module = compile_cuda(item["source"], cuda_lower=True,
+                              options=item["options"], cache="shared")
+        for engine in ENGINES:
+            arguments = item["make_args"]()
+            executor = make_executor(module, engine=engine)
+            executor.run(item["entry"], arguments)
+            references[(item["label"], engine)] = (
+                tuple(arguments[index].tobytes()
+                      for index in item["out_indices"]),
+                report_fields(executor.report))
+    return references
+
+
+def _verify(result, item, engine, references):
+    expected_outputs, expected_report = references[(item["label"], engine)]
+    served_outputs = tuple(result.args[index].tobytes()
+                           for index in item["out_indices"])
+    return (served_outputs == expected_outputs
+            and result.report_tuple == expected_report)
+
+
+def run_load(clients=DEFAULT_CLIENTS, requests_per_client=DEFAULT_REQUESTS):
+    workload = build_workload()
+    references = build_references(workload)
+
+    socket_path = os.path.join(
+        tempfile.mkdtemp(prefix="repro-bench-"), "serve.sock")
+    # queue sized for the full offered load: the gate asserts zero sheds,
+    # so a rejection can only mean an admission accounting regression.
+    server = KernelServer(
+        socket_path=socket_path,
+        queue_depth=max(1024, clients * requests_per_client),
+        queue_timeout_s=600.0).start()
+
+    corruption = 0
+    client_errors = []
+    client_latencies = []
+    aggregate_lock = threading.Lock()
+
+    def run_client(client_index, per_client, record):
+        nonlocal corruption
+        local_latencies = []
+        local_corrupt = 0
+        try:
+            with ServiceClient(server.address,
+                               tenant=f"lt-{client_index}") as client:
+                for step in range(per_client):
+                    item = workload[(client_index + step) % len(workload)]
+                    engine = ENGINES[(client_index + step) % len(ENGINES)]
+                    began = time.perf_counter()
+                    result = client.launch(
+                        item["source"], item["entry"], item["make_args"](),
+                        engine=engine, options=item["options"])
+                    local_latencies.append(time.perf_counter() - began)
+                    if not _verify(result, item, engine, references):
+                        local_corrupt += 1
+        except Exception as exc:  # noqa: BLE001 - aggregated below
+            with aggregate_lock:
+                client_errors.append((client_index, repr(exc)))
+        if record:
+            with aggregate_lock:
+                corruption += local_corrupt
+                client_latencies.extend(local_latencies)
+
+    try:
+        # -- warm-up: every (item, engine) once, single client ---------------
+        with ServiceClient(server.address, tenant="warmup") as warm_client:
+            for item in workload:
+                for engine in ENGINES:
+                    result = warm_client.launch(
+                        item["source"], item["entry"], item["make_args"](),
+                        engine=engine, options=item["options"])
+                    assert _verify(result, item, engine, references), (
+                        f"warm-up divergence on {item['label']}/{engine}")
+        server.metrics.reset()
+        admission_before = server.admission.snapshot()
+
+        # -- measured phase --------------------------------------------------
+        began = time.monotonic()
+        threads = [threading.Thread(target=run_client,
+                                    args=(index, requests_per_client, True))
+                   for index in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=1200)
+        wedged = sum(thread.is_alive() for thread in threads)
+        elapsed = time.monotonic() - began
+
+        stats = server.stats()
+        admission_after = server.admission.snapshot()
+    finally:
+        server.stop()
+        shutdown_worker_pools()
+
+    total_requests = clients * requests_per_client
+    rejected = admission_after["rejected"] - admission_before["rejected"]
+    client_latencies.sort()
+
+    def client_percentile(fraction):
+        if not client_latencies:
+            return 0.0
+        rank = min(len(client_latencies) - 1,
+                   int(round(fraction * (len(client_latencies) - 1))))
+        return client_latencies[rank]
+
+    results = {
+        "host": host_fingerprint(),
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "requests": total_requests,
+        "workload": [item["label"] for item in workload],
+        "engines": list(ENGINES),
+        "elapsed_s": elapsed,
+        "throughput_rps": stats["throughput_rps"],
+        "latency": {
+            "p50_s": stats["latency"]["p50_s"],
+            "p90_s": stats["latency"]["p90_s"],
+            "p99_s": stats["latency"]["p99_s"],
+            "max_s": stats["latency"]["max_s"],
+            "client_p50_s": client_percentile(0.50),
+            "client_p99_s": client_percentile(0.99),
+        },
+        "warm_hit_rate": stats["warm_hit_rate"],
+        "errors": stats["errors"] + len(client_errors) + wedged,
+        "rejected": rejected,
+        "corruption": corruption,
+        "degraded": stats["degraded"],
+        "retries": stats["retries"],
+        "coalesced": stats["streams"]["coalesced"],
+        "tenants": stats["streams"]["tenants"],
+        "peak_inflight": admission_after["peak_inflight"],
+        "peak_waiting": admission_after["peak_waiting"],
+        "resilience": stats["resilience"],
+    }
+    if client_errors:
+        results["client_error_sample"] = client_errors[:5]
+    results["floors"] = {
+        "min_clients": clients,
+        "corruption": 0,
+        "errors": 0,
+        "rejected": 0,
+        "warm_hit_rate": WARM_HIT_FLOOR,
+        "p99_ceiling_s": round(
+            max(1.0, stats["latency"]["p99_s"] * CALIBRATION_HEADROOM), 3),
+        "min_throughput_rps": round(
+            max(1.0, stats["throughput_rps"] / CALIBRATION_HEADROOM), 3),
+    }
+    return results
+
+
+def run_all(write=True, clients=DEFAULT_CLIENTS,
+            requests_per_client=DEFAULT_REQUESTS):
+    results = run_load(clients, requests_per_client)
+    print(f"service load: {results['clients']} clients x "
+          f"{results['requests_per_client']} requests in "
+          f"{results['elapsed_s']:.2f}s "
+          f"({results['throughput_rps']:.0f} req/s)")
+    latency = results["latency"]
+    print(f"  latency: p50 {latency['p50_s'] * 1e3:.1f} ms  "
+          f"p99 {latency['p99_s'] * 1e3:.1f} ms  "
+          f"max {latency['max_s'] * 1e3:.1f} ms "
+          f"(client-side p99 {latency['client_p99_s'] * 1e3:.1f} ms)")
+    print(f"  warm-hit rate: {results['warm_hit_rate']:.3f}  "
+          f"errors: {results['errors']}  rejected: {results['rejected']}  "
+          f"corruption: {results['corruption']}  "
+          f"coalesced: {results['coalesced']}")
+    if write:
+        RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {RESULT_PATH}")
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Perf-regression gate (CI)
+# ---------------------------------------------------------------------------
+def _floor_violations(results, baseline):
+    """Fresh measurements vs. the *committed* floors.
+
+    Correctness floors (corruption/errors/rejected/warm-hit) are absolute.
+    The latency ceiling and throughput floor were calibrated with x8
+    headroom on the recording host; they are enforced as committed — a
+    regression that blows through x8 slack is a real one.
+    """
+    floors = baseline.get("floors", {})
+    violations = []
+    if results["clients"] < floors.get("min_clients", 0):
+        violations.append(
+            f"ran {results['clients']} clients < committed floor "
+            f"{floors['min_clients']} (set REPRO_SERVICE_BENCH_CLIENTS)")
+    for field in ("corruption", "errors", "rejected"):
+        ceiling = floors.get(field, 0)
+        if results[field] > ceiling:
+            violations.append(f"{field}: {results[field]} > {ceiling}")
+    warm_floor = floors.get("warm_hit_rate", WARM_HIT_FLOOR)
+    if results["warm_hit_rate"] < warm_floor:
+        violations.append(
+            f"warm_hit_rate {results['warm_hit_rate']:.3f} < floor "
+            f"{warm_floor}")
+    ceiling = floors.get("p99_ceiling_s")
+    if ceiling is not None and results["latency"]["p99_s"] > ceiling:
+        violations.append(
+            f"p99 latency {results['latency']['p99_s']:.3f}s > committed "
+            f"ceiling {ceiling}s")
+    throughput_floor = floors.get("min_throughput_rps")
+    if (throughput_floor is not None
+            and results["throughput_rps"] < throughput_floor):
+        violations.append(
+            f"throughput {results['throughput_rps']:.1f} req/s < committed "
+            f"floor {throughput_floor} req/s")
+    return violations
+
+
+def run_check(baseline_path: Path) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    clients = max(DEFAULT_CLIENTS, baseline.get("floors", {}).get(
+        "min_clients", DEFAULT_CLIENTS)) if "REPRO_SERVICE_BENCH_CLIENTS" \
+        not in os.environ else DEFAULT_CLIENTS
+    results = run_all(write=True, clients=clients)
+    violations = _floor_violations(results, baseline)
+    if violations:
+        print("\nSERVICE PERF GATE FAILED:", file=sys.stderr)
+        for violation in violations:
+            print(f"  - {violation}", file=sys.stderr)
+        return 1
+    print("\nservice perf gate passed: all committed floors hold")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", nargs="?", const=str(RESULT_PATH), default=None,
+        metavar="BASELINE",
+        help="perf-gate mode: enforce the committed BENCH_service.json "
+             "floors against a fresh load run; exits non-zero on regression")
+    parser.add_argument("--clients", type=int, default=None,
+                        help=f"concurrent clients (default {DEFAULT_CLIENTS})")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per client "
+                             f"(default {DEFAULT_REQUESTS})")
+    arguments = parser.parse_args(argv)
+    if arguments.check is not None:
+        return run_check(Path(arguments.check))
+    run_all(write=True,
+            clients=arguments.clients or DEFAULT_CLIENTS,
+            requests_per_client=arguments.requests or DEFAULT_REQUESTS)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

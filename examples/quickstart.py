@@ -158,6 +158,36 @@ def main() -> None:
           f"warm executor re-dispatched with "
           f"{len(warm.auto_stats['measurements'])} measurement(s)")
 
+    # 6. the kernel service (`python -m repro serve`): the same request
+    #    served over a local socket by a long-running daemon — shared
+    #    compile cache across tenants, per-tenant streams, bit-identical
+    #    outputs and CostReports.  In-process here; in production the
+    #    daemon runs standalone and many clients connect to its socket.
+    import tempfile
+
+    from repro.service import KernelServer, ServiceClient
+
+    socket_path = tempfile.mktemp(prefix="repro-quickstart-", suffix=".sock")
+    with KernelServer(socket_path=socket_path) as server:
+        with ServiceClient(server.address, tenant="quickstart") as client:
+            cold_req = client.launch(
+                CUDA_SOURCE, "launch",
+                [np.zeros(n, dtype=np.float32), data.copy(), n],
+                options=PipelineOptions.all_optimizations())
+            warm_req = client.launch(
+                CUDA_SOURCE, "launch",
+                [np.zeros(n, dtype=np.float32), data.copy(), n],
+                options=PipelineOptions.all_optimizations())
+            assert np.allclose(cold_req.args[0], reference, rtol=1e-4)
+            assert cold_req.report["cycles"] == results["optimized"].cycles
+            stats = client.stats()
+        print(f"  kernel service: served via {server.socket_path} on engine "
+              f"'{cold_req.engine}'; cold {cold_req.latency_s * 1e3:.0f} ms, "
+              f"warm {warm_req.latency_s * 1e3:.1f} ms (shared-cache hit: "
+              f"{warm_req.warm}); p50 latency "
+              f"{stats['latency']['p50_s'] * 1e3:.1f} ms over "
+              f"{stats['launches']} launches")
+
 
 if __name__ == "__main__":
     main()

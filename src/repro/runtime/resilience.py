@@ -182,10 +182,21 @@ class ResilienceEvent:
 
 
 class ResilienceLog:
-    """Bounded, thread-safe, queryable record of resilience events."""
+    """Bounded, thread-safe, queryable record of resilience events.
+
+    The deque of events is bounded (oldest evicted past ``capacity``), but
+    the per-action totals are **persistent counters** maintained in
+    ``record()`` under the same lock — so ``counts()`` is an O(actions)
+    snapshot that stays correct for a long-running process even after
+    millions of events have rotated out of the window, and is cheap enough
+    for per-stream worker threads and the service's stats endpoint to call
+    concurrently with recording.
+    """
 
     def __init__(self, capacity: int = 4096) -> None:
         self._events: "deque[ResilienceEvent]" = deque(maxlen=max(1, capacity))
+        self._totals: Dict[str, int] = {}
+        self._recorded = 0
         self._lock = threading.Lock()
 
     def record(self, op: str, action: str, error: str = "", detail: str = "",
@@ -194,11 +205,14 @@ class ResilienceLog:
                                 detail=detail, attempt=attempt, engine=engine)
         with self._lock:
             self._events.append(event)
+            self._totals[action] = self._totals.get(action, 0) + 1
+            self._recorded += 1
         return event
 
     def events(self, *, op: Optional[str] = None, action: Optional[str] = None,
                error: Optional[str] = None) -> List[ResilienceEvent]:
-        """Events in arrival order, filtered by any of op/action/error."""
+        """Retained events in arrival order, filtered by any of
+        op/action/error (at most ``capacity`` — the newest)."""
         with self._lock:
             snapshot = list(self._events)
         return [event for event in snapshot
@@ -207,15 +221,22 @@ class ResilienceLog:
                 and (error is None or event.error == error)]
 
     def counts(self) -> Dict[str, int]:
-        """Event count per action."""
-        totals: Dict[str, int] = {}
-        for event in self.events():
-            totals[event.action] = totals.get(event.action, 0) + 1
-        return totals
+        """Event count per action since construction (or the last
+        ``clear``) — *not* bounded by the event window."""
+        with self._lock:
+            return dict(self._totals)
+
+    @property
+    def total_recorded(self) -> int:
+        """Events ever recorded (>= ``len(log)`` once the window rotates)."""
+        with self._lock:
+            return self._recorded
 
     def clear(self) -> None:
         with self._lock:
             self._events.clear()
+            self._totals.clear()
+            self._recorded = 0
 
     def __len__(self) -> int:
         with self._lock:

@@ -1,0 +1,192 @@
+"""Client for the kernel service (``repro serve``).
+
+A thin blocking wrapper over the wire protocol: connect to the daemon's
+socket, issue ``ping`` / ``compile`` / ``launch`` / ``stats`` /
+``shutdown`` requests, decode the responses.  One client = one
+connection; a client is **not** thread-safe (the protocol interleaves
+frames on the connection) — concurrent callers should each open their own
+client, which is exactly what the load harness and the soak test do to
+simulate independent tenants.
+
+``launch`` returns a :class:`LaunchResult`: the decoded output arrays
+(fresh buffers, bit-identical to server-side results), the CostReport
+fields, and the request metadata (engine used, warm/cold, degraded,
+retries, server-side latency).  A shed request raises
+:class:`ServiceRejected`; a failed one raises :class:`ServiceError` with
+the server-side error type and detail.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..transforms import PipelineOptions
+from . import protocol
+
+Address = Union[str, Tuple[str, int]]
+
+
+class ServiceError(RuntimeError):
+    """The server answered ``status: "error"``."""
+
+    def __init__(self, error: str, detail: str = "") -> None:
+        super().__init__(f"{error}: {detail}" if detail else error)
+        self.error = error
+        self.detail = detail
+
+
+class ServiceRejected(RuntimeError):
+    """The server shed the request (admission queue full or timed out)."""
+
+
+@dataclass
+class LaunchResult:
+    """One served launch: outputs + CostReport + request metadata."""
+
+    args: List = field(default_factory=list)
+    report: Dict = field(default_factory=dict)
+    engine: str = ""
+    requested_engine: str = ""
+    degraded: bool = False
+    warm: bool = False
+    retries: int = 0
+    latency_s: float = 0.0
+    key: str = ""
+
+    @property
+    def report_tuple(self) -> Tuple:
+        """The pinned-field comparison tuple (see ``protocol.REPORT_FIELDS``)."""
+        return protocol.report_tuple(self.report)
+
+
+def _options_spec(options) -> Optional[Union[str, Dict]]:
+    if options is None or isinstance(options, (str, dict)):
+        return options
+    if isinstance(options, PipelineOptions):
+        return {name: getattr(options, name)
+                for name in PipelineOptions.__dataclass_fields__}
+    raise TypeError(f"unsupported options value {options!r}")
+
+
+class ServiceClient:
+    """A blocking client over one connection to a :class:`KernelServer`.
+
+    ``address`` is an ``AF_UNIX`` socket path (str) or a ``(host, port)``
+    tuple.  Usable as a context manager; ``close()`` is idempotent.
+    """
+
+    def __init__(self, address: Address, *, tenant: Optional[str] = None,
+                 timeout: Optional[float] = None) -> None:
+        self.tenant = tenant
+        if isinstance(address, str):
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        else:
+            self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        self._sock.connect(address)
+
+    # -- plumbing --------------------------------------------------------------
+    def _request(self, header: Dict,
+                 frames: Sequence[bytes] = ()) -> Tuple[Dict, List[bytes]]:
+        header = dict(header)
+        header.setdefault("v", protocol.PROTOCOL_VERSION)
+        if self.tenant is not None:
+            header.setdefault("tenant", self.tenant)
+        protocol.send_message(self._sock, header, frames)
+        message = protocol.recv_message(self._sock)
+        if message is None:
+            raise protocol.ProtocolError("server closed the connection")
+        response, response_frames = message
+        status = response.get("status")
+        if status == "rejected":
+            raise ServiceRejected(response.get("detail", "request rejected"))
+        if status != "ok":
+            raise ServiceError(response.get("error", "unknown"),
+                               response.get("detail", ""))
+        return response, response_frames
+
+    # -- operations ------------------------------------------------------------
+    def ping(self) -> Dict:
+        response, _ = self._request({"op": "ping"})
+        return response
+
+    def compile(self, source: str, entry: str, *,
+                options=None, cuda_lower: bool = True, noalias: bool = True,
+                engine: Optional[str] = None,
+                workers: Optional[int] = None) -> Dict:
+        """Compile (or warm-hit) a kernel server-side; returns its content
+        key, warm flag and resolved engine."""
+        header = {"op": "compile", "source": source, "entry": entry,
+                  "options": _options_spec(options), "cuda_lower": cuda_lower,
+                  "noalias": noalias}
+        if engine is not None:
+            header["engine"] = engine
+        if workers is not None:
+            header["workers"] = workers
+        response, _ = self._request(header)
+        return response
+
+    def launch(self, source: str, entry: str, arguments: Sequence, *,
+               options=None, cuda_lower: bool = True, noalias: bool = True,
+               engine: Optional[str] = None,
+               workers: Optional[int] = None,
+               tenant: Optional[str] = None) -> LaunchResult:
+        """Compile+launch a kernel server-side and return outputs + report.
+
+        The returned ``args`` list mirrors the argument list with every
+        ndarray replaced by the server's post-run copy (scalars pass
+        through unchanged) — callers typically read the output arrays by
+        position.
+        """
+        specs, frames = protocol.encode_args(arguments)
+        header = {"op": "launch", "source": source, "entry": entry,
+                  "options": _options_spec(options), "cuda_lower": cuda_lower,
+                  "noalias": noalias, "args": specs}
+        if engine is not None:
+            header["engine"] = engine
+        if workers is not None:
+            header["workers"] = workers
+        if tenant is not None:
+            header["tenant"] = tenant
+        response, response_frames = self._request(header, frames)
+        decoded = protocol.decode_args(response.get("args", []),
+                                       response_frames)
+        return LaunchResult(
+            args=decoded, report=response.get("report") or {},
+            engine=response.get("engine", ""),
+            requested_engine=response.get("requested_engine", ""),
+            degraded=bool(response.get("degraded", False)),
+            warm=bool(response.get("warm", False)),
+            retries=int(response.get("retries", 0)),
+            latency_s=float(response.get("latency_s", 0.0)),
+            key=response.get("key", ""))
+
+    def stats(self) -> Dict:
+        """The server's stats document (metrics + admission + streams +
+        caches + resilience counts)."""
+        response, _ = self._request({"op": "stats"})
+        return response["stats"]
+
+    def shutdown(self) -> Dict:
+        """Ask the daemon to stop (it finishes in-flight work first)."""
+        response, _ = self._request({"op": "shutdown"})
+        return response
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["Address", "LaunchResult", "ServiceClient", "ServiceError",
+           "ServiceRejected"]

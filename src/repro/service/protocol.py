@@ -1,0 +1,227 @@
+"""Wire protocol for the kernel service (``repro serve``).
+
+One message = a 4-byte big-endian length, a UTF-8 JSON header of that
+length, then the binary frames the header declares::
+
+    | len(header) : u32 | header JSON | frame 0 | frame 1 | ... |
+
+The header is a plain dict; its ``"frames"`` entry lists the byte length
+of every binary frame that follows, in order.  Binary frames carry raw
+``ndarray`` payloads (``tobytes()``), so array arguments and results
+round-trip **bit-identically** — the differential soak test compares
+served outputs and CostReports against in-process execution bit for bit,
+and the protocol must never be the layer that loses a ULP.
+
+Argument encoding (``encode_args`` / ``decode_args``) covers exactly the
+value kinds the engines accept:
+
+* ``numpy.ndarray`` — dtype/shape/writeability in the header, raw bytes in
+  a frame.  Decoding materializes a fresh C-contiguous, writable array
+  (then re-applies a read-only flag), so the server never aliases client
+  memory.
+* numpy scalars (``np.float32(3.0)``) — dtype in the header, raw bytes in
+  a frame (bit-exact, unlike a JSON float round-trip for f32).
+* Python ``bool`` / ``int`` / ``float`` — inline JSON values (CPython's
+  ``repr`` round-trip keeps doubles exact).
+
+Requests are dicts with an ``"op"`` key (``ping`` / ``compile`` /
+``launch`` / ``stats`` / ``shutdown``); responses carry ``"status"``
+(``"ok"`` / ``"rejected"`` / ``"error"``).  The protocol is deliberately
+transport-agnostic: any stream socket works (the server listens on an
+``AF_UNIX`` path by default, TCP on request).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: bump when the header layout changes; checked in the handshake of every
+#: request so mismatched client/server versions fail loudly.
+PROTOCOL_VERSION = 1
+
+#: refuse headers larger than this (a corrupt length prefix must not make
+#: the server try to allocate gigabytes).
+MAX_HEADER_BYTES = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct("!I")
+
+
+class ProtocolError(RuntimeError):
+    """A malformed or truncated message."""
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; ``None`` on a clean EOF at a message
+    boundary (count bytes read so far == 0), raises mid-message."""
+    chunks: List[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if remaining == count:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-message ({count - remaining} of "
+                f"{count} bytes read)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_message(sock: socket.socket, header: Dict,
+                 frames: Sequence[bytes] = ()) -> None:
+    """Send one framed message (header dict + binary frames)."""
+    header = dict(header)
+    header["frames"] = [len(frame) for frame in frames]
+    encoded = json.dumps(header).encode("utf-8")
+    parts = [_LENGTH.pack(len(encoded)), encoded, *frames]
+    sock.sendall(b"".join(parts))
+
+
+def recv_message(sock: socket.socket) -> Optional[Tuple[Dict, List[bytes]]]:
+    """Receive one message; ``None`` on clean EOF before a new message."""
+    prefix = _recv_exact(sock, _LENGTH.size)
+    if prefix is None:
+        return None
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_HEADER_BYTES:
+        raise ProtocolError(f"header length {length} exceeds the "
+                            f"{MAX_HEADER_BYTES}-byte cap")
+    encoded = _recv_exact(sock, length)
+    if encoded is None:
+        raise ProtocolError("connection closed before the message header")
+    try:
+        header = json.loads(encoded.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable message header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ProtocolError("message header is not an object")
+    frames: List[bytes] = []
+    for size in header.get("frames", []):
+        if not isinstance(size, int) or size < 0:
+            raise ProtocolError(f"invalid frame length {size!r}")
+        frame = _recv_exact(sock, size) if size else b""
+        if frame is None:
+            raise ProtocolError("connection closed before a binary frame")
+        frames.append(frame)
+    return header, frames
+
+
+# ---------------------------------------------------------------------------
+# Argument / result encoding
+# ---------------------------------------------------------------------------
+def encode_args(arguments: Sequence) -> Tuple[List[Dict], List[bytes]]:
+    """Encode an engine argument list into (specs, binary frames)."""
+    specs: List[Dict] = []
+    frames: List[bytes] = []
+    for argument in arguments:
+        if isinstance(argument, np.ndarray):
+            array = np.ascontiguousarray(argument)
+            specs.append({"kind": "ndarray", "dtype": array.dtype.str,
+                          "shape": list(array.shape),
+                          "writeable": bool(argument.flags.writeable),
+                          "frame": len(frames)})
+            frames.append(array.tobytes())
+        elif isinstance(argument, np.generic):
+            specs.append({"kind": "npscalar", "dtype": argument.dtype.str,
+                          "frame": len(frames)})
+            frames.append(argument.tobytes())
+        elif isinstance(argument, bool) or isinstance(argument, (int, float)):
+            kind = type(argument).__name__  # bool before int: bool is an int
+            specs.append({"kind": "py", "type": kind, "value": argument})
+        else:
+            raise ProtocolError(
+                f"unsupported argument type {type(argument).__name__}; the "
+                "service accepts ndarrays, numpy scalars, bool, int, float")
+    return specs, frames
+
+
+def decode_args(specs: Sequence[Dict], frames: Sequence[bytes]) -> List:
+    """Decode (specs, frames) back into an engine argument list.
+
+    Arrays come back as fresh writable C-contiguous buffers (read-only
+    inputs get their flag restored), never views over the receive buffer.
+    """
+    arguments: List = []
+    for spec in specs:
+        kind = spec.get("kind")
+        if kind == "ndarray":
+            dtype = np.dtype(spec["dtype"])
+            shape = tuple(spec["shape"])
+            frame = frames[spec["frame"]]
+            expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+            if len(frame) != expected:
+                raise ProtocolError(
+                    f"ndarray frame holds {len(frame)} bytes, shape "
+                    f"{shape} x {dtype} needs {expected}")
+            array = np.frombuffer(frame, dtype=dtype).copy().reshape(shape)
+            if not spec.get("writeable", True):
+                array.flags.writeable = False
+            arguments.append(array)
+        elif kind == "npscalar":
+            dtype = np.dtype(spec["dtype"])
+            frame = frames[spec["frame"]]
+            if len(frame) != dtype.itemsize:
+                raise ProtocolError(
+                    f"scalar frame holds {len(frame)} bytes, {dtype} needs "
+                    f"{dtype.itemsize}")
+            arguments.append(np.frombuffer(frame, dtype=dtype)[0])
+        elif kind == "py":
+            value = spec["value"]
+            type_name = spec.get("type", type(value).__name__)
+            if type_name == "bool":
+                arguments.append(bool(value))
+            elif type_name == "int":
+                arguments.append(int(value))
+            elif type_name == "float":
+                arguments.append(float(value))
+            else:
+                raise ProtocolError(f"unknown scalar type {type_name!r}")
+        else:
+            raise ProtocolError(f"unknown argument kind {kind!r}")
+    return arguments
+
+
+def array_indices(specs: Sequence[Dict]) -> List[int]:
+    """Positions of the ndarray arguments in a spec list (the results the
+    server streams back after a launch)."""
+    return [index for index, spec in enumerate(specs)
+            if spec.get("kind") == "ndarray"]
+
+
+#: the CostReport fields pinned bit-for-bit across engines — the exact set
+#: the parity/fuzz suites compare (tests/helpers.report_fields), carried
+#: through the protocol so served runs are differentially checkable.
+REPORT_FIELDS = ("cycles", "dynamic_ops", "parallel_regions",
+                 "nested_regions", "workshared_loops", "barriers",
+                 "simt_phases", "global_bytes")
+
+
+def encode_report(report) -> Dict:
+    """The pinned CostReport fields as a JSON-safe dict.
+
+    ``cycles`` is a dyadic-exact float (the engines fold costs exactly), so
+    the JSON repr round-trip preserves it bit for bit.
+    """
+    return {name: getattr(report, name) for name in REPORT_FIELDS}
+
+
+def report_tuple(encoded: Dict) -> Tuple:
+    """The comparison tuple for an encoded report (same order as
+    ``tests/helpers.report_fields``)."""
+    return tuple(encoded[name] for name in REPORT_FIELDS)
+
+
+__all__ = [
+    "MAX_HEADER_BYTES", "PROTOCOL_VERSION", "ProtocolError", "REPORT_FIELDS",
+    "array_indices", "decode_args", "encode_args", "encode_report",
+    "recv_message", "report_tuple", "send_message",
+]

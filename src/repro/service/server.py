@@ -1,0 +1,553 @@
+"""The kernel-as-a-service daemon (``repro serve``).
+
+A long-running multi-tenant server that accepts compile+launch requests
+from many concurrent clients over a local socket, turning the per-process
+kernel infrastructure into shared server state:
+
+* **one shared compile cache** — every tenant's ``compile``/``launch``
+  goes through the process-global content-addressed kernel cache
+  (:mod:`repro.runtime.cache`, shared mode), the native ``.so`` artifact
+  tier and the autotuner's :class:`TuningCache`, so the first tenant to
+  compile a kernel pays the pipeline and every other tenant's request is
+  a warm hit;
+* **per-tenant stream isolation** — each tenant owns a MocCUDA-style
+  :class:`~repro.moccuda.shim.Stream` (one worker thread, FIFO): tenants
+  execute concurrently with each other, requests of one tenant execute in
+  order, and a tenant's failure (poisoned stream, injected fault) never
+  blocks or corrupts another tenant's stream;
+* **request batching** — back-to-back launches of the same kernel by one
+  tenant coalesce through the stream's existing same-kernel coalescing
+  window into a single queue dispatch;
+* **admission control** — a bounded in-flight limit plus a bounded wait
+  queue (:mod:`repro.service.admission`); excess load is shed with an
+  explicit ``"rejected"`` response instead of growing an unbounded
+  backlog;
+* **resilience** — server-side execution runs under the engine fallback
+  chain (:mod:`repro.runtime.resilience`): a taxonomy failure (real or
+  ``REPRO_FAULTS``-injected) degrades *that request* down the chain with
+  bit-identical outputs, and a poisoned tenant stream is drained, cleared
+  and retried under the retry policy — other tenants are unaffected;
+* **metrics** — per-request latency/warm-hit/error/degraded counters
+  (:mod:`repro.service.metrics`) surfaced on the ``stats`` endpoint
+  together with admission, stream-coalescing and resilience-log counts.
+
+Transport is a framed-JSON protocol (:mod:`repro.service.protocol`) over
+an ``AF_UNIX`` socket by default (TCP on request).  Start from the CLI
+(``python -m repro serve --socket /tmp/repro.sock``) or in-process::
+
+    with KernelServer(socket_path=path) as server:
+        client = ServiceClient(server.address)
+        result = client.launch(SOURCE, "launch", args)
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..frontend import compile_cuda
+from ..moccuda.shim import Stream
+from ..runtime import XEON_8375C, make_executor, resolve_engine
+from ..runtime.cache import global_cache
+from ..runtime.errors import StreamPoisonedError
+from ..runtime.resilience import global_log, record_event, retry_policy
+from ..transforms import PipelineOptions
+from .admission import AdmissionController
+from .metrics import ServiceMetrics
+from . import protocol
+
+#: environment knobs (the CLI maps flags onto constructor arguments; these
+#: cover embedded/in-process servers).
+REQUEST_TIMEOUT_ENV_VAR = "REPRO_SERVE_REQUEST_TIMEOUT_S"
+DEFAULT_REQUEST_TIMEOUT_S = 60.0
+
+#: accept() poll interval; bounds shutdown latency without busy-waiting.
+_ACCEPT_POLL_S = 0.2
+
+
+def _pipeline_options(spec) -> Optional[PipelineOptions]:
+    """Materialize a wire options spec (None / flag string / field dict)."""
+    if spec is None:
+        return None
+    if isinstance(spec, str):
+        return PipelineOptions.from_flags(spec)
+    if isinstance(spec, dict):
+        return PipelineOptions(**spec)
+    raise protocol.ProtocolError(f"invalid pipeline options spec {spec!r}")
+
+
+def options_spec(options: Optional[PipelineOptions]):
+    """The wire encoding of a PipelineOptions (inverse of the above)."""
+    if options is None:
+        return None
+    return {name: getattr(options, name)
+            for name in PipelineOptions.__dataclass_fields__}
+
+
+class _LaunchSlot(list):
+    """One queued launch: the argument list plus its completion state.
+
+    Subclassing ``list`` keeps the stream's coalescing window untouched —
+    the slot *is* the argument sequence the engine runs — while carrying
+    the per-request result channel the service needs (the stock shim
+    discards executor reports; the service must return them per request).
+    """
+
+    def __init__(self, arguments) -> None:
+        super().__init__(arguments)
+        self.done = threading.Event()
+        self.error: Optional[BaseException] = None
+        self.engine_used: Optional[str] = None
+        self.report: Optional[Dict] = None
+
+
+class _ServiceKernel:
+    """A compiled kernel handle with per-launch result capture.
+
+    Compiles once through the shared kernel cache (``cache="shared"``:
+    the canonical module object, so the engines' per-module compiled
+    program caches amortize across all tenants).  ``_dispatch`` matches
+    the shim's :class:`CompiledKernel` contract — the stream's coalescing
+    window hands it the whole batch — but builds one executor per launch
+    so every request gets its own CostReport, bit-identical to an
+    in-process single run, and one request's failure never fails its
+    batch neighbours.
+    """
+
+    def __init__(self, source: str, entry: str, *,
+                 cuda_lower: bool = True,
+                 options: Optional[PipelineOptions] = None,
+                 noalias: bool = True,
+                 engine: Optional[str] = None,
+                 workers: Optional[int] = None,
+                 machine=XEON_8375C) -> None:
+        self.entry = entry
+        self.engine = engine
+        self.engine_resolved = resolve_engine(engine)
+        self.workers = workers
+        self.machine = machine
+        self.module = compile_cuda(
+            source, filename=f"<service:{entry}>", cuda_lower=cuda_lower,
+            options=options, noalias=noalias, cache="shared")
+        self.content_key = self.module._content_key
+
+    def _dispatch(self, arg_lists) -> None:
+        """Run one coalesced batch; each slot completes independently."""
+        for slot in arg_lists:
+            try:
+                executor = make_executor(self.module, engine=self.engine,
+                                         machine=self.machine,
+                                         workers=self.workers)
+                executor.run(self.entry, slot)
+                slot.engine_used = getattr(executor, "engine_name",
+                                           self.engine_resolved)
+                slot.report = protocol.encode_report(executor.report)
+            except BaseException as error:  # noqa: BLE001 - per-slot isolation
+                slot.error = error
+            finally:
+                slot.done.set()
+
+
+class _Tenant:
+    """Per-tenant server state: one stream (one worker thread), a lock
+    serializing launches with poison recovery, and the slots currently in
+    flight (so a killed batch can fail its waiters instead of stranding
+    them)."""
+
+    def __init__(self, name: str, stream_id: int) -> None:
+        self.name = name
+        self.stream = Stream(stream_id, asynchronous=True)
+        self.lock = threading.Lock()
+        self.outstanding: Dict[int, _LaunchSlot] = {}
+
+
+class KernelServer:
+    """The daemon: listener + per-connection handler threads.
+
+    ``socket_path`` selects an ``AF_UNIX`` listener (the default transport;
+    a fresh path is derived from the pid when omitted), ``host``/``port``
+    a TCP listener on localhost.  ``engine=None`` uses the process default
+    (``REPRO_ENGINE``); requests may override per launch.
+    """
+
+    def __init__(self, socket_path: Optional[str] = None, *,
+                 host: Optional[str] = None, port: int = 0,
+                 engine: Optional[str] = None,
+                 workers: Optional[int] = None,
+                 max_inflight: Optional[int] = None,
+                 queue_depth: Optional[int] = None,
+                 queue_timeout_s: Optional[float] = None,
+                 request_timeout_s: Optional[float] = None) -> None:
+        if engine is not None:
+            resolve_engine(engine)  # fail fast on a bad engine name
+        self.engine = engine
+        self.workers = workers
+        if request_timeout_s is None:
+            raw = os.environ.get(REQUEST_TIMEOUT_ENV_VAR, "").strip()
+            try:
+                request_timeout_s = float(raw) if raw else DEFAULT_REQUEST_TIMEOUT_S
+            except ValueError:
+                request_timeout_s = DEFAULT_REQUEST_TIMEOUT_S
+        self.request_timeout_s = request_timeout_s
+        self.admission = AdmissionController(max_inflight, queue_depth,
+                                             queue_timeout_s)
+        self.metrics = ServiceMetrics()
+        self._lock = threading.Lock()
+        self._tenants: Dict[str, _Tenant] = {}
+        self._kernels: Dict[Tuple, _ServiceKernel] = {}
+        self._connections: List[socket.socket] = []
+        self._threads: List[threading.Thread] = []
+        self._shutdown = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+
+        if host is not None:
+            self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            self._listener.bind((host, port))
+            self.address: object = self._listener.getsockname()
+            self.socket_path = None
+        else:
+            if socket_path is None:
+                socket_path = f"/tmp/repro-serve-{os.getpid()}.sock"
+            try:
+                os.unlink(socket_path)
+            except OSError:
+                pass
+            self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._listener.bind(socket_path)
+            self.socket_path = socket_path
+            self.address = socket_path
+        self._listener.listen(512)
+        self._listener.settimeout(_ACCEPT_POLL_S)
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self) -> "KernelServer":
+        """Start the accept loop in a background thread; returns self."""
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-serve-accept", daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Start and block until a ``shutdown`` request (or ``stop()``)."""
+        self.start()
+        try:
+            while not self._shutdown.wait(timeout=0.5):
+                pass
+        except KeyboardInterrupt:
+            pass
+        self.stop()
+
+    def stop(self) -> None:
+        """Stop accepting, drain tenants, release every worker thread."""
+        self._shutdown.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        with self._lock:
+            connections = list(self._connections)
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                connection.close()
+            except OSError:
+                pass
+        for thread in list(self._threads):
+            thread.join(timeout=5.0)
+        with self._lock:
+            tenants = list(self._tenants.values())
+        for tenant in tenants:
+            try:
+                tenant.stream.close()
+            except BaseException:  # noqa: BLE001 - leftover poisons surface here
+                pass
+        if self.socket_path is not None:
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "KernelServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- accept / per-connection loops ------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._shutdown.is_set():
+            try:
+                connection, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            connection.settimeout(None)
+            with self._lock:
+                self._connections.append(connection)
+                thread = threading.Thread(
+                    target=self._connection_loop, args=(connection,),
+                    name=f"repro-serve-conn{len(self._connections)}",
+                    daemon=True)
+                self._threads.append(thread)
+            thread.start()
+
+    def _connection_loop(self, connection: socket.socket) -> None:
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    message = protocol.recv_message(connection)
+                except (protocol.ProtocolError, OSError):
+                    return
+                if message is None:
+                    return
+                header, frames = message
+                try:
+                    response, response_frames = self._handle(header, frames)
+                except protocol.ProtocolError as exc:
+                    response, response_frames = (
+                        {"status": "error", "error": "ProtocolError",
+                         "detail": str(exc)}, [])
+                except Exception as exc:  # noqa: BLE001 - never kill the conn loop
+                    response, response_frames = (
+                        {"status": "error", "error": type(exc).__name__,
+                         "detail": str(exc)}, [])
+                try:
+                    protocol.send_message(connection, response, response_frames)
+                except OSError:
+                    return
+                if header.get("op") == "shutdown":
+                    self._shutdown.set()
+                    return
+        finally:
+            try:
+                connection.close()
+            except OSError:
+                pass
+            with self._lock:
+                if connection in self._connections:
+                    self._connections.remove(connection)
+
+    # -- request dispatch --------------------------------------------------------
+    def _handle(self, header: Dict, frames: List[bytes]) -> Tuple[Dict, List[bytes]]:
+        version = header.get("v", protocol.PROTOCOL_VERSION)
+        if version != protocol.PROTOCOL_VERSION:
+            return ({"status": "error", "error": "ProtocolError",
+                     "detail": f"protocol version {version} != "
+                               f"{protocol.PROTOCOL_VERSION}"}, [])
+        op = header.get("op")
+        tenant = header.get("tenant")
+        self.metrics.record_request(str(op), tenant)
+        if op == "ping":
+            return ({"status": "ok", "pid": os.getpid()}, [])
+        if op == "stats":
+            return ({"status": "ok", "stats": self.stats()}, [])
+        if op == "shutdown":
+            return ({"status": "ok", "stopping": True}, [])
+        if op == "compile":
+            return self._handle_compile(header)
+        if op == "launch":
+            return self._handle_launch(header, frames)
+        return ({"status": "error", "error": "ProtocolError",
+                 "detail": f"unknown op {op!r}"}, [])
+
+    # -- compile ---------------------------------------------------------------
+    def _kernel_for(self, header: Dict) -> Tuple[_ServiceKernel, bool]:
+        """The (memoized) kernel handle for a request + whether it was warm."""
+        source = header.get("source")
+        entry = header.get("entry")
+        if not isinstance(source, str) or not isinstance(entry, str):
+            raise protocol.ProtocolError("compile/launch needs string "
+                                         "'source' and 'entry' fields")
+        engine = header.get("engine", self.engine)
+        workers = header.get("workers", self.workers)
+        options = _pipeline_options(header.get("options"))
+        cuda_lower = bool(header.get("cuda_lower", True))
+        noalias = bool(header.get("noalias", True))
+        memo_key = (source, entry, cuda_lower, header.get("options") is not None
+                    and str(header.get("options")), noalias,
+                    engine or "", workers or 0)
+        with self._lock:
+            kernel = self._kernels.get(memo_key)
+        if kernel is not None:
+            return kernel, True
+        kernel = _ServiceKernel(source, entry, cuda_lower=cuda_lower,
+                                options=options, noalias=noalias,
+                                engine=engine, workers=workers)
+        with self._lock:
+            # two tenants racing the same cold compile converge on one
+            # handle (and the content-addressed cache below them converged
+            # on one module already).
+            kernel = self._kernels.setdefault(memo_key, kernel)
+        return kernel, False
+
+    def _handle_compile(self, header: Dict) -> Tuple[Dict, List[bytes]]:
+        kernel, warm = self._kernel_for(header)
+        self.metrics.record_compile(warm=warm)
+        return ({"status": "ok", "key": kernel.content_key, "warm": warm,
+                 "engine": kernel.engine_resolved}, [])
+
+    # -- launch ----------------------------------------------------------------
+    def _tenant_for(self, name: Optional[str]) -> _Tenant:
+        tenant_name = name if isinstance(name, str) and name else "default"
+        with self._lock:
+            tenant = self._tenants.get(tenant_name)
+            if tenant is None:
+                tenant = _Tenant(tenant_name, len(self._tenants) + 1)
+                self._tenants[tenant_name] = tenant
+            return tenant
+
+    def _recover(self, tenant: _Tenant) -> None:
+        """Drain the tenant's stream, clear its poison and fail every slot
+        a killed batch left behind.
+
+        An injected (or real) batch failure fires *before* the kernel's
+        dispatch runs, so the slots of that coalesced window never
+        complete on their own.  After a full drain every slot that was
+        going to run has run; anything still pending was killed — mark it
+        failed so its waiter can retry instead of hanging.  Holding the
+        tenant lock serializes this against new launches (launches take
+        the same lock), so a recovering drain can never swallow a launch
+        enqueued concurrently by another handler thread.
+        """
+        with tenant.lock:
+            poison: Optional[BaseException] = None
+            try:
+                tenant.stream.synchronize()
+            except BaseException as error:  # noqa: BLE001 - surfaced poison
+                poison = error
+            for slot in list(tenant.outstanding.values()):
+                if not slot.done.is_set():
+                    slot.error = poison if poison is not None else (
+                        StreamPoisonedError(
+                            f"tenant {tenant.name}: launch batch killed "
+                            "by an earlier stream failure"))
+                    slot.done.set()
+
+    def _await_slot(self, tenant: _Tenant, slot: _LaunchSlot) -> None:
+        """Wait for a launched slot, watching for a killed batch.
+
+        The success path is event-driven (no added latency: the wait
+        returns the moment the dispatch completes).  The poll interval
+        only bounds how quickly a *poisoned* stream is noticed; recovery
+        then fails the stranded slots so every waiter wakes.
+        """
+        deadline = time.monotonic() + self.request_timeout_s
+        while not slot.done.wait(timeout=0.05):
+            if tenant.stream.poisoned is not None:
+                self._recover(tenant)
+            elif time.monotonic() > deadline:
+                self._recover(tenant)
+                if not slot.done.is_set():
+                    slot.error = TimeoutError(
+                        f"launch did not complete within "
+                        f"{self.request_timeout_s}s")
+                    slot.done.set()
+                return
+
+    def _handle_launch(self, header: Dict,
+                       frames: List[bytes]) -> Tuple[Dict, List[bytes]]:
+        start = time.perf_counter()
+        if not self.admission.acquire():
+            return ({"status": "rejected", "reason": "admission",
+                     "detail": "service at capacity; retry with backoff"}, [])
+        try:
+            kernel, warm = self._kernel_for(header)
+            tenant = self._tenant_for(header.get("tenant"))
+            specs = header.get("args", [])
+            policy = retry_policy()
+            attempt = 0
+            slot: _LaunchSlot
+            while True:
+                arguments = protocol.decode_args(specs, frames)
+                slot = _LaunchSlot(arguments)
+                launched = False
+                with tenant.lock:
+                    try:
+                        tenant.stream.launch(kernel, slot)
+                        tenant.outstanding[id(slot)] = slot
+                        launched = True
+                    except StreamPoisonedError as exc:
+                        # a *previous* failed batch on this tenant; fail
+                        # this attempt, then recover the stream below.
+                        slot.error = exc
+                        slot.done.set()
+                if not launched:
+                    self._recover(tenant)
+                else:
+                    try:
+                        self._await_slot(tenant, slot)
+                    finally:
+                        with tenant.lock:
+                            tenant.outstanding.pop(id(slot), None)
+                if slot.error is None:
+                    break
+                if attempt >= policy.retries:
+                    break
+                attempt += 1
+                global_log().record("service.launch", "retry",
+                                    type(slot.error).__name__, str(slot.error),
+                                    attempt, kernel.engine_resolved)
+                policy.sleep("service.launch", attempt - 1)
+            latency = time.perf_counter() - start
+            if slot.error is not None:
+                self.metrics.record_launch(latency, warm=warm, error=True,
+                                           retries=attempt)
+                record_event("service.launch", "degrade",
+                             type(slot.error).__name__,
+                             f"tenant {tenant.name}: request failed after "
+                             f"{attempt} retries")
+                return ({"status": "error",
+                         "error": type(slot.error).__name__,
+                         "detail": str(slot.error), "retries": attempt,
+                         "latency_s": latency, "warm": warm}, [])
+            degraded = slot.engine_used != kernel.engine_resolved
+            self.metrics.record_launch(latency, warm=warm, degraded=degraded,
+                                       retries=attempt)
+            result_specs, result_frames = protocol.encode_args(list(slot))
+            return ({"status": "ok", "key": kernel.content_key,
+                     "report": slot.report, "engine": slot.engine_used,
+                     "requested_engine": kernel.engine_resolved,
+                     "degraded": degraded, "warm": warm,
+                     "retries": attempt, "latency_s": latency,
+                     "args": result_specs}, result_frames)
+        finally:
+            self.admission.release()
+
+    # -- stats -----------------------------------------------------------------
+    def stats(self) -> Dict:
+        """The stats document served by the ``stats`` endpoint."""
+        snapshot = self.metrics.snapshot()
+        snapshot["admission"] = self.admission.snapshot()
+        with self._lock:
+            tenants = {name: dict(tenant.stream.stats)
+                       for name, tenant in self._tenants.items()}
+            kernels = len(self._kernels)
+        streams = {"tenants": len(tenants), "per_tenant": tenants}
+        for field in ("tasks", "launches", "dispatches", "coalesced"):
+            streams[field] = sum(stats.get(field, 0)
+                                 for stats in tenants.values())
+        snapshot["streams"] = streams
+        snapshot["kernels"] = kernels
+        cache_stats = global_cache().stats
+        snapshot["compile_cache"] = {
+            "memory_hits": cache_stats.memory_hits,
+            "disk_hits": cache_stats.disk_hits,
+            "misses": cache_stats.misses,
+            "stores": cache_stats.stores,
+        }
+        snapshot["resilience"] = global_log().counts()
+        return snapshot
+
+
+__all__ = ["DEFAULT_REQUEST_TIMEOUT_S", "KernelServer",
+           "REQUEST_TIMEOUT_ENV_VAR", "options_spec"]

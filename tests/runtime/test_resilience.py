@@ -10,6 +10,7 @@ backoff, the queryable :class:`ResilienceLog`, and the
 """
 
 import errno
+import threading
 
 import numpy as np
 import pytest
@@ -299,6 +300,58 @@ class TestResilienceLog:
         assert [event.attempt for event in log.events()] == [6, 7, 8, 9]
         log.clear()
         assert len(log) == 0
+        assert log.counts() == {}
+        assert log.total_recorded == 0
+
+    def test_counts_survive_window_rotation(self):
+        """Action totals are persistent counters, not a fold over the
+        bounded deque — a long-running daemon's stats must not undercount
+        once old events rotate out of the window."""
+        log = ResilienceLog(capacity=4)
+        for _ in range(100):
+            log.record("op", "retry")
+        log.record("op", "degrade")
+        assert len(log) == 4  # window rotated
+        assert log.counts() == {"retry": 100, "degrade": 1}
+        assert log.total_recorded == 101
+
+    def test_concurrent_hammer(self):
+        """Many threads recording/reading concurrently: no lost counts, no
+        corrupted window, consistent totals (the per-stream worker threads
+        and the service's handler threads all share ``global_log()``)."""
+        log = ResilienceLog(capacity=64)
+        threads = 8
+        per_thread = 500
+        actions = ("retry", "degrade", "fallback", "recover")
+        barrier = threading.Barrier(threads + 2)
+
+        def writer(thread_index):
+            barrier.wait()
+            for index in range(per_thread):
+                log.record(f"op{thread_index}", actions[index % len(actions)],
+                           attempt=index)
+
+        def reader():
+            barrier.wait()
+            for _ in range(200):
+                counts = log.counts()
+                assert all(value >= 0 for value in counts.values())
+                assert len(log.events()) <= 64
+                len(log)
+
+        workers = [threading.Thread(target=writer, args=(index,))
+                   for index in range(threads)]
+        workers += [threading.Thread(target=reader) for _ in range(2)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        counts = log.counts()
+        assert sum(counts.values()) == threads * per_thread
+        assert log.total_recorded == threads * per_thread
+        expected_each = threads * per_thread // len(actions)
+        assert counts == {action: expected_each for action in actions}
+        assert len(log) == 64
 
 
 class TestFallbackChain:

@@ -100,25 +100,60 @@ def tune_warmup() -> int:
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
 class TuningConfig:
-    """One point of the search space: an engine plus its knobs."""
+    """One point of the search space: an engine plus its knobs.
+
+    ``workers`` sizes the multicore pool; ``simd`` / ``phase_split`` are the
+    native engine's codegen knobs (``None`` = the engine's own default, so
+    non-native configs and old cache records stay unchanged).
+    """
 
     engine: str
     workers: Optional[int] = None
+    simd: Optional[bool] = None
+    phase_split: Optional[bool] = None
 
     @property
     def label(self) -> str:
+        knobs = []
         if self.workers is not None:
-            return f"{self.engine}[w={self.workers}]"
+            knobs.append(f"w={self.workers}")
+        if self.simd is not None:
+            knobs.append(f"simd={int(self.simd)}")
+        if self.phase_split is not None:
+            knobs.append(f"split={int(self.phase_split)}")
+        if knobs:
+            return f"{self.engine}[{','.join(knobs)}]"
         return self.engine
 
     def to_dict(self) -> dict:
-        return {"engine": self.engine, "workers": self.workers}
+        data = {"engine": self.engine, "workers": self.workers}
+        # omitted when defaulted: records written before the native knobs
+        # existed parse identically to a default-knob config.
+        if self.simd is not None:
+            data["simd"] = self.simd
+        if self.phase_split is not None:
+            data["phase_split"] = self.phase_split
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "TuningConfig":
         workers = data.get("workers")
+        simd = data.get("simd")
+        phase_split = data.get("phase_split")
         return cls(engine=str(data["engine"]),
-                   workers=None if workers is None else int(workers))
+                   workers=None if workers is None else int(workers),
+                   simd=None if simd is None else bool(simd),
+                   phase_split=None if phase_split is None else bool(phase_split))
+
+    def engine_kwargs(self) -> dict:
+        """Extra ``engine_factory`` kwargs this config pins (knobs left at
+        ``None`` are omitted — other engines never see them)."""
+        kwargs: dict = {}
+        if self.simd is not None:
+            kwargs["simd"] = self.simd
+        if self.phase_split is not None:
+            kwargs["phase_split"] = self.phase_split
+        return kwargs
 
 
 def module_content_key(module) -> str:
@@ -230,8 +265,17 @@ def candidate_configs(*, machine: MachineModel = XEON_8375C,
             continue
         if name == "vectorized" and not machine_vectorizable(machine):
             continue  # would duplicate the compiled candidate wholesale
-        if name == "native" and not native_available():
-            continue  # toolchain probe failed: native would degrade anyway
+        if name == "native":
+            if not native_available():
+                continue  # toolchain probe failed: native would degrade anyway
+            # codegen-knob axes: default (simd+min-cut), simd off, min-cut
+            # off — regions where a knob changes nothing share artifacts
+            # through the content-addressed cache, so the extra candidates
+            # only cost measurement time where they differ.
+            configs.append(TuningConfig("native"))
+            configs.append(TuningConfig("native", simd=False))
+            configs.append(TuningConfig("native", phase_split=False))
+            continue
         if name == "multicore":
             if not multicore_available():
                 continue
@@ -305,11 +349,11 @@ def tune_module(module, function_name: str, arguments: Sequence, *,
     repeats = tune_repeats() if repeats is None else max(1, repeats)
     warmup = tune_warmup() if warmup is None else max(0, warmup)
 
-    def build(name: str, pool: Optional[int]):
+    def build(name: str, pool: Optional[int], **knobs):
         return engine_factory(name)(
             module, machine=machine, threads=threads,
             collect_cost=collect_cost, max_dynamic_ops=max_dynamic_ops,
-            workers=pool)
+            workers=pool, **knobs)
 
     pristine = ResilientExecutor._snapshot(arguments)
 
@@ -333,7 +377,8 @@ def tune_module(module, function_name: str, arguments: Sequence, *,
     for config in candidate_configs(machine=machine, workers=workers):
         label = config.label
         try:
-            executor = build(config.engine, config.workers)
+            executor = build(config.engine, config.workers,
+                             **config.engine_kwargs())
             # correctness probe (untimed, fresh single-run report): outputs
             # and CostReport must be bit-identical to the reference.
             restore()
@@ -459,11 +504,11 @@ class AutoEngine:
                                  "measurements": {}}
 
     # -- internals -------------------------------------------------------------
-    def _build(self, engine: str, workers: Optional[int]):
+    def _build(self, engine: str, workers: Optional[int], **knobs):
         return engine_factory(engine)(
             self._module, machine=self._machine, threads=self._threads,
             collect_cost=self._collect_cost,
-            max_dynamic_ops=self._max_dynamic_ops, workers=workers)
+            max_dynamic_ops=self._max_dynamic_ops, workers=workers, **knobs)
 
     def _key(self, function_name: str, arguments: Sequence) -> str:
         # same text layout as :func:`tuning_key`, with the per-instance
@@ -547,7 +592,8 @@ class AutoEngine:
             pool = (config.workers if config.workers is not None
                     else self._workers)
             executor = maybe_resilient(
-                self._build(config.engine, pool), config.engine,
+                self._build(config.engine, pool, **config.engine_kwargs()),
+                config.engine,
                 lambda name: self._build(name, pool))
             if self._inner is not None:
                 self._base_report.merge(self._inner.report)

@@ -10,12 +10,21 @@ and emits one C function per region:
 * span regions become a loop over the linearized iteration space, executed
   under ``#pragma omp parallel for`` when the multicore engine's write-write
   store-safety analysis proves the region shard-safe (and sequentially
-  otherwise — sequential C is still far faster than Python closures);
+  otherwise — sequential C is still far faster than Python closures); the
+  same proof also unlocks ``#pragma omp simd`` on the innermost loop
+  (dispatch ``mode`` bit 1), statically disabled when the body calls libm
+  functions whose vector variants are not IEEE-exact;
 * launch regions become a loop over linearized block ids; inside a block,
   ``__syncthreads`` phase boundaries split the body into *chunks* executed
   thread-by-thread, phase-by-phase — the barrier is realized by finishing a
   chunk's thread loop before the next chunk starts (the per-block equivalent
-  of ``#pragma omp barrier`` between worksharing phases).
+  of ``#pragma omp barrier`` between worksharing phases).  Barriers under
+  control flow compile structurally: every barrier-containing scf.for /
+  scf.if / scf.while whose control is provably thread-uniform runs at C
+  block scope and drives the per-phase thread loops (§III-B1's structured
+  phase chunking), and values crossing a phase boundary are either cached
+  in per-thread lanes or recomputed at the use site, split by the minimum
+  value cut from :mod:`repro.analysis.mincut`.
 
 **Bit-identical cost accounting.**  The generated C accumulates the same
 counters the Python engines charge — ``work`` cycles, ``dynamic_ops``,
@@ -28,10 +37,11 @@ to the interpreter's sequential accumulation; all double literals are
 emitted as C99 hex floats so no decimal round-trip can perturb them.
 
 Anything the emitter cannot prove it can translate exactly — nested
-parallel constructs, ``scf.while``, dynamic-extent private allocas,
-barriers under control flow, recursion — raises :class:`UnsupportedRegion`
-and the region falls back to the compiled engine (per region, never
-wholesale), keeping correctness independent of emitter coverage.
+parallel constructs, dynamic-extent private allocas, barriers under
+thread-varying control or carrying loop state, recursion — raises
+:class:`UnsupportedRegion` and the region falls back to the compiled
+engine (per region, never wholesale), keeping correctness independent of
+emitter coverage.
 """
 
 from __future__ import annotations
@@ -153,6 +163,11 @@ class RegionSpec:
     float_slots: List[int] = field(default_factory=list)
     buffers: List[BufSpec] = field(default_factory=list)
     num_dims: int = 0                    # span only
+    #: span only: the emitted C contains `#pragma omp simd` variants the
+    #: dispatcher may select (mode bit 1) when the store-safety/alias proof
+    #: holds.  Statically false when the body calls libm functions whose
+    #: vector variants are not IEEE-exact, or inlines other functions.
+    simd_ok: bool = False
 
 
 class RegionCodegen:
@@ -183,6 +198,15 @@ class RegionCodegen:
         self._toplevel: Dict[int, Tuple[str, int]] = {}  # id -> (kind, index)
         self._n_ti = 0
         self._n_tf = 0
+        # phase-crossing bookkeeping: values defined as plain C locals inside
+        # one thread-loop chunk are out of scope in later chunks; `ref` then
+        # recomputes them from still-available values (charge-free, exactly
+        # the paper's min-cut cache-vs-recompute split).
+        self._chunk_token = 0
+        self._local_token: Dict[int, int] = {}   # id(value) -> defining chunk
+        self._def_op: Dict[int, object] = {}     # id(value) -> defining op
+        self._varying: set = set()               # id(value) -> thread-varying
+        self._barrier_memo: Dict[int, bool] = {}
 
     def _name(self, prefix: str) -> str:
         self._uid += 1
@@ -264,9 +288,36 @@ class RegionCodegen:
         raise UnsupportedRegion(f"SSA value of type {value.type}")
 
     def ref(self, value) -> str:
-        expr = self.cexpr.get(id(value))
+        vid = id(value)
+        expr = self.cexpr.get(vid)
         if expr is None:
             raise UnsupportedRegion("use of an untranslated value")
+        token = self._local_token.get(vid)
+        if token is not None and token != self._chunk_token:
+            # chunk-local C variable from an earlier phase: recompute it
+            # here from values still in scope (lanes, live-ins, builtins).
+            return self._recompute_expr(value, 0)
+        return expr
+
+    def _recompute_expr(self, value, depth: int) -> str:
+        if depth > 32:
+            raise UnsupportedRegion("recompute chain too deep")
+        vid = id(value)
+        expr = self.cexpr.get(vid)
+        if expr is not None:
+            token = self._local_token.get(vid)
+            if token is None or token == self._chunk_token:
+                return expr
+        op = self._def_op.get(vid)
+        if op is None:
+            raise UnsupportedRegion("phase-crossing value is not recomputable")
+        expr = self._scalar_expr(
+            op, lambda operand: self._recompute_expr(operand, depth + 1))
+        if expr is None:
+            # loads/calls/control-flow results must have been laned by the
+            # min-cut (they are non-recomputable); reaching here is a bug in
+            # the cut, and falling back keeps it a correctness non-event.
+            raise UnsupportedRegion("phase-crossing value is not recomputable")
         return expr
 
     def _define(self, value, expr: str) -> None:
@@ -281,6 +332,8 @@ class RegionCodegen:
             return
         name = self._name("v")
         self.cexpr[id(value)] = name
+        if self.simt:
+            self._local_token[id(value)] = self._chunk_token
         self.out.w(f"{self._ctype_of(value)} {name} = {expr};")
 
     def _declare_result(self, value) -> str:
@@ -294,6 +347,8 @@ class RegionCodegen:
             return target
         name = self._name("v")
         self.cexpr[id(value)] = name
+        if self.simt:
+            self._local_token[id(value)] = self._chunk_token
         self.out.w(f"{self._ctype_of(value)} {name};")
         return name
 
@@ -351,6 +406,10 @@ class RegionCodegen:
             return op_cost("scf.for"), 0.0
         if isinstance(op, scf.IfOp):
             return op_cost("scf.if"), 0.0
+        if isinstance(op, scf.WhileOp):
+            # scf.while charges per iteration (at the head, including the
+            # final failed check), never on entry — mirrored in _emit_while.
+            return 0.0, 0.0
         if isinstance(op, _BARRIER_OPS):
             return 0.0, 0.0
         raise UnsupportedRegion(f"op {op.name}")
@@ -365,17 +424,19 @@ class RegionCodegen:
             body.append(op)
         return body, None
 
-    def _precheck(self, ops: Sequence, *, allow_barriers: bool = False,
-                  top: bool = True) -> None:
-        """Reject whole-region show-stoppers before any text is emitted."""
+    def _precheck(self, ops: Sequence, *, allow_barriers: bool = False) -> None:
+        """Reject whole-region show-stoppers before any text is emitted.
+
+        Launch regions (``allow_barriers``) accept barriers at any structured
+        depth — placement validity (only under uniform, carried-value-free
+        scf.for/scf.if/scf.while) is checked by the structural analysis.
+        """
         for op in ops:
             if isinstance(op, _NESTED_CONTEXT_OPS):
                 raise UnsupportedRegion(f"nested parallel construct {op.name}")
-            if isinstance(op, scf.WhileOp):
-                raise UnsupportedRegion("scf.while")
             if isinstance(op, omp_d.OmpBarrierOp):
                 raise UnsupportedRegion("omp.barrier inside a region body")
-            if isinstance(op, _BARRIER_OPS) and not (allow_barriers and top):
+            if isinstance(op, _BARRIER_OPS) and not allow_barriers:
                 raise UnsupportedRegion("barrier inside the region body")
             if isinstance(op, (gpu_d.GPUAllocOp, gpu_d.GPUDeallocOp,
                                gpu_d.GPUMemcpyOp)):
@@ -383,7 +444,7 @@ class RegionCodegen:
             for region in op.regions:
                 for block in region.blocks:
                     self._precheck(list(block.operations),
-                                   allow_barriers=allow_barriers, top=False)
+                                   allow_barriers=allow_barriers)
 
     def _emit_block(self, block, *, count_ops: bool = True) -> None:
         """Emit one straight-line block: folded static charges + op code."""
@@ -424,48 +485,48 @@ class RegionCodegen:
     }
     _CMP = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">="}
 
-    def _emit_op(self, op) -> None:
-        if isinstance(op, _BARRIER_OPS):
-            return  # chunk splitting already realized the phase boundary
+    def _scalar_expr(self, op, rf) -> Optional[str]:
+        """Pure scalar expression for ``op.result`` with operands rendered by
+        ``rf``, or None when ``op`` is not a pure scalar computation.  Shared
+        by direct emission (``rf=self.ref``) and phase-crossing recompute."""
         if isinstance(op, arith.ConstantOp):
-            literal = (c_double(op.value) if op.result.type.is_float
-                       else c_int(op.value))
-            self._define(op.result, literal)
-            return
+            return (c_double(op.value) if op.result.type.is_float
+                    else c_int(op.value))
         if isinstance(op, arith.BinaryOp):
             template = self._BINARY.get(type(op))
             if template is None:
                 raise UnsupportedRegion(f"binary op {op.name}")
-            self._define(op.result, template.format(a=self.ref(op.lhs),
-                                                    b=self.ref(op.rhs)))
-            return
+            return template.format(a=rf(op.lhs), b=rf(op.rhs))
         if isinstance(op, arith._CmpOp):
             cmp = self._CMP[op.predicate]
-            self._define(op.result,
-                         f"(({self.ref(op.lhs)} {cmp} {self.ref(op.rhs)}) ? 1 : 0)")
-            return
+            return f"(({rf(op.lhs)} {cmp} {rf(op.rhs)}) ? 1 : 0)"
         if isinstance(op, arith._CastOp):
-            source = self.ref(op.input)
+            source = rf(op.input)
             if op.result.type.is_float:
-                expr = f"(double)({source})"
-            else:
-                expr = f"(int64_t)({source})"
-            self._define(op.result, expr)
-            return
+                return f"(double)({source})"
+            return f"(int64_t)({source})"
         if isinstance(op, arith.NegFOp):
-            self._define(op.result, f"(-{self.ref(op.operands[0])})")
-            return
+            return f"(-{rf(op.operands[0])})"
         if isinstance(op, arith.SelectOp):
-            self._define(op.result,
-                         f"(({self.ref(op.condition)}) ? {self.ref(op.true_value)}"
-                         f" : {self.ref(op.false_value)})")
-            return
+            return (f"(({rf(op.condition)}) ? {rf(op.true_value)}"
+                    f" : {rf(op.false_value)})")
         if isinstance(op, math_d.UnaryMathOp):
-            self._define(op.result, f"repro_{op.fn}({self.ref(op.operands[0])})")
-            return
+            return f"repro_{op.fn}({rf(op.operands[0])})"
         if isinstance(op, math_d.PowFOp):
-            self._define(op.result,
-                         f"repro_powf({self.ref(op.lhs)}, {self.ref(op.rhs)})")
+            return f"repro_powf({rf(op.lhs)}, {rf(op.rhs)})"
+        if isinstance(op, memref_d.DimOp):
+            buffer = self._buffer(op.memref)
+            if not (0 <= op.dim < buffer.rank):
+                raise UnsupportedRegion("memref.dim out of rank")
+            return buffer.extents[op.dim]
+        return None
+
+    def _emit_op(self, op) -> None:
+        if isinstance(op, _BARRIER_OPS):
+            return  # chunk splitting already realized the phase boundary
+        expr = self._scalar_expr(op, self.ref)
+        if expr is not None:
+            self._define(op.result, expr)
             return
         if isinstance(op, memref_d.AllocOp):  # covers AllocaOp
             self._emit_alloc(op)
@@ -479,12 +540,6 @@ class RegionCodegen:
         if isinstance(op, memref_d.StoreOp):
             self._emit_store(op)
             return
-        if isinstance(op, memref_d.DimOp):
-            buffer = self._buffer(op.memref)
-            if not (0 <= op.dim < buffer.rank):
-                raise UnsupportedRegion("memref.dim out of rank")
-            self._define(op.result, buffer.extents[op.dim])
-            return
         if isinstance(op, memref_d.CopyOp):
             self._emit_copy(op)
             return
@@ -496,6 +551,9 @@ class RegionCodegen:
             return
         if isinstance(op, scf.IfOp):
             self._emit_if(op)
+            return
+        if isinstance(op, scf.WhileOp):
+            self._emit_while(op)
             return
         raise UnsupportedRegion(f"op {op.name}")
 
@@ -695,6 +753,79 @@ class RegionCodegen:
             copy_results(op.else_block)
         self.out.close()
 
+    def _emit_while(self, op) -> None:
+        """``scf.while`` as a C ``for (;;)``, mirroring the compiled engine's
+        _c_while charge for charge: ``op_cost("scf.while")`` at the head of
+        every iteration (including the final failed check), no entry charge;
+        the before block re-runs per iteration, results are the forwarded
+        values at exit."""
+        _, before_term = self._split(op.before_block)
+        if not isinstance(before_term, scf.ConditionOp):
+            raise UnsupportedRegion("scf.while without scf.condition")
+        results = [self._declare_result(result) for result in op.results]
+        cost = op_cost("scf.while")
+        self.out.open("{")
+        carried = []
+        for init in op.init_args:
+            name = self._name("c")
+            carried.append(name)
+            self.out.w(f"{self._ctype_of(init)} {name} = {self.ref(init)};")
+        for name, argument in zip(carried, op.before_block.arguments):
+            self.cexpr[id(argument)] = name
+        self.out.open("for (;;) {")
+        self.out.w(f"W += {c_double(cost)};")
+        self._emit_block(op.before_block)
+        condition = self.ref(before_term.condition)
+        forwarded = list(before_term.forwarded)
+        self.out.open(f"if (!({condition})) {{")
+        for target, value in zip(results, forwarded):
+            self.out.w(f"{target} = {self.ref(value)};")
+        self.out.w("break;")
+        self.out.close()
+        after_names = []
+        for argument, value in zip(op.after_block.arguments, forwarded):
+            name = self._name("w")
+            after_names.append(name)
+            self.cexpr[id(argument)] = name
+            self.out.w(f"{self._ctype_of(argument)} {name} = {self.ref(value)};")
+        self._emit_block(op.after_block)
+        _, after_term = self._split(op.after_block)
+        if isinstance(after_term, scf.YieldOp) and carried:
+            # two-phase update so permuted yields read pre-update values
+            temps = []
+            for value in after_term.operands:
+                temp = self._name("y")
+                temps.append(temp)
+                self.out.w(f"{self._ctype_of(value)} {temp} = {self.ref(value)};")
+            for temp, name in zip(temps, carried):
+                self.out.w(f"{name} = {temp};")
+        elif carried:
+            for name, value in zip(carried, forwarded):
+                self.out.w(f"{name} = {self.ref(value)};")
+        self.out.close()
+        self.out.close()
+
+    #: unary libm functions whose scalar results are IEEE-exact (correctly
+    #: rounded), so any vectorization — which only exists via fast-math
+    #: libmvec variants anyway — cannot perturb them.  Everything else
+    #: (exp, log, sin, pow, ...) statically disables `#pragma omp simd`.
+    _EXACT_MATH_FNS = frozenset({"sqrt", "fabs", "floor", "ceil", "round"})
+
+    def _simd_eligible(self, ops: Sequence) -> bool:
+        for op in ops:
+            if isinstance(op, math_d.UnaryMathOp):
+                if op.fn not in self._EXACT_MATH_FNS:
+                    return False
+            elif isinstance(op, math_d.PowFOp):
+                return False
+            elif isinstance(op, func_d.CallOp):
+                return False  # inlined callees: not scanned, stay conservative
+            for region in op.regions:
+                for block in region.blocks:
+                    if not self._simd_eligible(list(block.operations)):
+                        return False
+        return True
+
     # ------------------------------------------------------------------------
     # Span regions (omp.wsloop / barrier-free scf.parallel)
     # ------------------------------------------------------------------------
@@ -706,6 +837,9 @@ class RegionCodegen:
         num_dims = len(op.induction_vars)
         self.spec.kind = "span"
         self.spec.num_dims = num_dims
+        options = getattr(self.program, "native_options", None)
+        simd_on = bool(options.simd) if options is not None else True
+        self.spec.simd_ok = simd_on and self._simd_eligible(ops)
         for value in self._collect_liveins():
             self._bind_livein(value)
 
@@ -714,7 +848,7 @@ class RegionCodegen:
         header.w(f"void {self.symbol}(const int64_t* LI, const double* LF,")
         header.w("        void* const* LP, const int64_t* LS,")
         header.w("        const int64_t* RLB, const int64_t* RST,")
-        header.w("        const int64_t* RLEN, int64_t total, int64_t par_ok,")
+        header.w("        const int64_t* RLEN, int64_t total, int64_t mode,")
         header.w("        double* outf, int64_t* outi)")
         header.w("{")
 
@@ -746,18 +880,42 @@ class RegionCodegen:
 
         lines = [*header.lines]
         lines.extend(self.out.lines)
-        lines.append("    if (par_ok) {")
+
         # max-reduction on ERR: error *codes* must not sum across threads.
-        lines.append("#pragma omp parallel for schedule(static) "
-                     "reduction(+:W,GB,OPS) reduction(max:ERR)")
-        lines.append("    for (int64_t lin = 0; lin < total; ++lin) {")
-        lines.extend(body.lines)
-        lines.append("    }")
-        lines.append("    } else {")
-        lines.append("    for (int64_t lin = 0; lin < total; ++lin) {")
-        lines.extend(body.lines)
-        lines.append("    }")
-        lines.append("    }")
+        # Counter reductions reassociate W/GB/OPS partial sums — exact, and
+        # therefore bit-identical, on dyadic machines (module docstring).
+        reductions = "reduction(+:W,GB,OPS) reduction(max:ERR)"
+
+        def loop(pragma: Optional[str]) -> List[str]:
+            out = []
+            if pragma:
+                out.append(pragma)
+            out.append("    for (int64_t lin = 0; lin < total; ++lin) {")
+            out.extend(body.lines)
+            out.append("    }")
+            return out
+
+        # mode bit 0: OpenMP worksharing (store-safety proof + ≥64 units);
+        # mode bit 1: innermost SIMD (same proof, no size threshold).
+        if self.spec.simd_ok:
+            lines.append("    if ((mode & 1) && (mode & 2)) {")
+            lines += loop("#pragma omp parallel for simd schedule(static) "
+                          + reductions)
+            lines.append("    } else if (mode & 1) {")
+            lines += loop("#pragma omp parallel for schedule(static) "
+                          + reductions)
+            lines.append("    } else if (mode & 2) {")
+            lines += loop("#pragma omp simd " + reductions)
+            lines.append("    } else {")
+            lines += loop(None)
+            lines.append("    }")
+        else:
+            lines.append("    if (mode & 1) {")
+            lines += loop("#pragma omp parallel for schedule(static) "
+                          + reductions)
+            lines.append("    } else {")
+            lines += loop(None)
+            lines.append("    }")
         lines.append("    outf[0] = W; outf[1] = GB;")
         lines.append("    outi[0] = OPS; outi[1] = 0; outi[2] = ERR;")
         lines.append("}")
@@ -765,14 +923,383 @@ class RegionCodegen:
         return "\n".join(lines), self.spec
 
     # ------------------------------------------------------------------------
-    # Launch regions (gpu.launch with straight-line barriers)
+    # Launch regions (gpu.launch with structured barriers)
     # ------------------------------------------------------------------------
+    #
+    # A launch body is a tree of *structural levels*: the top-level block,
+    # plus the blocks of every barrier-containing scf.for / scf.if /
+    # scf.while (executed once per block at C block scope, under provably
+    # thread-uniform control).  Each level splits into items: *chunks* of
+    # plain ops (one `for (t)` thread loop each), *barriers* (`PH += 1` —
+    # the phase boundary is the end of the preceding thread loop), and
+    # nested *structural* ops.  Values that cross a phase boundary are
+    # either cached in per-thread lanes (TI/TF) or recomputed at the use
+    # site; the split is chosen by the §III-B1 minimum value cut.
+    def _op_has_barrier(self, op) -> bool:
+        memo = self._barrier_memo
+        cached = memo.get(id(op))
+        if cached is not None:
+            return cached
+        if isinstance(op, _BARRIER_OPS):
+            result = True
+        elif isinstance(op, func_d.CallOp):
+            callee = self.program.module.lookup(op.callee)
+            result = bool(callee is not None and not callee.is_declaration
+                          and self.program.function_may_yield(callee))
+        else:
+            result = any(self._op_has_barrier(nested)
+                         for region in op.regions
+                         for block in region.blocks
+                         for nested in block.operations)
+        memo[id(op)] = result
+        return result
+
+    def _level_items(self, ops: Sequence) -> List[Tuple[str, object]]:
+        """Split one structural level into chunk / barrier / struct items."""
+        items: List[Tuple[str, object]] = []
+        chunk: List = []
+        for nested in ops:
+            if isinstance(nested, _BARRIER_OPS):
+                if chunk:
+                    items.append(("chunk", chunk))
+                    chunk = []
+                items.append(("barrier", nested))
+            elif self._op_has_barrier(nested):
+                if chunk:
+                    items.append(("chunk", chunk))
+                    chunk = []
+                items.append(("struct", nested))
+            else:
+                chunk.append(nested)
+        if chunk:
+            items.append(("chunk", chunk))
+        return items
+
+    def _struct_header_operands(self, op) -> List:
+        """Validate a barrier-containing structural op; return the scalar
+        operands its C header needs at block scope (must be uniform)."""
+        if isinstance(op, scf.IfOp):
+            if op.results:
+                raise UnsupportedRegion("barrier under scf.if with results")
+            return [op.condition]
+        if isinstance(op, scf.ForOp):
+            if list(op.iter_init) or op.results:
+                raise UnsupportedRegion("barrier under scf.for with iter_args")
+            return [op.lower_bound, op.upper_bound, op.step]
+        if isinstance(op, scf.WhileOp):
+            _, before_term = self._split(op.before_block)
+            if not isinstance(before_term, scf.ConditionOp):
+                raise UnsupportedRegion("scf.while without scf.condition")
+            if list(op.init_args) or op.results or list(before_term.forwarded):
+                raise UnsupportedRegion(
+                    "barrier under scf.while with carried values")
+            return [before_term.condition]
+        raise UnsupportedRegion(f"barrier inside {op.name}")
+
+    def _struct_children(self, op) -> List[Tuple[List, Optional[object]]]:
+        if isinstance(op, scf.IfOp):
+            children = [self._split(op.then_block)]
+            if op.else_block is not None:
+                children.append(self._split(op.else_block))
+            return children
+        if isinstance(op, scf.ForOp):
+            return [self._split(op.body)]
+        return [self._split(op.before_block), self._split(op.after_block)]
+
+    def _launch_uniformity(self, ops: Sequence) -> set:
+        """ids of SSA values that may differ across threads of a block.
+
+        Optimistic monotone fixpoint: everything starts uniform except
+        tx/ty/tz; varying-ness propagates through pure ops, loads (unless
+        from a *uniform cell* — a non-shared alloca whose every store writes
+        a uniform value at uniform indices under uniform control), and
+        loop-carried values.  Loads from live-in or shared buffers are
+        conservatively varying."""
+        launch = self.op
+        varying: set = set()
+        for index in (3, 4, 5):
+            varying.add(id(launch.body.arguments[index]))
+        cell_ids: set = set()
+        varying_cells: set = set()
+
+        def collect_cells(op) -> None:
+            if isinstance(op, memref_d.AllocOp):
+                cell_ids.add(id(op.result))
+                if memref_d.is_shared_memref(op.result):
+                    varying_cells.add(id(op.result))
+            for region in op.regions:
+                for block in region.blocks:
+                    for nested in block.operations:
+                        collect_cells(nested)
+
+        for nested in ops:
+            collect_cells(nested)
+
+        def uni(value) -> bool:
+            return id(value) not in varying
+
+        def mark(value) -> bool:
+            if id(value) in varying:
+                return False
+            varying.add(id(value))
+            return True
+
+        def visit(block_ops: Sequence, ctx: bool) -> bool:
+            changed = False
+            for op in block_ops:
+                if isinstance(op, (memref_d.AllocOp, memref_d.DeallocOp)):
+                    continue
+                if isinstance(op, _BARRIER_OPS):
+                    continue
+                if isinstance(op, memref_d.StoreOp):
+                    target = id(op.memref)
+                    if target in cell_ids and target not in varying_cells:
+                        if (not ctx or not uni(op.value)
+                                or any(not uni(i) for i in op.indices)):
+                            varying_cells.add(target)
+                            changed = True
+                    continue
+                if isinstance(op, memref_d.CopyOp):
+                    target = id(op.destination)
+                    if target in cell_ids and target not in varying_cells:
+                        varying_cells.add(target)
+                        changed = True
+                    continue
+                if isinstance(op, memref_d.LoadOp):
+                    source = id(op.memref)
+                    cell_ok = source in cell_ids and source not in varying_cells
+                    if not (cell_ok and all(uni(i) for i in op.indices)):
+                        changed |= mark(op.result)
+                    continue
+                if isinstance(op, scf.ForOp):
+                    bounds_ok = (uni(op.lower_bound) and uni(op.upper_bound)
+                                 and uni(op.step))
+                    if not bounds_ok:
+                        changed |= mark(op.induction_var)
+                    body_ops, body_term = self._split(op.body)
+                    yields = (list(body_term.operands)
+                              if isinstance(body_term, scf.YieldOp) else [])
+                    for arg, init in zip(op.iter_args, op.iter_init):
+                        if not uni(init):
+                            changed |= mark(arg)
+                    for arg, yielded in zip(op.iter_args, yields):
+                        if not uni(yielded):
+                            changed |= mark(arg)
+                    for result, arg in zip(op.results, op.iter_args):
+                        if not uni(arg):
+                            changed |= mark(result)
+                    changed |= visit(body_ops, ctx and bounds_ok)
+                    continue
+                if isinstance(op, scf.IfOp):
+                    cond_ok = uni(op.condition)
+                    then_ops, then_term = self._split(op.then_block)
+                    changed |= visit(then_ops, ctx and cond_ok)
+                    yields = [(list(then_term.operands)
+                               if isinstance(then_term, scf.YieldOp) else [])]
+                    if op.else_block is not None:
+                        else_ops, else_term = self._split(op.else_block)
+                        changed |= visit(else_ops, ctx and cond_ok)
+                        yields.append(list(else_term.operands)
+                                      if isinstance(else_term, scf.YieldOp)
+                                      else [])
+                    for index, result in enumerate(op.results):
+                        operands = [branch[index] for branch in yields
+                                    if index < len(branch)]
+                        if (not cond_ok or len(operands) < len(yields)
+                                or any(not uni(v) for v in operands)):
+                            changed |= mark(result)
+                    continue
+                if isinstance(op, scf.WhileOp):
+                    before_ops, before_term = self._split(op.before_block)
+                    after_ops, after_term = self._split(op.after_block)
+                    cond_ok = (isinstance(before_term, scf.ConditionOp)
+                               and uni(before_term.condition))
+                    forwarded = (list(before_term.forwarded)
+                                 if isinstance(before_term, scf.ConditionOp)
+                                 else [])
+                    for arg, init in zip(op.before_block.arguments,
+                                         op.init_args):
+                        if not uni(init):
+                            changed |= mark(arg)
+                    if isinstance(after_term, scf.YieldOp):
+                        for arg, yielded in zip(op.before_block.arguments,
+                                                after_term.operands):
+                            if not uni(yielded):
+                                changed |= mark(arg)
+                    for arg, value in zip(op.after_block.arguments, forwarded):
+                        if not uni(value):
+                            changed |= mark(arg)
+                    for result, value in zip(op.results, forwarded):
+                        if not uni(value):
+                            changed |= mark(result)
+                    inner = ctx and cond_ok
+                    changed |= visit(before_ops, inner)
+                    changed |= visit(after_ops, inner)
+                    continue
+                if isinstance(op, func_d.CallOp):
+                    for result in op.results:
+                        changed |= mark(result)
+                    for operand in op.operands:
+                        if (id(operand) in cell_ids
+                                and id(operand) not in varying_cells):
+                            varying_cells.add(id(operand))
+                            changed = True
+                    continue
+                # pure scalar ops (constants, arith, math, dim)
+                if op.results and any(not uni(v) for v in op.operands):
+                    for result in op.results:
+                        changed |= mark(result)
+            return changed
+
+        while visit(ops, True):
+            pass
+        return varying
+
+    def _analyze_launch_values(self, ops: Sequence):
+        """Walk the structural level tree once: collect phase-cut candidates
+        (scalar results of ops sitting directly at structural levels), which
+        of them cross an item boundary, and which a structural C header
+        needs at block scope (validating uniformity as it goes)."""
+        candidates: List = []
+        candidate_ids: set = set()
+        def_pos: Dict[int, Tuple[int, int]] = {}
+        crossing: set = set()
+        needed: set = set()
+        counter = [0]
+
+        def visit_uses(operation, frames: Dict[int, int]) -> None:
+            for operand in operation.operands:
+                position = def_pos.get(id(operand))
+                if position is not None and frames.get(position[0]) != position[1]:
+                    crossing.add(id(operand))
+            for region in operation.regions:
+                for block in region.blocks:
+                    for nested in block.operations:
+                        visit_uses(nested, frames)
+
+        def walk(level_ops: Sequence, frames: Dict[int, int]) -> None:
+            level_id = counter[0]
+            counter[0] += 1
+            for item_id, (kind, payload) in enumerate(self._level_items(level_ops)):
+                sub = dict(frames)
+                sub[level_id] = item_id
+                if kind == "chunk":
+                    for nested in payload:
+                        visit_uses(nested, sub)
+                        for result in nested.results:
+                            if isinstance(result.type, MemRefType):
+                                continue
+                            candidates.append(result)
+                            candidate_ids.add(id(result))
+                            def_pos[id(result)] = (level_id, item_id)
+                            self._def_op[id(result)] = nested
+                elif kind == "struct":
+                    for value in self._struct_header_operands(payload):
+                        if id(value) in self._varying:
+                            raise UnsupportedRegion(
+                                "barrier under thread-varying control flow")
+                        needed.add(id(value))
+                    for child_ops, _child_term in self._struct_children(payload):
+                        walk(child_ops, sub)
+
+        walk(ops, {})
+        needed &= candidate_ids
+        return candidates, candidate_ids, crossing, needed
+
+    _PURE_SCALAR_OPS = (arith.ConstantOp, arith.BinaryOp, arith._CmpOp,
+                        arith._CastOp, arith.NegFOp, arith.SelectOp,
+                        math_d.UnaryMathOp, math_d.PowFOp, memref_d.DimOp)
+
+    def _assign_lanes(self, ops: Sequence, phase_split: bool) -> None:
+        """Decide which launch-body values get per-thread TI/TF lanes.
+
+        With ``phase_split`` the lane set is the minimum value cut over the
+        phase-crossing def-use graph (loads, calls and control-flow results
+        are non-recomputable; structurally needed values are forced into the
+        cut so block-scope headers can read lane 0); without it, every
+        crossing value is cached — the pre-min-cut behavior."""
+        from ..analysis.mincut import minimum_value_cut, validate_cut
+
+        candidates, candidate_ids, crossing, needed = (
+            self._analyze_launch_values(ops))
+        required = (crossing & candidate_ids) | needed
+        pure = {id(value) for value in candidates
+                if isinstance(self._def_op[id(value)], self._PURE_SCALAR_OPS)}
+        non_recomputable = (candidate_ids - pure) | needed
+        edges = []
+        for value in candidates:
+            if id(value) not in pure:
+                continue
+            for operand in self._def_op[id(value)].operands:
+                if id(operand) in candidate_ids:
+                    edges.append((id(operand), id(value)))
+        if phase_split and required:
+            cut = minimum_value_cut(candidate_ids, edges, non_recomputable,
+                                    required)
+            if not validate_cut(cut, edges, non_recomputable, required):
+                cut = set(required)
+        else:
+            cut = set(required)
+        for value in candidates:
+            if id(value) not in cut:
+                continue
+            if value.type.is_float:
+                self._toplevel[id(value)] = ("f", self._n_tf)
+                self._n_tf += 1
+            else:
+                self._toplevel[id(value)] = ("i", self._n_ti)
+                self._n_ti += 1
+
+    def _struct_ref(self, value) -> str:
+        """A C expression for ``value`` readable at block scope (outside any
+        thread loop): lane 0 of a cut value — uniform, so any lane works —
+        or a scope-free expression (live-in, block builtin, constant)."""
+        top = self._toplevel.get(id(value))
+        if top is not None:
+            kind, index = top
+            return (f"TI[{index} * NT]" if kind == "i"
+                    else f"TF[{index} * NT]")
+        expr = self.cexpr.get(id(value))
+        if expr is not None and self._local_token.get(id(value)) is None:
+            return expr
+        raise UnsupportedRegion("structural operand unavailable at block scope")
+
+    def _prescan_threadlocal(self, ops: Sequence) -> List[Tuple[str, str, int]]:
+        """Register per-thread scratch for every alloca sitting directly at a
+        structural level (its buffer must survive phase boundaries)."""
+        scratch: List[Tuple[str, str, int]] = []
+
+        def walk(level_ops: Sequence) -> None:
+            for kind, payload in self._level_items(level_ops):
+                if kind == "chunk":
+                    for nested in payload:
+                        if (isinstance(nested, memref_d.AllocOp)
+                                and id(nested.result) not in self._prebound_shared):
+                            shape, elems = self._private_shape(nested)
+                            mtype = nested.memref_type
+                            ctype = _element_ctype(mtype.element_type)
+                            name = self._name("tb")
+                            scratch.append((name, ctype, elems))
+                            self.buffers[id(nested.result)] = _Buffer(
+                                name=name, ctype=ctype, rank=len(shape),
+                                extents=[str(extent) for extent in shape],
+                                space=mtype.memory_space, kind="threadlocal",
+                                elem_bytes=dtype_for(mtype.element_type).itemsize)
+                elif kind == "struct":
+                    for child_ops, _term in self._struct_children(payload):
+                        walk(child_ops)
+
+        walk(ops)
+        return scratch
+
     def emit_launch(self) -> Tuple[str, RegionSpec]:
         op = self.op
         self.simt = True
         self.spec.kind = "launch"
         ops, term = self._split(op.body)
         self._precheck(ops, allow_barriers=True)
+        options = getattr(self.program, "native_options", None)
+        phase_split = bool(options.phase_split) if options is not None else True
         # prebound shared allocas (one buffer per block, charged nothing)
         self._prebound_shared = set()
         shared_allocas = []
@@ -781,32 +1308,10 @@ class RegionCodegen:
                     and memref_d.is_shared_memref(nested.result)):
                 self._prebound_shared.add(id(nested.result))
                 shared_allocas.append(nested)
-        # classify top-level SSA values (they live across phase boundaries)
-        # and prescan top-level thread-local allocas into per-thread scratch.
-        scratch_buffers: List[Tuple[str, str, int]] = []
-        for nested in ops:
-            if (isinstance(nested, memref_d.AllocOp)
-                    and id(nested.result) not in self._prebound_shared):
-                shape, elems = self._private_shape(nested)
-                mtype = nested.memref_type
-                ctype = _element_ctype(mtype.element_type)
-                name = self._name("tb")
-                scratch_buffers.append((name, ctype, elems))
-                self.buffers[id(nested.result)] = _Buffer(
-                    name=name, ctype=ctype, rank=len(shape),
-                    extents=[str(extent) for extent in shape],
-                    space=mtype.memory_space, kind="threadlocal",
-                    elem_bytes=dtype_for(mtype.element_type).itemsize)
-                continue
-            for result in nested.results:
-                if isinstance(result.type, MemRefType):
-                    continue
-                if result.type.is_float:
-                    self._toplevel[id(result)] = ("f", self._n_tf)
-                    self._n_tf += 1
-                else:
-                    self._toplevel[id(result)] = ("i", self._n_ti)
-                    self._n_ti += 1
+        # structural analysis: uniformity, phase-crossing values, min cut
+        self._varying = self._launch_uniformity(ops)
+        self._assign_lanes(ops, phase_split)
+        scratch_buffers = self._prescan_threadlocal(ops)
         for value in self._collect_liveins():
             self._bind_livein(value)
 
@@ -867,36 +1372,12 @@ class RegionCodegen:
                 extents=[str(extent) for extent in shape],
                 space=mtype.memory_space, kind="shared",
                 elem_bytes=dtype_for(mtype.element_type).itemsize)
-        # chunked phase execution: a chunk ends at each __syncthreads
-        chunks: List[List] = [[]]
-        for nested in ops:
-            if isinstance(nested, _BARRIER_OPS):
-                chunks.append([])
-            else:
-                chunks[-1].append(nested)
-        body.w(f"PH += {len(chunks)};")
-        for index, chunk in enumerate(chunks):
-            last = index == len(chunks) - 1
-            nops = len(chunk) + (1 if not last or term is not None else 0)
-            work = gb = 0.0
-            for nested in chunk:
-                op_work, op_gb = self._static_charge(nested)
-                work += op_work
-                gb += op_gb
-            if nops:
-                body.w(f"OPS += {c_int(nops)} * NT;")
-            if work:
-                body.w(f"W += {c_double(work)} * (double)NT;")
-            if gb:
-                body.w(f"GB += {c_double(gb)} * (double)NT;")
-            body.open("for (int64_t t = 0; t < NT; ++t) {")
-            body.w("const int64_t tx = t % BLOCK[0];")
-            body.w("const int64_t ty = (t / BLOCK[0]) % BLOCK[1];")
-            body.w("const int64_t tz = t / (BLOCK[0] * BLOCK[1]);")
-            body.w("(void)tx; (void)ty; (void)tz;")
-            for nested in chunk:
-                self._emit_op(nested)
-            body.close()
+        # structural phase execution: each level folds its static charges
+        # once (×NT — all threads execute it, control is uniform), thread
+        # loops realize chunks, `PH += 1` realizes each dynamic barrier
+        # (+1 for the entry phase, matching the SIMT rounds count).
+        body.w("PH += 1;")
+        self._emit_level(ops, term)
         body.close(f"}} else ERR = {ERR_OOM};")
         for name, _, _ in scratch:
             body.w(f"free({name});")
@@ -923,6 +1404,88 @@ class RegionCodegen:
         lines.append("}")
         self._mark_stored()
         return "\n".join(lines), self.spec
+
+    def _emit_level(self, ops: Sequence, term) -> None:
+        """Emit one structural level: folded per-level charges (×NT), then
+        its items in order."""
+        nops = len(ops) + (1 if term is not None else 0)
+        work = gb = 0.0
+        for nested in ops:
+            op_work, op_gb = self._static_charge(nested)
+            work += op_work
+            gb += op_gb
+        if nops:
+            self.out.w(f"OPS += {c_int(nops)} * NT;")
+        if work:
+            self.out.w(f"W += {c_double(work)} * (double)NT;")
+        if gb:
+            self.out.w(f"GB += {c_double(gb)} * (double)NT;")
+        for kind, payload in self._level_items(ops):
+            if kind == "barrier":
+                self.out.w("PH += 1;")
+            elif kind == "chunk":
+                self._emit_thread_chunk(payload)
+            else:
+                self._emit_struct(payload)
+
+    def _emit_thread_chunk(self, chunk: Sequence) -> None:
+        self._chunk_token += 1
+        self.out.open("for (int64_t t = 0; t < NT; ++t) {")
+        self.out.w("const int64_t tx = t % BLOCK[0];")
+        self.out.w("const int64_t ty = (t / BLOCK[0]) % BLOCK[1];")
+        self.out.w("const int64_t tz = t / (BLOCK[0] * BLOCK[1]);")
+        self.out.w("(void)tx; (void)ty; (void)tz;")
+        for nested in chunk:
+            self._emit_op(nested)
+        self.out.close()
+
+    def _emit_struct(self, op) -> None:
+        """A barrier-containing scf.for / scf.if / scf.while at block scope:
+        every thread executes it with the same (uniform) control decisions,
+        so one C-level construct drives the per-level thread loops."""
+        if isinstance(op, scf.IfOp):
+            self.out.open(f"if ({self._struct_ref(op.condition)}) {{")
+            then_ops, then_term = self._split(op.then_block)
+            self._emit_level(then_ops, then_term)
+            if op.else_block is not None:
+                self.out.close("} else {")
+                self.out.indent += 1
+                else_ops, else_term = self._split(op.else_block)
+                self._emit_level(else_ops, else_term)
+            self.out.close()
+            return
+        if isinstance(op, scf.ForOp):
+            cost = op_cost("scf.for")
+            lower = self._struct_ref(op.lower_bound)
+            upper = self._struct_ref(op.upper_bound)
+            step = self._struct_ref(op.step)
+            self.out.open("{")
+            ub = self._name("ub")
+            st = self._name("st")
+            self.out.w(f"const int64_t {ub} = {upper};")
+            self.out.w(f"const int64_t {st} = {step};")
+            self.out.w(f"if ({st} <= 0) ERR = {ERR_BAD_STEP};")
+            iv = self._name("iv")
+            self.cexpr[id(op.induction_var)] = iv
+            self.out.open(f"if ({st} > 0) for (int64_t {iv} = {lower}; "
+                          f"{iv} < {ub}; {iv} += {st}) {{")
+            body_ops, body_term = self._split(op.body)
+            self._emit_level(body_ops, body_term)
+            self.out.w(f"W += {c_double(cost)} * (double)NT;")
+            self.out.close()
+            self.out.close()
+            return
+        # scf.while (validated carried-value-free by _struct_header_operands)
+        cost = op_cost("scf.while")
+        _, before_term = self._split(op.before_block)
+        self.out.open("for (;;) {")
+        self.out.w(f"W += {c_double(cost)} * (double)NT;")
+        before_ops, _ = self._split(op.before_block)
+        self._emit_level(before_ops, before_term)
+        self.out.w(f"if (!({self._struct_ref(before_term.condition)})) break;")
+        after_ops, after_term = self._split(op.after_block)
+        self._emit_level(after_ops, after_term)
+        self.out.close()
 
     def _mark_stored(self) -> None:
         for index, buf_spec in enumerate(self.spec.buffers):

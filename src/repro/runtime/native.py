@@ -29,8 +29,9 @@ the compiled engine with the parallel-region entry points replaced by
   regions still run as *sequential* C.
 
 Anything the emitter cannot translate — nested parallel constructs,
-``scf.while``, barriers under control flow, dynamic private allocas — falls
-back **per region** to the compiled closures; a missing or broken C
+dynamic-extent private allocas, barriers under thread-varying control flow
+or inside state-carrying loops, recursion — falls back **per region** to
+the compiled closures; a missing or broken C
 toolchain degrades the whole engine to compiled execution (same graceful
 contract as the multicore engine on hosts without ``fork``).  An active
 ``max_dynamic_ops`` budget also routes regions to the compiled plans, whose
@@ -47,6 +48,7 @@ import shutil
 import subprocess
 import tempfile
 import threading
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from .cache import global_native_cache
@@ -62,6 +64,7 @@ from .compiler import (
     _FunctionCompiler,
     _Program,
     _iteration_space,
+    program_for,
 )
 from .costmodel import MachineModel, XEON_8375C
 from .errors import InterpreterError, ToolchainError
@@ -74,13 +77,44 @@ from .vectorizer import machine_vectorizable
 #: environment knobs.
 CC_ENV_VAR = "REPRO_CC"
 NATIVE_ENV_VAR = "REPRO_NATIVE"
+SIMD_ENV_VAR = "REPRO_NATIVE_SIMD"
+PHASE_SPLIT_ENV_VAR = "REPRO_NATIVE_PHASE_SPLIT"
 
 #: bump when the generated-code contract (ABI, counters) changes; part of
 #: the artifact cache key so stale shared objects can never be dlopened.
-NATIVE_FORMAT = 2
+#: 3: span `par_ok` became a `mode` bitmask (bit 0 parallel, bit 1 simd);
+#:    launch bodies compile structurally (barriers under uniform control
+#:    flow, scf.while) with min-cut phase splitting.
+NATIVE_FORMAT = 3
 
 #: minimum iterations/blocks before a region is worth an OpenMP team.
 _MIN_PARALLEL_UNITS = 64
+
+
+def _env_flag(name: str, default: bool) -> bool:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in ("0", "false", "off", "no")
+
+
+@dataclass(frozen=True)
+class NativeOptions:
+    """Codegen knobs for the native engine (autotuner search axes).
+
+    ``simd``: emit ``#pragma omp simd`` variants on span inner loops
+    (selected at dispatch when the store-safety/alias proof holds).
+    ``phase_split``: choose launch phase-crossing lanes by the minimum
+    value cut (off = cache every crossing value).
+    """
+
+    simd: bool = True
+    phase_split: bool = True
+
+    @classmethod
+    def from_env(cls) -> "NativeOptions":
+        return cls(simd=_env_flag(SIMD_ENV_VAR, True),
+                   phase_split=_env_flag(PHASE_SPLIT_ENV_VAR, True))
 
 
 def compiler_command() -> List[str]:
@@ -502,9 +536,13 @@ class _RegionHandle:
 
     def call_span(self, marshalled, ranges, total: int):
         li, lf, pointers, shapes, arrays, no_alias = marshalled
-        par_ok = (no_alias and total >= _MIN_PARALLEL_UNITS
-                  and self.required_dims is not None
-                  and all(len(ranges[dim]) == 1 for dim in self.required_dims))
+        # one store-safety/alias proof gates both execution modes: OpenMP
+        # teams additionally need enough units to amortize, SIMD needs the
+        # emitter to have proven the inner loop serializable-exact.
+        proof = (no_alias and self.required_dims is not None
+                 and all(len(ranges[dim]) == 1 for dim in self.required_dims))
+        mode = ((1 if proof and total >= _MIN_PARALLEL_UNITS else 0)
+                | (2 if proof and getattr(self.spec, "simd_ok", False) else 0))
         pack_i, pack_f, pack_p, pack_s = self._pack(li, lf, pointers, shapes)
         ndim = len(ranges)
         lbs = (ctypes.c_int64 * max(1, ndim))(*[r.start for r in ranges])
@@ -514,7 +552,7 @@ class _RegionHandle:
         outi = _I64_3()
         self.unit.function(self.spec.symbol)(
             pack_i, pack_f, pack_p, pack_s, lbs, steps, lens,
-            ctypes.c_int64(total), ctypes.c_int64(1 if par_ok else 0),
+            ctypes.c_int64(total), ctypes.c_int64(mode),
             outf, outi)
         del arrays  # keep buffers alive across the call
         return outf[0], outf[1], outi[0], outi[1], outi[2]
@@ -544,14 +582,17 @@ class _RegionHandle:
 class _NativeProgram(_Program):
     """Compiled program flavour that owns the native translation units."""
 
-    def __init__(self, module, machine: MachineModel) -> None:
+    def __init__(self, module, machine: MachineModel,
+                 options: Optional[NativeOptions] = None) -> None:
         super().__init__(module, machine)
+        #: codegen knobs, read by :class:`RegionCodegen` at emit time.
+        self.native_options = options if options is not None else NativeOptions.from_env()
         self.native_enabled = (native_enabled_env()
                                and machine_vectorizable(machine))
         self.native_stats: Dict[str, int] = {
             "native_regions": 0, "fallback_regions": 0, "native_dispatches": 0,
-            "bailouts": 0, "units_ready": 0, "artifact_hits": 0,
-            "compile_errors": 0, "corrupt_artifacts": 0,
+            "simd_regions": 0, "bailouts": 0, "units_ready": 0,
+            "artifact_hits": 0, "compile_errors": 0, "corrupt_artifacts": 0,
         }
 
 
@@ -591,6 +632,8 @@ class _NativeFunctionCompiler(_FunctionCompiler):
             program.native_stats["fallback_regions"] += 1
             return None
         program.native_stats["native_regions"] += 1
+        if getattr(spec, "simd_ok", False):
+            program.native_stats["simd_regions"] += 1
         self.unit.add(source, symbol)
         return source, spec
 
@@ -708,6 +751,27 @@ class NativeEngine(CompiledEngine):
 
     PROGRAM_CLS = _NativeProgram
 
+    def __init__(self, module, machine: MachineModel = XEON_8375C,
+                 threads=None, collect_cost: bool = True,
+                 max_dynamic_ops=None, simd: Optional[bool] = None,
+                 phase_split: Optional[bool] = None) -> None:
+        env = NativeOptions.from_env()
+        self._options = NativeOptions(
+            simd=env.simd if simd is None else bool(simd),
+            phase_split=env.phase_split if phase_split is None else bool(phase_split))
+        super().__init__(module, machine=machine, threads=threads,
+                         collect_cost=collect_cost,
+                         max_dynamic_ops=max_dynamic_ops)
+
+    def _build_program(self, module, machine: MachineModel) -> _Program:
+        # the options change the generated C, so they key the program cache
+        # (two engine instances with different knobs must not share units).
+        options = self._options
+        return program_for(
+            module, machine, _NativeProgram,
+            variant=(options.simd, options.phase_split),
+            factory=lambda m, mm: _NativeProgram(m, mm, options=options))
+
     def run(self, function_name: str, arguments=()):
         # Strict (resilience-wrapped) runs surface the *cached* toolchain
         # failure as one clear ToolchainError up front — before any
@@ -729,10 +793,12 @@ class NativeEngine(CompiledEngine):
 
 
 def _make_native(module, *, machine=XEON_8375C, threads=None,
-                 collect_cost=True, max_dynamic_ops=None, workers=None):
+                 collect_cost=True, max_dynamic_ops=None, workers=None,
+                 simd=None, phase_split=None):
     # ``workers`` is a multicore-engine knob; OpenMP sizes the native teams.
     return NativeEngine(module, machine=machine, threads=threads,
-                        collect_cost=collect_cost, max_dynamic_ops=max_dynamic_ops)
+                        collect_cost=collect_cost, max_dynamic_ops=max_dynamic_ops,
+                        simd=simd, phase_split=phase_split)
 
 
 register_engine(

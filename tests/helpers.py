@@ -132,6 +132,8 @@ class FuzzKernel:
     has_barrier: bool
     guarded: bool
     pipeline: str
+    has_while: bool = False
+    barrier_loop: bool = False
     description: str = field(default="")
 
     def make_args(self) -> List:
@@ -208,9 +210,11 @@ def generate_fuzz_kernel(seed: int) -> FuzzKernel:
     expression DAGs, memref loads/stores with wrapped indices, uniform
     ``for`` loops (``scf.for``), data-dependent ``if``/``else`` (``scf.if``),
     optional ``__shared__`` staging with ``__syncthreads`` (including a
-    tree reduction), 1D and 2D grids, and guarded stores.  Inputs are
-    bounded away from zero so every operation is exact-arithmetic-safe and
-    all four engines must match bit for bit.
+    tree reduction and a uniform ``while`` loop *containing* barriers — the
+    guarded-barrier region class), ``while``/``do-while`` loops over local
+    counters (``scf.while``), 1D and 2D grids, and guarded stores.  Inputs
+    are bounded away from zero so every operation is exact-arithmetic-safe
+    and all five engines must match bit for bit.
     """
     rng = random.Random(seed)
     g = _KernelGrammar(rng)
@@ -221,9 +225,13 @@ def generate_fuzz_kernel(seed: int) -> FuzzKernel:
     block_size = rng.choice([4, 8, 16, 32])
     total = grid_x * grid_y * block_size
     has_barrier = rng.random() < 0.4
-    barrier_reduce = has_barrier and rng.random() < 0.5 and block_size >= 4
+    barrier_kind = rng.random()
+    barrier_reduce = has_barrier and barrier_kind < 0.4 and block_size >= 4
+    barrier_loop = has_barrier and not barrier_reduce and barrier_kind < 0.7
     has_loop = rng.random() < 0.55
     has_branch = rng.random() < 0.55
+    has_while = rng.random() < 0.35
+    do_while = has_while and rng.random() < 0.4
     guarded = rng.random() < 0.3
     n = total - rng.randint(1, block_size - 1) if guarded else total
     n = max(n, 1)
@@ -264,6 +272,20 @@ def generate_fuzz_kernel(seed: int) -> FuzzKernel:
         body.append(f"        acc = acc + {g.expr(locals_, ['i'], depth=1)};")
         body.append("    }")
 
+    if has_while:
+        trip = rng.randint(2, 5)
+        body.append("    int k = 0;")
+        if do_while:
+            body.append("    do {")
+            body.append(f"        acc = acc * 0.5f + {g.expr(locals_, ['k'], depth=1)};")
+            body.append("        k = k + 1;")
+            body.append(f"    }} while (k < {trip});")
+        else:
+            body.append(f"    while (k < {trip}) {{")
+            body.append(f"        acc = acc + {g.expr(locals_, ['k'], depth=1)};")
+            body.append("        k = k + 1;")
+            body.append("    }")
+
     if has_barrier:
         body.append(f"    __shared__ float buf[{block_size}];")
         body.append("    buf[tx] = acc;")
@@ -274,6 +296,21 @@ def generate_fuzz_kernel(seed: int) -> FuzzKernel:
             body.append("            buf[tx] += buf[tx + s];")
             body.append("        }")
             body.append("        __syncthreads();")
+            body.append("    }")
+            body.append("    acc = acc + buf[0] * 0.125f;")
+        elif barrier_loop:
+            # barriers inside a uniform while loop (backprop's shape): the
+            # round counter is a per-thread local updated identically by
+            # every thread, so the loop condition is block-uniform and each
+            # shared-buffer write is barrier-separated from the next read.
+            rounds = rng.randint(2, 4)
+            body.append(f"    int rounds = {rounds};")
+            body.append("    while (rounds > 0) {")
+            body.append(f"        float v = buf[(tx + 1) % {block_size}];")
+            body.append("        __syncthreads();")
+            body.append("        buf[tx] = v * 0.5f + acc;")
+            body.append("        __syncthreads();")
+            body.append("        rounds = rounds - 1;")
             body.append("    }")
             body.append("    acc = acc + buf[0] * 0.125f;")
         else:
@@ -308,10 +345,12 @@ def generate_fuzz_kernel(seed: int) -> FuzzKernel:
     ])
     description = (f"seed={seed} dims={dims} grid={grid_x}x{grid_y} "
                    f"block={block_size} barrier={has_barrier} "
-                   f"reduce={barrier_reduce} loop={has_loop} "
-                   f"branch={has_branch} guarded={guarded} "
+                   f"reduce={barrier_reduce} bloop={barrier_loop} "
+                   f"loop={has_loop} branch={has_branch} "
+                   f"while={has_while} dowhile={do_while} guarded={guarded} "
                    f"pipeline={pipeline}")
     return FuzzKernel(seed=seed, source=source, entry="launch",
                       total_threads=total, n=n, block_size=block_size,
                       dims=dims, has_barrier=has_barrier, guarded=guarded,
-                      pipeline=pipeline, description=description)
+                      pipeline=pipeline, has_while=has_while,
+                      barrier_loop=barrier_loop, description=description)

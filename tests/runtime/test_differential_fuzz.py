@@ -72,9 +72,13 @@ class TestGeneratorCoverage:
         assert any(not k.has_barrier for k in corpus)
         assert any(k.dims == 2 for k in corpus)
         assert any(k.guarded for k in corpus)
+        assert any(k.has_while for k in corpus)
+        assert any(k.barrier_loop for k in corpus)
         assert any("for (int i" in k.source for k in corpus)
         assert any("if (" in k.source for k in corpus)
         assert any("__syncthreads" in k.source for k in corpus)
+        assert any("do {" in k.source for k in corpus)
+        assert any("while (rounds > 0)" in k.source for k in corpus)
         assert len({k.pipeline for k in corpus}) >= 3
 
     def test_distinct_seeds_distinct_kernels(self):

@@ -4,10 +4,11 @@ The five-engine parity matrix (``test_engine_parity.py``) and the
 differential fuzz suite already pin the native engine's outputs and
 CostReports bit for bit; this file covers the machinery around them:
 
-* region coverage — the kernels that must compile natively do, the
-  constructs the emitter rejects (``scf.while``, nested ``omp.parallel``)
-  fall back per region, and at least one Rodinia kernel exercises the
-  fallback path;
+* region coverage — the kernels that must compile natively do (including
+  the two formerly-fallback classes: ``scf.while`` bodies and barriers
+  under uniform control flow), and the constructs the emitter still
+  rejects (nested ``omp.parallel``, thread-varying guarded barriers) fall
+  back per region;
 * the content-addressed artifact cache — warm units skip the C compiler,
   corrupt ``.so`` files recompile instead of crashing the dlopen, and the
   disk tier evicts by access age without touching pinned artifacts;
@@ -136,17 +137,21 @@ class TestRegionCoverage:
         assert stats["native_dispatches"] >= 1
 
     @needs_cc
-    def test_rodinia_exercises_per_region_fallback(self):
-        """At least one Rodinia kernel must keep the fallback path alive."""
-        fallbacks = 0
+    def test_former_fallback_kernels_compile_natively(self):
+        """backprop/particlefilter carry ``scf.while`` loops inside their
+        cpuified spans — the region class that used to fall back to the
+        compiled closures.  They must now run native, bit-identically,
+        with zero per-region fallbacks (the full 13/13 gate lives in
+        tests/rodinia/test_native_coverage.py)."""
         for name in ("backprop layerforward", "particlefilter"):
             bench = BENCHMARKS[name]
             module = bench.compile_cuda(PipelineOptions.all_optimizations())
             engine = _assert_native_matches_interp(
                 module, bench.entry, lambda: bench.make_inputs(1),
                 bench.output_indices[0])
-            fallbacks += engine.native_stats["fallback_regions"]
-        assert fallbacks >= 1
+            stats = engine.native_stats
+            assert stats["fallback_regions"] == 0, name
+            assert stats["native_dispatches"] >= 1, name
 
     def test_env_disable_degrades_to_compiled(self, monkeypatch):
         monkeypatch.setenv(NATIVE_ENV_VAR, "0")
